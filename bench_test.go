@@ -1,0 +1,388 @@
+// Benchmarks regenerating every table and figure of the paper plus the
+// ablations called out in DESIGN.md. Each BenchmarkTableN/BenchmarkFigure9
+// exercises exactly the code path that reproduces the corresponding result;
+// custom metrics surface the headline numbers so `go test -bench` output
+// doubles as an experiment log.
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ccc"
+	"repro/internal/ccd"
+	"repro/internal/dataset"
+	"repro/internal/editdist"
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/solidity"
+	"repro/internal/ssdeep"
+)
+
+// --- Table 1: CCC vs 8 tools ---------------------------------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(1)
+		cccRow := rows[0]
+		b.ReportMetric(float64(cccRow.TotalTP), "ccc-tp")
+		b.ReportMetric(float64(cccRow.TotalFP), "ccc-fp")
+		b.ReportMetric(cccRow.Precision*100, "ccc-precision-%")
+		b.ReportMetric(cccRow.Recall*100, "ccc-recall-%")
+	}
+}
+
+// --- Table 2: snippet derivations ------------------------------------------------
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(1)
+		b.ReportMetric(float64(rows[0].TP), "original-tp")
+		b.ReportMetric(float64(rows[1].TP), "functions-tp")
+		b.ReportMetric(float64(rows[2].TP), "statements-tp")
+		b.ReportMetric(rows[2].Precision*100, "statements-precision-%")
+	}
+}
+
+// --- Table 3: CCD vs SmartEmbed ---------------------------------------------------
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(1, ccd.DefaultConfig)
+		b.ReportMetric(float64(res.CCD.TP), "ccd-tp")
+		b.ReportMetric(float64(res.SmartEmbed.TP), "smartembed-tp")
+		b.ReportMetric(res.CCD.F1()*100, "ccd-f1-%")
+		b.ReportMetric(res.SmartEmbed.F1()*100, "smartembed-f1-%")
+	}
+}
+
+// --- Tables 4-8: the study (shared run, separate benches per table) ---------------
+
+var (
+	studyOnce sync.Once
+	studyRes  *pipeline.Result
+)
+
+func study() *pipeline.Result {
+	studyOnce.Do(func() {
+		cfg := pipeline.DefaultConfig()
+		cfg.Scale = 0.015
+		studyRes = pipeline.Run(cfg)
+	})
+	return studyRes
+}
+
+func BenchmarkTable4(b *testing.B) {
+	res := study()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The Table 4 computation: keyword filter + fuzzy parse + dedup.
+		kw, parsable := 0, 0
+		for _, s := range res.QA.Snippets {
+			if !dataset.IsSolidityLike(s.Source) {
+				continue
+			}
+			kw++
+			if _, err := solidity.Parse(s.Source); err == nil {
+				parsable++
+			}
+		}
+		b.ReportMetric(float64(kw), "solidity-like")
+		b.ReportMetric(float64(parsable), "parsable")
+		b.ReportMetric(float64(res.Funnel4.Total.Unique), "unique")
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	res := study()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range res.Correlations {
+			switch c.Name {
+			case "All Snippets":
+				b.ReportMetric(c.Rho, "rho-all")
+			case "Disseminator":
+				b.ReportMetric(c.Rho, "rho-disseminator")
+			case "Source":
+				b.ReportMetric(c.Rho, "rho-source")
+			}
+		}
+	}
+}
+
+func BenchmarkTable6(b *testing.B) {
+	res := study()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snippets, contracts := 0, 0
+		for _, e := range res.Table6 {
+			snippets += e.Snippets
+			contracts += e.Contracts
+		}
+		b.ReportMetric(float64(snippets), "category-snippets")
+		b.ReportMetric(float64(contracts), "category-contracts")
+	}
+}
+
+func BenchmarkTable7(b *testing.B) {
+	res := study()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := res.Funnel
+		b.ReportMetric(float64(f.VulnerableSnippets), "vulnerable-snippets")
+		b.ReportMetric(float64(f.UniqueContracts), "unique-contracts")
+		b.ReportMetric(float64(f.VulnerableContracts), "vulnerable-contracts")
+	}
+}
+
+func BenchmarkTable8(b *testing.B) {
+	res := study()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := res.Manual
+		b.ReportMetric(float64(mv.SampleSize), "sample")
+		b.ReportMetric(float64(mv.Counts[true][true][true]), "true-tp-tp")
+	}
+}
+
+// BenchmarkStudyEndToEnd measures a full pipeline run.
+func BenchmarkStudyEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := pipeline.DefaultConfig()
+		cfg.Scale = 0.004
+		res := pipeline.Run(cfg)
+		b.ReportMetric(float64(res.Funnel.UniqueSnippets), "unique-snippets")
+	}
+}
+
+// --- Figure 9 / Table 9: the parameter sweep ---------------------------------------
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, se := experiments.Figure9(1)
+		best := experiments.BestFigure9(points)
+		b.ReportMetric(best.Precision*100, "best-precision-%")
+		b.ReportMetric(best.Recall*100, "best-recall-%")
+		b.ReportMetric(se.Precision()*100, "smartembed-precision-%")
+	}
+}
+
+// --- Ablations (DESIGN.md) -----------------------------------------------------------
+
+// benchSnippets returns paired clone sources for the clone ablations.
+func benchSnippets() (string, string) {
+	a := `contract Bank {
+		mapping(address => uint) balances;
+		function withdraw(uint amount) public {
+			require(balances[msg.sender] >= amount);
+			balances[msg.sender] -= amount;
+			msg.sender.transfer(amount);
+		}
+		function deposit() public payable { balances[msg.sender] += msg.value; }
+	}`
+	bsrc := `contract MyBank {
+		mapping(address => uint) ledger;
+		function take(uint value) public {
+			require(ledger[msg.sender] >= value);
+			ledger[msg.sender] -= value;
+			lastWithdrawal = now;
+			msg.sender.transfer(value);
+		}
+		uint lastWithdrawal;
+		function put() public payable { ledger[msg.sender] += msg.value; }
+	}`
+	return a, bsrc
+}
+
+// BenchmarkAblationTokenFeeding compares the paper's per-token fuzzy hashing
+// against hashing the concatenated token stream with classic CTPH: the
+// per-token mode keeps clone similarity high under Type-III edits, the
+// whole-stream digest does not.
+func BenchmarkAblationTokenFeeding(b *testing.B) {
+	srcA, srcB := benchSnippets()
+	nuA, _ := ccd.Normalize(srcA)
+	nuB, _ := ccd.Normalize(srcB)
+	concat := func(nu ccd.NormalizedUnit) []byte {
+		var out []byte
+		for _, tok := range nu.Tokens() {
+			out = append(out, tok...)
+			out = append(out, ' ')
+		}
+		return out
+	}
+	for i := 0; i < b.N; i++ {
+		// Per-token fingerprints (the paper's design).
+		fa := ccd.FingerprintUnit(nuA)
+		fb := ccd.FingerprintUnit(nuB)
+		perToken := ccd.Similarity(fa, fb)
+
+		// Whole-stream classic CTPH.
+		ha := ssdeep.Hash(concat(nuA))
+		hb := ssdeep.Hash(concat(nuB))
+		whole := editdist.Similarity(ha, hb)
+
+		b.ReportMetric(perToken, "per-token-similarity")
+		b.ReportMetric(whole, "whole-stream-similarity")
+	}
+}
+
+// BenchmarkAblationNgramFilter measures the n-gram pre-filter against
+// all-pairs edit distance over a contract corpus (the paper's Execution
+// Time challenge).
+func BenchmarkAblationNgramFilter(b *testing.B) {
+	hp := dataset.GenerateHoneypots(1)
+	corpus := ccd.NewCorpus(ccd.DefaultConfig)
+	var fps []ccd.Fingerprint
+	for _, h := range hp {
+		fp, _ := ccd.FingerprintSource(h.Source)
+		fps = append(fps, fp)
+		corpus.Add(h.ID, fp)
+	}
+	b.Run("filtered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, fp := range fps[:50] {
+				total += len(corpus.Match(fp))
+			}
+			b.ReportMetric(float64(total), "matches")
+		}
+	})
+	b.Run("all-pairs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, fp := range fps[:50] {
+				total += len(corpus.MatchAllPairs(fp))
+			}
+			b.ReportMetric(float64(total), "matches")
+		}
+	})
+}
+
+// BenchmarkAblationOrderIndependence compares Algorithm 1 against plain
+// whole-fingerprint edit distance on order-swapped contracts (the paper's
+// Code Order challenge).
+func BenchmarkAblationOrderIndependence(b *testing.B) {
+	src := `contract C {
+		function f1(uint x) public { y = x + 1; }
+		function f2(uint x) public { msg.sender.transfer(x); }
+		function f3() public payable { y += msg.value; }
+		uint y;
+	}`
+	swapped := `contract C {
+		function f3() public payable { y += msg.value; }
+		function f2(uint x) public { msg.sender.transfer(x); }
+		function f1(uint x) public { y = x + 1; }
+		uint y;
+	}`
+	fa, _ := ccd.FingerprintSource(src)
+	fb, _ := ccd.FingerprintSource(swapped)
+	for i := 0; i < b.N; i++ {
+		orderIndependent := ccd.Similarity(fa, fb)
+		plain := editdist.Similarity(string(fa), string(fb))
+		b.ReportMetric(orderIndependent, "algorithm1-similarity")
+		b.ReportMetric(plain, "plain-editdist-similarity")
+	}
+}
+
+// BenchmarkAblationPathReduction compares unbounded validation against the
+// phase-2 depth-limited re-run on a large generated contract.
+func BenchmarkAblationPathReduction(b *testing.B) {
+	m := dataset.NewMutator(5)
+	src := dataset.VulnTemplates()[0].Source
+	for i := 0; i < 12; i++ {
+		src = m.AddFiller(src)
+	}
+	b.Run("unbounded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := ccc.NewAnalyzer()
+			rep, _ := a.AnalyzeSource(src)
+			b.ReportMetric(float64(len(rep.Findings)), "findings")
+		}
+	})
+	b.Run("depth-16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := &ccc.Analyzer{Limits: query.Limits{MaxDepth: 16}}
+			rep, _ := a.AnalyzeSource(src)
+			b.ReportMetric(float64(len(rep.Findings)), "findings")
+		}
+	})
+}
+
+// BenchmarkAblationModifierExpansion contrasts detection on a contract whose
+// access control lives in a modifier against the same guard inlined: with
+// expansion both are equally protected; a naive analysis missing expansion
+// would flag the modifier version.
+func BenchmarkAblationModifierExpansion(b *testing.B) {
+	viaModifier := `contract A {
+		address owner;
+		modifier onlyOwner() { require(msg.sender == owner); _; }
+		function setOwner(address next) public onlyOwner { owner = next; }
+		function auth() public { require(msg.sender == owner); }
+	}`
+	inlined := `contract B {
+		address owner;
+		function setOwner(address next) public {
+			require(msg.sender == owner);
+			owner = next;
+		}
+		function auth() public { require(msg.sender == owner); }
+	}`
+	for i := 0; i < b.N; i++ {
+		repA, _ := ccc.AnalyzeSource(viaModifier)
+		repB, _ := ccc.AnalyzeSource(inlined)
+		b.ReportMetric(float64(len(repA.Findings)), "modifier-findings")
+		b.ReportMetric(float64(len(repB.Findings)), "inline-findings")
+	}
+}
+
+// --- micro-benchmarks of the substrates ------------------------------------------------
+
+func BenchmarkParseSnippet(b *testing.B) {
+	src, _ := benchSnippets()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := solidity.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPGBuild(b *testing.B) {
+	src, _ := benchSnippets()
+	for i := 0; i < b.N; i++ {
+		if _, err := ccc.AnalyzeSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	src, _ := benchSnippets()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ccd.FingerprintSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	srcA, srcB := benchSnippets()
+	fa, _ := ccd.FingerprintSource(srcA)
+	fb, _ := ccd.FingerprintSource(srcB)
+	for i := 0; i < b.N; i++ {
+		ccd.Similarity(fa, fb)
+	}
+}
+
+func BenchmarkSsdeepHash(b *testing.B) {
+	data := make([]byte, 16384)
+	for i := range data {
+		data[i] = byte(i * 131)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		ssdeep.Hash(data)
+	}
+}

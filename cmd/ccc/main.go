@@ -1,0 +1,83 @@
+// Command ccc runs the CPG Contract Checker over Solidity files or snippets:
+//
+//	ccc [-json] [-category CAT] file.sol [file2.sol ...]
+//	echo 'msg.sender.call{value: x}("");' | ccc -
+//
+// CCC accepts incomplete, non-compilable code; missing declarations are
+// inferred before analysis.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ccc"
+	"repro/internal/core"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	category := flag.String("category", "", "restrict to one DASP category (e.g. \"Reentrancy\")")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ccc [-json] [-category CAT] <file.sol|-> ...")
+		os.Exit(2)
+	}
+
+	checker := core.NewChecker()
+	if *category != "" {
+		checker.Restrict(ccc.Category(*category))
+	}
+
+	exit := 0
+	type fileReport struct {
+		File     string        `json:"file"`
+		Findings []ccc.Finding `json:"findings"`
+		Error    string        `json:"error,omitempty"`
+	}
+	var reports []fileReport
+
+	for _, arg := range flag.Args() {
+		var src []byte
+		var err error
+		if arg == "-" {
+			src, err = io.ReadAll(os.Stdin)
+		} else {
+			src, err = os.ReadFile(arg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccc: %v\n", err)
+			exit = 1
+			continue
+		}
+		rep, perr := checker.Check(string(src))
+		fr := fileReport{File: arg, Findings: rep.Findings}
+		if perr != nil {
+			fr.Error = perr.Error()
+		}
+		reports = append(reports, fr)
+		if len(rep.Findings) > 0 {
+			exit = 1
+		}
+		if !*jsonOut {
+			for _, f := range rep.Findings {
+				fmt.Printf("%s:%s\n", arg, f)
+			}
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "%s: parse warnings: %v\n", arg, perr)
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(exit)
+}

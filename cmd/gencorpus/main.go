@@ -1,0 +1,83 @@
+// Command gencorpus writes the synthetic corpora to disk for inspection or
+// external tooling:
+//
+//	gencorpus -out ./corpora -scale 0.02
+//
+// It emits:
+//
+//	smartbugs/<category>/<file>.sol     labeled vulnerability benchmark
+//	honeypots/<type>/<id>.sol           clone-detection benchmark
+//	qa/<site>/<post>-<n>.sol|txt        Q&A snippets
+//	sanctuary/<address>.sol             deployed contracts (with index.csv)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "corpora", "output directory")
+	seed := flag.Int64("seed", 1, "generation seed")
+	scale := flag.Float64("scale", 0.02, "Q&A/sanctuary scale (1.0 = paper size)")
+	flag.Parse()
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gencorpus: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	write := func(path, content string) {
+		die(os.MkdirAll(filepath.Dir(path), 0o755))
+		die(os.WriteFile(path, []byte(content), 0o644))
+	}
+
+	// SmartBugs-like benchmark.
+	b := dataset.GenerateSmartBugs(*seed)
+	for _, f := range b.Files {
+		dir := strings.ReplaceAll(strings.ToLower(string(f.Category)), " ", "_")
+		write(filepath.Join(*out, "smartbugs", dir, f.Name), f.Source)
+	}
+	fmt.Printf("smartbugs: %d files, %d labels\n", len(b.Files), b.Labels())
+
+	// Honeypots.
+	hp := dataset.GenerateHoneypots(*seed)
+	for _, h := range hp {
+		dir := strings.ReplaceAll(strings.ToLower(string(h.Type)), " ", "-")
+		write(filepath.Join(*out, "honeypots", dir, h.ID+".sol"), h.Source)
+	}
+	fmt.Printf("honeypots: %d contracts\n", len(hp))
+
+	// Q&A corpus.
+	qa := dataset.GenerateQA(dataset.QAConfig{Seed: *seed, Scale: *scale})
+	for _, s := range qa.Snippets {
+		ext := ".txt"
+		if s.Kind == dataset.KindSolidity {
+			ext = ".sol"
+		}
+		site := "so"
+		if s.Site == dataset.EthereumSE {
+			site = "ese"
+		}
+		write(filepath.Join(*out, "qa", site, s.ID+ext), s.Source)
+	}
+	fmt.Printf("qa: %d posts, %d snippets\n", len(qa.Posts), len(qa.Snippets))
+
+	// Sanctuary.
+	sc := dataset.GenerateSanctuary(dataset.SanctuaryConfig{Seed: *seed + 1, Scale: *scale}, qa)
+	var idx strings.Builder
+	idx.WriteString("address,deployed,compiler,from_snippet,planted_before\n")
+	for _, c := range sc {
+		write(filepath.Join(*out, "sanctuary", c.Address+".sol"), c.Source)
+		fmt.Fprintf(&idx, "%s,%s,%s,%s,%v\n",
+			c.Address, c.Deployed.Format("2006-01-02"), c.Compiler, c.FromSnippet, c.PlantedBefore)
+	}
+	write(filepath.Join(*out, "sanctuary", "index.csv"), idx.String())
+	fmt.Printf("sanctuary: %d contracts\n", len(sc))
+}

@@ -1,0 +1,75 @@
+// Command soddstudy reproduces the paper's evaluation end to end and prints
+// the corresponding tables:
+//
+//	soddstudy -table 1        # CCC vs 8 analysis tools (SmartBugs-like)
+//	soddstudy -table 2        # CCC on Original/Functions/Statements
+//	soddstudy -table 3        # CCD vs SmartEmbed on honeypots
+//	soddstudy -table study    # Tables 4-8 (the full Figure 6 pipeline)
+//	soddstudy -table 9        # Figure 9 / Table 9 parameter sweep
+//	soddstudy -table all      # everything
+//
+// -scale controls the corpus size of the study relative to the paper
+// (default 0.02 ≈ 790 snippets / 6,450 contracts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ccd"
+	"repro/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to reproduce: 1, 2, 3, study, 9, all")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	scale := flag.Float64("scale", 0.02, "study corpus scale (1.0 = paper size)")
+	csvOut := flag.String("csv", "", "write the Figure 9 sweep as CSV to this file")
+	flag.Parse()
+
+	run1 := func() { fmt.Println(experiments.RenderTable1(experiments.Table1(*seed))) }
+	run2 := func() { fmt.Println(experiments.RenderTable2(experiments.Table2(*seed))) }
+	run3 := func() {
+		fmt.Println(experiments.RenderTable3(experiments.Table3(*seed, ccd.DefaultConfig)))
+	}
+	runStudy := func() {
+		fmt.Println(experiments.RenderStudy(experiments.Study(*seed, *scale)))
+	}
+	run9 := func() {
+		pts, se := experiments.Figure9(*seed)
+		fmt.Println(experiments.RenderFigure9(pts, se))
+		best := experiments.BestFigure9(pts)
+		fmt.Printf("best combination: N=%d eta=%.1f epsilon=%.0f (precision=%.4f recall=%.4f)\n",
+			best.N, best.Eta, best.Epsilon, best.Precision, best.Recall)
+		if *csvOut != "" {
+			if err := os.WriteFile(*csvOut, []byte(experiments.Figure9CSV(pts, se)), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "soddstudy: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("sweep written to %s\n", *csvOut)
+		}
+	}
+
+	switch *table {
+	case "1":
+		run1()
+	case "2":
+		run2()
+	case "3":
+		run3()
+	case "study", "4", "5", "6", "7", "8":
+		runStudy()
+	case "9", "fig9":
+		run9()
+	case "all":
+		run1()
+		run2()
+		run3()
+		runStudy()
+		run9()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,66 @@
+// Advisor example: the mitigation tooling of the paper's Section 6.7 — a
+// Q&A platform reviews a newly posted snippet against CCC and a knowledge
+// base of already-reported vulnerable fragments, and decides whether to show
+// a warning banner next to the post.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	advisor := core.NewAdvisor()
+
+	// Knowledge base: fragments previously reported as vulnerable.
+	_ = advisor.AddKnown(core.KnownVulnerability{
+		ID:          "report-2016-dao",
+		Description: "reentrant withdraw (state update after external call)",
+		Category:    "Reentrancy",
+	}, `function withdraw(uint amount) public {
+		if (credit[msg.sender] >= amount) {
+			msg.sender.call{value: amount}("");
+			credit[msg.sender] -= amount;
+		}
+	}`)
+	_ = advisor.AddKnown(core.KnownVulnerability{
+		ID:          "report-2017-parity",
+		Description: "default function relays msg.data via delegatecall",
+		Category:    "Access Control",
+	}, `function () payable { walletLibrary.delegatecall(msg.data); }`)
+
+	posts := []struct{ title, snippet string }{
+		{"How do I let users withdraw their balance?", `function take(uint value) public {
+	if (deposits[msg.sender] >= value) {
+		msg.sender.call{value: value}("");
+		deposits[msg.sender] -= value;
+	}
+}`},
+		{"Simple proxy pattern?", `function () payable { impl.delegatecall(msg.data); }`},
+		{"Safe withdraw with checks-effects-interactions", `function withdraw(uint amount) public {
+	require(balances[msg.sender] >= amount);
+	balances[msg.sender] -= amount;
+	msg.sender.transfer(amount);
+}`},
+	}
+
+	for _, p := range posts {
+		adv, _ := advisor.Review(p.snippet)
+		fmt.Printf("POST: %s\n", p.title)
+		if !adv.Flagged() {
+			fmt.Println("  ok: no warning")
+			fmt.Println()
+			continue
+		}
+		fmt.Println("  ⚠ warning banner:")
+		for _, f := range adv.Findings {
+			fmt.Printf("    finding: %s\n", f)
+		}
+		for _, m := range adv.SimilarKnown {
+			fmt.Printf("    %.0f%% similar to %s (%s): %s\n",
+				m.Score, m.ID, m.Category, m.Description)
+		}
+		fmt.Println()
+	}
+}

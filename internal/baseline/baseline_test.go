@@ -1,0 +1,213 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ccc"
+)
+
+const reentrantFull = `contract EtherStore {
+	mapping(address => uint256) public balances;
+	function depositFunds() public payable { balances[msg.sender] += msg.value; }
+	function withdrawFunds(uint256 amount) public {
+		require(balances[msg.sender] >= amount);
+		msg.sender.call{value: amount}("");
+		balances[msg.sender] -= amount;
+	}
+}`
+
+func TestAllToolsRefuseSnippets(t *testing.T) {
+	snippet := `function withdraw(uint amount) public {
+		msg.sender.call{value: amount}("");
+		balances[msg.sender] -= amount;
+	}`
+	for _, tool := range Tools() {
+		if _, err := tool.Analyze(snippet); err != ErrNotCompilable {
+			t.Errorf("%s should refuse snippets, got err=%v", tool.Name(), err)
+		}
+	}
+	se := NewSmartEmbed()
+	if _, err := se.Embed(snippet); err != ErrNotCompilable {
+		t.Errorf("SmartEmbed should refuse snippets, got %v", err)
+	}
+}
+
+func TestToolsAnalyzeFullContracts(t *testing.T) {
+	for _, tool := range Tools() {
+		if _, err := tool.Analyze(reentrantFull); err != nil {
+			t.Errorf("%s failed on compilable contract: %v", tool.Name(), err)
+		}
+	}
+}
+
+func TestOyenteFindsReentrancy(t *testing.T) {
+	fs, err := oyente{}.Analyze(reentrantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Category == ccc.Reentrancy {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("oyente misses canonical reentrancy: %v", fs)
+	}
+}
+
+func TestConkasNoisierThanMythril(t *testing.T) {
+	// The mitigated (checks-effects-interactions) contract should be clean
+	// for the precise tools but still flagged by the aggressive one.
+	mitigated := `contract SafeStore {
+	mapping(address => uint256) public balances;
+	function withdraw(uint256 amount) public {
+		require(balances[msg.sender] >= amount);
+		balances[msg.sender] -= amount;
+		msg.sender.transfer(amount);
+	}
+}`
+	ck, _ := conkas{}.Analyze(mitigated)
+	var ckRe int
+	for _, f := range ck {
+		if f.Category == ccc.Reentrancy {
+			ckRe++
+		}
+	}
+	if ckRe == 0 {
+		t.Error("conkas should flood reentrancy FPs on mitigated code")
+	}
+	my, _ := mythril{}.Analyze(mitigated)
+	for _, f := range my {
+		if f.Category == ccc.Reentrancy {
+			t.Errorf("mythril should not flag mitigated transfer: %v", f)
+		}
+	}
+}
+
+func TestSmartCheckNarrowButPrecise(t *testing.T) {
+	src := `contract C {
+	function pay(address to, uint amount) public {
+		to.send(amount);
+	}
+}`
+	fs, err := smartcheck{}.Analyze(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Category != ccc.UncheckedCalls {
+		t.Errorf("smartcheck: %v", fs)
+	}
+	// SmartCheck covers no reentrancy at all.
+	fs, _ = smartcheck{}.Analyze(reentrantFull)
+	for _, f := range fs {
+		if f.Category == ccc.Reentrancy {
+			t.Errorf("smartcheck should not report reentrancy: %v", f)
+		}
+	}
+}
+
+func TestCategoryCoverageLimits(t *testing.T) {
+	// No baseline tool covers all nine categories (CCC uniquely does).
+	all := []string{
+		reentrantFull,
+		`contract A { function kill() public { selfdestruct(msg.sender); } }`,
+		`contract B { function f(uint v) public { total += v; } uint total; }`,
+		`contract D { function g() public payable { if (now % 15 == 0) { msg.sender.transfer(1); } } }`,
+		`contract E { function h() public { uint r = uint(blockhash(block.number - 1)); if (r % 2 == 0) { msg.sender.transfer(1); } } }`,
+		`contract F { address o; function i() public { require(tx.origin == o); msg.sender.transfer(1); } }`,
+		`contract G { address[] ps; function j() public { for (uint i = 0; i < ps.length; i++) { ps[i].transfer(1); } } }`,
+		`contract H { function k(address a) public { a.call(""); } }`,
+		`contract I { address w; function l(uint g2) public { require(g2 == 1); w = msg.sender; } }`,
+	}
+	for _, tool := range Tools() {
+		cats := map[ccc.Category]bool{}
+		for _, src := range all {
+			fs, err := tool.Analyze(src)
+			if err != nil {
+				continue
+			}
+			for _, f := range fs {
+				cats[f.Category] = true
+			}
+		}
+		if len(cats) > 6 {
+			t.Errorf("%s covers %d categories; baselines must cover at most 6", tool.Name(), len(cats))
+		}
+		if len(cats) == 0 {
+			t.Errorf("%s found nothing at all", tool.Name())
+		}
+	}
+}
+
+func TestSmartEmbedSelfSimilarity(t *testing.T) {
+	se := NewSmartEmbed()
+	e, err := se.Embed(reentrantFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, clone := se.IsClone(e, e)
+	if !clone || s < 0.9999 {
+		t.Errorf("self similarity: %v %v", s, clone)
+	}
+}
+
+func TestSmartEmbedDetectsRenamedClone(t *testing.T) {
+	se := NewSmartEmbed()
+	renamed := `contract MoneyStore {
+	mapping(address => uint256) public ledger;
+	function putFunds() public payable { ledger[msg.sender] += msg.value; }
+	function takeFunds(uint256 qty) public {
+		require(ledger[msg.sender] >= qty);
+		msg.sender.call{value: qty}("");
+		ledger[msg.sender] -= qty;
+	}
+}`
+	a, _ := se.Embed(reentrantFull)
+	b, err := se.Embed(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, clone := se.IsClone(a, b)
+	if !clone {
+		t.Errorf("renamed clone not detected: %.3f", s)
+	}
+}
+
+func TestSmartEmbedRejectsUnrelated(t *testing.T) {
+	se := NewSmartEmbed()
+	other := `contract Voting {
+	mapping(uint => uint) tally;
+	mapping(address => bool) voted;
+	event Voted(address who);
+	function vote(uint candidate) public {
+		require(!voted[msg.sender]);
+		voted[msg.sender] = true;
+		tally[candidate] += 1;
+		emit Voted(msg.sender);
+	}
+	function winner() public view returns (uint) { return tally[0]; }
+}`
+	a, _ := se.Embed(reentrantFull)
+	b, err := se.Embed(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, clone := se.IsClone(a, b)
+	if clone {
+		t.Errorf("unrelated contracts matched: %.3f", s)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	se := NewSmartEmbed()
+	a, _ := se.Embed(reentrantFull)
+	var zero Embedding
+	if Cosine(a, zero) != 0 {
+		t.Error("cosine with empty embedding should be 0")
+	}
+	b, _ := se.Embed(`contract X { uint x; }`)
+	if s1, s2 := Cosine(a, b), Cosine(b, a); s1 != s2 {
+		t.Errorf("cosine not symmetric: %v vs %v", s1, s2)
+	}
+}

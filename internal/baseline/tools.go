@@ -1,0 +1,215 @@
+package baseline
+
+import (
+	"strings"
+
+	"repro/internal/ccc"
+)
+
+// The eight tool stand-ins. Category coverage and bias follow the per-tool
+// rows of Table 1: every tool supports at most six categories (CCC is the
+// only one covering all nine) and each has a characteristic precision
+// profile.
+
+func collect(cat ccc.Category, lines []int) []Finding {
+	out := make([]Finding, 0, len(lines))
+	for _, l := range lines {
+		out = append(out, Finding{Category: cat, Line: l})
+	}
+	return out
+}
+
+type confuzzius struct{}
+
+func (confuzzius) Name() string { return "Confuzzius" }
+
+// Confuzzius: strong on reentrancy/arithmetic, noisy on access control and
+// randomness.
+func (confuzzius) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 1))...)
+	out = append(out, collect(ccc.Arithmetic, arithmeticFindings(ls, false))...)
+	out = append(out, collect(ccc.BadRandomness, randomnessFindings(ls, true))...)
+	// Noisy access-control guesser: any ownership write looks suspicious.
+	out = append(out, collect(ccc.AccessControl, ls.match("owner = msg.sender", "owner=msg.sender"))...)
+	out = append(out, collect(ccc.FrontRunning, frontRunFindings(ls))...)
+	return out, nil
+}
+
+type conkas struct{}
+
+func (conkas) Name() string { return "Conkas" }
+
+// Conkas: the recall champion among the baselines, at the price of flooding
+// reentrancy false positives (it ignores mitigation patterns entirely).
+func (conkas) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 2))...)
+	out = append(out, collect(ccc.Arithmetic, arithmeticFindings(ls, true))...)
+	out = append(out, collect(ccc.TimeManipulation, timestampFindings(ls, true))...)
+	out = append(out, collect(ccc.UncheckedCalls, uncheckedFindings(ls, true))...)
+	out = append(out, collect(ccc.FrontRunning, frontRunFindings(ls))...)
+	return out, nil
+}
+
+type mythril struct{}
+
+func (mythril) Name() string { return "Mythril" }
+
+// Mythril: broad and reasonably precise, weaker on randomness.
+func (mythril) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 0))...)
+	out = append(out, collect(ccc.Arithmetic, arithmeticFindings(ls, false))...)
+	out = append(out, collect(ccc.AccessControl, selfdestructFindings(ls))...)
+	out = append(out, collect(ccc.AccessControl, txOriginFindings(ls))...)
+	out = append(out, collect(ccc.UncheckedCalls, uncheckedFindings(ls, false))...)
+	out = append(out, collect(ccc.TimeManipulation, timestampFindings(ls, false))...)
+	out = append(out, collect(ccc.DenialOfService, dosLoopTransferFindings(ls))...)
+	out = append(out, collect(ccc.BadRandomness, randomnessFindings(ls, false))...)
+	return out, nil
+}
+
+type osiris struct{}
+
+func (osiris) Name() string { return "Osiris" }
+
+// Osiris: the integer-bug specialist (extends Oyente), noisy on reentrancy
+// and denial of service.
+func (osiris) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Arithmetic, arithmeticFindings(ls, true))...)
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 1))...)
+	out = append(out, collect(ccc.TimeManipulation, timestampFindings(ls, false))...)
+	out = append(out, collect(ccc.FrontRunning, frontRunFindings(ls))...)
+	// DoS guesser that fires on loops over collections (mostly noise).
+	out = append(out, collect(ccc.DenialOfService, ls.match(".length; i++", ".length;i++"))...)
+	return out, nil
+}
+
+type oyente struct{}
+
+func (oyente) Name() string { return "Oyente" }
+
+// Oyente: the classic symbolic executor; solid reentrancy and arithmetic,
+// nothing else.
+func (oyente) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 0))...)
+	// Narrower arithmetic: compound updates only, no multiplications.
+	var arith []int
+	for _, l := range arithmeticFindings(ls, false) {
+		line := ls[l-1]
+		if containsAny(line, "-=", "+=") {
+			arith = append(arith, l)
+		}
+	}
+	out = append(out, collect(ccc.Arithmetic, arith)...)
+	out = append(out, collect(ccc.FrontRunning, frontRunFindings(ls))...)
+	out = append(out, collect(ccc.TimeManipulation, timestampFindings(ls, false))...)
+	return out, nil
+}
+
+type securify struct{}
+
+func (securify) Name() string { return "Securify" }
+
+// Securify: pattern-proof based; strong unchecked-call coverage with
+// moderate noise, decent reentrancy.
+func (securify) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.Reentrancy, reentrancyFindings(ls, 1))...)
+	out = append(out, collect(ccc.UncheckedCalls, uncheckedFindings(ls, true))...)
+	// Aggressive: also flags checked sends whose result feeds an if.
+	out = append(out, collect(ccc.UncheckedCalls, ls.match("if (!", "if(!"))...)
+	out = append(out, collect(ccc.FrontRunning, frontRunFindings(ls))...)
+	out = append(out, collect(ccc.AccessControl, ls.match("delegatecall(msg.data"))...)
+	return out, nil
+}
+
+type slither struct{}
+
+func (slither) Name() string { return "Slither" }
+
+// Slither: excellent engineering but conservative reentrancy definition
+// (misses call-then-write on sender-keyed mappings, flags benign orderings).
+func (slither) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	// Reentrancy detector tuned for "write after transfer to state read
+	// before": on this benchmark it mostly reports benign events.
+	var re []int
+	for i, l := range ls {
+		if containsAny(l, ".transfer(", ".send(") && ls.anyAfter(i+1, "emit ", "= true") {
+			re = append(re, i+1)
+		}
+	}
+	out = append(out, collect(ccc.Reentrancy, re)...)
+	out = append(out, collect(ccc.AccessControl, txOriginFindings(ls))...)
+	out = append(out, collect(ccc.AccessControl, selfdestructFindings(ls))...)
+	out = append(out, collect(ccc.UncheckedCalls, uncheckedFindings(ls, true))...)
+	out = append(out, collect(ccc.TimeManipulation, timestampFindings(ls, false))...)
+	out = append(out, collect(ccc.DenialOfService, dosLoopTransferFindings(ls))...)
+	return out, nil
+}
+
+type smartcheck struct{}
+
+func (smartcheck) Name() string { return "SmartCheck" }
+
+// SmartCheck: narrow XPath-style syntactic rules; the precision leader with
+// limited recall.
+func (smartcheck) Analyze(src string) ([]Finding, error) {
+	if err := requireCompilable(src); err != nil {
+		return nil, err
+	}
+	ls := splitSource(src)
+	var out []Finding
+	out = append(out, collect(ccc.UncheckedCalls, uncheckedFindings(ls, false))...)
+	out = append(out, collect(ccc.AccessControl, txOriginFindings(ls))...)
+	// Very narrow timestamp rule: only `now` in conditionals.
+	var tm []int
+	for i, l := range ls {
+		if containsAny(l, "now %", "now%") {
+			tm = append(tm, i+1)
+		}
+	}
+	out = append(out, collect(ccc.TimeManipulation, tm)...)
+	return out, nil
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}

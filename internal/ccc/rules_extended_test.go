@@ -1,0 +1,124 @@
+package ccc
+
+import (
+	"testing"
+)
+
+func checkExtended(t *testing.T, src, rule string, want bool) {
+	t.Helper()
+	a := NewAnalyzer().WithExtendedRules()
+	rep, err := a.AnalyzeSource(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := false
+	for _, f := range rep.Findings {
+		if f.Rule == rule {
+			got = true
+		}
+	}
+	if got != want {
+		t.Errorf("rule %s: got %v want %v\nfindings: %v", rule, got, want, rep.Findings)
+	}
+}
+
+func TestExtendedRuleCount(t *testing.T) {
+	if len(ExtendedRules()) != 21 {
+		t.Fatalf("extended rules: %d, want 21", len(ExtendedRules()))
+	}
+}
+
+func TestArbitraryDelegatecall(t *testing.T) {
+	checkExtended(t, `contract C {
+		function exec(address target, bytes memory data) public {
+			target.delegatecall(data);
+		}
+	}`, "arbitrary-delegatecall", true)
+}
+
+func TestArbitraryDelegatecallGuarded(t *testing.T) {
+	checkExtended(t, `contract C {
+		address owner;
+		function exec(address target, bytes memory data) public {
+			require(msg.sender == owner);
+			target.delegatecall(data);
+		}
+	}`, "arbitrary-delegatecall", false)
+}
+
+func TestArbitraryDelegatecallFixedTargetSafe(t *testing.T) {
+	checkExtended(t, `contract C {
+		address lib;
+		function exec(bytes memory data) public {
+			lib.delegatecall(data);
+		}
+	}`, "arbitrary-delegatecall", false)
+}
+
+func TestDivisionBeforeMultiplication(t *testing.T) {
+	checkExtended(t, `contract C {
+		uint out;
+		function f(uint a, uint b, uint c) public {
+			uint share = a / b;
+			out = share * c;
+		}
+	}`, "division-before-multiplication", true)
+}
+
+func TestMultiplicationBeforeDivisionSafe(t *testing.T) {
+	checkExtended(t, `contract C {
+		uint out;
+		function f(uint a, uint b, uint c) public {
+			out = a * c / b;
+		}
+	}`, "division-before-multiplication", false)
+}
+
+func TestMissingZeroAddressCheck(t *testing.T) {
+	checkExtended(t, `contract C {
+		address beneficiary;
+		function set(address next) public { beneficiary = next; }
+	}`, "missing-zero-address-check", true)
+}
+
+func TestZeroAddressCheckRecognized(t *testing.T) {
+	checkExtended(t, `contract C {
+		address beneficiary;
+		function set(address next) public {
+			require(next != address(0));
+			beneficiary = next;
+		}
+	}`, "missing-zero-address-check", false)
+}
+
+func TestConstructorTypo(t *testing.T) {
+	// The Rubixi bug: contract renamed, old constructor left public.
+	checkExtended(t, `contract Rubixi {
+		address creator;
+		function rubixi() public { creator = msg.sender; }
+	}`, "suicidal-constructor-typo", true)
+}
+
+func TestConstructorExactNameIsConstructor(t *testing.T) {
+	checkExtended(t, `contract Wallet {
+		address creator;
+		function Wallet() public { creator = msg.sender; }
+	}`, "suicidal-constructor-typo", false)
+}
+
+func TestExtendedRulesDoNotAlterBaseFindings(t *testing.T) {
+	base, _ := AnalyzeSource(reentrantSrc)
+	ext, _ := NewAnalyzer().WithExtendedRules().AnalyzeSource(reentrantSrc)
+	if len(ext.Findings) < len(base.Findings) {
+		t.Errorf("extended run lost base findings: %d vs %d", len(ext.Findings), len(base.Findings))
+	}
+	baseRules := map[string]bool{}
+	for _, r := range Rules() {
+		baseRules[r.Name] = true
+	}
+	for _, f := range base.Findings {
+		if !baseRules[f.Rule] {
+			t.Errorf("base analyzer ran extended rule %s", f.Rule)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package ccd
+
+import (
+	"strings"
+
+	"repro/internal/editdist"
+	"repro/internal/ssdeep"
+)
+
+// Fingerprint is the fuzzy-hash condensate of a normalized source unit
+// (Section 5.4): one base64 character per token, with '.' separating
+// function implementations and ':' separating contract definitions. Local
+// token edits perturb only the corresponding characters, so edit distance on
+// fingerprints approximates token-level edit distance on normalized code.
+type Fingerprint string
+
+// Sub-fingerprint separators.
+const (
+	FuncSep     = '.'
+	ContractSep = ':'
+)
+
+// FingerprintSource parses, normalizes and fingerprints a Solidity source
+// text (snippet or full contract). The returned error reflects parse
+// problems; a fingerprint is still produced from whatever parsed.
+func FingerprintSource(src string) (Fingerprint, error) {
+	nu, err := Normalize(src)
+	return FingerprintUnit(nu), err
+}
+
+// FingerprintUnit fingerprints normalized token streams. Contract header
+// tokens are omitted: after normalization every header reads "contract c {"
+// and a constant micro-chunk would only inflate the order-independent
+// similarity score. Separators sit between function implementations ('.')
+// and between contracts (':').
+func FingerprintUnit(nu NormalizedUnit) Fingerprint {
+	var s ssdeep.Stream
+	for ci, c := range nu.Contracts {
+		if ci > 0 {
+			s.WriteSeparator(ContractSep)
+		}
+		for fi, fn := range c.Functions {
+			if fi > 0 {
+				s.WriteSeparator(FuncSep)
+			}
+			for _, tok := range fn {
+				s.WriteToken(tok)
+			}
+		}
+	}
+	return Fingerprint(s.String())
+}
+
+// MinSubLen is the minimum sub-fingerprint length considered during
+// matching when longer chunks exist: micro-chunks (empty constructors,
+// one-line getters normalize to near-identical token runs) carry no clone
+// evidence and would inflate the order-independent mean.
+const MinSubLen = 6
+
+// Subs splits the fingerprint into its sub-fingerprints (one per function
+// implementation). Order-independent matching compares these individually
+// (Section 5.5).
+func (f Fingerprint) Subs() []string {
+	var out []string
+	for _, chunk := range strings.FieldsFunc(string(f), func(r rune) bool {
+		return r == rune(FuncSep) || r == rune(ContractSep)
+	}) {
+		if chunk != "" {
+			out = append(out, chunk)
+		}
+	}
+	return out
+}
+
+// matchSubs returns the sub-fingerprints used for similarity scoring:
+// chunks of at least MinSubLen, or all chunks when none is long enough.
+func (f Fingerprint) matchSubs() []string {
+	all := f.Subs()
+	var long []string
+	for _, s := range all {
+		if len(s) >= MinSubLen {
+			long = append(long, s)
+		}
+	}
+	if len(long) == 0 {
+		return all
+	}
+	return long
+}
+
+// --- similarity ---------------------------------------------------------------
+
+// Delta is the normalized sub-fingerprint similarity δ(s1,s2) in [0,100].
+func Delta(s1, s2 string) float64 { return editdist.Similarity(s1, s2) }
+
+// Similarity implements Algorithm 1 (order-independent similarity): every
+// sub-fingerprint of f1 is matched against all sub-fingerprints of f2, and
+// the mean of the best matches is returned (0..100). An empty f1 yields 0.
+func Similarity(f1, f2 Fingerprint) float64 {
+	subs1 := f1.matchSubs()
+	subs2 := f2.matchSubs()
+	if len(subs1) == 0 || len(subs2) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s1 := range subs1 {
+		best := 0.0
+		for _, s2 := range subs2 {
+			if d := Delta(s1, s2); d > best {
+				best = d
+			}
+		}
+		total += best
+	}
+	return total / float64(len(subs1))
+}
+
+// SimilarityAtLeast computes Algorithm 1 with early exits: sub-fingerprint
+// comparisons use bounded edit distance, and matching aborts once the
+// remaining sub-fingerprints cannot lift the mean above threshold.
+func SimilarityAtLeast(f1, f2 Fingerprint, threshold float64) (float64, bool) {
+	subs1 := f1.matchSubs()
+	subs2 := f2.matchSubs()
+	if len(subs1) == 0 || len(subs2) == 0 {
+		return 0, threshold <= 0
+	}
+	needTotal := threshold * float64(len(subs1))
+	total := 0.0
+	for i, s1 := range subs1 {
+		best := 0.0
+		for _, s2 := range subs2 {
+			d, _ := editdist.SimilarityAtLeast(s1, s2, best)
+			if d > best {
+				best = d
+				if best == 100 {
+					break
+				}
+			}
+		}
+		total += best
+		// Even perfect remaining matches cannot reach the threshold.
+		remaining := float64(len(subs1) - i - 1)
+		if total+remaining*100 < needTotal {
+			return total / float64(len(subs1)), false
+		}
+	}
+	eps := total / float64(len(subs1))
+	return eps, eps >= threshold
+}

@@ -1,0 +1,107 @@
+package ccd
+
+import (
+	"fmt"
+
+	"repro/internal/ngram"
+)
+
+// Config are the matcher parameters swept in the paper's Table 9:
+// n-gram size N, n-gram containment threshold η, similarity threshold ε.
+type Config struct {
+	N       int     // n-gram size (3, 5, 7)
+	Eta     float64 // n-gram pre-filter threshold in [0,1]
+	Epsilon float64 // Algorithm-1 similarity threshold in [0,100]
+}
+
+// DefaultConfig is the best precision/recall trade-off found in the paper
+// (N=3, η=0.5, ε=0.7 — Appendix D).
+var DefaultConfig = Config{N: 3, Eta: 0.5, Epsilon: 70}
+
+// ConservativeConfig is the high-confidence configuration used for the
+// large-scale study (Section 6.3: N=3, η=0.5, ε=0.9).
+var ConservativeConfig = Config{N: 3, Eta: 0.5, Epsilon: 90}
+
+func (c Config) String() string {
+	return fmt.Sprintf("N=%d eta=%.1f eps=%.2f", c.N, c.Eta, c.Epsilon)
+}
+
+// Entry is one fingerprinted document in a corpus.
+type Entry struct {
+	ID string
+	FP Fingerprint
+}
+
+// Match is a scored clone candidate.
+type Match struct {
+	ID    string
+	Score float64 // Algorithm-1 similarity in [0,100]
+}
+
+// Corpus is a searchable collection of fingerprints with an n-gram
+// pre-filter index (the Elasticsearch stand-in).
+type Corpus struct {
+	cfg     Config
+	index   *ngram.Index
+	entries []Entry
+}
+
+// NewCorpus returns an empty corpus using cfg.
+func NewCorpus(cfg Config) *Corpus {
+	if cfg.N == 0 {
+		cfg = DefaultConfig
+	}
+	return &Corpus{cfg: cfg, index: ngram.New(cfg.N)}
+}
+
+// Config returns the corpus configuration.
+func (c *Corpus) Config() Config { return c.cfg }
+
+// Len returns the number of indexed entries.
+func (c *Corpus) Len() int { return len(c.entries) }
+
+// Add indexes a fingerprint under an id.
+func (c *Corpus) Add(id string, fp Fingerprint) {
+	c.index.Add(id, string(fp))
+	c.entries = append(c.entries, Entry{ID: id, FP: fp})
+}
+
+// AddSource fingerprints src and indexes it; parse errors are returned but
+// the (partial) fingerprint is still indexed.
+func (c *Corpus) AddSource(id, src string) error {
+	fp, err := FingerprintSource(src)
+	c.Add(id, fp)
+	return err
+}
+
+// Match returns all indexed entries the query fingerprint is a clone of:
+// candidates sharing ≥ η of the query's n-grams, scored with Algorithm 1,
+// kept when the score reaches ε.
+func (c *Corpus) Match(fp Fingerprint) []Match {
+	var out []Match
+	for _, cand := range c.index.Query(string(fp), c.cfg.Eta) {
+		entry := c.entries[cand.Doc]
+		score, ok := SimilarityAtLeast(fp, entry.FP, c.cfg.Epsilon)
+		if ok {
+			out = append(out, Match{ID: entry.ID, Score: score})
+		}
+	}
+	return out
+}
+
+// MatchAllPairs scores the query against every entry without the n-gram
+// pre-filter (ablation baseline for the Execution Time challenge of
+// Section 5.5).
+func (c *Corpus) MatchAllPairs(fp Fingerprint) []Match {
+	var out []Match
+	for _, e := range c.entries {
+		score, ok := SimilarityAtLeast(fp, e.FP, c.cfg.Epsilon)
+		if ok {
+			out = append(out, Match{ID: e.ID, Score: score})
+		}
+	}
+	return out
+}
+
+// Entries exposes the indexed entries (read-only use).
+func (c *Corpus) Entries() []Entry { return c.entries }

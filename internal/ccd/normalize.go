@@ -1,0 +1,429 @@
+// Package ccd implements the Contract Clone Detector: parsing, identifier
+// normalization, tokenization, fuzzy-hash fingerprinting, n-gram candidate
+// retrieval and the order-independent similarity score of the paper's
+// Section 5. CCD detects code clones of Types I-III between incomplete
+// snippets and full smart contracts.
+package ccd
+
+import (
+	"strings"
+
+	"repro/internal/solidity"
+)
+
+// Normalization (Section 5.2):
+//   - contract names  → "c", library names → "l"
+//   - function names  → "f", modifier names → "m"
+//   - parameters and variables → their declared type (default "uint")
+//   - string literals → "stringLiteral"; numeric constants untouched
+//   - visibility and mutability specifiers removed
+//
+// Tokenization (Section 5.3): state-variable and event declarations are
+// skipped; contract and function declarations plus function-level statements
+// are divided at symbols.
+
+// normalizer carries the renaming environment while emitting tokens.
+type normalizer struct {
+	// varType maps identifier names to their normalized replacement.
+	scopes []map[string]string
+	// tokens of the current function being emitted.
+	out []string
+}
+
+func (n *normalizer) push() { n.scopes = append(n.scopes, map[string]string{}) }
+func (n *normalizer) pop()  { n.scopes = n.scopes[:len(n.scopes)-1] }
+
+func (n *normalizer) declare(name, repl string) {
+	if name == "" {
+		return
+	}
+	n.scopes[len(n.scopes)-1][name] = repl
+}
+
+func (n *normalizer) rename(name string) (string, bool) {
+	for i := len(n.scopes) - 1; i >= 0; i-- {
+		if r, ok := n.scopes[i][name]; ok {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+func (n *normalizer) emit(toks ...string) { n.out = append(n.out, toks...) }
+
+// typeToken renders the normalized replacement token for a declared type.
+func typeToken(t solidity.TypeName) string {
+	if t == nil {
+		return "uint" // missing type declarations default to uint (paper 5.2)
+	}
+	s := solidity.TypeString(t)
+	s = strings.TrimSuffix(s, " payable")
+	return s
+}
+
+// NormalizedUnit is the tokenized form of one source unit: contracts holding
+// functions holding token streams. It preserves enough structure for the
+// fingerprint separators ('.' between functions, ':' between contracts).
+type NormalizedUnit struct {
+	Contracts []NormalizedContract
+}
+
+// NormalizedContract is the token form of one contract.
+type NormalizedContract struct {
+	// Header tokens ("contract c {") followed by per-function streams.
+	Header    []string
+	Functions [][]string
+}
+
+// Tokens flattens the unit to a single token stream (ablation helper).
+func (u NormalizedUnit) Tokens() []string {
+	var out []string
+	for _, c := range u.Contracts {
+		out = append(out, c.Header...)
+		for _, f := range c.Functions {
+			out = append(out, f...)
+		}
+	}
+	return out
+}
+
+// Normalize parses src with the snippet grammar and returns the normalized
+// token streams. Orphan functions and statements are wrapped by inference
+// first, so snippets at any hierarchy level normalize uniformly.
+func Normalize(src string) (NormalizedUnit, error) {
+	unit, err := solidity.Parse(src)
+	nu := NormalizeUnit(unit)
+	return nu, err
+}
+
+// NormalizeUnit normalizes an already-parsed unit.
+func NormalizeUnit(unit *solidity.SourceUnit) NormalizedUnit {
+	unit = solidity.Infer(unit)
+	var nu NormalizedUnit
+	for _, d := range unit.Decls {
+		c, ok := d.(*solidity.ContractDecl)
+		if !ok {
+			continue
+		}
+		nu.Contracts = append(nu.Contracts, normalizeContract(c))
+	}
+	return nu
+}
+
+func normalizeContract(c *solidity.ContractDecl) NormalizedContract {
+	n := &normalizer{}
+	n.push()
+	kindTok := "c"
+	if c.Kind == solidity.KindLibrary {
+		kindTok = "l"
+	}
+	n.declare(c.Name, kindTok)
+
+	// First pass: register member renames so uses before declarations
+	// resolve (functions, modifiers, state variable types).
+	for _, part := range c.Parts {
+		switch x := part.(type) {
+		case *solidity.FunctionDecl:
+			n.declare(x.Name, "f")
+		case *solidity.ModifierDecl:
+			n.declare(x.Name, "m")
+		case *solidity.StateVarDecl:
+			n.declare(x.Name, typeToken(x.Type))
+		case *solidity.StructDecl:
+			n.declare(x.Name, "s")
+			// Struct fields are variables: rename by declared type so that
+			// member accesses normalize (h.amount → h.uint).
+			for _, fld := range x.Fields {
+				n.declare(fld.Name, typeToken(fld.Type))
+			}
+		case *solidity.EnumDecl:
+			n.declare(x.Name, "e")
+		}
+	}
+
+	nc := NormalizedContract{Header: []string{"contract", kindTok, "{"}}
+	for _, part := range c.Parts {
+		switch x := part.(type) {
+		case *solidity.FunctionDecl:
+			nc.Functions = append(nc.Functions, n.function(x))
+		case *solidity.ModifierDecl:
+			nc.Functions = append(nc.Functions, n.modifier(x))
+			// State variable and event declarations are skipped (Section 5.3).
+		}
+	}
+	return nc
+}
+
+func (n *normalizer) function(f *solidity.FunctionDecl) []string {
+	n.out = nil
+	n.push()
+	defer n.pop()
+	switch {
+	case f.IsConstructor:
+		n.emit("constructor")
+	case f.IsReceive:
+		n.emit("receive")
+	default:
+		n.emit("function", "f")
+	}
+	n.emit("(")
+	for i, p := range f.Params {
+		if i > 0 {
+			n.emit(",")
+		}
+		tt := typeToken(p.Type)
+		n.declare(p.Name, tt)
+		n.emit(tt)
+	}
+	n.emit(")")
+	// Visibility/mutability dropped. Modifier applications normalize to m.
+	for range f.Modifiers {
+		n.emit("m")
+	}
+	if len(f.Returns) > 0 {
+		n.emit("returns", "(")
+		for i, p := range f.Returns {
+			if i > 0 {
+				n.emit(",")
+			}
+			tt := typeToken(p.Type)
+			n.declare(p.Name, tt)
+			n.emit(tt)
+		}
+		n.emit(")")
+	}
+	if f.Body != nil {
+		n.block(f.Body)
+	}
+	return n.out
+}
+
+func (n *normalizer) modifier(m *solidity.ModifierDecl) []string {
+	n.out = nil
+	n.push()
+	defer n.pop()
+	n.emit("modifier", "m", "(")
+	for i, p := range m.Params {
+		if i > 0 {
+			n.emit(",")
+		}
+		tt := typeToken(p.Type)
+		n.declare(p.Name, tt)
+		n.emit(tt)
+	}
+	n.emit(")")
+	if m.Body != nil {
+		n.block(m.Body)
+	}
+	return n.out
+}
+
+func (n *normalizer) block(b *solidity.Block) {
+	n.emit("{")
+	n.push()
+	for _, s := range b.Stmts {
+		n.stmt(s)
+	}
+	n.pop()
+	n.emit("}")
+}
+
+func (n *normalizer) stmt(s solidity.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *solidity.Block:
+		n.block(x)
+	case *solidity.ExprStmt:
+		n.expr(x.X)
+		n.emit(";")
+	case *solidity.VarDeclStmt:
+		for i, d := range x.Decls {
+			if i > 0 {
+				n.emit(",")
+			}
+			if d == nil {
+				continue
+			}
+			tt := typeToken(d.Type)
+			n.declare(d.Name, tt)
+			n.emit(tt)
+		}
+		if x.Value != nil {
+			n.emit("=")
+			n.expr(x.Value)
+		}
+		n.emit(";")
+	case *solidity.IfStmt:
+		n.emit("if", "(")
+		n.expr(x.Cond)
+		n.emit(")")
+		n.stmt(x.Then)
+		if x.Else != nil {
+			n.emit("else")
+			n.stmt(x.Else)
+		}
+	case *solidity.ForStmt:
+		n.emit("for", "(")
+		n.push()
+		n.stmt(x.Init)
+		n.expr(x.Cond)
+		n.emit(";")
+		n.expr(x.Post)
+		n.emit(")")
+		n.stmt(x.Body)
+		n.pop()
+	case *solidity.WhileStmt:
+		n.emit("while", "(")
+		n.expr(x.Cond)
+		n.emit(")")
+		n.stmt(x.Body)
+	case *solidity.DoWhileStmt:
+		n.emit("do")
+		n.stmt(x.Body)
+		n.emit("while", "(")
+		n.expr(x.Cond)
+		n.emit(")", ";")
+	case *solidity.ReturnStmt:
+		n.emit("return")
+		if x.Value != nil {
+			n.expr(x.Value)
+		}
+		n.emit(";")
+	case *solidity.BreakStmt:
+		n.emit("break", ";")
+	case *solidity.ContinueStmt:
+		n.emit("continue", ";")
+	case *solidity.ThrowStmt:
+		n.emit("throw", ";")
+	case *solidity.EmitStmt:
+		n.emit("emit")
+		n.expr(x.Call)
+		n.emit(";")
+	case *solidity.DeleteStmt:
+		n.emit("delete")
+		n.expr(x.X)
+		n.emit(";")
+	case *solidity.PlaceholderStmt:
+		n.emit("_", ";")
+	case *solidity.AssemblyStmt:
+		n.emit("assembly", "{", "}")
+	case *solidity.UncheckedBlock:
+		if x.Body != nil {
+			n.block(x.Body)
+		}
+	case *solidity.TryStmt:
+		n.emit("try")
+		n.expr(x.Call)
+		if x.Body != nil {
+			n.block(x.Body)
+		}
+		for _, cc := range x.Catches {
+			n.emit("catch")
+			if cc.Body != nil {
+				n.block(cc.Body)
+			}
+		}
+	}
+}
+
+func (n *normalizer) expr(e solidity.Expr) {
+	switch x := e.(type) {
+	case nil:
+	case *solidity.Ident:
+		if r, ok := n.rename(x.Name); ok {
+			n.emit(r)
+		} else {
+			n.emit(x.Name)
+		}
+	case *solidity.NumberLit:
+		// Numeric constants are preserved: differences can decide whether a
+		// contract is vulnerable (Section 5.2).
+		n.emit(x.Value)
+		if x.Unit != "" {
+			n.emit(x.Unit)
+		}
+	case *solidity.StringLit:
+		n.emit("stringLiteral")
+	case *solidity.BoolLit:
+		if x.Value {
+			n.emit("true")
+		} else {
+			n.emit("false")
+		}
+	case *solidity.MemberAccess:
+		n.expr(x.X)
+		n.emit(".")
+		if r, ok := n.rename(x.Member); ok {
+			n.emit(r)
+		} else {
+			n.emit(x.Member)
+		}
+	case *solidity.IndexAccess:
+		n.expr(x.X)
+		n.emit("[")
+		n.expr(x.Index)
+		n.emit("]")
+	case *solidity.CallExpr:
+		n.expr(x.Callee)
+		if len(x.Options) > 0 {
+			n.emit("{")
+			for i, o := range x.Options {
+				if i > 0 {
+					n.emit(",")
+				}
+				n.emit(o.Key, ":")
+				n.expr(o.Value)
+			}
+			n.emit("}")
+		}
+		n.emit("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				n.emit(",")
+			}
+			n.expr(a)
+		}
+		n.emit(")")
+	case *solidity.NewExpr:
+		n.emit("new")
+		n.emitType(x.Type)
+	case *solidity.TypeExpr:
+		n.emitType(x.Type)
+	case *solidity.BinaryExpr:
+		n.expr(x.LHS)
+		n.emit(x.Op.String())
+		n.expr(x.RHS)
+	case *solidity.UnaryExpr:
+		if x.Prefix {
+			n.emit(x.Op.String())
+			n.expr(x.X)
+		} else {
+			n.expr(x.X)
+			n.emit(x.Op.String())
+		}
+	case *solidity.ConditionalExpr:
+		n.expr(x.Cond)
+		n.emit("?")
+		n.expr(x.Then)
+		n.emit(":")
+		n.expr(x.Else)
+	case *solidity.TupleExpr:
+		n.emit("(")
+		for i, el := range x.Elems {
+			if i > 0 {
+				n.emit(",")
+			}
+			n.expr(el)
+		}
+		n.emit(")")
+	}
+}
+
+func (n *normalizer) emitType(t solidity.TypeName) {
+	name := typeToken(t)
+	if r, ok := n.rename(name); ok {
+		n.emit(r)
+		return
+	}
+	n.emit(name)
+}

@@ -1,0 +1,125 @@
+package ccd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// corpusSources returns a representative source set for property checks.
+func corpusSources() []string {
+	var out []string
+	for _, t := range dataset.VulnTemplates() {
+		out = append(out, t.Source)
+	}
+	hp := dataset.GenerateHoneypots(3)
+	for i := 0; i < 20 && i < len(hp); i++ {
+		out = append(out, hp[i].Source)
+	}
+	return out
+}
+
+// TestPropertySelfSimilarityIs100 over the whole template corpus.
+func TestPropertySelfSimilarityIs100(t *testing.T) {
+	for _, src := range corpusSources() {
+		fp, _ := FingerprintSource(src)
+		if len(fp) == 0 {
+			continue
+		}
+		if s := Similarity(fp, fp); s != 100 {
+			t.Errorf("self similarity %.2f for %.40q", s, src)
+		}
+	}
+}
+
+// TestPropertyTypeIIInvariance: whitespace, comments and pool renames never
+// change the fingerprint.
+func TestPropertyTypeIIInvariance(t *testing.T) {
+	m := dataset.NewMutator(11)
+	for _, src := range corpusSources() {
+		base, _ := FingerprintSource(src)
+		commented := "// header\n" + strings.ReplaceAll(src, "\t", "    ")
+		fc, _ := FingerprintSource(commented)
+		if base != fc {
+			t.Errorf("comment/whitespace changed fingerprint for %.40q", src)
+		}
+		renamed := m.RenameType2(src)
+		fr, _ := FingerprintSource(renamed)
+		if base != fr {
+			t.Errorf("Type II rename changed fingerprint for %.40q", src)
+		}
+	}
+}
+
+// TestPropertyContractFillerIsTypeIII: adding a member keeps similarity high
+// but not perfect from the larger side, and 100 from the original side.
+func TestPropertyContractFillerIsTypeIII(t *testing.T) {
+	m := dataset.NewMutator(12)
+	for _, src := range corpusSources()[:10] {
+		fa, _ := FingerprintSource(src)
+		fb, _ := FingerprintSource(m.AddFiller(src))
+		if len(fa) == 0 {
+			continue
+		}
+		if s := Similarity(fa, fb); s < 95 {
+			t.Errorf("original→extended similarity %.2f for %.40q", s, src)
+		}
+	}
+}
+
+// TestPropertySimilarityBounds over cross pairs.
+func TestPropertySimilarityBounds(t *testing.T) {
+	srcs := corpusSources()
+	var fps []Fingerprint
+	for _, s := range srcs {
+		fp, _ := FingerprintSource(s)
+		fps = append(fps, fp)
+	}
+	for i := range fps {
+		for j := range fps {
+			s := Similarity(fps[i], fps[j])
+			if s < 0 || s > 100 {
+				t.Fatalf("similarity out of range: %.2f", s)
+			}
+			got, ok := SimilarityAtLeast(fps[i], fps[j], 70)
+			if ok != (s >= 70) {
+				t.Fatalf("SimilarityAtLeast disagrees: %.2f vs %.2f (ok=%v)", got, s, ok)
+			}
+		}
+	}
+}
+
+// TestPropertyCorpusMatchSupersetOfHigherEpsilon: lowering ε never removes
+// matches.
+func TestPropertyCorpusMatchMonotoneInEpsilon(t *testing.T) {
+	srcs := corpusSources()
+	strict := NewCorpus(Config{N: 3, Eta: 0.5, Epsilon: 90})
+	loose := NewCorpus(Config{N: 3, Eta: 0.5, Epsilon: 70})
+	for i, s := range srcs {
+		id := string(rune('a' + i%26))
+		_ = strict.AddSource(id, s)
+		_ = loose.AddSource(id, s)
+	}
+	for _, s := range srcs {
+		fp, _ := FingerprintSource(s)
+		ms := strict.Match(fp)
+		ml := loose.Match(fp)
+		if len(ml) < len(ms) {
+			t.Fatalf("ε=70 returned fewer matches (%d) than ε=90 (%d)", len(ml), len(ms))
+		}
+	}
+}
+
+// TestPropertyNormalizeDeterministic over the corpus.
+func TestPropertyNormalizeDeterministic(t *testing.T) {
+	for _, src := range corpusSources() {
+		a, _ := Normalize(src)
+		b, _ := Normalize(src)
+		ta := strings.Join(a.Tokens(), "\x00")
+		tb := strings.Join(b.Tokens(), "\x00")
+		if ta != tb {
+			t.Fatalf("normalization not deterministic for %.40q", src)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAdvisorFlagsVulnerableSnippet(t *testing.T) {
+	a := NewAdvisor()
+	adv, err := a.Review(vulnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Flagged() || len(adv.Findings) == 0 {
+		t.Fatalf("vulnerable snippet not flagged: %+v", adv)
+	}
+}
+
+func TestAdvisorMatchesKnownVulnerability(t *testing.T) {
+	a := NewAdvisor()
+	err := a.AddKnown(KnownVulnerability{
+		ID:          "CVE-like-1",
+		Description: "DAO-style reentrant withdraw",
+		Category:    "Reentrancy",
+	}, vulnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.KnownCount() != 1 {
+		t.Fatal("known count")
+	}
+	// A Type-II clone of the known fragment.
+	renamed := `function take(uint value) public {
+		msg.sender.call{value: value}("");
+		balances[msg.sender] -= value;
+	}`
+	adv, err := a.Review(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.SimilarKnown) != 1 || adv.SimilarKnown[0].ID != "CVE-like-1" {
+		t.Fatalf("known match missing: %+v", adv.SimilarKnown)
+	}
+	if adv.SimilarKnown[0].Score < 90 {
+		t.Errorf("score: %.1f", adv.SimilarKnown[0].Score)
+	}
+}
+
+func TestAdvisorCleanSnippetNotFlagged(t *testing.T) {
+	a := NewAdvisor()
+	_ = a.AddKnown(KnownVulnerability{ID: "k1", Category: "Reentrancy"}, vulnSnippet)
+	adv, err := a.Review(`function ping() public returns (uint) { return 1; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Flagged() {
+		t.Fatalf("benign snippet flagged: %+v", adv)
+	}
+}
+
+func TestAdvisorToleratesUnparsableSnippet(t *testing.T) {
+	a := NewAdvisor()
+	adv, err := a.Review("how do I, like, use mapping??")
+	if err == nil {
+		// A parse error is acceptable; flagging must not happen.
+		_ = adv
+	}
+	if adv.Flagged() {
+		t.Fatalf("pseudo-code flagged: %+v", adv)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+)
+
+const vulnSnippet = `function withdraw(uint amount) public {
+	msg.sender.call{value: amount}("");
+	balances[msg.sender] -= amount;
+}`
+
+func TestCheckSnippet(t *testing.T) {
+	rep, err := CheckSnippet(vulnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HasCategory("Reentrancy") {
+		t.Errorf("reentrancy missed: %v", rep.Findings)
+	}
+}
+
+func TestCheckerRestrict(t *testing.T) {
+	rep, err := NewChecker().Restrict("Reentrancy").Check(vulnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Category != "Reentrancy" {
+			t.Errorf("leak: %v", f)
+		}
+	}
+}
+
+func TestCheckerWithPathLimit(t *testing.T) {
+	rep, err := NewChecker().WithPathLimit(8).Check(vulnSnippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rep // bounded analysis completes without panicking
+}
+
+func TestGraphAndParse(t *testing.T) {
+	g, err := Graph(`contract C { function f() public { x = 1; } uint x; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 {
+		t.Fatal("empty graph")
+	}
+	u, err := Parse(`msg.sender.transfer(1);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Decls) == 0 {
+		t.Fatal("empty unit")
+	}
+}
+
+func TestCloneDetectorRoundTrip(t *testing.T) {
+	det := NewCloneDetector(DefaultCloneConfig())
+	if err := det.Add("orig", vulnSnippet); err != nil {
+		t.Fatal(err)
+	}
+	if det.Len() != 1 {
+		t.Fatal("len")
+	}
+	renamed := `function take(uint value) public {
+		msg.sender.call{value: value}("");
+		balances[msg.sender] -= value;
+	}`
+	ms, err := det.FindClones(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].ID != "orig" {
+		t.Fatalf("matches: %v", ms)
+	}
+}
+
+func TestSimilarityAndFingerprint(t *testing.T) {
+	fp, err := Fingerprint(vulnSnippet)
+	if err != nil || fp == "" {
+		t.Fatalf("fingerprint: %q %v", fp, err)
+	}
+	s, err := Similarity(vulnSnippet, vulnSnippet)
+	if err != nil || s != 100 {
+		t.Fatalf("self similarity: %v %v", s, err)
+	}
+}
+
+func TestRunStudySmall(t *testing.T) {
+	cfg := DefaultStudyConfig()
+	cfg.Scale = 0.003
+	res := RunStudy(cfg)
+	if res.Funnel.UniqueSnippets == 0 {
+		t.Fatal("empty study")
+	}
+}
+
+func TestCheckerExtendedRules(t *testing.T) {
+	src := `contract C {
+		function exec(address target, bytes memory data) public {
+			bool ok = target.delegatecall(data);
+			require(ok);
+		}
+	}`
+	base, err := NewChecker().Check(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := NewChecker().WithExtendedRules().Check(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extFired bool
+	for _, f := range ext.Findings {
+		if f.Rule == "arbitrary-delegatecall" {
+			extFired = true
+		}
+	}
+	if !extFired {
+		t.Errorf("extended rule missing: %v", ext.Findings)
+	}
+	for _, f := range base.Findings {
+		if f.Rule == "arbitrary-delegatecall" {
+			t.Error("extended rule leaked into base checker")
+		}
+	}
+}

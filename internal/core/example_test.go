@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func ExampleCheckSnippet() {
+	rep, _ := core.CheckSnippet(`function withdraw(uint amount) public {
+	msg.sender.call{value: amount}("");
+	balances[msg.sender] -= amount;
+}`)
+	for _, f := range rep.Findings {
+		fmt.Println(f.Category, "-", f.Rule)
+	}
+	// Output:
+	// Front Running - front-running
+	// Reentrancy - reentrancy
+	// Unchecked Low Level Calls - unchecked-low-level-call
+	// Arithmetic - arithmetic-overflow
+}
+
+func ExampleSimilarity() {
+	a := `function pay(uint amount) public { msg.sender.transfer(amount); }`
+	b := `function send(uint value) public { msg.sender.transfer(value); }`
+	s, _ := core.Similarity(a, b)
+	fmt.Printf("%.0f\n", s)
+	// Output:
+	// 100
+}
+
+func ExampleCloneDetector() {
+	det := core.NewCloneDetector(core.DefaultCloneConfig())
+	_ = det.Add("known-vulnerable", `function withdraw(uint amount) public {
+	msg.sender.call{value: amount}("");
+	balances[msg.sender] -= amount;
+}`)
+	matches, _ := det.FindClones(`function take(uint wad) public {
+	msg.sender.call{value: wad}("");
+	balances[msg.sender] -= wad;
+}`)
+	for _, m := range matches {
+		fmt.Printf("%s %.0f\n", m.ID, m.Score)
+	}
+	// Output:
+	// known-vulnerable 100
+}

@@ -1,0 +1,307 @@
+package cpg
+
+import (
+	"repro/internal/solidity"
+)
+
+// DFG pass: adds Data Flow Graph edges. Values flow from operands into
+// operators, from initializers into declarations, from writes through the
+// written reference into its declaration, and from declarations into the
+// references that read them. This routing through declaration nodes mirrors
+// the CPG library the paper builds on and is what its queries traverse
+// (e.g. Parameter -[:DFG*]-> FieldDeclaration for persisted inputs).
+
+func (b *builder) dfgFunction(bf builtFn) {
+	if bf.body == nil {
+		return
+	}
+	b.dfgStmt(bf.body)
+}
+
+func (b *builder) dfgStmt(s solidity.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *solidity.Block:
+		for _, st := range x.Stmts {
+			b.dfgStmt(st)
+		}
+	case *solidity.ExprStmt:
+		b.dfgExpr(x.X)
+	case *solidity.VarDeclStmt:
+		v := b.dfgExpr(x.Value)
+		if v == nil {
+			return
+		}
+		if tup, ok := x.Value.(*solidity.TupleExpr); ok && len(tup.Elems) == len(x.Decls) {
+			// Positional tuple assignment.
+			for i, d := range x.Decls {
+				if d == nil {
+					continue
+				}
+				if ev := b.exprNode[nodeOrNil(tup.Elems[i])]; ev != nil {
+					b.g.Edge(ev, DFG, b.exprNode[d])
+				}
+			}
+			return
+		}
+		for _, d := range x.Decls {
+			if d == nil {
+				continue
+			}
+			b.g.Edge(v, DFG, b.exprNode[d])
+		}
+	case *solidity.IfStmt:
+		if c := b.dfgExpr(x.Cond); c != nil {
+			b.g.Edge(c, DFG, b.exprNode[x])
+		}
+		b.dfgStmt(x.Then)
+		b.dfgStmt(x.Else)
+	case *solidity.WhileStmt:
+		if c := b.dfgExpr(x.Cond); c != nil {
+			b.g.Edge(c, DFG, b.exprNode[x])
+		}
+		b.dfgStmt(x.Body)
+	case *solidity.ForStmt:
+		b.dfgStmt(x.Init)
+		if c := b.dfgExpr(x.Cond); c != nil {
+			b.g.Edge(c, DFG, b.exprNode[x])
+		}
+		b.dfgExpr(x.Post)
+		b.dfgStmt(x.Body)
+	case *solidity.DoWhileStmt:
+		b.dfgStmt(x.Body)
+		if c := b.dfgExpr(x.Cond); c != nil {
+			b.g.Edge(c, DFG, b.exprNode[x])
+		}
+	case *solidity.ReturnStmt:
+		if v := b.dfgExpr(x.Value); v != nil {
+			b.g.Edge(v, DFG, b.exprNode[x])
+		}
+	case *solidity.EmitStmt:
+		b.dfgExpr(x.Call)
+	case *solidity.DeleteStmt:
+		n := b.exprNode[x]
+		b.dfgWrite(x.X, n)
+	case *solidity.UncheckedBlock:
+		if x.Body != nil {
+			b.dfgStmt(x.Body)
+		}
+	case *solidity.TryStmt:
+		b.dfgExpr(x.Call)
+		if x.Body != nil {
+			b.dfgStmt(x.Body)
+		}
+		for _, c := range x.Catches {
+			if c.Body != nil {
+				b.dfgStmt(c.Body)
+			}
+		}
+	}
+}
+
+func nodeOrNil(e solidity.Expr) solidity.Node {
+	if e == nil {
+		return nil
+	}
+	return e
+}
+
+// dfgExpr adds data-flow edges for reading an expression and returns its
+// value node.
+func (b *builder) dfgExpr(e solidity.Expr) *Node {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *solidity.Ident:
+		n := b.exprNode[x]
+		if n == nil {
+			return nil
+		}
+		if decl := refTarget(n); decl != nil {
+			b.g.Edge(decl, DFG, n)
+		}
+		return n
+	case *solidity.NumberLit, *solidity.StringLit, *solidity.BoolLit,
+		*solidity.NewExpr, *solidity.TypeExpr:
+		return b.exprNode[x.(solidity.Node)]
+	case *solidity.MemberAccess:
+		n := b.exprNode[x]
+		if base := b.dfgExpr(x.X); base != nil && n != nil {
+			b.g.Edge(base, DFG, n)
+		}
+		if n != nil {
+			if decl := refTarget(n); decl != nil {
+				b.g.Edge(decl, DFG, n)
+			}
+		}
+		return n
+	case *solidity.IndexAccess:
+		n := b.exprNode[x]
+		if base := b.dfgExpr(x.X); base != nil && n != nil {
+			b.g.Edge(base, DFG, n)
+		}
+		if idx := b.dfgExpr(x.Index); idx != nil && n != nil {
+			b.g.Edge(idx, DFG, n)
+		}
+		return n
+	case *solidity.BinaryExpr:
+		n := b.exprNode[x]
+		if x.Op.IsAssignOp() {
+			rhs := b.dfgExpr(x.RHS)
+			if x.Op != solidity.ASSIGN {
+				// Compound assignment also reads the target.
+				if lhs := b.dfgExpr(x.LHS); lhs != nil && n != nil {
+					b.g.Edge(lhs, DFG, n)
+				}
+			}
+			if rhs != nil && n != nil {
+				b.g.Edge(rhs, DFG, n)
+			}
+			b.dfgWrite(x.LHS, n)
+			return n
+		}
+		if lhs := b.dfgExpr(x.LHS); lhs != nil && n != nil {
+			b.g.Edge(lhs, DFG, n)
+		}
+		if rhs := b.dfgExpr(x.RHS); rhs != nil && n != nil {
+			b.g.Edge(rhs, DFG, n)
+		}
+		return n
+	case *solidity.UnaryExpr:
+		n := b.exprNode[x]
+		if v := b.dfgExpr(x.X); v != nil && n != nil {
+			b.g.Edge(v, DFG, n)
+		}
+		if x.Op == solidity.INC || x.Op == solidity.DEC || x.Op == solidity.KwDelete {
+			b.dfgWrite(x.X, n)
+		}
+		return n
+	case *solidity.ConditionalExpr:
+		n := b.exprNode[x]
+		if c := b.dfgExpr(x.Cond); c != nil && n != nil {
+			b.g.Edge(c, DFG, n)
+		}
+		if t := b.dfgExpr(x.Then); t != nil && n != nil {
+			b.g.Edge(t, DFG, n)
+		}
+		if el := b.dfgExpr(x.Else); el != nil && n != nil {
+			b.g.Edge(el, DFG, n)
+		}
+		return n
+	case *solidity.TupleExpr:
+		n := b.exprNode[x]
+		for _, el := range x.Elems {
+			if v := b.dfgExpr(el); v != nil && n != nil {
+				b.g.Edge(v, DFG, n)
+			}
+		}
+		return n
+	case *solidity.CallExpr:
+		n := b.exprNode[x]
+		b.dfgExpr(x.Callee)
+		for _, opt := range x.Options {
+			b.dfgExpr(opt.Value)
+		}
+		resolved := n != nil && len(n.Out(INVOKES)) > 0
+		for _, a := range x.Args {
+			v := b.dfgExpr(a)
+			if v != nil && n != nil && !resolved {
+				// Data flows into unresolved (external/builtin) calls; for
+				// resolved calls it flows into the parameters instead
+				// (added during call resolution).
+				b.g.Edge(v, DFG, n)
+			}
+		}
+		// The callee base taints the call result for member calls
+		// (e.g. bad randomness: blockhash(...) result flows onward).
+		if ma, ok := x.Callee.(*solidity.MemberAccess); ok {
+			if recv := b.exprNode[nodeOrNil(ma.X)]; recv != nil && n != nil {
+				b.g.Edge(recv, DFG, n)
+			}
+		}
+		return n
+	}
+	return nil
+}
+
+// dfgWrite records a write of value into target: the value flows into the
+// target's expression node and onward into the written declaration.
+func (b *builder) dfgWrite(target solidity.Expr, value *Node) {
+	switch t := target.(type) {
+	case nil:
+	case *solidity.Ident:
+		n := b.exprNode[t]
+		if n == nil {
+			return
+		}
+		if value != nil {
+			b.g.Edge(value, DFG, n)
+		}
+		if decl := refTarget(n); decl != nil {
+			b.g.Edge(n, DFG, decl)
+		}
+	case *solidity.MemberAccess:
+		n := b.exprNode[t]
+		if n == nil {
+			return
+		}
+		b.dfgExpr(t.X) // base is read
+		if value != nil {
+			b.g.Edge(value, DFG, n)
+		}
+		if decl := refTarget(n); decl != nil {
+			b.g.Edge(n, DFG, decl)
+		} else if decl := b.rootDecl(t.X); decl != nil {
+			// Writing a struct member writes the root variable.
+			b.g.Edge(n, DFG, decl)
+		}
+	case *solidity.IndexAccess:
+		n := b.exprNode[t]
+		if n == nil {
+			return
+		}
+		b.dfgExpr(t.X)
+		b.dfgExpr(t.Index)
+		if value != nil {
+			b.g.Edge(value, DFG, n)
+		}
+		if decl := b.rootDecl(t.X); decl != nil {
+			b.g.Edge(n, DFG, decl)
+		}
+	case *solidity.TupleExpr:
+		for _, el := range t.Elems {
+			b.dfgWrite(el, value)
+		}
+	default:
+		// Writes to computed targets: read them.
+		b.dfgExpr(target)
+	}
+}
+
+// rootDecl finds the declaration of the base-most reference of an lvalue.
+func (b *builder) rootDecl(e solidity.Expr) *Node {
+	switch t := e.(type) {
+	case *solidity.Ident:
+		return refTarget(b.exprNode[t])
+	case *solidity.MemberAccess:
+		if n := b.exprNode[t]; n != nil {
+			if d := refTarget(n); d != nil {
+				return d
+			}
+		}
+		return b.rootDecl(t.X)
+	case *solidity.IndexAccess:
+		return b.rootDecl(t.X)
+	}
+	return nil
+}
+
+func refTarget(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	if outs := n.Out(REFERS_TO); len(outs) > 0 {
+		return outs[0]
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package cpg
+
+import (
+	"repro/internal/solidity"
+)
+
+// EOG pass: adds Evaluation Order Graph edges modeling control flow and
+// evaluation order (operands are evaluated before their operators, cf.
+// Figure 2 of the paper). Branching nodes (if/loops/require) have multiple
+// EOG successors; nodes that terminate execution (return, revert, throw)
+// have none.
+
+// flow is the entry node and the set of open exits of a subgraph.
+type flow struct {
+	entry *Node
+	exits []*Node
+}
+
+func (f flow) empty() bool { return f.entry == nil }
+
+// loopCtx tracks break/continue targets while building loop bodies.
+type loopCtx struct {
+	breaks       []*Node // nodes whose EOG continues at the loop exit
+	continueNode *Node   // target of continue edges
+}
+
+type eogBuilder struct {
+	b     *builder
+	loops []*loopCtx
+}
+
+func (b *builder) eogFunction(bf builtFn) {
+	if bf.body == nil {
+		return
+	}
+	e := &eogBuilder{b: b}
+	f := e.stmt(bf.body)
+	if f.entry != nil {
+		b.g.Edge(bf.info.node, EOG, f.entry)
+	}
+	// Open exits terminate the function; they simply keep no outgoing EOG
+	// edges, which is what queries test for ("last" nodes).
+}
+
+// connect wires every exit to entry.
+func (e *eogBuilder) connect(exits []*Node, entry *Node) {
+	if entry == nil {
+		return
+	}
+	for _, x := range exits {
+		e.b.g.Edge(x, EOG, entry)
+	}
+}
+
+// seq chains two flows, returning the combined flow.
+func (e *eogBuilder) seq(a, b flow) flow {
+	if a.empty() {
+		return b
+	}
+	if b.empty() {
+		return a
+	}
+	e.connect(a.exits, b.entry)
+	return flow{entry: a.entry, exits: b.exits}
+}
+
+func (e *eogBuilder) node(n *Node) flow {
+	if n == nil {
+		return flow{}
+	}
+	return flow{entry: n, exits: []*Node{n}}
+}
+
+// --- statements -------------------------------------------------------------
+
+func (e *eogBuilder) stmt(s solidity.Stmt) flow {
+	switch x := s.(type) {
+	case nil:
+		return flow{}
+	case *solidity.Block:
+		f := flow{}
+		for _, st := range x.Stmts {
+			f = e.seq(f, e.stmt(st))
+		}
+		return f
+	case *solidity.ExprStmt:
+		return e.expr(x.X)
+	case *solidity.VarDeclStmt:
+		f := e.expr(x.Value)
+		for _, d := range x.Decls {
+			if d == nil {
+				continue
+			}
+			f = e.seq(f, e.node(e.b.exprNode[d]))
+		}
+		return f
+	case *solidity.IfStmt:
+		ifNode := e.b.exprNode[x]
+		cond := e.seq(e.expr(x.Cond), e.node(ifNode))
+		then := e.stmt(x.Then)
+		var exits []*Node
+		if !then.empty() {
+			e.b.g.Edge(ifNode, EOG, then.entry)
+			exits = append(exits, then.exits...)
+		} else {
+			exits = append(exits, ifNode)
+		}
+		if x.Else != nil {
+			els := e.stmt(x.Else)
+			if !els.empty() {
+				e.b.g.Edge(ifNode, EOG, els.entry)
+				exits = append(exits, els.exits...)
+			} else {
+				exits = append(exits, ifNode)
+			}
+		} else {
+			exits = append(exits, ifNode)
+		}
+		return flow{entry: cond.entry, exits: exits}
+	case *solidity.WhileStmt:
+		return e.loop(e.b.exprNode[x], nil, x.Cond, nil, x.Body)
+	case *solidity.ForStmt:
+		return e.loop(e.b.exprNode[x], x.Init, x.Cond, x.Post, x.Body)
+	case *solidity.DoWhileStmt:
+		return e.doWhile(x)
+	case *solidity.ReturnStmt:
+		f := e.seq(e.expr(x.Value), e.node(e.b.exprNode[x]))
+		return flow{entry: f.entry} // terminal: no exits
+	case *solidity.BreakStmt:
+		n := e.b.exprNode[x]
+		if len(e.loops) > 0 {
+			lc := e.loops[len(e.loops)-1]
+			lc.breaks = append(lc.breaks, n)
+		}
+		return flow{entry: n}
+	case *solidity.ContinueStmt:
+		n := e.b.exprNode[x]
+		if len(e.loops) > 0 {
+			lc := e.loops[len(e.loops)-1]
+			if lc.continueNode != nil {
+				e.b.g.Edge(n, EOG, lc.continueNode)
+			}
+		}
+		return flow{entry: n}
+	case *solidity.ThrowStmt:
+		return flow{entry: e.b.exprNode[x]} // Rollback, terminal
+	case *solidity.EmitStmt:
+		return e.seq(e.expr(x.Call), e.node(e.b.exprNode[x]))
+	case *solidity.DeleteStmt:
+		return e.seq(e.expr(x.X), e.node(e.b.exprNode[x]))
+	case *solidity.PlaceholderStmt:
+		return flow{}
+	case *solidity.AssemblyStmt:
+		return e.node(e.b.exprNode[x])
+	case *solidity.UncheckedBlock:
+		if x.Body == nil {
+			return flow{}
+		}
+		return e.stmt(x.Body)
+	case *solidity.TryStmt:
+		call := e.expr(x.Call)
+		if call.empty() {
+			return flow{}
+		}
+		var exits []*Node
+		body := e.blockFlow(x.Body)
+		if !body.empty() {
+			e.connect(call.exits, body.entry)
+			exits = append(exits, body.exits...)
+		} else {
+			exits = append(exits, call.exits...)
+		}
+		for _, c := range x.Catches {
+			cf := e.blockFlow(c.Body)
+			if !cf.empty() {
+				e.connect(call.exits, cf.entry)
+				exits = append(exits, cf.exits...)
+			}
+		}
+		return flow{entry: call.entry, exits: exits}
+	}
+	return flow{}
+}
+
+func (e *eogBuilder) blockFlow(b *solidity.Block) flow {
+	if b == nil {
+		return flow{}
+	}
+	return e.stmt(b)
+}
+
+// loop builds for/while loops:
+//
+//	init → cond → loopNode → body → post → cond (back edge via entry)
+//
+// The loop node is the branch point: one successor enters the body, and the
+// loop node itself remains an open exit (loop termination). This yields the
+// cycle pattern (b)-[:EOG*]->(cond)-[:EOG]->(b) that the paper's expensive-
+// loop query matches.
+func (e *eogBuilder) loop(loopNode *Node, init solidity.Stmt, cond solidity.Expr, post solidity.Expr, body solidity.Stmt) flow {
+	initF := e.stmt(init)
+	condF := e.expr(cond)
+	postF := e.expr(post)
+
+	lc := &loopCtx{}
+	if !postF.empty() {
+		lc.continueNode = postF.entry
+	} else if !condF.empty() {
+		lc.continueNode = condF.entry
+	} else {
+		lc.continueNode = loopNode
+	}
+	e.loops = append(e.loops, lc)
+	bodyF := e.stmt(body)
+	e.loops = e.loops[:len(e.loops)-1]
+
+	// head = cond → loopNode (or just loopNode without condition).
+	head := e.seq(condF, e.node(loopNode))
+
+	entry := head.entry
+	if !initF.empty() {
+		e.connect(initF.exits, head.entry)
+		entry = initF.entry
+	}
+	// loopNode → body; body → post → cond (back).
+	if !bodyF.empty() {
+		e.b.g.Edge(loopNode, EOG, bodyF.entry)
+		back := bodyF
+		if !postF.empty() {
+			e.connect(back.exits, postF.entry)
+			back = flow{entry: back.entry, exits: postF.exits}
+		}
+		e.connect(back.exits, head.entry)
+	} else {
+		// Empty body: loopNode loops straight back to the condition.
+		e.b.g.Edge(loopNode, EOG, head.entry)
+	}
+	exits := append([]*Node{loopNode}, lc.breaks...)
+	return flow{entry: entry, exits: exits}
+}
+
+func (e *eogBuilder) doWhile(x *solidity.DoWhileStmt) flow {
+	doNode := e.b.exprNode[x]
+	condF := e.expr(x.Cond)
+
+	lc := &loopCtx{}
+	if !condF.empty() {
+		lc.continueNode = condF.entry
+	} else {
+		lc.continueNode = doNode
+	}
+	e.loops = append(e.loops, lc)
+	bodyF := e.stmt(x.Body)
+	e.loops = e.loops[:len(e.loops)-1]
+
+	f := e.node(doNode)
+	f = e.seq(f, bodyF)
+	if !condF.empty() {
+		e.connect(f.exits, condF.entry)
+		// Back edge from the condition to the do node plus the loop exit.
+		for _, x := range condF.exits {
+			e.b.g.Edge(x, EOG, doNode)
+		}
+		return flow{entry: doNode, exits: append(condF.exits, lc.breaks...)}
+	}
+	e.connect(f.exits, doNode)
+	return flow{entry: doNode, exits: append([]*Node{doNode}, lc.breaks...)}
+}
+
+// --- expressions -------------------------------------------------------------
+
+func (e *eogBuilder) expr(x solidity.Expr) flow {
+	switch ex := x.(type) {
+	case nil:
+		return flow{}
+	case *solidity.Ident, *solidity.NumberLit, *solidity.StringLit,
+		*solidity.BoolLit, *solidity.NewExpr, *solidity.TypeExpr:
+		return e.node(e.b.exprNode[x.(solidity.Node)])
+	case *solidity.MemberAccess:
+		return e.seq(e.expr(ex.X), e.node(e.b.exprNode[ex]))
+	case *solidity.IndexAccess:
+		f := e.expr(ex.X)
+		f = e.seq(f, e.expr(ex.Index))
+		return e.seq(f, e.node(e.b.exprNode[ex]))
+	case *solidity.BinaryExpr:
+		f := e.expr(ex.LHS)
+		f = e.seq(f, e.expr(ex.RHS))
+		return e.seq(f, e.node(e.b.exprNode[ex]))
+	case *solidity.UnaryExpr:
+		return e.seq(e.expr(ex.X), e.node(e.b.exprNode[ex]))
+	case *solidity.ConditionalExpr:
+		n := e.b.exprNode[ex]
+		cond := e.seq(e.expr(ex.Cond), e.node(n))
+		then := e.expr(ex.Then)
+		els := e.expr(ex.Else)
+		var exits []*Node
+		if !then.empty() {
+			e.b.g.Edge(n, EOG, then.entry)
+			exits = append(exits, then.exits...)
+		} else {
+			exits = append(exits, n)
+		}
+		if !els.empty() {
+			e.b.g.Edge(n, EOG, els.entry)
+			exits = append(exits, els.exits...)
+		} else {
+			exits = append(exits, n)
+		}
+		return flow{entry: cond.entry, exits: exits}
+	case *solidity.TupleExpr:
+		f := flow{}
+		for _, el := range ex.Elems {
+			f = e.seq(f, e.expr(el))
+		}
+		return e.seq(f, e.node(e.b.exprNode[ex]))
+	case *solidity.CallExpr:
+		return e.call(ex)
+	}
+	return flow{}
+}
+
+func (e *eogBuilder) call(x *solidity.CallExpr) flow {
+	n := e.b.exprNode[x]
+	f := e.expr(x.Callee)
+	for _, opt := range x.Options {
+		f = e.seq(f, e.expr(opt.Value))
+	}
+	for _, a := range x.Args {
+		f = e.seq(f, e.expr(a))
+	}
+	f = e.seq(f, e.node(n))
+	if n == nil {
+		return f
+	}
+	if n.Is(LRollback) {
+		// revert(...): terminal.
+		return flow{entry: f.entry}
+	}
+	if rb := e.b.rollbackOf[n]; rb != nil {
+		// require/assert: branch to an attached terminal Rollback node; the
+		// call node itself remains the fall-through exit.
+		e.b.g.Edge(n, EOG, rb)
+	}
+	return f
+}

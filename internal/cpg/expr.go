@@ -1,0 +1,517 @@
+package cpg
+
+import (
+	"repro/internal/solidity"
+)
+
+// Syntax-layer construction: every (expanded) AST statement and expression
+// becomes a CPG node with AST edges plus structural edges (LHS, RHS,
+// CONDITION, ARGUMENTS, ...). The EOG and DFG passes run afterwards over the
+// same AST using the exprNode mapping.
+
+func (b *builder) buildBlock(blk *solidity.Block) *Node {
+	n := b.g.NewNode(LBlock)
+	n.Pos = blk.Pos()
+	b.exprNode[blk] = n
+	b.scope = &scope{parent: b.scope, vars: make(map[string]*Node)}
+	for _, s := range blk.Stmts {
+		if sn := b.buildStmt(s); sn != nil {
+			b.g.Edge(n, AST, sn)
+		}
+	}
+	b.scope = b.scope.parent
+	return n
+}
+
+func (b *builder) buildStmt(s solidity.Stmt) *Node {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *solidity.Block:
+		return b.buildBlock(x)
+	case *solidity.ExprStmt:
+		n := b.buildExpr(x.X)
+		b.exprNode[x] = n
+		return n
+	case *solidity.VarDeclStmt:
+		return b.buildVarDecl(x)
+	case *solidity.IfStmt:
+		n := b.g.NewNode(LIfStatement)
+		n.Pos = x.Pos()
+		n.Code = "if (" + solidity.ExprString(x.Cond) + ")"
+		b.exprNode[x] = n
+		if cn := b.buildExpr(x.Cond); cn != nil {
+			b.g.Edge(n, CONDITION, cn)
+			b.g.Edge(n, AST, cn)
+		}
+		if tn := b.buildStmt(x.Then); tn != nil {
+			b.g.Edge(n, AST, tn)
+		}
+		if en := b.buildStmt(x.Else); en != nil {
+			b.g.Edge(n, AST, en)
+		}
+		return n
+	case *solidity.ForStmt:
+		n := b.g.NewNode(LForStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		b.scope = &scope{parent: b.scope, vars: make(map[string]*Node)}
+		if in := b.buildStmt(x.Init); in != nil {
+			b.g.Edge(n, AST, in)
+		}
+		if cn := b.buildExpr(x.Cond); cn != nil {
+			b.g.Edge(n, CONDITION, cn)
+			b.g.Edge(n, AST, cn)
+		}
+		if pn := b.buildExpr(x.Post); pn != nil {
+			b.g.Edge(n, AST, pn)
+		}
+		if bn := b.buildStmt(x.Body); bn != nil {
+			b.g.Edge(n, AST, bn)
+		}
+		b.scope = b.scope.parent
+		return n
+	case *solidity.WhileStmt:
+		n := b.g.NewNode(LWhileStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if cn := b.buildExpr(x.Cond); cn != nil {
+			b.g.Edge(n, CONDITION, cn)
+			b.g.Edge(n, AST, cn)
+		}
+		if bn := b.buildStmt(x.Body); bn != nil {
+			b.g.Edge(n, AST, bn)
+		}
+		return n
+	case *solidity.DoWhileStmt:
+		n := b.g.NewNode(LDoStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if bn := b.buildStmt(x.Body); bn != nil {
+			b.g.Edge(n, AST, bn)
+		}
+		if cn := b.buildExpr(x.Cond); cn != nil {
+			b.g.Edge(n, CONDITION, cn)
+			b.g.Edge(n, AST, cn)
+		}
+		return n
+	case *solidity.ReturnStmt:
+		n := b.g.NewNode(LReturnStatement)
+		n.Pos = x.Pos()
+		n.Code = "return"
+		b.exprNode[x] = n
+		if vn := b.buildExpr(x.Value); vn != nil {
+			b.g.Edge(n, AST, vn)
+		}
+		if b.curFn != nil {
+			b.curFn.returns = append(b.curFn.returns, n)
+		}
+		return n
+	case *solidity.BreakStmt:
+		n := b.g.NewNode(LBreakStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.ContinueStmt:
+		n := b.g.NewNode(LContinueStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.ThrowStmt:
+		n := b.g.NewNode(LRollback)
+		n.Pos = x.Pos()
+		n.Code = "throw"
+		b.exprNode[x] = n
+		return n
+	case *solidity.EmitStmt:
+		n := b.g.NewNode(LEmitStatement)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if cn := b.buildExpr(x.Call); cn != nil {
+			b.g.Edge(n, AST, cn)
+		}
+		return n
+	case *solidity.DeleteStmt:
+		n := b.g.NewNode(LUnaryOperator)
+		n.Operator = "delete"
+		n.Code = "delete " + solidity.ExprString(x.X)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if xn := b.buildExpr(x.X); xn != nil {
+			b.g.Edge(n, INPUT, xn)
+			b.g.Edge(n, AST, xn)
+		}
+		return n
+	case *solidity.PlaceholderStmt:
+		// Only reachable in standalone (snippet-level) modifier bodies.
+		return nil
+	case *solidity.AssemblyStmt:
+		n := b.g.NewNode(LAssemblyStatement)
+		n.Code = x.Raw
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.UncheckedBlock:
+		if x.Body == nil {
+			return nil
+		}
+		n := b.buildBlock(x.Body)
+		b.exprNode[x] = n
+		return n
+	case *solidity.TryStmt:
+		n := b.g.NewNode(LBlock)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if cn := b.buildExpr(x.Call); cn != nil {
+			b.g.Edge(n, AST, cn)
+		}
+		if x.Body != nil {
+			b.g.Edge(n, AST, b.buildBlock(x.Body))
+		}
+		for _, c := range x.Catches {
+			if c.Body != nil {
+				b.g.Edge(n, AST, b.buildBlock(c.Body))
+			}
+		}
+		return n
+	}
+	return nil
+}
+
+func (b *builder) buildVarDecl(x *solidity.VarDeclStmt) *Node {
+	var first *Node
+	for _, d := range x.Decls {
+		if d == nil {
+			continue
+		}
+		dn := b.g.NewNode(LVariableDeclaration)
+		dn.LocalName = d.Name
+		dn.Code = b.snippet(d)
+		if dn.Code == "" {
+			dn.Code = solidity.TypeString(d.Type) + " " + d.Name
+		}
+		dn.TypeName = solidity.TypeString(d.Type)
+		if d.Storage != "" {
+			dn.Code = dn.Code + " " + d.Storage
+		}
+		dn.Pos = d.Pos()
+		b.attachType(dn, d.Type)
+		b.scope.declare(d.Name, dn)
+		b.exprNode[d] = dn
+		if first == nil {
+			first = dn
+		}
+	}
+	b.exprNode[x] = first
+	if vn := b.buildExpr(x.Value); vn != nil && first != nil {
+		b.g.Edge(first, INITIALIZER, vn)
+		b.g.Edge(first, AST, vn)
+	}
+	return first
+}
+
+// builtinGlobals are magic Solidity globals; references to them resolve to
+// nothing and act as data-flow sources.
+var builtinGlobals = map[string]bool{
+	"msg": true, "tx": true, "block": true, "this": true, "now": true,
+	"abi": true, "super": true,
+}
+
+func (b *builder) buildExpr(e solidity.Expr) *Node {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *solidity.Ident:
+		n := b.g.NewNode(LDeclaredReference)
+		n.LocalName = x.Name
+		n.Code = x.Name
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		b.resolveRef(n, x.Name)
+		return n
+	case *solidity.NumberLit:
+		n := b.g.NewNode(LLiteral)
+		n.Value = x.Value
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.StringLit:
+		n := b.g.NewNode(LLiteral)
+		n.Value = x.Value
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.BoolLit:
+		n := b.g.NewNode(LLiteral)
+		n.Code = solidity.ExprString(x)
+		n.Value = n.Code
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.MemberAccess:
+		n := b.g.NewNode(LMemberExpression)
+		n.LocalName = x.Member
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if bn := b.buildExpr(x.X); bn != nil {
+			b.g.Edge(n, BASE, bn)
+			b.g.Edge(n, AST, bn)
+		}
+		// `this.field` resolves to the contract's field.
+		if id, ok := x.X.(*solidity.Ident); ok && id.Name == "this" && b.cur != nil {
+			if f := b.lookupField(b.cur, x.Member); f != nil {
+				b.g.Edge(n, REFERS_TO, f)
+			}
+		}
+		return n
+	case *solidity.IndexAccess:
+		n := b.g.NewNode(LSubscriptExpression)
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if bn := b.buildExpr(x.X); bn != nil {
+			b.g.Edge(n, ARRAY_EXPRESSION, bn)
+			b.g.Edge(n, AST, bn)
+		}
+		if in := b.buildExpr(x.Index); in != nil {
+			b.g.Edge(n, SUBSCRIPT_EXPRESSION, in)
+			b.g.Edge(n, AST, in)
+		}
+		return n
+	case *solidity.CallExpr:
+		return b.buildCall(x)
+	case *solidity.NewExpr:
+		n := b.g.NewNode(LNewExpression)
+		n.Code = solidity.ExprString(x)
+		n.LocalName = baseTypeName(solidity.TypeString(x.Type))
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.TypeExpr:
+		n := b.g.NewNode(LTypeExpression)
+		n.Code = solidity.TypeString(x.Type)
+		n.LocalName = baseTypeName(n.Code)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		return n
+	case *solidity.BinaryExpr:
+		n := b.g.NewNode(LBinaryOperator)
+		n.Operator = x.Op.String()
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if ln := b.buildExpr(x.LHS); ln != nil {
+			b.g.Edge(n, LHS, ln)
+			b.g.Edge(n, AST, ln)
+		}
+		if rn := b.buildExpr(x.RHS); rn != nil {
+			b.g.Edge(n, RHS, rn)
+			b.g.Edge(n, AST, rn)
+		}
+		return n
+	case *solidity.UnaryExpr:
+		n := b.g.NewNode(LUnaryOperator)
+		n.Operator = x.Op.String()
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if xn := b.buildExpr(x.X); xn != nil {
+			b.g.Edge(n, INPUT, xn)
+			b.g.Edge(n, AST, xn)
+		}
+		return n
+	case *solidity.ConditionalExpr:
+		n := b.g.NewNode(LConditionalExpression)
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		if cn := b.buildExpr(x.Cond); cn != nil {
+			b.g.Edge(n, CONDITION, cn)
+			b.g.Edge(n, AST, cn)
+		}
+		if tn := b.buildExpr(x.Then); tn != nil {
+			b.g.Edge(n, LHS, tn)
+			b.g.Edge(n, AST, tn)
+		}
+		if en := b.buildExpr(x.Else); en != nil {
+			b.g.Edge(n, RHS, en)
+			b.g.Edge(n, AST, en)
+		}
+		return n
+	case *solidity.TupleExpr:
+		n := b.g.NewNode(LTupleExpression)
+		n.Code = solidity.ExprString(x)
+		n.Pos = x.Pos()
+		b.exprNode[x] = n
+		for _, el := range x.Elems {
+			if en := b.buildExpr(el); en != nil {
+				b.g.Edge(n, AST, en)
+			}
+		}
+		return n
+	}
+	return nil
+}
+
+// resolveRef adds a REFERS_TO edge for a name reference: locals, parameters,
+// then contract fields through the inheritance chain. Unresolvable names in
+// value position are inferred as fields of the enclosing contract — snippets
+// routinely reference state variables whose declarations were not posted
+// (Section 4.2 of the paper).
+func (b *builder) resolveRef(n *Node, name string) {
+	if builtinGlobals[name] {
+		return
+	}
+	if b.scope != nil {
+		if d := b.scope.lookup(name); d != nil {
+			b.g.Edge(n, REFERS_TO, d)
+			return
+		}
+	}
+	if b.cur != nil {
+		if f := b.lookupField(b.cur, name); f != nil {
+			b.g.Edge(n, REFERS_TO, f)
+			return
+		}
+		if b.noInfer || b.curFn == nil {
+			return
+		}
+		f := b.g.NewNode(LFieldDeclaration)
+		f.LocalName = name
+		f.Code = name
+		f.Inferred = true
+		f.Pos = n.Pos
+		b.g.Edge(b.cur.node, FIELDS, f)
+		b.g.Edge(b.cur.node, AST, f)
+		b.cur.fields[name] = f
+		b.g.Edge(n, REFERS_TO, f)
+	}
+}
+
+// rollbackCallees are built-in functions that conditionally revert; they get
+// an attached Rollback successor in the EOG.
+var rollbackCallees = map[string]bool{"require": true, "assert": true}
+
+func (b *builder) buildCall(x *solidity.CallExpr) *Node {
+	name, baseName := calleeName(x.Callee)
+
+	n := b.g.NewNode(LCallExpression)
+	n.LocalName = name
+	n.Code = solidity.ExprString(x)
+	n.Pos = x.Pos()
+	b.exprNode[x] = n
+
+	if name == "revert" {
+		n.AddLabel(LRollback)
+	}
+
+	// Callee structure. For calls with {value:..., gas:...} options a
+	// SpecifiedExpression wraps the underlying callee. Direct identifier
+	// callees never infer fields (they name functions, events or types).
+	if _, isIdent := x.Callee.(*solidity.Ident); isIdent {
+		b.noInfer = true
+	}
+	calleeNode := b.buildExpr(x.Callee)
+	b.noInfer = false
+	if len(x.Options) > 0 {
+		spec := b.g.NewNode(LSpecifiedExpression)
+		spec.Code = solidity.ExprString(x.Callee)
+		spec.Pos = x.Pos()
+		for _, opt := range x.Options {
+			kv := b.g.NewNode(LKeyValueExpression)
+			kv.Code = opt.Key + ": " + solidity.ExprString(opt.Value)
+			kv.Pos = opt.Pos()
+			key := b.g.NewNode(LLiteral)
+			key.LocalName = opt.Key
+			key.Value = opt.Key
+			key.Code = opt.Key
+			b.g.Edge(kv, KEY, key)
+			if vn := b.buildExpr(opt.Value); vn != nil {
+				b.g.Edge(kv, VALUE, vn)
+				b.g.Edge(kv, AST, vn)
+			}
+			b.g.Edge(spec, SPECIFIERS, kv)
+			b.g.Edge(spec, AST, kv)
+		}
+		if calleeNode != nil {
+			b.g.Edge(spec, BASE, calleeNode)
+			b.g.Edge(spec, AST, calleeNode)
+		}
+		b.g.Edge(n, CALLEE, spec)
+		b.g.Edge(n, AST, spec)
+	} else if calleeNode != nil {
+		b.g.Edge(n, CALLEE, calleeNode)
+		b.g.Edge(n, AST, calleeNode)
+	}
+	// BASE edge of the call points at the receiver for member calls.
+	if ma, ok := x.Callee.(*solidity.MemberAccess); ok {
+		if recv := b.exprNode[ma.X]; recv != nil {
+			b.g.Edge(n, BASE, recv)
+		}
+	}
+
+	var argNodes []*Node
+	for i, a := range x.Args {
+		an := b.buildExpr(a)
+		if an == nil {
+			continue
+		}
+		an.Index = i
+		b.g.Edge(n, ARGUMENTS, an)
+		b.g.Edge(n, AST, an)
+		argNodes = append(argNodes, an)
+	}
+
+	if rollbackCallees[name] {
+		rb := b.g.NewNode(LRollback)
+		rb.Code = "revert"
+		rb.Pos = x.Pos()
+		b.rollbackOf[n] = rb
+	}
+
+	// Schedule for call resolution unless it is a builtin.
+	if !builtinCallees[name] && b.cur != nil {
+		b.pendingCalls = append(b.pendingCalls, pendingCall{
+			node: n, contract: b.cur, name: name, baseName: baseName, args: argNodes,
+		})
+	}
+	return n
+}
+
+// builtinCallees never resolve to user functions.
+var builtinCallees = map[string]bool{
+	"require": true, "assert": true, "revert": true,
+	"transfer": true, "send": true, "call": true, "delegatecall": true,
+	"callcode": true, "staticcall": true,
+	"selfdestruct": true, "suicide": true,
+	"keccak256": true, "sha3": true, "sha256": true, "ripemd160": true,
+	"ecrecover": true, "addmod": true, "mulmod": true, "blockhash": true,
+	"encode": true, "encodePacked": true, "encodeWithSelector": true,
+	"encodeWithSignature": true, "decode": true,
+	"push": true, "pop": true, "value": true, "gas": true,
+}
+
+// calleeName extracts the unqualified call name and (for one-hop qualified
+// calls) the base name.
+func calleeName(callee solidity.Expr) (name, baseName string) {
+	switch c := callee.(type) {
+	case *solidity.Ident:
+		return c.Name, ""
+	case *solidity.MemberAccess:
+		if id, ok := c.X.(*solidity.Ident); ok {
+			return c.Member, id.Name
+		}
+		return c.Member, ""
+	case *solidity.TypeExpr:
+		return baseTypeName(solidity.TypeString(c.Type)), ""
+	case *solidity.CallExpr:
+		// Chained calls like addr.call.value(1)(data): the outer call's
+		// callee is itself a call; name after the chain is empty.
+		n, _ := calleeName(c.Callee)
+		return n, ""
+	}
+	return "", ""
+}

@@ -1,0 +1,181 @@
+package cpg_test
+
+import (
+	"testing"
+
+	"repro/internal/cpg"
+	"repro/internal/dataset"
+)
+
+// invariant test corpus: every vulnerable template plus assorted snippets.
+func invariantSources() []string {
+	var out []string
+	for _, t := range dataset.VulnTemplates() {
+		out = append(out, t.Source)
+	}
+	for _, t := range dataset.DecoyTemplates() {
+		out = append(out, t.Source)
+	}
+	out = append(out,
+		`msg.sender.transfer(1);`,
+		`function f() public { for (uint i = 0; i < 3; i++) { if (i == 1) { continue; } g(i); } }`,
+		`contract A { function x() public { try other.f() { y = 1; } catch {} } uint y; }`,
+	)
+	return out
+}
+
+// TestInvariantRollbackTerminal: Rollback nodes never have outgoing cpg.EOG
+// edges — a rolled-back transaction cannot continue.
+func TestInvariantRollbackTerminal(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, n := range g.ByLabel(cpg.LRollback) {
+			if n.Is(cpg.LCallExpression) && n.LocalName == "revert" {
+				// revert() call nodes are themselves terminal too.
+			}
+			if len(n.Out(cpg.EOG)) != 0 {
+				t.Errorf("rollback node %v has cpg.EOG successors", n)
+			}
+		}
+	}
+}
+
+// TestInvariantRefersToTargetsDeclarations: cpg.REFERS_TO edges always point at
+// declaration-labeled nodes.
+func TestInvariantRefersToTargetsDeclarations(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, n := range g.Nodes {
+			for _, tgt := range n.Out(cpg.REFERS_TO) {
+				if !tgt.Is(cpg.LFieldDeclaration) && !tgt.Is(cpg.LVariableDeclaration) &&
+					!tgt.Is(cpg.LParamVariableDecl) && !tgt.Is(cpg.LFunctionDeclaration) {
+					t.Errorf("cpg.REFERS_TO target %v is not a declaration (from %v)", tgt, n)
+				}
+			}
+		}
+	}
+}
+
+// TestInvariantEdgeSymmetry: out-edges and in-edges agree.
+func TestInvariantEdgeSymmetry(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, k := range allKinds {
+			outTotal, inTotal := 0, 0
+			for _, n := range g.Nodes {
+				outTotal += len(n.Out(k))
+				inTotal += len(n.In(k))
+			}
+			if outTotal != inTotal {
+				t.Fatalf("%v: out=%d in=%d", k, outTotal, inTotal)
+			}
+		}
+	}
+}
+
+// TestInvariantParamsBelongToFunctions: every ParamVariableDeclaration has
+// exactly one cpg.PARAMETERS parent which is a function.
+func TestInvariantParamsBelongToFunctions(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, p := range g.ByLabel(cpg.LParamVariableDecl) {
+			parents := p.In(cpg.PARAMETERS)
+			if len(parents) != 1 || !parents[0].Is(cpg.LFunctionDeclaration) {
+				t.Errorf("param %v parents: %v", p, parents)
+			}
+		}
+	}
+}
+
+// TestInvariantEOGSourcesAreFunctionsOrExpressions: cpg.EOG entry points (no
+// incoming cpg.EOG) reachable in a function must include the function node.
+func TestInvariantFunctionReachesItsBody(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, fn := range g.ByLabel(cpg.LFunctionDeclaration) {
+			succ := fn.Out(cpg.EOG)
+			if len(succ) > 1 {
+				t.Errorf("function %v has %d cpg.EOG entries", fn, len(succ))
+			}
+		}
+	}
+}
+
+// TestInvariantDFGAcyclicThroughLiterals: literals have no incoming cpg.DFG.
+func TestInvariantLiteralsAreSources(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, n := range g.ByLabel(cpg.LLiteral) {
+			if n.In(cpg.REFERS_TO) != nil {
+				t.Errorf("literal %v referenced", n)
+			}
+			for _, pred := range n.In(cpg.DFG) {
+				t.Errorf("literal %v has cpg.DFG predecessor %v", n, pred)
+			}
+		}
+	}
+}
+
+// TestInvariantConditionEdgesFromBranching: cpg.CONDITION edges originate only
+// from branching constructs.
+func TestInvariantConditionEdges(t *testing.T) {
+	for _, src := range invariantSources() {
+		g, _ := cpg.Parse(src)
+		for _, n := range g.Nodes {
+			if len(n.Out(cpg.CONDITION)) == 0 {
+				continue
+			}
+			ok := n.Is(cpg.LIfStatement) || n.Is(cpg.LForStatement) || n.Is(cpg.LWhileStatement) ||
+				n.Is(cpg.LDoStatement) || n.Is(cpg.LConditionalExpression)
+			if !ok {
+				t.Errorf("cpg.CONDITION edge from non-branching %v", n)
+			}
+		}
+	}
+}
+
+// TestInvariantIndexStable: building twice yields identical node/edge
+// counts for the whole template corpus.
+func TestInvariantDeterministicOverCorpus(t *testing.T) {
+	for _, src := range invariantSources() {
+		g1, _ := cpg.Parse(src)
+		g2, _ := cpg.Parse(src)
+		if len(g1.Nodes) != len(g2.Nodes) {
+			t.Fatalf("node counts differ for %.40q", src)
+		}
+		for _, k := range allKinds {
+			if g1.EdgeCount(k) != g2.EdgeCount(k) {
+				t.Fatalf("%v edge counts differ for %.40q", k, src)
+			}
+		}
+	}
+}
+
+// TestInvariantInferredFieldsOnlyInSnippets: fully declared contracts never
+// get inferred fields.
+func TestInvariantNoInferenceWhenDeclared(t *testing.T) {
+	src := `contract Full {
+		uint a;
+		mapping(address => uint) b;
+		function f(uint x) public { a = x; b[msg.sender] = a; }
+	}`
+	g, err := cpg.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range g.ByLabel(cpg.LFieldDeclaration) {
+		if f.Inferred {
+			t.Errorf("inferred field %v in fully declared contract", f)
+		}
+	}
+}
+
+// allKinds enumerates the edge kinds checked by the symmetry and
+// determinism invariants.
+var allKinds = []cpg.EdgeKind{
+	cpg.AST, cpg.EOG, cpg.DFG, cpg.REFERS_TO, cpg.INVOKES, cpg.RETURNS,
+	cpg.ARGUMENTS, cpg.BASE, cpg.CALLEE, cpg.LHS, cpg.RHS, cpg.CONDITION,
+	cpg.BODY, cpg.PARAMETERS, cpg.FIELDS, cpg.TYPE, cpg.INITIALIZER,
+	cpg.KEY, cpg.VALUE, cpg.SPECIFIERS, cpg.ARRAY_EXPRESSION,
+	cpg.SUBSCRIPT_EXPRESSION, cpg.INPUT,
+}

@@ -1,0 +1,262 @@
+// Package cpg builds a Code Property Graph from Solidity ASTs.
+//
+// A CPG is a directed attributed graph whose nodes embody syntactic elements
+// and whose edges carry program semantics. This package reproduces the graph
+// layers the paper's CCC tool relies on:
+//
+//   - Syntax: AST edges forming the structural backbone.
+//   - Order: Evaluation Order Graph (EOG) edges modeling control flow and
+//     evaluation order (operands before operators).
+//   - Data flow: DFG edges describing how values propagate, routed through
+//     variable declarations (writes flow into declarations, declarations
+//     flow into reads).
+//
+// Additional edge kinds cover reference resolution (REFERS_TO), call targets
+// (INVOKES/RETURNS) and fine-grained structure (LHS, RHS, CONDITION,
+// ARGUMENTS, BASE, CALLEE, ...). Solidity-specific node labels added by the
+// paper — most importantly Rollback for transaction-reverting control flow —
+// are reproduced as well.
+package cpg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/solidity"
+)
+
+// Label classifies a node. Nodes may carry several labels (e.g. a
+// ParamVariableDeclaration is also a VariableDeclaration).
+type Label string
+
+// Node labels mirroring the CPG library vocabulary used by the paper's
+// queries.
+const (
+	LTranslationUnit       Label = "TranslationUnit"
+	LRecordDeclaration     Label = "RecordDeclaration"
+	LFieldDeclaration      Label = "FieldDeclaration"
+	LFunctionDeclaration   Label = "FunctionDeclaration"
+	LConstructorDecl       Label = "ConstructorDeclaration"
+	LModifierDeclaration   Label = "ModifierDeclaration"
+	LEventDeclaration      Label = "EventDeclaration"
+	LParamVariableDecl     Label = "ParamVariableDeclaration"
+	LVariableDeclaration   Label = "VariableDeclaration"
+	LDeclaredReference     Label = "DeclaredReferenceExpression"
+	LMemberExpression      Label = "MemberExpression"
+	LCallExpression        Label = "CallExpression"
+	LBinaryOperator        Label = "BinaryOperator"
+	LUnaryOperator         Label = "UnaryOperator"
+	LLiteral               Label = "Literal"
+	LReturnStatement       Label = "ReturnStatement"
+	LIfStatement           Label = "IfStatement"
+	LForStatement          Label = "ForStatement"
+	LForEachStatement      Label = "ForEachStatement"
+	LWhileStatement        Label = "WhileStatement"
+	LDoStatement           Label = "DoStatement"
+	LBlock                 Label = "Block"
+	LRollback              Label = "Rollback"
+	LEmitStatement         Label = "EmitStatement"
+	LSpecifiedExpression   Label = "SpecifiedExpression"
+	LKeyValueExpression    Label = "KeyValueExpression"
+	LSubscriptExpression   Label = "SubscriptExpression"
+	LConditionalExpression Label = "ConditionalExpression"
+	LNewExpression         Label = "NewExpression"
+	LTypeExpression        Label = "TypeExpression"
+	LTupleExpression       Label = "TupleExpression"
+	LAssemblyStatement     Label = "AssemblyStatement"
+	LBreakStatement        Label = "BreakStatement"
+	LContinueStatement     Label = "ContinueStatement"
+	LTypeNode              Label = "Type"
+	LObjectType            Label = "ObjectType"
+)
+
+// EdgeKind identifies the semantic relation an edge carries.
+type EdgeKind int
+
+// Edge kinds used by the paper's queries.
+const (
+	AST EdgeKind = iota
+	EOG
+	DFG
+	REFERS_TO
+	INVOKES
+	RETURNS
+	ARGUMENTS
+	BASE
+	CALLEE
+	LHS
+	RHS
+	CONDITION
+	BODY
+	PARAMETERS
+	FIELDS
+	TYPE
+	INITIALIZER
+	KEY
+	VALUE
+	SPECIFIERS
+	ARRAY_EXPRESSION
+	SUBSCRIPT_EXPRESSION
+	INPUT
+	numEdgeKinds
+)
+
+var edgeKindNames = [...]string{
+	"AST", "EOG", "DFG", "REFERS_TO", "INVOKES", "RETURNS", "ARGUMENTS",
+	"BASE", "CALLEE", "LHS", "RHS", "CONDITION", "BODY", "PARAMETERS",
+	"FIELDS", "TYPE", "INITIALIZER", "KEY", "VALUE", "SPECIFIERS",
+	"ARRAY_EXPRESSION", "SUBSCRIPT_EXPRESSION", "INPUT",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Node is a CPG node.
+type Node struct {
+	ID     int
+	labels map[Label]bool
+
+	// Code is the canonical source text of the node (e.g. "msg.sender").
+	Code string
+	// LocalName is the unqualified name (function name, called member, ...).
+	LocalName string
+	// Operator is the operator code for BinaryOperator/UnaryOperator nodes.
+	Operator string
+	// Value is the literal value for Literal nodes.
+	Value string
+	// Kind is the record kind for RecordDeclaration nodes ("contract",
+	// "struct", ...).
+	Kind string
+	// TypeName is the declared type for variables/fields/params.
+	TypeName string
+	// Index is the positional index for ARGUMENTS/PARAMETERS edges.
+	Index int
+	// Inferred marks nodes synthesized for incomplete snippets.
+	Inferred bool
+	// Pos is the source position of the underlying syntax.
+	Pos solidity.Position
+
+	out [numEdgeKinds][]*Node
+	in  [numEdgeKinds][]*Node
+}
+
+// Is reports whether the node carries the given label.
+func (n *Node) Is(l Label) bool { return n.labels[l] }
+
+// Labels returns the node's labels in sorted order.
+func (n *Node) Labels() []string {
+	out := make([]string, 0, len(n.labels))
+	for l := range n.labels {
+		out = append(out, string(l))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLabel attaches an additional label.
+func (n *Node) AddLabel(l Label) {
+	n.labels[l] = true
+}
+
+// Out returns the targets of the node's outgoing edges of the given kind.
+func (n *Node) Out(kind EdgeKind) []*Node { return n.out[kind] }
+
+// In returns the sources of the node's incoming edges of the given kind.
+func (n *Node) In(kind EdgeKind) []*Node { return n.in[kind] }
+
+// OutAny returns targets across any of the given kinds.
+func (n *Node) OutAny(kinds ...EdgeKind) []*Node {
+	var out []*Node
+	for _, k := range kinds {
+		out = append(out, n.out[k]...)
+	}
+	return out
+}
+
+// InAny returns sources across any of the given kinds.
+func (n *Node) InAny(kinds ...EdgeKind) []*Node {
+	var out []*Node
+	for _, k := range kinds {
+		out = append(out, n.in[k]...)
+	}
+	return out
+}
+
+func (n *Node) String() string {
+	l := "?"
+	if len(n.labels) > 0 {
+		l = strings.Join(n.Labels(), "|")
+	}
+	code := n.Code
+	if len(code) > 40 {
+		code = code[:37] + "..."
+	}
+	return fmt.Sprintf("#%d[%s]%q", n.ID, l, code)
+}
+
+// Graph is a complete code property graph for one translation unit.
+type Graph struct {
+	Nodes []*Node
+	Root  *Node // TranslationUnit node
+
+	byLabel map[Label][]*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{byLabel: make(map[Label][]*Node)}
+}
+
+// NewNode allocates a node with the given primary label.
+func (g *Graph) NewNode(l Label) *Node {
+	n := &Node{ID: len(g.Nodes), labels: map[Label]bool{l: true}}
+	g.Nodes = append(g.Nodes, n)
+	g.byLabel[l] = append(g.byLabel[l], n)
+	return n
+}
+
+// Index registers any labels added after node creation; call after building.
+func (g *Graph) Index() {
+	g.byLabel = make(map[Label][]*Node, len(g.byLabel))
+	for _, n := range g.Nodes {
+		for l := range n.labels {
+			g.byLabel[l] = append(g.byLabel[l], n)
+		}
+	}
+}
+
+// ByLabel returns all nodes carrying the label.
+func (g *Graph) ByLabel(l Label) []*Node { return g.byLabel[l] }
+
+// Edge adds a directed edge of the given kind.
+func (g *Graph) Edge(from *Node, kind EdgeKind, to *Node) {
+	if from == nil || to == nil {
+		return
+	}
+	from.out[kind] = append(from.out[kind], to)
+	to.in[kind] = append(to.in[kind], from)
+}
+
+// HasEdge reports whether a direct edge from → to of the given kind exists.
+func (g *Graph) HasEdge(from *Node, kind EdgeKind, to *Node) bool {
+	for _, t := range from.out[kind] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeCount returns the total number of edges of the given kind.
+func (g *Graph) EdgeCount(kind EdgeKind) int {
+	total := 0
+	for _, n := range g.Nodes {
+		total += len(n.out[kind])
+	}
+	return total
+}

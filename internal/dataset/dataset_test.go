@@ -1,0 +1,341 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/ccc"
+	"repro/internal/solidity"
+)
+
+func TestSmartBugsLabelCounts(t *testing.T) {
+	b := GenerateSmartBugs(1)
+	if got := b.Labels(); got != 204 {
+		t.Fatalf("total labels: %d, want 204", got)
+	}
+	want := map[ccc.Category]int{
+		ccc.AccessControl: 21, ccc.Arithmetic: 23, ccc.BadRandomness: 31,
+		ccc.DenialOfService: 7, ccc.FrontRunning: 7, ccc.Reentrancy: 32,
+		ccc.ShortAddresses: 1, ccc.TimeManipulation: 7, ccc.UncheckedCalls: 75,
+	}
+	for cat, n := range want {
+		if got := b.CategoryLabels(cat); got != n {
+			t.Errorf("%s: %d labels, want %d", cat, got, n)
+		}
+	}
+}
+
+func TestSmartBugsDeterministic(t *testing.T) {
+	a := GenerateSmartBugs(42)
+	b := GenerateSmartBugs(42)
+	if len(a.Files) != len(b.Files) {
+		t.Fatal("file counts differ")
+	}
+	for i := range a.Files {
+		if a.Files[i].Source != b.Files[i].Source {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	c := GenerateSmartBugs(43)
+	same := true
+	for i := range a.Files {
+		if i < len(c.Files) && a.Files[i].Source != c.Files[i].Source {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSmartBugsFilesParse(t *testing.T) {
+	b := GenerateSmartBugs(1)
+	for _, f := range b.Files {
+		if _, err := solidity.Parse(f.Source); err != nil {
+			t.Errorf("%s does not parse: %v", f.Name, err)
+		}
+	}
+}
+
+// TestTemplateDetectability pins the generator's ground truth: every
+// Detectable template is found by CCC in its own category, every
+// !Detectable template is missed. This keeps the Table 1 shape meaningful.
+func TestTemplateDetectability(t *testing.T) {
+	for _, tmpl := range vulnTemplates {
+		rep, _ := ccc.AnalyzeSource(tmpl.Source)
+		got := rep.HasCategory(tmpl.Category)
+		if got != tmpl.Detectable {
+			t.Errorf("template %s: CCC detection=%v, flag=%v (findings: %v)",
+				tmpl.Name, got, tmpl.Detectable, rep.Findings)
+		}
+	}
+}
+
+// TestDecoysTriggerFalsePositives documents that decoys bait CCC into a
+// finding of their category (that is their purpose); at least half must.
+func TestDecoysTriggerFalsePositives(t *testing.T) {
+	baited := 0
+	for _, d := range decoyTemplates {
+		rep, _ := ccc.AnalyzeSource(d.Source)
+		if rep.HasCategory(d.Category) {
+			baited++
+		}
+	}
+	if baited*2 < len(decoyTemplates) {
+		t.Errorf("only %d/%d decoys bait CCC", baited, len(decoyTemplates))
+	}
+}
+
+func TestMitigatedTemplatesMostlyClean(t *testing.T) {
+	dirty := 0
+	for i, src := range mitigatedTemplates {
+		rep, err := ccc.AnalyzeSource(src)
+		if err != nil {
+			t.Errorf("mitigated %d does not parse: %v", i, err)
+			continue
+		}
+		if len(rep.Findings) > 0 {
+			dirty++
+			t.Logf("mitigated %d findings: %v", i, rep.Findings)
+		}
+	}
+	if dirty > 1 {
+		t.Errorf("%d mitigated templates trigger findings", dirty)
+	}
+}
+
+func TestDeriveFunctions(t *testing.T) {
+	b := GenerateSmartBugs(1)
+	fb := DeriveFunctions(b)
+	if len(fb.Files) != len(b.Files) {
+		t.Fatal("file count changed")
+	}
+	if fb.Labels() != b.Labels() {
+		t.Fatalf("labels changed: %d vs %d", fb.Labels(), b.Labels())
+	}
+	// Derived sources must be smaller or equal and still snippet-parsable.
+	smaller := 0
+	for i, f := range fb.Files {
+		if len(f.Source) < len(b.Files[i].Source) {
+			smaller++
+		}
+	}
+	if smaller < len(fb.Files)/2 {
+		t.Errorf("only %d/%d function derivations shrank", smaller, len(fb.Files))
+	}
+}
+
+func TestDeriveStatements(t *testing.T) {
+	b := GenerateSmartBugs(1)
+	sb := DeriveStatements(b)
+	if sb.Labels() != b.Labels() {
+		t.Fatal("labels changed")
+	}
+	// Statement snippets must not contain function headers.
+	withHeader := 0
+	for _, f := range sb.Files {
+		if containsWord(f.Source, "function") {
+			withHeader++
+		}
+	}
+	if withHeader > len(sb.Files)/4 {
+		t.Errorf("%d/%d statement snippets still contain functions", withHeader, len(sb.Files))
+	}
+}
+
+func containsWord(s, w string) bool {
+	for i := 0; i+len(w) <= len(s); i++ {
+		if s[i:i+len(w)] == w {
+			return true
+		}
+	}
+	return false
+}
+
+func TestHoneypotGeneration(t *testing.T) {
+	hp := GenerateHoneypots(1)
+	if len(hp) != 379 {
+		t.Fatalf("honeypots: %d, want 379", len(hp))
+	}
+	counts := map[HoneypotType]int{}
+	for _, h := range hp {
+		counts[h.Type]++
+		if _, err := solidity.Parse(h.Source); err != nil {
+			t.Errorf("%s does not parse: %v", h.ID, err)
+		}
+	}
+	if len(counts) != 9 {
+		t.Fatalf("types: %d", len(counts))
+	}
+	if counts[HiddenStateUpdate] <= counts[BalanceDisorder] {
+		t.Error("Hidden State Update must be the largest family")
+	}
+	for _, p := range honeypotPlans {
+		if counts[p.typ] != p.family {
+			t.Errorf("%s: %d, want %d", p.typ, counts[p.typ], p.family)
+		}
+	}
+}
+
+func TestQACorpusFunnelProportions(t *testing.T) {
+	qa := GenerateQA(QAConfig{Seed: 1, Scale: 0.05})
+	total := len(qa.Snippets)
+	if total < 1500 {
+		t.Fatalf("snippets: %d", total)
+	}
+	var keywordPass, parsable int
+	for _, s := range qa.Snippets {
+		if !IsSolidityLike(s.Source) {
+			continue
+		}
+		keywordPass++
+		if _, err := solidity.Parse(s.Source); err == nil {
+			parsable++
+		}
+	}
+	kp := float64(keywordPass) / float64(total)
+	if kp < 0.55 || kp > 0.78 {
+		t.Errorf("keyword-pass fraction: %.2f (want ≈0.65)", kp)
+	}
+	pp := float64(parsable) / float64(keywordPass)
+	if pp < 0.6 || pp > 0.92 {
+		t.Errorf("parsable fraction: %.2f (want ≈0.77)", pp)
+	}
+}
+
+func TestQAKindsBehave(t *testing.T) {
+	qa := GenerateQA(QAConfig{Seed: 2, Scale: 0.03})
+	for _, s := range qa.Snippets {
+		switch s.Kind {
+		case KindSolidity:
+			// Statement-shaped snippets may legitimately miss the keyword
+			// filter; contract/function shapes must pass.
+			if _, err := solidity.Parse(s.Source); err != nil {
+				t.Errorf("solidity snippet unparsable: %v", err)
+			}
+		case KindPseudo:
+			if !IsSolidityLike(s.Source) {
+				t.Errorf("pseudo snippet should pass keyword filter: %q", s.Source)
+			}
+			if _, err := solidity.Parse(s.Source); err == nil {
+				t.Errorf("pseudo snippet should not parse: %q", s.Source)
+			}
+		case KindJS, KindProse:
+			if IsSolidityLike(s.Source) {
+				t.Errorf("non-Solidity snippet passes keyword filter: %q", s.Source)
+			}
+		}
+	}
+}
+
+func TestQATimestampsWithinCrawl(t *testing.T) {
+	qa := GenerateQA(QAConfig{Seed: 3, Scale: 0.02})
+	for _, p := range qa.Posts {
+		if p.Created.Before(crawlStart) || p.Created.After(crawlEnd) {
+			t.Fatalf("post %s outside crawl window: %v", p.ID, p.Created)
+		}
+		if p.Views < 0 {
+			t.Fatalf("negative views")
+		}
+	}
+}
+
+func TestSanctuaryGeneration(t *testing.T) {
+	qa := GenerateQA(QAConfig{Seed: 4, Scale: 0.02})
+	sc := GenerateSanctuary(SanctuaryConfig{Seed: 4, Scale: 0.01}, qa)
+	if len(sc) < 1000 {
+		t.Fatalf("contracts: %d", len(sc))
+	}
+	snippetByID := map[string]Snippet{}
+	for _, s := range qa.Snippets {
+		snippetByID[s.ID] = s
+	}
+	var clones, before, v8 int
+	for _, c := range sc {
+		if c.Deployed.After(sanctuaryEnd) {
+			t.Fatal("deployment after cutoff")
+		}
+		if c.Compiler == "v0.8" {
+			v8++
+		}
+		if c.FromSnippet == "" {
+			continue
+		}
+		clones++
+		sn, ok := snippetByID[c.FromSnippet]
+		if !ok {
+			t.Fatalf("unknown snippet %s", c.FromSnippet)
+		}
+		if c.PlantedBefore {
+			before++
+			if !c.Deployed.Before(sn.Created) {
+				t.Error("PlantedBefore contract deployed after snippet")
+			}
+		} else if c.Deployed.Before(sn.Created) {
+			t.Error("disseminator contract deployed before snippet")
+		}
+	}
+	cf := float64(clones) / float64(len(sc))
+	if cf < 0.3 || cf > 0.55 {
+		t.Errorf("clone fraction: %.2f", cf)
+	}
+	bf := float64(before) / float64(clones)
+	if bf < 0.08 || bf > 0.3 {
+		t.Errorf("before fraction: %.2f", bf)
+	}
+	if f := float64(v8) / float64(len(sc)); f < 0.5 || f > 0.7 {
+		t.Errorf("v0.8 fraction: %.2f (want ≈0.59)", f)
+	}
+}
+
+func TestSanctuaryClonesActuallySimilar(t *testing.T) {
+	// Planted clones must parse (they are deployed contracts).
+	qa := GenerateQA(QAConfig{Seed: 5, Scale: 0.02})
+	sc := GenerateSanctuary(SanctuaryConfig{Seed: 5, Scale: 0.005}, qa)
+	checked := 0
+	for _, c := range sc {
+		if c.FromSnippet == "" {
+			continue
+		}
+		if _, err := solidity.Parse(c.Source); err != nil {
+			t.Errorf("clone %s unparsable: %v", c.Address, err)
+		}
+		checked++
+		if checked > 200 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no clones generated")
+	}
+}
+
+func TestMutatorTypeIIPreservesParse(t *testing.T) {
+	m := NewMutator(9)
+	for _, tmpl := range vulnTemplates {
+		for s := 0; s < 3; s++ {
+			src := m.Mutate(tmpl.Source, s)
+			if _, err := solidity.Parse(src); err != nil {
+				t.Errorf("mutated %s (strength %d) unparsable: %v", tmpl.Name, s, err)
+			}
+		}
+	}
+}
+
+func TestReplaceIdentWholeWord(t *testing.T) {
+	got := replaceIdent("amount amounts _amount amount;", "amount", "qty")
+	want := "qty amounts _amount qty;"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestEmbedWrapsBody(t *testing.T) {
+	m := NewMutator(3)
+	out := m.Embed(vulnTemplates[0].Source, "Host")
+	if _, err := solidity.Parse(out); err != nil {
+		t.Fatalf("embedded source unparsable: %v", err)
+	}
+	if !containsWord(out, "contract Host") {
+		t.Error("host contract missing")
+	}
+}

@@ -1,0 +1,836 @@
+// Package dataset generates the synthetic corpora standing in for the
+// paper's external datasets: a SmartBugs-Curated-like labeled vulnerability
+// benchmark (with the Functions and Statements snippet derivations), the
+// honeypot clone-detection benchmark, the Q&A snippet corpus, and the
+// deployed-contract "sanctuary" with planted, time-stamped clone relations.
+// All generators are deterministic under a seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ccc"
+)
+
+// Template is one vulnerable (or deliberately tricky benign) code pattern.
+type Template struct {
+	// Name identifies the template.
+	Name string
+	// Category is the DASP category the pattern belongs to.
+	Category ccc.Category
+	// Source is the contract source; the vulnerable function is VulnFunc.
+	Source string
+	// VulnFunc names the function containing the labeled vulnerability.
+	VulnFunc string
+	// Labels is the number of labeled vulnerability instances in Source.
+	Labels int
+	// Detectable records whether CCC's pattern catches this variant
+	// (false = deliberate false negative: obfuscated or context-dependent).
+	Detectable bool
+	// Decoy marks benign code that baits detectors into false positives
+	// (mitigations expressed in ways pattern matching does not recognize).
+	Decoy bool
+}
+
+// Vulnerable templates, several per category, mirroring the idioms the
+// SmartBugs Curated categories are defined by.
+var vulnTemplates = []Template{
+	// --- Reentrancy ----------------------------------------------------------
+	{
+		Name: "reentrancy-dao", Category: ccc.Reentrancy, VulnFunc: "withdraw", Labels: 1, Detectable: true,
+		Source: `contract SimpleDAO {
+	mapping(address => uint) public credit;
+	event Withdrawn(address who, uint amount);
+	function donate(address to) public payable { credit[to] += msg.value; }
+	function withdraw(uint amount) public {
+		if (credit[msg.sender] >= amount) {
+			msg.sender.call{value: amount}("");
+			credit[msg.sender] -= amount;
+		}
+	}
+	function safePull(uint amount) public {
+		require(credit[msg.sender] >= amount);
+		credit[msg.sender] -= amount;
+		msg.sender.transfer(amount);
+		emit Withdrawn(msg.sender, amount);
+	}
+}`,
+	},
+	{
+		Name: "reentrancy-etherstore", Category: ccc.Reentrancy, VulnFunc: "withdrawFunds", Labels: 1, Detectable: true,
+		Source: `contract EtherStore {
+	mapping(address => uint256) public balances;
+	uint256 public withdrawalLimit = 1 ether;
+	event Paid(address who);
+	function depositFunds() public payable { balances[msg.sender] += msg.value; }
+	function withdrawFunds(uint256 weiToWithdraw) public {
+		require(balances[msg.sender] >= weiToWithdraw);
+		msg.sender.call{value: weiToWithdraw}("");
+		balances[msg.sender] -= weiToWithdraw;
+	}
+	function refundSmall() public {
+		require(balances[msg.sender] <= withdrawalLimit);
+		balances[msg.sender] = 0;
+		msg.sender.transfer(balances[msg.sender]);
+		emit Paid(msg.sender);
+	}
+}`,
+	},
+	{
+		Name: "reentrancy-legacy-value", Category: ccc.Reentrancy, VulnFunc: "collect", Labels: 1, Detectable: true,
+		Source: `contract PrivateBank {
+	mapping(address => uint) public balances;
+	function deposit() public payable { balances[msg.sender] += msg.value; }
+	function collect(uint amount) public {
+		if (balances[msg.sender] >= amount) {
+			msg.sender.call.value(amount)();
+			balances[msg.sender] -= amount;
+		}
+	}
+}`,
+	},
+	{
+		Name: "reentrancy-external-token", Category: ccc.Reentrancy, VulnFunc: "cashOut", Labels: 1, Detectable: true,
+		Source: `contract TokenBank {
+	mapping(address => uint) balances;
+	function cashOut(address receiver) public {
+		uint amount = balances[msg.sender];
+		Receiver(receiver).acceptPayment{value: amount}(amount);
+		balances[msg.sender] = 0;
+	}
+}`,
+	},
+	{
+		Name: "reentrancy-crossfunction", Category: ccc.Reentrancy, VulnFunc: "pull", Labels: 1, Detectable: false,
+		// Hidden behind assembly: CCC does not model assembly (Section 4.5).
+		Source: `contract AsmVault {
+	mapping(address => uint) balances;
+	function pull() public {
+		uint amount = balances[msg.sender];
+		assembly { let ok := call(gas(), caller(), amount, 0, 0, 0, 0) }
+		balances[msg.sender] = 0;
+	}
+}`,
+	},
+	// --- Access Control --------------------------------------------------------
+	{
+		Name: "ac-unprotected-owner", Category: ccc.AccessControl, VulnFunc: "initContract", Labels: 1, Detectable: true,
+		Source: `contract Phishable {
+	address public owner;
+	function initContract() public { owner = msg.sender; }
+	function withdrawAll(address dest) public {
+		require(msg.sender == owner);
+		dest.transfer(address(this).balance);
+	}
+}`,
+	},
+	{
+		Name: "ac-selfdestruct", Category: ccc.AccessControl, VulnFunc: "destroy", Labels: 1, Detectable: true,
+		Source: `contract SuicideMultiTx {
+	address owner;
+	function destroy() public { selfdestruct(msg.sender); }
+	function deposit() public payable { require(msg.value > 0); }
+}`,
+	},
+	{
+		Name: "ac-parity-proxy", Category: ccc.AccessControl, VulnFunc: "", Labels: 1, Detectable: true,
+		Source: `contract WalletProxy {
+	address walletLibrary;
+	function () payable { walletLibrary.delegatecall(msg.data); }
+}`,
+	},
+	{
+		Name: "ac-txorigin", Category: ccc.AccessControl, VulnFunc: "sendTo", Labels: 1, Detectable: true,
+		Source: `contract TxOriginWallet {
+	address owner;
+	constructor() { owner = msg.sender; }
+	function sendTo(address receiver, uint amount) public {
+		require(tx.origin == owner);
+		receiver.transfer(amount);
+	}
+}`,
+	},
+	{
+		Name: "ac-array-length-underflow", Category: ccc.AccessControl, VulnFunc: "popBonus", Labels: 1, Detectable: false,
+		// Access gained through array length manipulation: out of pattern
+		// scope for CCC's access-control queries.
+		Source: `contract BonusLedger {
+	address owner;
+	uint[] bonusCodes;
+	constructor() { owner = msg.sender; }
+	function popBonus() public {
+		bonusCodes.length--;
+	}
+	function setBonus(uint idx, uint value) public {
+		bonusCodes[idx] = value;
+	}
+}`,
+	},
+	// --- Arithmetic --------------------------------------------------------------
+	{
+		Name: "arith-token-transfer", Category: ccc.Arithmetic, VulnFunc: "transfer", Labels: 2, Detectable: true,
+		Source: `contract BecToken {
+	mapping(address => uint256) balances;
+	function transfer(address to, uint256 value) public returns (bool) {
+		balances[msg.sender] -= value;
+		balances[to] += value;
+		return true;
+	}
+}`,
+	},
+	{
+		Name: "arith-batch-overflow", Category: ccc.Arithmetic, VulnFunc: "batchTransfer", Labels: 3, Detectable: true,
+		Source: `contract BatchToken {
+	mapping(address => uint256) balances;
+	function batchTransfer(address[] memory receivers, uint256 value) public {
+		uint256 amount = receivers.length * value;
+		balances[msg.sender] -= amount;
+		for (uint i = 0; i < receivers.length; i++) {
+			balances[receivers[i]] += value;
+		}
+	}
+}`,
+	},
+	{
+		Name: "arith-locktime", Category: ccc.Arithmetic, VulnFunc: "increaseLockTime", Labels: 1, Detectable: true,
+		Source: `contract TimeLock {
+	mapping(address => uint) public lockTime;
+	function increaseLockTime(uint secondsToIncrease) public {
+		lockTime[msg.sender] += secondsToIncrease;
+	}
+	function deposit() public payable { lockTime[msg.sender] = 1; }
+}`,
+	},
+	{
+		Name: "arith-field-only", Category: ccc.Arithmetic, VulnFunc: "tick", Labels: 1, Detectable: false,
+		// No externally supplied operand: CCC's relevancy condition requires
+		// a parameter source, so wrap-around of internal counters is missed.
+		Source: `contract Epoch {
+	uint8 round;
+	function tick() public { round += 1; counter = counter + round; }
+	uint counter;
+}`,
+	},
+	// --- Unchecked Low Level Calls ---------------------------------------------------
+	{
+		Name: "unchecked-send", Category: ccc.UncheckedCalls, VulnFunc: "sendPayout", Labels: 1, Detectable: true,
+		Source: `contract Lotto {
+	mapping(address => uint) winners;
+	function sendPayout(address winner, uint amount) public {
+		winner.send(amount);
+		winners[winner] = 0;
+	}
+	function safeSend(address receiver, uint amount) public {
+		bool ok = receiver.send(amount);
+		if (!ok) { revert(); }
+	}
+}`,
+	},
+	{
+		Name: "unchecked-call", Category: ccc.UncheckedCalls, VulnFunc: "callNotChecked", Labels: 1, Detectable: true,
+		Source: `contract ReturnValue {
+	bool done;
+	function callNotChecked(address callee) public {
+		callee.call("");
+		done = true;
+	}
+}`,
+	},
+	{
+		Name: "unchecked-king-send", Category: ccc.UncheckedCalls, VulnFunc: "becomeKing", Labels: 1, Detectable: true,
+		Source: `contract KingOfEther {
+	address king;
+	uint highestBid;
+	function becomeKing() public payable {
+		if (msg.value > highestBid) {
+			king.send(highestBid);
+			king = msg.sender;
+			highestBid = msg.value;
+		}
+	}
+}`,
+	},
+	// --- Bad Randomness -----------------------------------------------------------------
+	{
+		Name: "rand-blockhash-lottery", Category: ccc.BadRandomness, VulnFunc: "play", Labels: 1, Detectable: true,
+		Source: `contract LuckyDoubler {
+	function play() public payable {
+		uint rand = uint(blockhash(block.number - 1));
+		if (rand % 2 == 0) {
+			msg.sender.transfer(msg.value * 2);
+		}
+	}
+}`,
+	},
+	{
+		Name: "rand-difficulty", Category: ccc.BadRandomness, VulnFunc: "spin", Labels: 1, Detectable: true,
+		Source: `contract SlotMachine {
+	function spin() public payable {
+		uint256 roll = block.difficulty + block.number;
+		if (roll % 7 == 3) {
+			msg.sender.transfer(address(this).balance);
+		}
+	}
+}`,
+	},
+	{
+		Name: "rand-coinbase-seed", Category: ccc.BadRandomness, VulnFunc: "reseed", Labels: 2, Detectable: true,
+		Source: `contract SeedStore {
+	uint seed;
+	function reseed() public {
+		seedValue = uint(keccak256(abi.encodePacked(block.coinbase)));
+	}
+	uint seedValue;
+	function randForCaller() public returns (uint) {
+		uint r = uint(blockhash(block.number - 1)) % 100;
+		return r;
+	}
+}`,
+	},
+	// --- Denial of Service ------------------------------------------------------------------
+	{
+		Name: "dos-auction-refund", Category: ccc.DenialOfService, VulnFunc: "bid", Labels: 1, Detectable: true,
+		Source: `contract DosAuction {
+	address currentFrontrunner;
+	uint currentBid;
+	function bid() public payable {
+		require(msg.value > currentBid);
+		currentFrontrunner.transfer(currentBid);
+		currentFrontrunner = msg.sender;
+		currentBid = msg.value;
+	}
+}`,
+	},
+	{
+		Name: "dos-unbounded-loop", Category: ccc.DenialOfService, VulnFunc: "refundAll", Labels: 1, Detectable: true,
+		Source: `contract DosNumberLoop {
+	address[] investors;
+	mapping(address => uint) invested;
+	function invest() public payable { investors.push(msg.sender); invested[msg.sender] = msg.value; }
+	function refundAll(uint upTo) public {
+		for (uint i = 0; i < upTo; i++) {
+			invested[investors[i]] += 1;
+		}
+	}
+}`,
+	},
+	{
+		Name: "dos-clearable-payees", Category: ccc.DenialOfService, VulnFunc: "setPayees", Labels: 2, Detectable: true,
+		Source: `contract Dividends {
+	address[] payees;
+	function setPayees(address[] memory newPayees) public { payees = newPayees; }
+	function payout() public {
+		for (uint i = 0; i < payees.length; i++) {
+			payees[i].transfer(1 ether);
+		}
+	}
+}`,
+	},
+	// --- Front Running ----------------------------------------------------------------------------
+	{
+		Name: "fr-puzzle-winner", Category: ccc.FrontRunning, VulnFunc: "solve", Labels: 1, Detectable: true,
+		Source: `contract OddsAndEvens {
+	address winner;
+	function solve(uint guess) public {
+		require(guess == 42);
+		winner = msg.sender;
+	}
+}`,
+	},
+	{
+		Name: "fr-bounty-claim", Category: ccc.FrontRunning, VulnFunc: "claim", Labels: 1, Detectable: true,
+		Source: `contract HashBounty {
+	uint reward;
+	mapping(address => uint) credit;
+	function claim(bytes32 preimage) public {
+		credit[msg.sender] = reward;
+	}
+	function fund() public payable { reward = msg.value; }
+}`,
+	},
+	{
+		Name: "fr-payout-sender", Category: ccc.FrontRunning, VulnFunc: "redeem", Labels: 1, Detectable: true,
+		Source: `contract FomoPot {
+	uint pot;
+	function redeem(bytes32 answer) public {
+		require(answer == 0x0);
+		msg.sender.transfer(pot);
+	}
+	function fill() public payable { pot += msg.value; }
+}`,
+	},
+	// --- Time Manipulation --------------------------------------------------------------------------
+	{
+		Name: "time-roulette", Category: ccc.TimeManipulation, VulnFunc: "bet", Labels: 1, Detectable: true,
+		Source: `contract Roulette {
+	function bet() public payable {
+		require(msg.value == 10 ether);
+		if (now % 15 == 0) {
+			msg.sender.transfer(address(this).balance);
+		}
+	}
+}`,
+	},
+	{
+		Name: "time-deadline-store", Category: ccc.TimeManipulation, VulnFunc: "start", Labels: 2, Detectable: true,
+		Source: `contract CrowdSale {
+	uint deadline;
+	function start() public {
+		deadline = block.timestamp + 300;
+	}
+	function finish() public {
+		if (block.timestamp > deadline) {
+			msg.sender.transfer(address(this).balance);
+		}
+	}
+}`,
+	},
+	// --- Short Addresses ---------------------------------------------------------------------------------
+	{
+		Name: "short-address-token", Category: ccc.ShortAddresses, VulnFunc: "sendCoin", Labels: 1, Detectable: true,
+		Source: `contract ShortToken {
+	mapping(address => uint) balances;
+	function sendCoin(address to, uint amount) public returns (bool) {
+		require(balances[msg.sender] >= amount);
+		balances[msg.sender] -= amount;
+		balances[to] += amount;
+		return true;
+	}
+}`,
+	},
+	// --- Unknown Unknowns ---------------------------------------------------------------------------------
+	{
+		Name: "uu-storage-pointer", Category: ccc.UnknownUnknowns, VulnFunc: "deposit", Labels: 1, Detectable: true,
+		Source: `contract StorageWallet {
+	address owner;
+	struct Holding { uint amount; address from; }
+	function deposit() public payable {
+		Holding h;
+		h.amount = msg.value;
+		h.from = msg.sender;
+	}
+}`,
+	},
+	// --- hard (deliberately missed) variants -----------------------------------
+	{
+		Name: "rand-assembly", Category: ccc.BadRandomness, VulnFunc: "roll", Labels: 1, Detectable: false,
+		// Entropy handling inside assembly: out of CCC's model (Section 4.5).
+		Source: `contract AsmDice {
+	function roll() public payable {
+		uint r;
+		assembly { r := mod(timestamp(), 6) }
+		if (r == 3) { msg.sender.transfer(address(this).balance); }
+	}
+}`,
+	},
+	{
+		Name: "rand-read-seed", Category: ccc.BadRandomness, VulnFunc: "shuffle", Labels: 1, Detectable: false,
+		// The stored seed is read elsewhere, so the write-only-field
+		// relevancy condition fails; no transfer is influenced directly.
+		Source: `contract SeededGame {
+	uint seed;
+	uint cursor;
+	function shuffle() public {
+		seed = uint(keccak256(abi.encodePacked(seed, block.number)));
+	}
+	function next() public returns (uint) {
+		cursor = seed % 52;
+		return cursor;
+	}
+}`,
+	},
+	{
+		Name: "ac-missing-compare", Category: ccc.AccessControl, VulnFunc: "initOwner", Labels: 1, Detectable: false,
+		// Ownership is never compared with ==; the access-control query's
+		// base pattern (field used in msg.sender comparison) does not apply.
+		Source: `contract Claimable {
+	address beneficiary;
+	function initOwner() public { beneficiary = msg.sender; }
+	function drain() public { beneficiary.transfer(address(this).balance); }
+	function fill() public payable { require(msg.value >= 1); }
+}`,
+	},
+	{
+		Name: "fr-tx-ordering", Category: ccc.FrontRunning, VulnFunc: "reveal", Labels: 1, Detectable: false,
+		// Pure transaction-ordering dependence without sender-keyed state:
+		// requires mempool semantics CCC does not model.
+		Source: `contract Sealed {
+	uint pot;
+	bool resolved;
+	uint stake;
+	function reveal(uint secret) public {
+		if (secret == 7 && !resolved) {
+			resolved = true;
+			pot = stake * 2;
+		}
+	}
+}`,
+	},
+	{
+		Name: "time-assembly", Category: ccc.TimeManipulation, VulnFunc: "expire", Labels: 1, Detectable: false,
+		Source: `contract AsmExpiry {
+	bool expired;
+	function expire() public {
+		uint t;
+		assembly { t := timestamp() }
+		expired = t > 1700000000;
+	}
+}`,
+	},
+	{
+		Name: "dos-external-gas", Category: ccc.DenialOfService, VulnFunc: "forward", Labels: 1, Detectable: false,
+		// Gas-griefing via insufficient forwarded gas: needs gas semantics.
+		Source: `contract Relayer {
+	mapping(bytes32 => bool) executed;
+	function forward(address target, bytes memory data) public {
+		bytes32 id = keccak256(data);
+		require(!executed[id]);
+		executed[id] = true;
+		target.call{gas: 2300}(data);
+	}
+}`,
+	},
+	{
+		Name: "reentrancy-view-helper", Category: ccc.Reentrancy, VulnFunc: "claimAll", Labels: 1, Detectable: false,
+		// The external call hides behind assembly.
+		Source: `contract HelperVault {
+	mapping(address => uint) shares;
+	function claimAll() public {
+		uint due = shares[msg.sender];
+		address who = msg.sender;
+		assembly { pop(call(gas(), who, due, 0, 0, 0, 0)) }
+		shares[msg.sender] = 0;
+	}
+}`,
+	},
+	{
+		Name: "arith-shift", Category: ccc.Arithmetic, VulnFunc: "scale", Labels: 1, Detectable: false,
+		// Overflow via shift operators, outside the +,-,* pattern set.
+		Source: `contract Shifter {
+	uint factor;
+	function scale(uint exp) public {
+		factor = 1 << exp;
+	}
+}`,
+	},
+}
+
+// Decoy templates: benign code with unconventional mitigations that bait
+// pattern-based detectors (the paper's qualitative FP analysis, Section 6.5).
+var decoyTemplates = []Template{
+	{
+		Name: "decoy-multiowner", Category: ccc.AccessControl, VulnFunc: "setOwner", Labels: 0, Decoy: true,
+		// Complex access control: the write is gated by a state flag that
+		// only the owner can raise, a two-step pattern that data-flow
+		// matching on msg.sender cannot see through.
+		Source: `contract TimelockAdmin {
+	address owner;
+	bool unlocked;
+	function unlock() public { require(msg.sender == owner); unlocked = true; }
+	function setOwner(address next) public {
+		require(unlocked);
+		owner = next;
+		unlocked = false;
+	}
+	function auth() public { require(msg.sender == owner); }
+}`,
+	},
+	{
+		Name: "decoy-safemath-custom", Category: ccc.Arithmetic, VulnFunc: "transfer", Labels: 0, Decoy: true,
+		// Overflow mitigation implemented differently than SafeMath: a
+		// boolean helper checked by the caller.
+		Source: `contract GuardedToken {
+	mapping(address => uint) balances;
+	function safeToAdd(uint a, uint b) internal returns (bool) { return a + b >= a; }
+	function transfer(address to, uint value) public {
+		if (safeToAdd(balances[to], value)) {
+			balances[msg.sender] -= value;
+			balances[to] += value;
+		}
+	}
+}`,
+	},
+	{
+		Name: "decoy-blocknumber-epoch", Category: ccc.BadRandomness, VulnFunc: "checkpoint", Labels: 0, Decoy: true,
+		// Legitimate block.number bookkeeping stored into a write-only
+		// audit field (looks like a stored seed to the query).
+		Source: `contract Checkpointer {
+	uint lastCheckpoint;
+	function checkpoint() public {
+		lastCheckpoint = block.number;
+	}
+}`,
+	},
+	{
+		Name: "decoy-converging-distribute", Category: ccc.DenialOfService, VulnFunc: "distribute", Labels: 0, Decoy: true,
+		// Converging loop bound: benign, but recognizing it needs value
+		// analysis (the paper's FP discussion calls these out).
+		Source: `contract Distributor {
+	uint total;
+	function distribute(uint start) public {
+		uint end = start + 4;
+		for (uint i = start; i < end; i++) {
+			total += i;
+		}
+	}
+}`,
+	},
+	{
+		Name: "decoy-converging-loop", Category: ccc.DenialOfService, VulnFunc: "sum", Labels: 0, Decoy: true,
+		// The bound is user-supplied but clamped; needs value reasoning.
+		Source: `contract Summer {
+	uint total;
+	function sum(uint n) public {
+		uint bound = n;
+		if (bound > 10) { bound = 10; }
+		for (uint i = 0; i < bound; i++) { total += i; }
+	}
+}`,
+	},
+	{
+		Name: "decoy-allowance-delegate", Category: ccc.FrontRunning, VulnFunc: "sweep", Labels: 0, Decoy: true,
+		// Harmless allowance-delegation pattern the paper saw reported as
+		// front running.
+		Source: `contract AllowanceSweeper {
+	mapping(address => uint) allowance;
+	function sweep() public {
+		uint granted = allowance[msg.sender];
+		allowance[msg.sender] = 0;
+		msg.sender.transfer(granted);
+	}
+	function grant(address to) public payable { allowance[to] = msg.value; }
+}`,
+	},
+}
+
+// mitigatedTemplates are clean counterparts used as filler so that corpora
+// contain benign code exercising the detectors' mitigation recognition.
+var mitigatedTemplates = []string{
+	`contract SafeVault {
+	mapping(address => uint) balances;
+	function deposit() public payable { balances[msg.sender] += msg.value; }
+	function withdraw(uint amount) public {
+		require(balances[msg.sender] >= amount);
+		balances[msg.sender] -= amount;
+		msg.sender.transfer(amount);
+	}
+}`,
+	`contract Owned {
+	address owner;
+	constructor() { owner = msg.sender; }
+	modifier onlyOwner() { require(msg.sender == owner); _; }
+	function setOwner(address next) public onlyOwner { owner = next; }
+	function destroy() public onlyOwner { selfdestruct(msg.sender); }
+}`,
+	`contract CheckedPayout {
+	function pay(address to, uint amount) public {
+		require(msg.data.length >= 68);
+		bool ok = to.send(amount);
+		require(ok);
+	}
+}`,
+	`contract SimpleStore {
+	uint value;
+	function set(uint v) public { require(v < 1000); value = v; }
+	function get() public view returns (uint) { return value; }
+}`,
+	`contract Escrow {
+	address payee;
+	address payer;
+	uint amount;
+	constructor() { payer = msg.sender; }
+	function release() public {
+		require(msg.sender == payer);
+		payee.transfer(amount);
+	}
+}`,
+}
+
+// VulnTemplates returns the vulnerable template pool (copy).
+func VulnTemplates() []Template { return append([]Template(nil), vulnTemplates...) }
+
+// DecoyTemplates returns the decoy pool (copy).
+func DecoyTemplates() []Template { return append([]Template(nil), decoyTemplates...) }
+
+// TemplatesFor returns the vulnerable templates of one category.
+func TemplatesFor(cat ccc.Category) []Template {
+	var out []Template
+	for _, t := range vulnTemplates {
+		if t.Category == cat {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// --- mutation engine ----------------------------------------------------------
+
+// Mutator applies identity-preserving (Type II) and near-miss (Type III)
+// mutations to template sources, producing realistic clone families.
+type Mutator struct {
+	rng *rand.Rand
+}
+
+// NewMutator returns a seeded mutator.
+func NewMutator(seed int64) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed))}
+}
+
+var fillerNames = []string{
+	"Alpha", "Beta", "Gamma", "Delta", "Omega", "Nova", "Lux", "Orbit",
+	"Prime", "Atlas", "Vertex", "Zenith", "Aurora", "Cobalt", "Onyx",
+}
+
+// renamePools map common template identifiers to synonym pools. Identifiers
+// with language semantics (value, sender, transfer, call, data, ...) are
+// deliberately absent: renaming them would change program behaviour, not
+// just its surface.
+var renamePools = []struct {
+	base string
+	pool []string
+}{
+	{"amount", []string{"amount", "amt", "sum", "qty", "wad", "tokens", "cash", "units"}},
+	{"balances", []string{"balances", "ledger", "accounts", "userBalances", "funds", "credits", "holdings"}},
+	{"owner", []string{"owner", "admin", "creator", "deployer", "boss", "root", "manager"}},
+	{"to", []string{"to", "recipient", "dest", "receivr", "target_", "beneficiary"}},
+	{"winner", []string{"winner", "champ", "leader", "topPlayer", "victor"}},
+	{"credit", []string{"credit", "deposits", "stakes", "shares_", "grants"}},
+	{"receiver", []string{"receiver", "payee", "destAddr", "sink", "getter"}},
+	{"payees", []string{"payees", "members", "holders", "parties", "walletList"}},
+	{"investors", []string{"investors", "backers", "players", "users_", "stakers"}},
+	{"withdraw", []string{"withdraw", "take", "pull", "redeemFunds", "cashOutAll", "unstake"}},
+	{"deposit", []string{"deposit", "put", "stake", "payIn", "fund_", "addFunds"}},
+	{"solution", []string{"solution", "answer_", "guessVal", "input_", "proof"}},
+	{"king", []string{"king", "captain", "holderNow", "current"}},
+	{"pot", []string{"pot", "prizePool", "bank_", "jackpot_"}},
+	{"seed", []string{"seed", "entropy", "mixer", "nonceSeed"}},
+}
+
+// RenameType2 renames the contract and several identifiers from synonym
+// pools (a Type II clone). Language-semantic names are never touched.
+func (m *Mutator) RenameType2(src string) string {
+	out := src
+	// Rename the contract.
+	if i := strings.Index(out, "contract "); i >= 0 {
+		rest := out[i+9:]
+		if j := strings.IndexAny(rest, " {"); j > 0 {
+			old := rest[:j]
+			out = strings.ReplaceAll(out, old, fillerNames[m.rng.Intn(len(fillerNames))]+old[:min(3, len(old))])
+		}
+	}
+	for _, rp := range renamePools {
+		if m.rng.Float64() < 0.7 {
+			repl := rp.pool[m.rng.Intn(len(rp.pool))]
+			if repl != rp.base {
+				out = replaceIdent(out, rp.base, repl)
+			}
+		}
+	}
+	return out
+}
+
+// replaceIdent replaces whole-word occurrences of old with new.
+func replaceIdent(src, old, new string) string {
+	var sb strings.Builder
+	for i := 0; i < len(src); {
+		j := strings.Index(src[i:], old)
+		if j < 0 {
+			sb.WriteString(src[i:])
+			break
+		}
+		j += i
+		beforeOK := j == 0 || !isWordByte(src[j-1])
+		after := j + len(old)
+		afterOK := after >= len(src) || !isWordByte(src[after])
+		sb.WriteString(src[i:j])
+		if beforeOK && afterOK {
+			sb.WriteString(new)
+		} else {
+			sb.WriteString(old)
+		}
+		i = after
+	}
+	return sb.String()
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+var fillerFunctions = []string{
+	"\tfunction ping() public returns (uint) { return 1; }\n",
+	"\tfunction version() public returns (uint) { return 3; }\n",
+	"\tevent Log(address who, uint what);\n",
+	"\tfunction ownerOf() public returns (address) { return address(this); }\n",
+	"\tuint internalCounter;\n\tfunction bumpInternal() internal { internalCounter = internalCounter + 1; }\n",
+	"\tstring public name_ = \"instance\";\n",
+}
+
+// AddFiller inserts a harmless extra member (a Type III edit).
+func (m *Mutator) AddFiller(src string) string {
+	i := strings.LastIndexByte(src, '}')
+	if i <= 0 {
+		return src
+	}
+	f := fillerFunctions[m.rng.Intn(len(fillerFunctions))]
+	return src[:i] + f + src[i:]
+}
+
+// AddComment prepends a comment block (a Type I edit).
+func (m *Mutator) AddComment(src string) string {
+	return fmt.Sprintf("// deployed build %d\n/* auto-generated header */\n%s", m.rng.Intn(100000), src)
+}
+
+// Mutate applies a random mix of Type I-III edits of the given strength
+// (0 = comments only, 1 = +renames, 2+ = +filler members).
+func (m *Mutator) Mutate(src string, strength int) string {
+	out := m.AddComment(src)
+	if strength >= 1 {
+		out = m.RenameType2(out)
+	}
+	for i := 2; i <= strength; i++ {
+		out = m.AddFiller(out)
+	}
+	return out
+}
+
+// Embed splices the snippet's contract body into a host contract with extra
+// members around it, simulating a developer pasting a snippet into their
+// own contract.
+func (m *Mutator) Embed(snippet, hostName string) string {
+	body := contractBody(snippet)
+	var extra strings.Builder
+	for range 1 + m.rng.Intn(2) {
+		extra.WriteString(fillerFunctions[m.rng.Intn(len(fillerFunctions))])
+	}
+	return fmt.Sprintf("contract %s {\n%s\n%s}\n", hostName, body, extra.String())
+}
+
+// contractBody extracts the inside of the first contract declaration, or
+// returns the source unchanged when no contract wrapper exists.
+func contractBody(src string) string {
+	i := strings.Index(src, "contract ")
+	if i < 0 {
+		return src
+	}
+	j := strings.IndexByte(src[i:], '{')
+	if j < 0 {
+		return src
+	}
+	start := i + j + 1
+	depth := 1
+	for k := start; k < len(src); k++ {
+		switch src[k] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				return src[start:k]
+			}
+		}
+	}
+	return src[start:]
+}

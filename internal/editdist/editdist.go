@@ -1,0 +1,128 @@
+// Package editdist provides Levenshtein edit distance and the normalized
+// similarity score δ used by the paper's clone detector (Section 5.5):
+//
+//	δ(s1,s2) = (max(len(s1),len(s2)) − d(s1,s2)) / max(len(s1),len(s2)) · 100
+package editdist
+
+// Distance returns the Levenshtein edit distance between a and b using two
+// rolling rows (O(min(len)) space).
+func Distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// DistanceBounded returns the edit distance if it is at most maxDist, or
+// maxDist+1 otherwise. Early exit keeps corpus matching fast when most
+// candidate pairs are far apart.
+func DistanceBounded(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la-lb > maxDist || lb-la > maxDist {
+		return maxDist + 1
+	}
+	if a == b {
+		return 0
+	}
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if d := prev[j] + 1; d < m {
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > maxDist {
+			return maxDist + 1
+		}
+		prev, cur = cur, prev
+	}
+	if d := prev[len(b)]; d <= maxDist {
+		return d
+	}
+	return maxDist + 1
+}
+
+// Similarity returns δ(a,b) in [0,100]: 100 for identical strings, 0 when
+// every character differs. Two empty strings are identical (100).
+func Similarity(a, b string) float64 {
+	ml := max(len(a), len(b))
+	if ml == 0 {
+		return 100
+	}
+	d := Distance(a, b)
+	return float64(ml-d) / float64(ml) * 100
+}
+
+// SimilarityAtLeast reports whether δ(a,b) ≥ threshold, using the bounded
+// distance for early exit.
+func SimilarityAtLeast(a, b string, threshold float64) (float64, bool) {
+	ml := max(len(a), len(b))
+	if ml == 0 {
+		return 100, threshold <= 100
+	}
+	// δ ≥ t  ⇔  d ≤ ml·(100−t)/100
+	maxDist := int(float64(ml) * (100 - threshold) / 100)
+	d := DistanceBounded(a, b, maxDist)
+	if d > maxDist {
+		return float64(ml-d) / float64(ml) * 100, false
+	}
+	return float64(ml-d) / float64(ml) * 100, true
+}

@@ -1,0 +1,152 @@
+package editdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		d    int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "acb", 2},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.d {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.a, c.b, got, c.d)
+		}
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	f := func(a, b, c string) bool {
+		for _, s := range []*string{&a, &b, &c} {
+			if len(*s) > 30 {
+				*s = (*s)[:30]
+			}
+		}
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceBoundedAgreesWhenWithin(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		d := Distance(a, b)
+		got := DistanceBounded(a, b, d)
+		return got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceBoundedEarlyExit(t *testing.T) {
+	a := "aaaaaaaaaaaaaaaaaaaa"
+	b := "bbbbbbbbbbbbbbbbbbbb"
+	if got := DistanceBounded(a, b, 3); got != 4 {
+		t.Errorf("got %d, want maxDist+1 = 4", got)
+	}
+	if got := DistanceBounded("abc", "abcdefgh", 2); got != 3 {
+		t.Errorf("length gap: got %d want 3", got)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity("abcd", "abcd"); s != 100 {
+		t.Errorf("identical: %v", s)
+	}
+	if s := Similarity("", ""); s != 100 {
+		t.Errorf("empty: %v", s)
+	}
+	if s := Similarity("aaaa", "bbbb"); s != 0 {
+		t.Errorf("disjoint: %v", s)
+	}
+	// One edit out of 4 chars: 75.
+	if s := Similarity("abcd", "abcx"); s != 75 {
+		t.Errorf("3/4: %v", s)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 40 {
+			a = a[:40]
+		}
+		if len(b) > 40 {
+			b = b[:40]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarityAtLeast(t *testing.T) {
+	s, ok := SimilarityAtLeast("abcd", "abcx", 70)
+	if !ok || s != 75 {
+		t.Errorf("got %v %v", s, ok)
+	}
+	_, ok = SimilarityAtLeast("abcd", "wxyz", 70)
+	if ok {
+		t.Error("should fail threshold")
+	}
+}
+
+func TestSimilarityAtLeastConsistent(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		exact := Similarity(a, b)
+		for _, th := range []float64{0, 50, 70, 90, 100} {
+			_, ok := SimilarityAtLeast(a, b, th)
+			if ok != (exact >= th) && !(exact == th) {
+				// Allow boundary rounding at exact threshold.
+				if ok != (exact >= th) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

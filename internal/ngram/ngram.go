@@ -1,0 +1,112 @@
+// Package ngram provides an inverted n-gram index with containment-threshold
+// retrieval. It stands in for the Elasticsearch n-gram pre-filter of the
+// paper's clone-detection pipeline: fingerprints are split into character
+// n-grams, indexed, and a query retrieves only the fingerprints sharing at
+// least a fraction η of the query's distinct n-grams — the cheap candidate
+// filter in front of the expensive edit-distance similarity.
+package ngram
+
+import "sort"
+
+// Index is an inverted index from n-gram to document ids.
+type Index struct {
+	n     int
+	grams map[string][]int
+	docs  []doc
+}
+
+type doc struct {
+	id     string
+	ngrams int // number of distinct n-grams
+}
+
+// New returns an index over n-grams of size n (n ≥ 1).
+func New(n int) *Index {
+	if n < 1 {
+		n = 1
+	}
+	return &Index{n: n, grams: make(map[string][]int)}
+}
+
+// N returns the configured n-gram size.
+func (ix *Index) N() int { return ix.n }
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Grams returns the distinct n-grams of s (strings shorter than n yield the
+// whole string as a single gram).
+func (ix *Index) Grams(s string) []string {
+	return Grams(s, ix.n)
+}
+
+// Grams returns the distinct character n-grams of s.
+func Grams(s string, n int) []string {
+	if len(s) == 0 {
+		return nil
+	}
+	if len(s) <= n {
+		return []string{s}
+	}
+	seen := make(map[string]bool, len(s))
+	out := make([]string, 0, len(s)-n+1)
+	for i := 0; i+n <= len(s); i++ {
+		g := s[i : i+n]
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Add indexes the string under the given id and returns the internal doc
+// number.
+func (ix *Index) Add(id, s string) int {
+	num := len(ix.docs)
+	grams := ix.Grams(s)
+	ix.docs = append(ix.docs, doc{id: id, ngrams: len(grams)})
+	for _, g := range grams {
+		ix.grams[g] = append(ix.grams[g], num)
+	}
+	return num
+}
+
+// Candidate is a retrieval result.
+type Candidate struct {
+	ID string
+	// Doc is the internal doc number assigned by Add.
+	Doc int
+	// Containment is |shared grams| / |query grams| in [0,1].
+	Containment float64
+}
+
+// Query returns the ids of indexed documents sharing at least eta (0..1) of
+// the query string's distinct n-grams, most-overlapping first.
+func (ix *Index) Query(s string, eta float64) []Candidate {
+	grams := ix.Grams(s)
+	if len(grams) == 0 {
+		return nil
+	}
+	counts := make(map[int]int)
+	for _, g := range grams {
+		for _, d := range ix.grams[g] {
+			counts[d]++
+		}
+	}
+	need := eta * float64(len(grams))
+	var out []Candidate
+	for d, c := range counts {
+		cont := float64(c) / float64(len(grams))
+		if float64(c) >= need {
+			out = append(out, Candidate{ID: ix.docs[d].id, Doc: d, Containment: cont})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Containment != out[j].Containment {
+			return out[i].Containment > out[j].Containment
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}

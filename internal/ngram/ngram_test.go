@@ -1,0 +1,105 @@
+package ngram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrams(t *testing.T) {
+	got := Grams("abcde", 3)
+	want := []string{"abc", "bcd", "cde"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("gram %d: %q", i, got[i])
+		}
+	}
+}
+
+func TestGramsDedupe(t *testing.T) {
+	got := Grams("aaaaaa", 3)
+	if len(got) != 1 || got[0] != "aaa" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGramsShortString(t *testing.T) {
+	got := Grams("ab", 3)
+	if len(got) != 1 || got[0] != "ab" {
+		t.Fatalf("got %v", got)
+	}
+	if Grams("", 3) != nil {
+		t.Error("empty string should have no grams")
+	}
+}
+
+func TestQueryExactMatch(t *testing.T) {
+	ix := New(3)
+	ix.Add("a", "DG.TMQDZlrCnLVyLrmZl")
+	ix.Add("b", "XXXXXXXXXXXXXXXXXXXX")
+	got := ix.Query("DG.TMQDZlrCnLVyLrmZl", 0.5)
+	if len(got) != 1 || got[0].ID != "a" {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Containment != 1 {
+		t.Errorf("containment: %v", got[0].Containment)
+	}
+}
+
+func TestQueryThreshold(t *testing.T) {
+	ix := New(3)
+	ix.Add("half", "abcdefghij")
+	// Query shares exactly the first half of its grams with "half".
+	got := ix.Query("abcdefghijKLMNOPQRST", 0.4)
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	got = ix.Query("abcdefghijKLMNOPQRST", 0.9)
+	if len(got) != 0 {
+		t.Fatalf("eta=0.9 should filter out, got %v", got)
+	}
+}
+
+func TestQueryOrdering(t *testing.T) {
+	ix := New(3)
+	ix.Add("close", "abcdefghij")
+	ix.Add("far", "abcdexxxxx")
+	got := ix.Query("abcdefghij", 0.1)
+	if len(got) != 2 || got[0].ID != "close" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestQuerySelfRetrieval(t *testing.T) {
+	// Any indexed string must retrieve itself at eta=1.
+	f := func(s string) bool {
+		if len(s) == 0 {
+			return true
+		}
+		ix := New(3)
+		ix.Add("self", s)
+		got := ix.Query(s, 1.0)
+		for _, c := range got {
+			if c.ID == "self" {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexLenAndN(t *testing.T) {
+	ix := New(0) // clamps to 1
+	if ix.N() != 1 {
+		t.Errorf("n: %d", ix.N())
+	}
+	ix.Add("x", "abc")
+	if ix.Len() != 1 {
+		t.Errorf("len: %d", ix.Len())
+	}
+}

@@ -1,0 +1,120 @@
+package solidity
+
+// Deep cloning of AST subtrees. The CPG frontend expands modifiers by
+// inlining a fresh copy of the modifier body at every application site
+// (Section 4.2.2 of the paper), which requires distinct AST node identities.
+
+// CloneStmt returns a deep copy of a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		return CloneBlock(x)
+	case *ExprStmt:
+		return &ExprStmt{Span: x.Span, X: CloneExpr(x.X)}
+	case *VarDeclStmt:
+		c := &VarDeclStmt{Span: x.Span, Value: CloneExpr(x.Value)}
+		for _, d := range x.Decls {
+			if d == nil {
+				c.Decls = append(c.Decls, nil)
+				continue
+			}
+			c.Decls = append(c.Decls, &VarDecl{Span: d.Span, Type: d.Type, Name: d.Name, Storage: d.Storage})
+		}
+		return c
+	case *IfStmt:
+		return &IfStmt{Span: x.Span, Cond: CloneExpr(x.Cond), Then: CloneStmt(x.Then), Else: CloneStmt(x.Else)}
+	case *ForStmt:
+		return &ForStmt{Span: x.Span, Init: CloneStmt(x.Init), Cond: CloneExpr(x.Cond), Post: CloneExpr(x.Post), Body: CloneStmt(x.Body)}
+	case *WhileStmt:
+		return &WhileStmt{Span: x.Span, Cond: CloneExpr(x.Cond), Body: CloneStmt(x.Body)}
+	case *DoWhileStmt:
+		return &DoWhileStmt{Span: x.Span, Body: CloneStmt(x.Body), Cond: CloneExpr(x.Cond)}
+	case *ReturnStmt:
+		return &ReturnStmt{Span: x.Span, Value: CloneExpr(x.Value)}
+	case *BreakStmt:
+		return &BreakStmt{Span: x.Span}
+	case *ContinueStmt:
+		return &ContinueStmt{Span: x.Span}
+	case *ThrowStmt:
+		return &ThrowStmt{Span: x.Span}
+	case *EmitStmt:
+		call, _ := CloneExpr(x.Call).(*CallExpr)
+		return &EmitStmt{Span: x.Span, Call: call}
+	case *DeleteStmt:
+		return &DeleteStmt{Span: x.Span, X: CloneExpr(x.X)}
+	case *PlaceholderStmt:
+		return &PlaceholderStmt{Span: x.Span}
+	case *AssemblyStmt:
+		return &AssemblyStmt{Span: x.Span, Raw: x.Raw}
+	case *UncheckedBlock:
+		return &UncheckedBlock{Span: x.Span, Body: CloneBlock(x.Body)}
+	case *TryStmt:
+		c := &TryStmt{Span: x.Span, Call: CloneExpr(x.Call), Returns: x.Returns, Body: CloneBlock(x.Body)}
+		for _, cc := range x.Catches {
+			c.Catches = append(c.Catches, &CatchClause{Span: cc.Span, Ident: cc.Ident, Params: cc.Params, Body: CloneBlock(cc.Body)})
+		}
+		return c
+	}
+	return s
+}
+
+// CloneBlock returns a deep copy of a block.
+func CloneBlock(b *Block) *Block {
+	if b == nil {
+		return nil
+	}
+	c := &Block{Span: b.Span}
+	for _, s := range b.Stmts {
+		c.Stmts = append(c.Stmts, CloneStmt(s))
+	}
+	return c
+}
+
+// CloneExpr returns a deep copy of an expression. Type nodes are shared
+// (they are immutable for the CPG's purposes).
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{Span: x.Span, Name: x.Name}
+	case *NumberLit:
+		return &NumberLit{Span: x.Span, Value: x.Value, Unit: x.Unit}
+	case *StringLit:
+		return &StringLit{Span: x.Span, Value: x.Value, Hex: x.Hex}
+	case *BoolLit:
+		return &BoolLit{Span: x.Span, Value: x.Value}
+	case *MemberAccess:
+		return &MemberAccess{Span: x.Span, X: CloneExpr(x.X), Member: x.Member}
+	case *IndexAccess:
+		return &IndexAccess{Span: x.Span, X: CloneExpr(x.X), Index: CloneExpr(x.Index)}
+	case *CallExpr:
+		c := &CallExpr{Span: x.Span, Callee: CloneExpr(x.Callee), ArgNames: x.ArgNames}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		for _, o := range x.Options {
+			c.Options = append(c.Options, &CallOption{Span: o.Span, Key: o.Key, Value: CloneExpr(o.Value)})
+		}
+		return c
+	case *NewExpr:
+		return &NewExpr{Span: x.Span, Type: x.Type}
+	case *TypeExpr:
+		return &TypeExpr{Span: x.Span, Type: x.Type}
+	case *BinaryExpr:
+		return &BinaryExpr{Span: x.Span, Op: x.Op, LHS: CloneExpr(x.LHS), RHS: CloneExpr(x.RHS)}
+	case *UnaryExpr:
+		return &UnaryExpr{Span: x.Span, Op: x.Op, Prefix: x.Prefix, X: CloneExpr(x.X)}
+	case *ConditionalExpr:
+		return &ConditionalExpr{Span: x.Span, Cond: CloneExpr(x.Cond), Then: CloneExpr(x.Then), Else: CloneExpr(x.Else)}
+	case *TupleExpr:
+		c := &TupleExpr{Span: x.Span}
+		for _, el := range x.Elems {
+			c.Elems = append(c.Elems, CloneExpr(el))
+		}
+		return c
+	}
+	return e
+}

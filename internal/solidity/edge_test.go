@@ -1,0 +1,259 @@
+package solidity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFunctionTypeVariable(t *testing.T) {
+	u := mustParse(t, `contract C {
+		function(uint) internal returns (uint) handler;
+		function set(function(uint) external cb) public {}
+	}`)
+	c := firstContract(t, u)
+	if len(c.Parts) < 1 {
+		t.Fatalf("parts: %d", len(c.Parts))
+	}
+}
+
+func TestParseUsingFor(t *testing.T) {
+	u := mustParse(t, `contract C {
+		using SafeMath for uint256;
+		using Lib for *;
+	}`)
+	c := firstContract(t, u)
+	ud, ok := c.Parts[0].(*UsingDecl)
+	if !ok || ud.Library != "SafeMath" || TypeString(ud.Target) != "uint256" {
+		t.Fatalf("using: %+v", c.Parts[0])
+	}
+	ud2 := c.Parts[1].(*UsingDecl)
+	if ud2.Target != nil {
+		t.Fatalf("wildcard using: %+v", ud2)
+	}
+}
+
+func TestParseInterfaceAndAbstract(t *testing.T) {
+	u := mustParse(t, `
+interface IERC20 {
+	function transfer(address to, uint value) external returns (bool);
+}
+abstract contract Base {
+	function hook() public virtual;
+}`)
+	i := u.Decls[0].(*ContractDecl)
+	if i.Kind != KindInterface {
+		t.Errorf("kind: %v", i.Kind)
+	}
+	fn := i.Parts[0].(*FunctionDecl)
+	if fn.Body != nil {
+		t.Error("interface function should have no body")
+	}
+	a := u.Decls[1].(*ContractDecl)
+	if !a.Abstract {
+		t.Error("abstract flag")
+	}
+}
+
+func TestParseLibrary(t *testing.T) {
+	u := mustParse(t, `library SafeMath {
+		function add(uint a, uint b) internal pure returns (uint) {
+			uint c = a + b;
+			require(c >= a);
+			return c;
+		}
+	}`)
+	l := u.Decls[0].(*ContractDecl)
+	if l.Kind != KindLibrary || l.Name != "SafeMath" {
+		t.Fatalf("library: %+v", l)
+	}
+}
+
+func TestParseBaseConstructorArgs(t *testing.T) {
+	u := mustParse(t, `contract C is Base(1, msg.sender), Other {
+		constructor() {}
+	}`)
+	c := u.Decls[0].(*ContractDecl)
+	if len(c.Bases) != 2 || c.Bases[0] != "Base" || c.Bases[1] != "Other" {
+		t.Fatalf("bases: %v", c.Bases)
+	}
+}
+
+func TestParseDenominations(t *testing.T) {
+	u := mustParse(t, `x = 1 ether + 2 wei + 3 days;`)
+	es := u.Decls[0].(*ExprStmt)
+	s := ExprString(es.X)
+	for _, want := range []string{"1 ether", "2 wei", "3 days"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestParseTernaryAndTuple(t *testing.T) {
+	u := mustParse(t, `y = a > b ? a : b;
+(q, r) = (x / d, x % d);`)
+	if len(u.Decls) != 2 {
+		t.Fatalf("decls: %d", len(u.Decls))
+	}
+	cond := u.Decls[0].(*ExprStmt).X.(*BinaryExpr).RHS
+	if _, ok := cond.(*ConditionalExpr); !ok {
+		t.Fatalf("rhs: %T", cond)
+	}
+}
+
+func TestParseArrayLiteral(t *testing.T) {
+	u := mustParse(t, `uint[3] memory a = [1, 2, 3];`)
+	vds, ok := u.Decls[0].(*VarDeclStmt)
+	if !ok {
+		t.Fatalf("decl: %T", u.Decls[0])
+	}
+	tup, ok := vds.Value.(*TupleExpr)
+	if !ok || len(tup.Elems) != 3 {
+		t.Fatalf("value: %#v", vds.Value)
+	}
+}
+
+func TestParseNewContract(t *testing.T) {
+	u := mustParse(t, `child = new Wallet(msg.sender);`)
+	es := u.Decls[0].(*ExprStmt)
+	call, ok := es.X.(*BinaryExpr).RHS.(*CallExpr)
+	if !ok {
+		t.Fatalf("rhs: %T", es.X.(*BinaryExpr).RHS)
+	}
+	if _, ok := call.Callee.(*NewExpr); !ok {
+		t.Fatalf("callee: %T", call.Callee)
+	}
+}
+
+func TestParseUnicodeIdentifier(t *testing.T) {
+	u, err := Parse("contract C { uint über; function f() public { über = 1; } }")
+	if err != nil {
+		t.Fatalf("unicode identifier: %v", err)
+	}
+	_ = u
+}
+
+func TestParseNamedCallArguments(t *testing.T) {
+	u := mustParse(t, `f({from: msg.sender, amount: 3});`)
+	call := u.Decls[0].(*ExprStmt).X.(*CallExpr)
+	if len(call.Args) != 2 || len(call.ArgNames) != 2 || call.ArgNames[0] != "from" {
+		t.Fatalf("named args: %+v / %v", call.Args, call.ArgNames)
+	}
+}
+
+func TestParsePragmaExperimental(t *testing.T) {
+	u := mustParse(t, `pragma experimental ABIEncoderV2;
+contract C {}`)
+	if len(u.Pragmas) != 1 || u.Pragmas[0].Name != "experimental" {
+		t.Fatalf("pragma: %+v", u.Pragmas)
+	}
+}
+
+func TestParseMappingNamedKeys(t *testing.T) {
+	// Solidity 0.8.18 named mapping keys.
+	u := mustParse(t, `contract C { mapping(address owner => uint balance) public m; }`)
+	sv := firstContract(t, u).Parts[0].(*StateVarDecl)
+	if TypeString(sv.Type) != "mapping(address => uint)" {
+		t.Fatalf("type: %q", TypeString(sv.Type))
+	}
+}
+
+func TestParseHexAndScientificInExpr(t *testing.T) {
+	u := mustParse(t, `limit = 0xFF + 1e18;`)
+	s := ExprString(u.Decls[0].(*ExprStmt).X)
+	if !strings.Contains(s, "0xFF") || !strings.Contains(s, "1e18") {
+		t.Fatalf("expr: %q", s)
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := ParseStrict("contract C { function f() public { x = ; } }")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type: %T %v", err, err)
+	}
+	if pe.Pos.Line == 0 {
+		t.Error("missing position")
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	type unwrapper interface{ Unwrap() []error }
+	if pe, ok := err.(*ParseError); ok {
+		*out = pe
+		return true
+	}
+	if u, ok := err.(unwrapper); ok {
+		for _, e := range u.Unwrap() {
+			if asParseError(e, out) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestShapeClassification(t *testing.T) {
+	cases := map[string]SnippetShape{
+		`contract C {}`:                 ShapeContract,
+		`function f() public {}`:        ShapeFunction,
+		`x = 1;`:                        ShapeStatements,
+		`modifier m() { _; }`:           ShapeFunction,
+		``:                              ShapeEmpty,
+		`uint x;`:                       ShapeStatements,
+		`contract C {} function f() {}`: ShapeContract,
+	}
+	for src, want := range cases {
+		u, _ := Parse(src)
+		if got := Shape(u); got != want {
+			t.Errorf("%q: shape %v want %v", src, got, want)
+		}
+	}
+	if ShapeContract.String() != "contract" || ShapeEmpty.String() != "empty" {
+		t.Error("shape strings")
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	if EOF.String() != "EOF" || ARROW.String() != "=>" || KwContract.String() != "contract" {
+		t.Error("kind strings")
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+	tok := Token{Kind: IDENT, Literal: "x", Pos: Position{Line: 1, Column: 2}}
+	if tok.String() == "" {
+		t.Error("token string")
+	}
+}
+
+func TestCloneProducesEqualShapes(t *testing.T) {
+	src := `function f(uint n) public {
+		for (uint i = 0; i < n; i++) { if (i % 2 == 0) { s += i; } else { continue; } }
+		do { n--; } while (n > 0);
+		try ext.call() returns (uint v) { s = v; } catch {}
+		emit E(n);
+		delete s;
+		(a, b) = (b, a);
+	}`
+	u := mustParse(t, src)
+	fn := u.Decls[0].(*FunctionDecl)
+	clone := CloneBlock(fn.Body)
+	s1, s2 := shapeOfStmt(fn.Body), shapeOfStmt(clone)
+	if s1 != s2 {
+		t.Fatalf("clone shape differs:\n%s\n%s", s1, s2)
+	}
+}
+
+func shapeOfStmt(b *Block) string {
+	var sb strings.Builder
+	Walk(b, func(n Node) bool {
+		sb.WriteString(kindName(n))
+		sb.WriteByte(' ')
+		return true
+	})
+	return sb.String()
+}

@@ -1,0 +1,533 @@
+package solidity
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *SourceUnit {
+	t.Helper()
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return u
+}
+
+func firstContract(t *testing.T, u *SourceUnit) *ContractDecl {
+	t.Helper()
+	for _, d := range u.Decls {
+		if c, ok := d.(*ContractDecl); ok {
+			return c
+		}
+	}
+	t.Fatal("no contract in unit")
+	return nil
+}
+
+func TestParseFullContract(t *testing.T) {
+	src := `
+pragma solidity ^0.8.0;
+
+contract Parent {
+    address owner;
+    constructor() { owner = msg.sender; }
+}
+
+contract Main is Parent {
+    uint state_var;
+    constructor() { state_var = 0; }
+    function () payable {}
+    function withdrawAll() public onlyOwner {
+        msg.sender.call{value: this.balance}("");
+    }
+    modifier onlyOwner() {
+        require(msg.sender == owner, "Not owner"); _;
+    }
+}`
+	u := mustParse(t, src)
+	if len(u.Pragmas) != 1 {
+		t.Errorf("pragmas: %d", len(u.Pragmas))
+	}
+	var contracts []*ContractDecl
+	for _, d := range u.Decls {
+		if c, ok := d.(*ContractDecl); ok {
+			contracts = append(contracts, c)
+		}
+	}
+	if len(contracts) != 2 {
+		t.Fatalf("contracts: %d", len(contracts))
+	}
+	main := contracts[1]
+	if main.Name != "Main" || len(main.Bases) != 1 || main.Bases[0] != "Parent" {
+		t.Errorf("main header: %+v", main)
+	}
+	var fns, mods, vars int
+	var fallback *FunctionDecl
+	for _, part := range main.Parts {
+		switch x := part.(type) {
+		case *FunctionDecl:
+			fns++
+			if x.IsFallback {
+				fallback = x
+			}
+		case *ModifierDecl:
+			mods++
+		case *StateVarDecl:
+			vars++
+		}
+	}
+	if fns != 3 || mods != 1 || vars != 1 {
+		t.Errorf("fns=%d mods=%d vars=%d", fns, mods, vars)
+	}
+	if fallback == nil || fallback.Mutability != "payable" {
+		t.Errorf("fallback: %+v", fallback)
+	}
+}
+
+func TestParseMalformedHeaderFromPaper(t *testing.T) {
+	// Listing 1 of the paper writes `function withdrawAll public onlyOwner ()`.
+	src := `contract Main {
+		function withdrawAll public onlyOwner () {
+			msg.sender.call{value: this.balance}("");
+		}
+		modifier onlyOwner() { require(msg.sender == owner); _; }
+	}`
+	u := mustParse(t, src)
+	c := firstContract(t, u)
+	fn, ok := c.Parts[0].(*FunctionDecl)
+	if !ok {
+		t.Fatalf("part 0: %T", c.Parts[0])
+	}
+	if fn.Name != "withdrawAll" || fn.Visibility != "public" {
+		t.Errorf("fn: name=%q vis=%q", fn.Name, fn.Visibility)
+	}
+	found := false
+	for _, m := range fn.Modifiers {
+		if m.Name == "onlyOwner" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("onlyOwner modifier missing: %+v", fn.Modifiers)
+	}
+}
+
+func TestParseSnippetFunctionOnly(t *testing.T) {
+	src := `function withdraw(uint amount) public {
+		require(balances[msg.sender] >= amount);
+		msg.sender.transfer(amount);
+		balances[msg.sender] -= amount;
+	}`
+	u := mustParse(t, src)
+	fn, ok := u.Decls[0].(*FunctionDecl)
+	if !ok {
+		t.Fatalf("decl 0: %T", u.Decls[0])
+	}
+	if fn.Name != "withdraw" || len(fn.Params) != 1 || len(fn.Body.Stmts) != 3 {
+		t.Errorf("fn: %+v", fn)
+	}
+	if Shape(u) != ShapeFunction {
+		t.Errorf("shape: %v", Shape(u))
+	}
+}
+
+func TestParseSnippetStatementsOnly(t *testing.T) {
+	src := `require(msg.sender == owner);
+msg.sender.transfer(amount);`
+	u := mustParse(t, src)
+	if len(u.Decls) != 2 {
+		t.Fatalf("decls: %d", len(u.Decls))
+	}
+	if Shape(u) != ShapeStatements {
+		t.Errorf("shape: %v", Shape(u))
+	}
+}
+
+func TestParseNewlineTermination(t *testing.T) {
+	// Missing semicolons, statement per line (fuzzy grammar relaxation 2).
+	src := "uint x = 1\nx = x + 2\nmsg.sender.transfer(x)"
+	u := mustParse(t, src)
+	if len(u.Decls) != 3 {
+		t.Fatalf("decls: %d (%#v)", len(u.Decls), u.Decls)
+	}
+}
+
+func TestParseStrictRejectsNewlineTermination(t *testing.T) {
+	src := "contract C { function f() public { uint x = 1\nx = 2\n } }"
+	if _, err := ParseStrict(src); err == nil {
+		t.Fatal("strict parser should reject missing semicolons")
+	}
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("fuzzy parser should accept: %v", err)
+	}
+}
+
+func TestParsePlaceholders(t *testing.T) {
+	src := `contract C {
+	...
+	function f() public {
+		...
+		msg.sender.transfer(1);
+	}
+}`
+	u := mustParse(t, src)
+	c := firstContract(t, u)
+	if len(c.Parts) != 1 {
+		t.Fatalf("parts: %d", len(c.Parts))
+	}
+	fn := c.Parts[0].(*FunctionDecl)
+	if len(fn.Body.Stmts) != 1 {
+		t.Fatalf("stmts: %d", len(fn.Body.Stmts))
+	}
+}
+
+func TestParseStrictRejectsPlaceholder(t *testing.T) {
+	if _, err := ParseStrict("contract C { ... }"); err == nil {
+		t.Fatal("strict parser should reject placeholders")
+	}
+}
+
+func TestParseStrictRejectsTopLevelStatements(t *testing.T) {
+	if _, err := ParseStrict("msg.sender.transfer(1);"); err == nil {
+		t.Fatal("strict parser should reject top-level statements")
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := map[string]string{
+		"a + b * c":                       "a + b * c",
+		"(a + b) * c":                     "a + b * c", // parens dropped in canonical form
+		"a ** b ** c":                     "a ** b ** c",
+		"x ? y : z":                       "x ? y : z",
+		"msg.sender.call{value: v}(\"\")": `msg.sender.call{value: v}("")`,
+		"balances[msg.sender] += amount":  "balances[msg.sender] += amount",
+		"!ok":                             "!ok",
+		"x++":                             "x++",
+		"--x":                             "--x",
+		"new Wallet":                      "new Wallet",
+		"a && b || c":                     "a && b || c",
+	}
+	for src, want := range cases {
+		u := mustParse(t, src)
+		if len(u.Decls) == 0 {
+			t.Errorf("%q: no decls", src)
+			continue
+		}
+		es, ok := u.Decls[0].(*ExprStmt)
+		if !ok {
+			t.Errorf("%q: decl is %T", src, u.Decls[0])
+			continue
+		}
+		if got := ExprString(es.X); got != want {
+			t.Errorf("%q: got %q want %q", src, got, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	u := mustParse(t, "r = a + b * c")
+	be := u.Decls[0].(*ExprStmt).X.(*BinaryExpr)
+	if be.Op != ASSIGN {
+		t.Fatalf("root op: %v", be.Op)
+	}
+	add := be.RHS.(*BinaryExpr)
+	if add.Op != ADD {
+		t.Fatalf("rhs op: %v", add.Op)
+	}
+	mul := add.RHS.(*BinaryExpr)
+	if mul.Op != MUL {
+		t.Fatalf("rhs.rhs op: %v", mul.Op)
+	}
+}
+
+func TestParseTupleDeclaration(t *testing.T) {
+	u := mustParse(t, "(uint a, , uint b) = f();")
+	vds, ok := u.Decls[0].(*VarDeclStmt)
+	if !ok {
+		t.Fatalf("decl: %T", u.Decls[0])
+	}
+	if len(vds.Decls) != 3 || vds.Decls[1] != nil {
+		t.Fatalf("decls: %+v", vds.Decls)
+	}
+	if vds.Decls[0].Name != "a" || vds.Decls[2].Name != "b" {
+		t.Fatalf("names: %q %q", vds.Decls[0].Name, vds.Decls[2].Name)
+	}
+}
+
+func TestParseVarDeclaration(t *testing.T) {
+	u := mustParse(t, "var (x, y) = pair();")
+	vds := u.Decls[0].(*VarDeclStmt)
+	if len(vds.Decls) != 2 || vds.Decls[0].Name != "x" {
+		t.Fatalf("%+v", vds)
+	}
+}
+
+func TestParseMappingStateVar(t *testing.T) {
+	u := mustParse(t, `contract C { mapping(address => uint256) public balances; }`)
+	c := firstContract(t, u)
+	sv, ok := c.Parts[0].(*StateVarDecl)
+	if !ok {
+		t.Fatalf("part: %T", c.Parts[0])
+	}
+	if sv.Name != "balances" || sv.Visibility != "public" {
+		t.Errorf("%+v", sv)
+	}
+	if TypeString(sv.Type) != "mapping(address => uint256)" {
+		t.Errorf("type: %q", TypeString(sv.Type))
+	}
+}
+
+func TestParseNestedMapping(t *testing.T) {
+	u := mustParse(t, `mapping(address => mapping(address => uint)) allowed;`)
+	sv, ok := u.Decls[0].(*StateVarDecl)
+	if !ok {
+		t.Fatalf("decl: %T", u.Decls[0])
+	}
+	if TypeString(sv.Type) != "mapping(address => mapping(address => uint))" {
+		t.Errorf("type: %q", TypeString(sv.Type))
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `function f(uint n) public {
+		for (uint i = 0; i < n; i++) { total += i; }
+		while (total > 0) { total--; }
+		do { x++; } while (x < 3);
+		if (x == 1) { y = 2; } else if (x == 2) { y = 3; } else { y = 4; }
+	}`
+	u := mustParse(t, src)
+	fn := u.Decls[0].(*FunctionDecl)
+	if len(fn.Body.Stmts) != 4 {
+		t.Fatalf("stmts: %d", len(fn.Body.Stmts))
+	}
+	if _, ok := fn.Body.Stmts[0].(*ForStmt); !ok {
+		t.Errorf("stmt0: %T", fn.Body.Stmts[0])
+	}
+	if _, ok := fn.Body.Stmts[1].(*WhileStmt); !ok {
+		t.Errorf("stmt1: %T", fn.Body.Stmts[1])
+	}
+	if _, ok := fn.Body.Stmts[2].(*DoWhileStmt); !ok {
+		t.Errorf("stmt2: %T", fn.Body.Stmts[2])
+	}
+	ifs, ok := fn.Body.Stmts[3].(*IfStmt)
+	if !ok || ifs.Else == nil {
+		t.Errorf("stmt3: %T", fn.Body.Stmts[3])
+	}
+}
+
+func TestParseModifierPlaceholder(t *testing.T) {
+	u := mustParse(t, `modifier onlyOwner() { require(msg.sender == owner); _; }`)
+	m := u.Decls[0].(*ModifierDecl)
+	if len(m.Body.Stmts) != 2 {
+		t.Fatalf("stmts: %d", len(m.Body.Stmts))
+	}
+	if _, ok := m.Body.Stmts[1].(*PlaceholderStmt); !ok {
+		t.Fatalf("stmt1: %T", m.Body.Stmts[1])
+	}
+}
+
+func TestParseEventEmit(t *testing.T) {
+	src := `contract C {
+		event Transfer(address indexed from, address indexed to, uint value);
+		function f() public { emit Transfer(msg.sender, a, 1); }
+	}`
+	u := mustParse(t, src)
+	c := firstContract(t, u)
+	ev, ok := c.Parts[0].(*EventDecl)
+	if !ok || ev.Name != "Transfer" || len(ev.Params) != 3 || !ev.Params[0].Indexed {
+		t.Fatalf("event: %+v", c.Parts[0])
+	}
+	fn := c.Parts[1].(*FunctionDecl)
+	if _, ok := fn.Body.Stmts[0].(*EmitStmt); !ok {
+		t.Fatalf("stmt: %T", fn.Body.Stmts[0])
+	}
+}
+
+func TestParseStructEnum(t *testing.T) {
+	src := `contract C {
+		struct Point { uint x; uint y; }
+		enum State { Created, Locked, Inactive }
+	}`
+	u := mustParse(t, src)
+	c := firstContract(t, u)
+	st := c.Parts[0].(*StructDecl)
+	if st.Name != "Point" || len(st.Fields) != 2 {
+		t.Fatalf("struct: %+v", st)
+	}
+	en := c.Parts[1].(*EnumDecl)
+	if en.Name != "State" || len(en.Members) != 3 {
+		t.Fatalf("enum: %+v", en)
+	}
+}
+
+func TestParseAssembly(t *testing.T) {
+	u := mustParse(t, `function f() public { assembly { let x := 1 } }`)
+	fn := u.Decls[0].(*FunctionDecl)
+	if _, ok := fn.Body.Stmts[0].(*AssemblyStmt); !ok {
+		t.Fatalf("stmt: %T", fn.Body.Stmts[0])
+	}
+}
+
+func TestParseTryCatch(t *testing.T) {
+	u := mustParse(t, `function f() public {
+		try other.call() returns (uint v) { x = v; } catch Error(string memory r) { y = 1; } catch {}
+	}`)
+	fn := u.Decls[0].(*FunctionDecl)
+	ts, ok := fn.Body.Stmts[0].(*TryStmt)
+	if !ok || len(ts.Catches) != 2 {
+		t.Fatalf("try: %+v", fn.Body.Stmts[0])
+	}
+}
+
+func TestParseUncheckedBlock(t *testing.T) {
+	u := mustParse(t, `function f() public { unchecked { x = x + 1; } }`)
+	fn := u.Decls[0].(*FunctionDecl)
+	if _, ok := fn.Body.Stmts[0].(*UncheckedBlock); !ok {
+		t.Fatalf("stmt: %T", fn.Body.Stmts[0])
+	}
+}
+
+func TestParseReceiveFallback(t *testing.T) {
+	u := mustParse(t, `contract C {
+		receive() external payable {}
+		fallback() external payable {}
+	}`)
+	c := firstContract(t, u)
+	r := c.Parts[0].(*FunctionDecl)
+	f := c.Parts[1].(*FunctionDecl)
+	if !r.IsReceive || !f.IsFallback {
+		t.Fatalf("receive=%v fallback=%v", r.IsReceive, f.IsFallback)
+	}
+}
+
+func TestParseOldStyleValueGas(t *testing.T) {
+	u := mustParse(t, `function f() public { addr.call.value(1 ether).gas(800)(data); }`)
+	fn := u.Decls[0].(*FunctionDecl)
+	es := fn.Body.Stmts[0].(*ExprStmt)
+	if !strings.Contains(ExprString(es.X), "value") {
+		t.Fatalf("expr: %s", ExprString(es.X))
+	}
+}
+
+func TestParseRejectsProseWithPunctuation(t *testing.T) {
+	prose := `First, you should check the balance? Then call transfer, like this: see docs.`
+	if _, err := Parse(prose); err == nil {
+		t.Fatal("prose with commas/question marks should record errors")
+	}
+}
+
+func TestParseImportPragma(t *testing.T) {
+	src := `pragma solidity >=0.4.22 <0.9.0;
+import "./Other.sol";
+contract C {}`
+	u := mustParse(t, src)
+	if len(u.Imports) != 1 || u.Imports[0].Path != "./Other.sol" {
+		t.Fatalf("imports: %+v", u.Imports)
+	}
+	if !strings.Contains(u.Pragmas[0].Value, "0.4.22") {
+		t.Fatalf("pragma: %+v", u.Pragmas[0])
+	}
+}
+
+func TestInferWrapsStatements(t *testing.T) {
+	u := mustParse(t, "msg.sender.transfer(amount);")
+	inf := Infer(u)
+	c, ok := inf.Decls[len(inf.Decls)-1].(*ContractDecl)
+	if !ok || !c.Inferred {
+		t.Fatalf("not wrapped: %T", inf.Decls[len(inf.Decls)-1])
+	}
+	fn, ok := c.Parts[0].(*FunctionDecl)
+	if !ok || !fn.Inferred || len(fn.Body.Stmts) != 1 {
+		t.Fatalf("fn: %+v", c.Parts[0])
+	}
+}
+
+func TestInferWrapsFunctions(t *testing.T) {
+	u := mustParse(t, "function f() public { x = 1; }")
+	inf := Infer(u)
+	c := inf.Decls[0].(*ContractDecl)
+	if !c.Inferred {
+		t.Fatal("contract should be inferred")
+	}
+	fn := c.Parts[0].(*FunctionDecl)
+	if fn.Inferred || fn.Name != "f" {
+		t.Fatalf("fn: %+v", fn)
+	}
+}
+
+func TestInferNoopOnRegularUnit(t *testing.T) {
+	u := mustParse(t, "contract C { function f() public {} }")
+	if Infer(u) != u {
+		t.Fatal("regular unit should be returned unchanged")
+	}
+}
+
+func TestFunctionHeader(t *testing.T) {
+	u := mustParse(t, "function f(uint a, address b) internal onlyOwner returns (bool) {}")
+	fn := u.Decls[0].(*FunctionDecl)
+	h := fn.Header()
+	for _, want := range []string{"function f", "uint a", "address b", "internal", "onlyOwner"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("header %q missing %q", h, want)
+		}
+	}
+}
+
+func TestParserNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		_, _ = ParseStrict(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParserTerminatesOnAdversarialInput(t *testing.T) {
+	inputs := []string{
+		strings.Repeat("{", 100),
+		strings.Repeat("(", 100),
+		strings.Repeat("contract ", 50),
+		strings.Repeat("if(", 40),
+		"function f( " + strings.Repeat("uint a,", 60),
+		strings.Repeat("...", 200),
+		strings.Repeat("} ", 100),
+	}
+	for _, src := range inputs {
+		_, _ = Parse(src) // must not hang or panic
+	}
+}
+
+func TestWalkVisitsAllStatements(t *testing.T) {
+	u := mustParse(t, `contract C {
+		function f(uint n) public {
+			if (n > 0) { g(n - 1); } else { h(); }
+			for (uint i = 0; i < n; i++) { s += i; }
+		}
+	}`)
+	var calls int
+	Walk(u, func(n Node) bool {
+		if _, ok := n.(*CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls != 2 {
+		t.Fatalf("calls: %d", calls)
+	}
+}
+
+func TestSpanCoversSource(t *testing.T) {
+	src := "contract C { uint x; }"
+	u := mustParse(t, src)
+	c := firstContract(t, u)
+	if c.Pos().Offset != 0 {
+		t.Errorf("start: %v", c.Pos())
+	}
+	if c.End().Offset < len(src)-1 {
+		t.Errorf("end: %v, want >= %d", c.End(), len(src)-1)
+	}
+}

@@ -1,0 +1,329 @@
+package solidity
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders an AST back to Solidity source with canonical formatting
+// (tabs, one statement per line). Printing a parsed unit and re-parsing it
+// yields a structurally identical AST, which the tests exploit as a
+// round-trip property.
+func Print(u *SourceUnit) string {
+	var p printer
+	for _, pr := range u.Pragmas {
+		p.line("pragma " + pr.Name + " " + pr.Value + ";")
+	}
+	for _, im := range u.Imports {
+		p.line("import \"" + im.Path + "\";")
+	}
+	for _, d := range u.Decls {
+		p.decl(d)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	for range p.indent {
+		p.sb.WriteByte('\t')
+	}
+	p.sb.WriteString(s)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) decl(d Node) {
+	switch x := d.(type) {
+	case *ContractDecl:
+		hdr := ""
+		if x.Abstract {
+			hdr = "abstract "
+		}
+		hdr += x.Kind.String() + " " + x.Name
+		if len(x.Bases) > 0 {
+			hdr += " is " + strings.Join(x.Bases, ", ")
+		}
+		p.line(hdr + " {")
+		p.indent++
+		for _, part := range x.Parts {
+			p.decl(part)
+		}
+		p.indent--
+		p.line("}")
+	case *StateVarDecl:
+		s := TypeString(x.Type)
+		if x.Visibility != "" {
+			s += " " + x.Visibility
+		}
+		if x.Constant {
+			s += " constant"
+		}
+		if x.Immutable {
+			s += " immutable"
+		}
+		s += " " + x.Name
+		if x.Value != nil {
+			s += " = " + ExprString(x.Value)
+		}
+		p.line(s + ";")
+	case *FunctionDecl:
+		p.function(x)
+	case *ModifierDecl:
+		s := "modifier " + x.Name + "(" + paramList(x.Params) + ")"
+		if x.Body == nil {
+			p.line(s + ";")
+			return
+		}
+		p.line(s + " {")
+		p.indent++
+		for _, st := range x.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *EventDecl:
+		s := "event " + x.Name + "(" + paramList(x.Params) + ")"
+		if x.Anonymous {
+			s += " anonymous"
+		}
+		p.line(s + ";")
+	case *StructDecl:
+		p.line("struct " + x.Name + " {")
+		p.indent++
+		for _, f := range x.Fields {
+			p.line(TypeString(f.Type) + " " + f.Name + ";")
+		}
+		p.indent--
+		p.line("}")
+	case *EnumDecl:
+		p.line("enum " + x.Name + " { " + strings.Join(x.Members, ", ") + " }")
+	case *UsingDecl:
+		tgt := "*"
+		if x.Target != nil {
+			tgt = TypeString(x.Target)
+		}
+		p.line("using " + x.Library + " for " + tgt + ";")
+	case Stmt:
+		p.stmt(x)
+	}
+}
+
+func paramList(ps []*Param) string {
+	var parts []string
+	for _, prm := range ps {
+		s := TypeString(prm.Type)
+		if prm.Storage != "" {
+			s += " " + prm.Storage
+		}
+		if prm.Indexed {
+			s += " indexed"
+		}
+		if prm.Name != "" {
+			s += " " + prm.Name
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) function(f *FunctionDecl) {
+	var hdr string
+	switch {
+	case f.IsConstructor:
+		hdr = "constructor"
+	case f.IsReceive:
+		hdr = "receive"
+	case f.IsFallback && f.Name == "":
+		hdr = "function "
+	default:
+		hdr = "function " + f.Name
+	}
+	hdr += "(" + paramList(f.Params) + ")"
+	if f.Visibility != "" {
+		hdr += " " + f.Visibility
+	}
+	if f.Mutability != "" {
+		hdr += " " + f.Mutability
+	}
+	if f.Virtual {
+		hdr += " virtual"
+	}
+	if f.Override {
+		hdr += " override"
+	}
+	for _, m := range f.Modifiers {
+		hdr += " " + m.Name
+		if len(m.Args) > 0 {
+			var args []string
+			for _, a := range m.Args {
+				args = append(args, ExprString(a))
+			}
+			hdr += "(" + strings.Join(args, ", ") + ")"
+		}
+	}
+	if len(f.Returns) > 0 {
+		hdr += " returns (" + paramList(f.Returns) + ")"
+	}
+	if f.Body == nil {
+		p.line(hdr + ";")
+		return
+	}
+	p.line(hdr + " {")
+	p.indent++
+	for _, st := range f.Body.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) block(b *Block) {
+	p.line("{")
+	p.indent++
+	for _, st := range b.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *Block:
+		p.block(x)
+	case *ExprStmt:
+		p.line(exprStmtString(x.X) + ";")
+	case *VarDeclStmt:
+		p.line(varDeclString(x) + ";")
+	case *IfStmt:
+		p.line("if (" + ExprString(x.Cond) + ")")
+		p.nested(x.Then)
+		if x.Else != nil {
+			p.line("else")
+			p.nested(x.Else)
+		}
+	case *ForStmt:
+		hdr := "for ("
+		if x.Init != nil {
+			switch in := x.Init.(type) {
+			case *VarDeclStmt:
+				hdr += varDeclString(in)
+			case *ExprStmt:
+				hdr += ExprString(in.X)
+			}
+		}
+		hdr += "; "
+		if x.Cond != nil {
+			hdr += ExprString(x.Cond)
+		}
+		hdr += "; "
+		if x.Post != nil {
+			hdr += ExprString(x.Post)
+		}
+		hdr += ")"
+		p.line(hdr)
+		p.nested(x.Body)
+	case *WhileStmt:
+		p.line("while (" + ExprString(x.Cond) + ")")
+		p.nested(x.Body)
+	case *DoWhileStmt:
+		p.line("do")
+		p.nested(x.Body)
+		p.line("while (" + ExprString(x.Cond) + ");")
+	case *ReturnStmt:
+		if x.Value != nil {
+			p.line("return " + ExprString(x.Value) + ";")
+		} else {
+			p.line("return;")
+		}
+	case *BreakStmt:
+		p.line("break;")
+	case *ContinueStmt:
+		p.line("continue;")
+	case *ThrowStmt:
+		p.line("throw;")
+	case *EmitStmt:
+		p.line("emit " + ExprString(x.Call) + ";")
+	case *DeleteStmt:
+		p.line("delete " + ExprString(x.X) + ";")
+	case *PlaceholderStmt:
+		p.line("_;")
+	case *AssemblyStmt:
+		p.line("assembly { " + x.Raw + "}")
+	case *UncheckedBlock:
+		p.line("unchecked")
+		if x.Body != nil {
+			p.block(x.Body)
+		}
+	case *TryStmt:
+		hdr := "try " + ExprString(x.Call)
+		if len(x.Returns) > 0 {
+			hdr += " returns (" + paramList(x.Returns) + ")"
+		}
+		p.line(hdr)
+		if x.Body != nil {
+			p.block(x.Body)
+		}
+		for _, c := range x.Catches {
+			ch := "catch"
+			if c.Ident != "" {
+				ch += " " + c.Ident
+			}
+			if len(c.Params) > 0 {
+				ch += "(" + paramList(c.Params) + ")"
+			}
+			p.line(ch)
+			if c.Body != nil {
+				p.block(c.Body)
+			}
+		}
+	default:
+		p.line(fmt.Sprintf("/* unprintable %T */;", s))
+	}
+}
+
+// nested prints a statement indented unless it is a block.
+func (p *printer) nested(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+func varDeclString(x *VarDeclStmt) string {
+	var parts []string
+	for _, d := range x.Decls {
+		if d == nil {
+			parts = append(parts, "")
+			continue
+		}
+		s := TypeString(d.Type)
+		if d.Storage != "" {
+			s += " " + d.Storage
+		}
+		if s != "" && d.Name != "" {
+			s += " "
+		}
+		s += d.Name
+		parts = append(parts, s)
+	}
+	decl := strings.Join(parts, ", ")
+	if len(x.Decls) > 1 {
+		decl = "(" + decl + ")"
+	}
+	if x.Value != nil {
+		decl += " = " + ExprString(x.Value)
+	}
+	return decl
+}
+
+// exprStmtString avoids spurious parens on tuple statements.
+func exprStmtString(e Expr) string { return ExprString(e) }

@@ -1,0 +1,148 @@
+package solidity
+
+import (
+	"strings"
+	"testing"
+)
+
+// structurally compares two ASTs by node-kind sequence.
+func shapeOf(u *SourceUnit) []string {
+	var out []string
+	Walk(u, func(n Node) bool {
+		out = append(out, kindName(n))
+		return true
+	})
+	return out
+}
+
+func kindName(n Node) string {
+	switch x := n.(type) {
+	case *ContractDecl:
+		return "contract:" + x.Name
+	case *FunctionDecl:
+		return "function:" + x.Name
+	case *StateVarDecl:
+		return "statevar:" + x.Name
+	case *Ident:
+		return "ident:" + x.Name
+	case *CallExpr:
+		return "call"
+	case *BinaryExpr:
+		return "bin:" + x.Op.String()
+	case *IfStmt:
+		return "if"
+	case *ForStmt:
+		return "for"
+	case *WhileStmt:
+		return "while"
+	case *ReturnStmt:
+		return "return"
+	case *MemberAccess:
+		return "member:" + x.Member
+	case *IndexAccess:
+		return "index"
+	case *NumberLit:
+		return "num:" + x.Value
+	case *Block:
+		return "block"
+	}
+	return "node"
+}
+
+var roundTripSources = []string{
+	`contract C {
+		uint x;
+		mapping(address => uint) balances;
+		function f(uint a, address b) public returns (bool) {
+			if (a > 0) { balances[b] += a; } else { balances[b] = 0; }
+			for (uint i = 0; i < a; i++) { x += i; }
+			while (x > 100) { x -= 1; }
+			return true;
+		}
+	}`,
+	`contract D is Base {
+		event Log(address indexed who, uint what);
+		modifier onlyOwner() { require(msg.sender == owner); _; }
+		address owner;
+		constructor() { owner = msg.sender; }
+		function pay(address to) public payable onlyOwner {
+			to.transfer(msg.value);
+			emit Log(to, msg.value);
+		}
+	}`,
+	`contract E {
+		struct P { uint a; uint b; }
+		enum S { On, Off }
+		function g() public {
+			P memory p;
+			delete x;
+			do { x++; } while (x < 3);
+			msg.sender.call{value: 1 ether}("");
+		}
+		uint x;
+	}`,
+	`function lonely(uint n) public returns (uint) {
+		return n * 2 + 1;
+	}`,
+	`require(msg.sender == owner);
+msg.sender.transfer(amount);`,
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	for i, src := range roundTripSources {
+		u1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		printed := Print(u1)
+		u2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("source %d: reparse failed: %v\nprinted:\n%s", i, err, printed)
+		}
+		s1, s2 := shapeOf(u1), shapeOf(u2)
+		if len(s1) != len(s2) {
+			t.Fatalf("source %d: shape length %d vs %d\nprinted:\n%s", i, len(s1), len(s2), printed)
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatalf("source %d node %d: %q vs %q\nprinted:\n%s", i, j, s1[j], s2[j], printed)
+			}
+		}
+	}
+}
+
+func TestPrintIdempotent(t *testing.T) {
+	for i, src := range roundTripSources {
+		u1, _ := Parse(src)
+		p1 := Print(u1)
+		u2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		p2 := Print(u2)
+		if p1 != p2 {
+			t.Errorf("source %d: print not idempotent:\n%s\n---\n%s", i, p1, p2)
+		}
+	}
+}
+
+func TestPrintContainsDeclarations(t *testing.T) {
+	u, _ := Parse(roundTripSources[1])
+	out := Print(u)
+	for _, want := range []string{"contract D is Base", "modifier onlyOwner", "event Log",
+		"constructor()", "emit Log", "_;", "require(msg.sender == owner)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintBenchmarkCorpusRoundTrips(t *testing.T) {
+	// Every vulnerable template must survive a print/parse round trip.
+	for _, src := range roundTripSources {
+		u, _ := Parse(src)
+		if _, err := Parse(Print(u)); err != nil {
+			t.Errorf("round trip failed: %v", err)
+		}
+	}
+}

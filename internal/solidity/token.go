@@ -1,0 +1,306 @@
+// Package solidity provides a snippet-tolerant lexer, parser and AST for the
+// Solidity smart-contract language.
+//
+// The grammar implemented here mirrors the paper's three relaxations of the
+// standard Solidity ANTLR grammar so that incomplete code (snippets posted on
+// Q&A websites) can still be parsed:
+//
+//  1. Unnesting of hierarchy: contracts, functions and statements may appear
+//     at the top level of a source unit.
+//  2. Statement termination: a newline may terminate a statement where the
+//     mandatory ";" is missing.
+//  3. Placeholders: the "..." (and "…") tokens frequently used in snippets to
+//     elide code are skipped.
+package solidity
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	ILLEGAL
+	COMMENT
+
+	IDENT     // owner
+	NUMBER    // 42, 0x2a, 1e18, 2 ether
+	STRING    // "hi" or 'hi'
+	HEXSTRING // hex"deadbeef"
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMICOLON // ;
+	COMMA     // ,
+	DOT       // .
+	QUESTION  // ?
+	COLON     // :
+	ARROW     // =>
+
+	ASSIGN      // =
+	ADD         // +
+	SUB         // -
+	MUL         // *
+	DIV         // /
+	MOD         // %
+	POW         // **
+	NOT         // !
+	BITNOT      // ~
+	AND         // &&
+	OR          // ||
+	BITAND      // &
+	BITOR       // |
+	BITXOR      // ^
+	SHL         // <<
+	SHR         // >>
+	LT          // <
+	GT          // >
+	LEQ         // <=
+	GEQ         // >=
+	EQ          // ==
+	NEQ         // !=
+	INC         // ++
+	DEC         // --
+	ADDASSIGN   // +=
+	SUBASSIGN   // -=
+	MULASSIGN   // *=
+	DIVASSIGN   // /=
+	MODASSIGN   // %=
+	ANDASSIGN   // &=
+	ORASSIGN    // |=
+	XORASSIGN   // ^=
+	SHLASSIGN   // <<=
+	SHRASSIGN   // >>=
+	PLACEHOLDER // ... or … (snippet elision, skipped by the parser)
+
+	keywordBeg
+	// Declaration keywords.
+	KwContract
+	KwInterface
+	KwLibrary
+	KwFunction
+	KwModifier
+	KwConstructor
+	KwEvent
+	KwStruct
+	KwEnum
+	KwMapping
+	KwUsing
+	KwPragma
+	KwImport
+	KwIs
+	KwAbstract
+
+	// Statement keywords.
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwBreak
+	KwContinue
+	KwReturn
+	KwReturns
+	KwEmit
+	KwThrow
+	KwTry
+	KwCatch
+	KwAssembly
+	KwUnchecked
+	KwDelete
+	KwNew
+
+	// Visibility / mutability / storage keywords.
+	KwPublic
+	KwPrivate
+	KwInternal
+	KwExternal
+	KwPure
+	KwView
+	KwPayable
+	KwConstant
+	KwImmutable
+	KwVirtual
+	KwOverride
+	KwAnonymous
+	KwIndexed
+	KwMemory
+	KwStorage
+	KwCalldata
+
+	// Literal-ish keywords.
+	KwTrue
+	KwFalse
+	KwWei
+	KwGwei
+	KwSzabo
+	KwFinney
+	KwEther
+	KwSeconds
+	KwMinutes
+	KwHours
+	KwDays
+	KwWeeks
+	KwYears
+
+	// Elementary type keywords (sized variants are lexed as IDENT-like type
+	// names and resolved by the parser via IsElementaryType).
+	KwAddress
+	KwBool
+	KwStringT
+	KwBytesT
+	KwInt
+	KwUint
+	KwByte
+	KwFixed
+	KwUfixed
+	KwVar
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", ILLEGAL: "ILLEGAL", COMMENT: "COMMENT",
+	IDENT: "IDENT", NUMBER: "NUMBER", STRING: "STRING", HEXSTRING: "HEXSTRING",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[", RBRACKET: "]",
+	SEMICOLON: ";", COMMA: ",", DOT: ".", QUESTION: "?", COLON: ":", ARROW: "=>",
+	ASSIGN: "=", ADD: "+", SUB: "-", MUL: "*", DIV: "/", MOD: "%", POW: "**",
+	NOT: "!", BITNOT: "~", AND: "&&", OR: "||", BITAND: "&", BITOR: "|", BITXOR: "^",
+	SHL: "<<", SHR: ">>", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=", EQ: "==", NEQ: "!=",
+	INC: "++", DEC: "--",
+	ADDASSIGN: "+=", SUBASSIGN: "-=", MULASSIGN: "*=", DIVASSIGN: "/=", MODASSIGN: "%=",
+	ANDASSIGN: "&=", ORASSIGN: "|=", XORASSIGN: "^=", SHLASSIGN: "<<=", SHRASSIGN: ">>=",
+	PLACEHOLDER: "...",
+
+	KwContract: "contract", KwInterface: "interface", KwLibrary: "library",
+	KwFunction: "function", KwModifier: "modifier", KwConstructor: "constructor",
+	KwEvent: "event", KwStruct: "struct", KwEnum: "enum", KwMapping: "mapping",
+	KwUsing: "using", KwPragma: "pragma", KwImport: "import", KwIs: "is",
+	KwAbstract: "abstract",
+
+	KwIf: "if", KwElse: "else", KwFor: "for", KwWhile: "while", KwDo: "do",
+	KwBreak: "break", KwContinue: "continue", KwReturn: "return", KwReturns: "returns",
+	KwEmit: "emit", KwThrow: "throw", KwTry: "try", KwCatch: "catch",
+	KwAssembly: "assembly", KwUnchecked: "unchecked", KwDelete: "delete", KwNew: "new",
+
+	KwPublic: "public", KwPrivate: "private", KwInternal: "internal",
+	KwExternal: "external", KwPure: "pure", KwView: "view", KwPayable: "payable",
+	KwConstant: "constant", KwImmutable: "immutable", KwVirtual: "virtual",
+	KwOverride: "override", KwAnonymous: "anonymous", KwIndexed: "indexed",
+	KwMemory: "memory", KwStorage: "storage", KwCalldata: "calldata",
+
+	KwTrue: "true", KwFalse: "false",
+	KwWei: "wei", KwGwei: "gwei", KwSzabo: "szabo", KwFinney: "finney", KwEther: "ether",
+	KwSeconds: "seconds", KwMinutes: "minutes", KwHours: "hours", KwDays: "days",
+	KwWeeks: "weeks", KwYears: "years",
+
+	KwAddress: "address", KwBool: "bool", KwStringT: "string", KwBytesT: "bytes",
+	KwInt: "int", KwUint: "uint", KwByte: "byte", KwFixed: "fixed", KwUfixed: "ufixed",
+	KwVar: "var",
+}
+
+// String returns the textual representation of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+// IsAssignOp reports whether the kind is an assignment operator
+// (including compound assignments).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, MODASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		return true
+	}
+	return false
+}
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier to its keyword kind, or IDENT if not a keyword.
+// Sized elementary types such as uint256 or bytes32 are NOT keywords; the
+// parser recognizes them via IsElementaryType.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Position is a source location (1-based line and column, 0-based offset).
+type Position struct {
+	Offset int
+	Line   int
+	Column int
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// Token is a single lexeme with its source position.
+type Token struct {
+	Kind    Kind
+	Literal string // raw text for IDENT/NUMBER/STRING/COMMENT; operator text otherwise
+	Pos     Position
+	// NewlineBefore records whether at least one newline separated this token
+	// from the previous one. The snippet grammar uses it to terminate
+	// statements whose ";" is missing.
+	NewlineBefore bool
+}
+
+func (t Token) String() string {
+	if t.Literal != "" && t.Kind != EOF {
+		return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Literal, t.Pos)
+	}
+	return fmt.Sprintf("%s@%s", t.Kind, t.Pos)
+}
+
+// IsElementaryType reports whether name is an elementary Solidity type name,
+// including sized variants (uint8..uint256, int8..int256, bytes1..bytes32,
+// fixed/ufixed with precision suffixes).
+func IsElementaryType(name string) bool {
+	switch name {
+	case "address", "bool", "string", "bytes", "byte", "int", "uint", "fixed", "ufixed", "var":
+		return true
+	}
+	if sizedSuffix(name, "uint") || sizedSuffix(name, "int") {
+		return true
+	}
+	if sizedSuffix(name, "bytes") {
+		return true
+	}
+	if len(name) > 5 && (name[:5] == "fixed" || (len(name) > 6 && name[:6] == "ufixed")) {
+		return true
+	}
+	return false
+}
+
+// sizedSuffix reports whether name is prefix followed by a valid size suffix
+// of decimal digits (e.g. uint256, bytes32).
+func sizedSuffix(name, prefix string) bool {
+	if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+		return false
+	}
+	for _, c := range name[len(prefix):] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}

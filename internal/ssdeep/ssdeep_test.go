@@ -1,0 +1,162 @@
+package ssdeep
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	data := []byte(strings.Repeat("contract C { function f() public {} } ", 50))
+	if Hash(data) != Hash(data) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestHashFormat(t *testing.T) {
+	h := Hash([]byte(strings.Repeat("abcdefg", 100)))
+	parts := strings.Split(h, ":")
+	if len(parts) != 3 {
+		t.Fatalf("format: %q", h)
+	}
+	for _, c := range parts[1] + parts[2] {
+		if !strings.ContainsRune(b64, c) {
+			t.Fatalf("non-base64 digest char %q", c)
+		}
+	}
+}
+
+func TestHashLocality(t *testing.T) {
+	// A local edit must leave most of the digest unchanged: the digests of
+	// the original and the edited input share a long common substring.
+	base := strings.Repeat("the quick brown fox jumps over the lazy dog. ", 40)
+	edited := base[:500] + "XXXX" + base[500:]
+	h1 := Hash([]byte(base))
+	h2 := Hash([]byte(edited))
+	if h1 == h2 {
+		t.Fatal("digests identical despite edit")
+	}
+	sig1 := strings.Split(h1, ":")[1]
+	sig2 := strings.Split(h2, ":")[1]
+	if lcsLen(sig1, sig2) < len(sig1)/2 {
+		t.Errorf("digests share too little: %q vs %q", sig1, sig2)
+	}
+}
+
+func lcsLen(a, b string) int {
+	best := 0
+	for i := 0; i < len(a); i++ {
+		for j := 0; j < len(b); j++ {
+			k := 0
+			for i+k < len(a) && j+k < len(b) && a[i+k] == b[j+k] {
+				k++
+			}
+			if k > best {
+				best = k
+			}
+		}
+	}
+	return best
+}
+
+func TestHashDifferentInputsDiffer(t *testing.T) {
+	h1 := Hash([]byte(strings.Repeat("aaaa bbbb cccc dddd ", 60)))
+	h2 := Hash([]byte(strings.Repeat("wwww xxxx yyyy zzzz ", 60)))
+	if h1 == h2 {
+		t.Fatal("unrelated inputs collide entirely")
+	}
+}
+
+func TestHashEmptyAndTiny(t *testing.T) {
+	if Hash(nil) == "" {
+		t.Error("empty hash string")
+	}
+	if Hash([]byte("a")) == "" {
+		t.Error("tiny hash string")
+	}
+}
+
+func TestStreamOneCharPerToken(t *testing.T) {
+	var s Stream
+	toks := []string{"contract", "c", "{", "function", "f", "(", "uint", ")", "}"}
+	for _, tok := range toks {
+		s.WriteToken(tok)
+	}
+	if s.Len() != len(toks) {
+		t.Fatalf("digest length %d, want %d", s.Len(), len(toks))
+	}
+}
+
+func TestStreamLocality(t *testing.T) {
+	mk := func(toks []string) string {
+		var s Stream
+		for _, tok := range toks {
+			s.WriteToken(tok)
+		}
+		return s.String()
+	}
+	a := []string{"msg", ".", "sender", ".", "transfer", "(", "uint", ")"}
+	b := []string{"msg", ".", "sender", ".", "send", "(", "uint", ")"}
+	da, db := mk(a), mk(b)
+	diff := 0
+	for i := range da {
+		if da[i] != db[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("one token change should flip exactly one char, flipped %d (%q vs %q)", diff, da, db)
+	}
+}
+
+func TestStreamSeparators(t *testing.T) {
+	var s Stream
+	s.WriteToken("contract")
+	s.WriteSeparator(':')
+	s.WriteToken("function")
+	s.WriteSeparator('.')
+	out := s.String()
+	if !strings.Contains(out, ":") || !strings.Contains(out, ".") {
+		t.Fatalf("separators missing: %q", out)
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestTokenCharMatchesStream(t *testing.T) {
+	f := func(tok string) bool {
+		var s Stream
+		s.WriteToken(tok)
+		return s.String()[0] == TokenChar(tok)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTokenCharNeverSeparator(t *testing.T) {
+	f := func(tok string) bool {
+		c := TokenChar(tok)
+		return c != '.' && c != ':'
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollingHashWindow(t *testing.T) {
+	// The rolling hash over identical 7-byte windows must agree regardless
+	// of prefix history beyond the window.
+	var r1, r2 rollingState
+	for _, c := range []byte("XYZXYZXYZabcdefg") {
+		r1.update(c)
+	}
+	for _, c := range []byte("abcdefg") {
+		r2.update(c)
+	}
+	if r1.h1 != r2.h1 || r1.h2 != r2.h2 {
+		t.Errorf("window sums differ: h1 %d vs %d", r1.h1, r2.h1)
+	}
+}

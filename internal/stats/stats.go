@@ -1,0 +1,177 @@
+// Package stats provides the statistical tooling of the paper's evaluation:
+// Spearman rank correlation with tie handling and p-values, plus
+// precision/recall/F1 aggregation.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns fractional ranks (average rank for ties), 1-based.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Pearson returns the Pearson correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var num, dx, dy float64
+	for i := range x {
+		a, b := x[i]-mx, y[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+// Spearman returns Spearman's rank correlation ρ of x and y (ties averaged)
+// and the two-sided p-value of the null hypothesis ρ=0, using the
+// t-distribution approximation t = ρ·sqrt((n−2)/(1−ρ²)).
+func Spearman(x, y []float64) (rho, p float64) {
+	n := len(x)
+	if n < 3 || n != len(y) {
+		return 0, 1
+	}
+	rho = Pearson(Ranks(x), Ranks(y))
+	if rho >= 1 || rho <= -1 {
+		return rho, 0
+	}
+	t := rho * math.Sqrt(float64(n-2)/(1-rho*rho))
+	p = 2 * studentTSurvival(math.Abs(t), float64(n-2))
+	if p > 1 {
+		p = 1
+	}
+	return rho, p
+}
+
+// studentTSurvival returns P(T > t) for Student's t with df degrees of
+// freedom, via the regularized incomplete beta function.
+func studentTSurvival(t, df float64) float64 {
+	if t <= 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a+math.Log(1-x)*b+lbeta) / a
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	// Lentz's algorithm.
+	const eps = 1e-12
+	const tiny = 1e-30
+	f, c, d := 1.0, 1.0, 0.0
+	for m := 0; m <= 300; m++ {
+		var numerator float64
+		if m == 0 {
+			numerator = 1
+		} else if m%2 == 0 {
+			k := float64(m / 2)
+			numerator = k * (b - k) * x / ((a + 2*k - 1) * (a + 2*k))
+		} else {
+			k := float64((m - 1) / 2)
+			numerator = -(a + k) * (a + b + k) * x / ((a + 2*k) * (a + 2*k + 1))
+		}
+		d = 1 + numerator*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numerator/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < eps {
+			break
+		}
+	}
+	return front * (f - 1)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Confusion accumulates binary classification counts.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Add merges another confusion matrix.
+func (c *Confusion) Add(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+	c.TN += o.TN
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRanks(t *testing.T) {
+	r := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Errorf("rank %d: %v want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if p := Pearson(x, y); math.Abs(p-1) > 1e-12 {
+		t.Errorf("pearson: %v", p)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if p := Pearson(x, neg); math.Abs(p+1) > 1e-12 {
+		t.Errorf("pearson: %v", p)
+	}
+}
+
+func TestSpearmanMonotonic(t *testing.T) {
+	// Spearman is invariant to monotone transforms.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Exp(v) // monotone
+	}
+	rho, p := Spearman(x, y)
+	if math.Abs(rho-1) > 1e-12 {
+		t.Errorf("rho: %v", rho)
+	}
+	if p > 0.001 {
+		t.Errorf("p: %v", p)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+	}
+	rho, p := Spearman(x, y)
+	if math.Abs(rho) > 0.08 {
+		t.Errorf("rho for independent data: %v", rho)
+	}
+	if p < 0.01 {
+		t.Errorf("independent data should not be significant: p=%v rho=%v", p, rho)
+	}
+}
+
+func TestSpearmanCorrelatedSignificant(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = x[i]*0.5 + rng.Float64()*0.8
+	}
+	rho, p := Spearman(x, y)
+	if rho < 0.2 {
+		t.Errorf("rho: %v", rho)
+	}
+	if p > 0.001 {
+		t.Errorf("p: %v", p)
+	}
+}
+
+func TestSpearmanTiesHandled(t *testing.T) {
+	x := []float64{1, 1, 1, 2, 2, 3, 4, 5}
+	y := []float64{1, 2, 1, 3, 3, 4, 5, 6}
+	rho, _ := Spearman(x, y)
+	if rho <= 0.8 || rho > 1 {
+		t.Errorf("rho with ties: %v", rho)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	rho, p := Spearman([]float64{1, 2}, []float64{3, 4})
+	if rho != 0 || p != 1 {
+		t.Errorf("n<3 should be inconclusive: %v %v", rho, p)
+	}
+}
+
+func TestStudentTSurvival(t *testing.T) {
+	// Known values: P(T>2.0) for df=10 ≈ 0.0367; df=30, t=2.042 ≈ 0.025.
+	if got := studentTSurvival(2.0, 10); math.Abs(got-0.0367) > 0.002 {
+		t.Errorf("t=2 df=10: %v", got)
+	}
+	if got := studentTSurvival(2.042, 30); math.Abs(got-0.025) > 0.002 {
+		t.Errorf("t=2.042 df=30: %v", got)
+	}
+	if got := studentTSurvival(0, 10); got != 0.5 {
+		t.Errorf("t=0: %v", got)
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 80, FP: 20, FN: 120}
+	if p := c.Precision(); p != 0.8 {
+		t.Errorf("precision: %v", p)
+	}
+	if r := c.Recall(); r != 0.4 {
+		t.Errorf("recall: %v", r)
+	}
+	f1 := c.F1()
+	want := 2 * 0.8 * 0.4 / 1.2
+	if math.Abs(f1-want) > 1e-12 {
+		t.Errorf("f1: %v want %v", f1, want)
+	}
+	var zero Confusion
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 {
+		t.Error("zero confusion metrics should be 0")
+	}
+	zero.Add(c)
+	if zero.TP != 80 {
+		t.Error("Add failed")
+	}
+}
