@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/query"
+	"repro/internal/service"
 	"repro/internal/solidity"
 	"repro/internal/ssdeep"
 )
@@ -385,4 +387,104 @@ func BenchmarkSsdeepHash(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ssdeep.Hash(data)
 	}
+}
+
+// --- engine: parallel vs serial throughput -----------------------------------------
+
+// engineBenchSources returns n distinct parsable snippet sources drawn from
+// the generated Q&A corpus, so the engine benchmarks exercise realistic
+// inputs rather than one synthetic contract.
+func engineBenchSources(n int) []string {
+	qa := dataset.GenerateQA(dataset.QAConfig{Seed: 7, Scale: 0.05})
+	var out []string
+	for _, s := range qa.Snippets {
+		if !dataset.IsSolidityLike(s.Source) {
+			continue
+		}
+		if _, err := solidity.Parse(s.Source); err != nil {
+			continue
+		}
+		out = append(out, s.Source)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// BenchmarkEngineAnalyzeSerial is the single-threaded baseline: every source
+// analyzed back to back, no caching.
+func BenchmarkEngineAnalyzeSerial(b *testing.B) {
+	srcs := engineBenchSources(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, err := ccc.AnalyzeSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(srcs)*b.N)/b.Elapsed().Seconds(), "snippets/s")
+}
+
+// BenchmarkEngineAnalyzeParallel fans the same workload out through the
+// service engine's worker pool with caching disabled, measuring pure pool
+// speedup. On a multi-core runner this should beat the serial baseline by
+// roughly the core count (the acceptance target is ≥2×); on a single-core
+// runner the two converge.
+func BenchmarkEngineAnalyzeParallel(b *testing.B) {
+	srcs := engineBenchSources(64)
+	eng := service.New(service.Options{CacheEntries: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.AnalyzeBatch(srcs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(srcs)*b.N)/b.Elapsed().Seconds(), "snippets/s")
+	b.ReportMetric(float64(eng.Workers()), "workers")
+}
+
+// BenchmarkEngineAnalyzeCached measures the content-addressed cache hit
+// path: after the first iteration every analysis is a pure lookup.
+func BenchmarkEngineAnalyzeCached(b *testing.B) {
+	srcs := engineBenchSources(64)
+	eng := service.New(service.Options{})
+	for _, r := range eng.AnalyzeBatch(srcs) { // warm the cache
+		if r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range eng.AnalyzeBatch(srcs) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(srcs)*b.N)/b.Elapsed().Seconds(), "snippets/s")
+	b.ReportMetric(eng.Metrics().ReportCache.HitRate()*100, "cache-hit-%")
+}
+
+// BenchmarkCorpusMatchParallel measures concurrent clone matching against
+// the sharded corpus (readers proceed under shard read-locks in parallel).
+func BenchmarkCorpusMatchParallel(b *testing.B) {
+	srcs := engineBenchSources(64)
+	eng := service.New(service.Options{})
+	for i, src := range srcs {
+		_ = eng.CorpusAdd(fmt.Sprintf("doc-%d", i), src)
+	}
+	fp, err := eng.Fingerprint(srcs[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			eng.MatchFingerprint(fp)
+		}
+	})
 }

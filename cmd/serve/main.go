@@ -1,0 +1,81 @@
+// Command serve runs the concurrent analysis service: the CCC vulnerability
+// checker and the CCD clone detector behind a bounded worker pool,
+// content-addressed caches and an HTTP JSON API.
+//
+//	serve -addr :8070 -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	POST /v1/analyze      {"source": "..."} or {"sources": ["...", ...]}
+//	POST /v1/fingerprint  {"source": "..."}
+//	POST /v1/corpus       {"entries": [{"id": "c1", "source": "..."}, ...]}
+//	GET  /v1/corpus
+//	POST /v1/match        {"source": "..."} or {"fingerprint": "..."}
+//	POST /v1/study        {"seed": 1, "scale": 0.01}   (async; poll the id)
+//	GET  /v1/study/{id}
+//	GET  /healthz
+//	GET  /metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/ccd"
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "entries per cache layer (0 = default, <0 disables)")
+	shards := flag.Int("shards", 0, "corpus shard count (0 = default)")
+	n := flag.Int("ccd-n", ccd.DefaultConfig.N, "CCD n-gram size")
+	eta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "CCD n-gram containment threshold")
+	eps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "CCD similarity threshold (0-100)")
+	flag.Parse()
+
+	engine := service.New(service.Options{
+		Workers:      *workers,
+		CacheEntries: *cache,
+		Shards:       *shards,
+		CCD:          ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.NewServer(engine).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serve: listening on %s (workers=%d)", *addr, engine.Workers())
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Print("serve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -101,6 +101,9 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Table 3 honeypot corpus is expensive; run without -short")
+	}
 	res := Table3(1, ccd.DefaultConfig)
 	if len(res.Rows) != 9 {
 		t.Fatalf("rows: %d", len(res.Rows))
@@ -139,6 +142,9 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Figure 9 sweeps 75 parameter combinations; run without -short")
+	}
 	points, se := Figure9(1)
 	if len(points) != 3*5*5 {
 		t.Fatalf("points: %d", len(points))
@@ -182,16 +188,21 @@ func TestRenderersProduceOutput(t *testing.T) {
 	if !strings.Contains(t2, "Statements") {
 		t.Error("table 2 render incomplete")
 	}
-	t3 := RenderTable3(Table3(1, ccd.DefaultConfig))
-	if !strings.Contains(t3, "Hidden State Update") {
-		t.Error("table 3 render incomplete")
-	}
 	res := Study(1, 0.004)
 	st := RenderStudy(res)
 	for _, want := range []string{"Table 4", "Table 5", "Table 6", "Table 7", "Table 8", "Spearman"} {
 		if !strings.Contains(st, want) {
 			t.Errorf("study render missing %q", want)
 		}
+	}
+	// The Table 3 and Figure 9 renders each regenerate their corpus / sweep
+	// the full parameter grid; keep CI fast.
+	if testing.Short() {
+		t.Skip("Table 3 / Figure 9 renders are expensive; run without -short")
+	}
+	t3 := RenderTable3(Table3(1, ccd.DefaultConfig))
+	if !strings.Contains(t3, "Hidden State Update") {
+		t.Error("table 3 render incomplete")
 	}
 	pts, se := Figure9(1)
 	f9 := RenderFigure9(pts, se)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/ccd"
 	"repro/internal/dataset"
 	"repro/internal/query"
+	"repro/internal/service"
 	"repro/internal/solidity"
 	"repro/internal/stats"
 )
@@ -33,6 +34,13 @@ type Config struct {
 	// Phase2Depths are the successively reduced data-flow path lengths of
 	// the second validation phase.
 	Phase2Depths []int
+	// Workers bounds the study's parallel fan-out when no Engine is
+	// supplied (≤ 0 selects GOMAXPROCS).
+	Workers int
+	// Engine optionally supplies a shared analysis engine whose worker
+	// pool and caches the study reuses (cmd/serve passes its serving
+	// engine here). nil creates a study-private engine.
+	Engine *service.Engine
 }
 
 // DefaultConfig returns the configuration of Section 6.3 at a test-friendly
@@ -146,8 +154,15 @@ func Run(cfg Config) *Result {
 	return RunWith(cfg, qa, contracts)
 }
 
-// RunWith executes the study over externally supplied corpora.
+// RunWith executes the study over externally supplied corpora. The hot
+// steps — CCC detection, clone mapping and two-phase validation — fan out
+// through the service engine's worker pool, and every parse, report and
+// fingerprint goes through its content-addressed caches.
 func RunWith(cfg Config, qa dataset.QACorpus, contracts []dataset.DeployedContract) *Result {
+	eng := cfg.Engine
+	if eng == nil {
+		eng = service.New(service.Options{Workers: cfg.Workers, CCD: cfg.CCD})
+	}
 	res := &Result{
 		Config:    cfg,
 		QA:        qa,
@@ -160,39 +175,54 @@ func RunWith(cfg Config, qa dataset.QACorpus, contracts []dataset.DeployedContra
 	res.Funnel4, res.Unique = filterSnippets(qa)
 	res.Funnel.UniqueSnippets = len(res.Unique)
 
-	// Step 2: vulnerable snippet detection (CCC).
-	for i := range res.Unique {
-		rep, err := ccc.AnalyzeSource(res.Unique[i].Source)
+	// Step 2: vulnerable snippet detection (CCC), one snippet per task.
+	eng.Map(len(res.Unique), func(i int) {
+		rep, err := eng.Analyze(res.Unique[i].Source)
 		if err != nil {
-			continue
+			return
 		}
 		res.Unique[i].Categories = rep.Categories()
+	})
+	for i := range res.Unique {
 		if res.Unique[i].Vulnerable() {
 			res.Funnel.VulnerableSnippets++
 		}
 	}
 
-	// Step 3: clone mapping (CCD) over all unique snippets.
-	corpus := ccd.NewCorpus(cfg.CCD)
+	// Step 3: clone mapping (CCD). Contracts are fingerprinted and
+	// ingested into a sharded study corpus in parallel, then every unique
+	// snippet matches against it in parallel. Matches land in per-snippet
+	// slots; the sharded corpus returns them in deterministic
+	// (score, address) order regardless of ingest interleaving.
+	corpus := service.NewCorpus(cfg.CCD, 0)
 	contractByID := make(map[string]*dataset.DeployedContract, len(contracts))
 	for i := range contracts {
-		c := &contracts[i]
-		contractByID[c.Address] = c
-		_ = corpus.AddSource(c.Address, c.Source)
+		contractByID[contracts[i].Address] = &contracts[i]
 	}
-	for i := range res.Unique {
+	eng.Map(len(contracts), func(i int) {
+		c := &contracts[i]
+		fp, _ := eng.Fingerprint(c.Source) // partial fingerprints still index
+		corpus.Add(c.Address, fp)
+	})
+	matches := make([][]ContractMatch, len(res.Unique))
+	eng.Map(len(res.Unique), func(i int) {
 		sn := &res.Unique[i]
-		fp, err := ccd.FingerprintSource(sn.Source)
+		fp, err := eng.Fingerprint(sn.Source)
 		if err != nil || len(fp) == 0 {
-			continue
+			return
 		}
 		for _, m := range corpus.Match(fp) {
 			c := contractByID[m.ID]
-			res.CloneMap[sn.ID] = append(res.CloneMap[sn.ID], ContractMatch{
+			matches[i] = append(matches[i], ContractMatch{
 				Contract: c,
 				Score:    m.Score,
 				After:    c.Deployed.After(sn.Created),
 			})
+		}
+	})
+	for i := range res.Unique {
+		if len(matches[i]) > 0 {
+			res.CloneMap[res.Unique[i].ID] = matches[i]
 		}
 	}
 
@@ -200,7 +230,7 @@ func RunWith(cfg Config, qa dataset.QACorpus, contracts []dataset.DeployedContra
 	res.Correlations = correlations(res)
 
 	// Step 5: vulnerable pairing, temporal filtering, dedup, validation.
-	runValidation(cfg, res)
+	runValidation(cfg, eng, res)
 
 	// Step 6: ground-truth validation sample (Table 8).
 	res.Manual = manualValidation(res, 100)
@@ -217,9 +247,10 @@ func filterSnippets(qa dataset.QACorpus) (SiteFunnel, []UniqueSnippet) {
 	for _, p := range qa.Posts {
 		sf.PerSite[p.Site].Posts++
 	}
-	seen := map[string]*UniqueSnippet{}
+	// seen maps dedupe keys to positions in unique: appends reallocate the
+	// backing array, so stored *UniqueSnippet pointers would go stale.
+	seen := map[string]int{}
 	var unique []UniqueSnippet
-	order := map[string]int{}
 	for _, s := range qa.Snippets {
 		st := sf.PerSite[s.Site]
 		st.Snippets++
@@ -235,7 +266,8 @@ func filterSnippets(qa dataset.QACorpus) (SiteFunnel, []UniqueSnippet) {
 			st.StrictParsable++
 		}
 		key := dedupeKey(s.Source)
-		if u, dup := seen[key]; dup {
+		if i, dup := seen[key]; dup {
+			u := &unique[i]
 			u.Duplicates++
 			// Keep the earliest posting and the larger view count.
 			if s.Created.Before(u.Created) {
@@ -248,8 +280,7 @@ func filterSnippets(qa dataset.QACorpus) (SiteFunnel, []UniqueSnippet) {
 		}
 		st.Unique++
 		unique = append(unique, UniqueSnippet{Snippet: s})
-		order[s.ID] = len(unique) - 1
-		seen[key] = &unique[len(unique)-1]
+		seen[key] = len(unique) - 1
 	}
 	for _, st := range sf.PerSite {
 		sf.Total.Posts += st.Posts
@@ -322,8 +353,9 @@ func uniqueContracts(ms []ContractMatch) map[string]bool {
 }
 
 // runValidation performs the vulnerable pairing and the two-phase contract
-// validation of Section 6.3.
-func runValidation(cfg Config, res *Result) {
+// validation of Section 6.3. Validation fans out one contract per worker
+// task; aggregation stays serial in pair order so results are deterministic.
+func runValidation(cfg Config, eng *service.Engine, res *Result) {
 	type pair struct {
 		snippet  *UniqueSnippet
 		contract *dataset.DeployedContract
@@ -386,8 +418,17 @@ func runValidation(cfg Config, res *Result) {
 	// Two-phase validation: re-run CCC on each candidate contract checking
 	// only the snippet's categories. Phase 1 runs with the step budget;
 	// truncated analyses re-run with iteratively reduced path depths.
-	for _, p := range pairs {
-		rep, completed := validateContract(cfg, p.contract.Source, p.snippet.Categories)
+	type valResult struct {
+		rep       ccc.Report
+		completed bool
+	}
+	validated := make([]valResult, len(pairs))
+	eng.Map(len(pairs), func(i int) {
+		rep, completed := validateContract(cfg, eng, pairs[i].contract.Source, pairs[i].snippet.Categories)
+		validated[i] = valResult{rep: rep, completed: completed}
+	})
+	for i, p := range pairs {
+		rep, completed := validated[i].rep, validated[i].completed
 		if !completed {
 			continue
 		}
@@ -415,14 +456,18 @@ func runValidation(cfg Config, res *Result) {
 
 // validateContract runs CCC restricted to the snippet's categories with the
 // phase-1 budget, then retries with reduced path depths (phase 2). The
-// second result reports whether any phase completed.
-func validateContract(cfg Config, src string, cats []ccc.Category) (ccc.Report, bool) {
-	a := &ccc.Analyzer{Limits: query.Limits{MaxSteps: cfg.Phase1Steps}}
-	a.OnlyCategories(cats...)
-	rep, err := a.AnalyzeSource(src)
+// second result reports whether any phase completed. The contract is parsed
+// once through the engine's content-addressed cache and the graph is shared
+// by every phase (it is immutable during analysis), instead of re-parsing
+// per attempt as the serial pipeline did.
+func validateContract(cfg Config, eng *service.Engine, src string, cats []ccc.Category) (ccc.Report, bool) {
+	g, err := eng.Graph(src)
 	if err != nil {
 		return ccc.Report{}, false
 	}
+	a := &ccc.Analyzer{Limits: query.Limits{MaxSteps: cfg.Phase1Steps}}
+	a.OnlyCategories(cats...)
+	rep := a.Analyze(g)
 	if !rep.Truncated {
 		return rep, true
 	}
@@ -434,10 +479,7 @@ func validateContract(cfg Config, src string, cats []ccc.Category) (ccc.Report, 
 	for _, depth := range cfg.Phase2Depths {
 		a2 := &ccc.Analyzer{Limits: query.Limits{MaxSteps: cfg.Phase1Steps, MaxDepth: depth}}
 		a2.OnlyCategories(cats...)
-		rep2, err := a2.AnalyzeSource(src)
-		if err != nil {
-			return ccc.Report{}, false
-		}
+		rep2 := a2.Analyze(g)
 		if !rep2.Truncated {
 			rep2.Truncated = true // mark as phase-2 validated
 			return rep2, true

@@ -1,14 +1,18 @@
 package pipeline
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/ccd"
 	"repro/internal/dataset"
 )
 
 // runSmall executes a small but statistically meaningful study once and
-// shares it across tests.
+// shares it across tests. Short mode trims the corpus scale enough to keep
+// CI fast while staying above the statistical thresholds the shape tests
+// assert.
 var shared *Result
 
 func sharedResult(t *testing.T) *Result {
@@ -16,6 +20,9 @@ func sharedResult(t *testing.T) *Result {
 	if shared == nil {
 		cfg := DefaultConfig()
 		cfg.Scale = 0.015
+		if testing.Short() {
+			cfg.Scale = 0.012
+		}
 		shared = Run(cfg)
 	}
 	return shared
@@ -229,6 +236,9 @@ func TestConservativeStricterThanDefault(t *testing.T) {
 }
 
 func TestPhase2RescuesTightBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two extra studies; run without -short")
+	}
 	// With a tiny phase-1 step budget, validations truncate and the
 	// phase-2 path reduction completes them (the paper's 17,278 → 17,852
 	// mechanism). Phase1Validated must fall below ValidatedContracts.
@@ -270,6 +280,67 @@ func TestManualValidationStratified(t *testing.T) {
 	}
 	if res.Manual.SampleSize < 50 {
 		t.Errorf("sample too small: %d", res.Manual.SampleSize)
+	}
+}
+
+// TestFilterSnippetsDuplicateUpdatesSurviveReallocation is the regression
+// test for the stale-pointer bug in filterSnippets: the dedup map used to
+// store pointers into the unique slice, which append reallocates, so
+// Duplicates/Created/Views updates landed in dead backing arrays. Enough
+// distinct snippets are interleaved with duplicates that the slice must grow
+// several times between a snippet's first sighting and its later duplicates.
+func TestFilterSnippetsDuplicateUpdatesSurviveReallocation(t *testing.T) {
+	base := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	mkSnippet := func(id, src string, created time.Time, views int) dataset.Snippet {
+		return dataset.Snippet{
+			ID: id, Site: dataset.StackOverflow, Source: src,
+			Created: created, Views: views,
+		}
+	}
+	src := func(i int) string {
+		return fmt.Sprintf("contract C%d { uint x; function f() public { x = %d; } }", i, i)
+	}
+
+	var qa dataset.QACorpus
+	const distinct = 300
+	// First sighting of every distinct snippet, in order.
+	for i := 0; i < distinct; i++ {
+		qa.Snippets = append(qa.Snippets, mkSnippet(fmt.Sprintf("s%d", i), src(i), base.AddDate(0, 0, i), 10))
+	}
+	// Then duplicates of the EARLIEST snippets: by now the unique slice has
+	// grown (and reallocated) far past its first backing array, so any
+	// retained pointer into it would be stale. Each duplicate also carries
+	// an earlier creation date and a larger view count that must be folded
+	// into the surviving unique snippet.
+	for d := 0; d < 3; d++ {
+		for i := 0; i < 10; i++ {
+			qa.Snippets = append(qa.Snippets, mkSnippet(
+				fmt.Sprintf("dup%d-%d", d, i), src(i),
+				base.AddDate(0, 0, -1-d), 100+d,
+			))
+		}
+	}
+
+	_, unique := filterSnippets(qa)
+	if len(unique) != distinct {
+		t.Fatalf("unique: %d, want %d", len(unique), distinct)
+	}
+	for i := 0; i < 10; i++ {
+		u := unique[i]
+		if u.Duplicates != 3 {
+			t.Errorf("snippet %d: Duplicates=%d, want 3", i, u.Duplicates)
+		}
+		if want := base.AddDate(0, 0, -3); !u.Created.Equal(want) {
+			t.Errorf("snippet %d: Created=%v, want earliest %v", i, u.Created, want)
+		}
+		if u.Views != 102 {
+			t.Errorf("snippet %d: Views=%d, want 102", i, u.Views)
+		}
+	}
+	for i := 10; i < distinct; i++ {
+		if unique[i].Duplicates != 0 {
+			t.Errorf("snippet %d: unexpected Duplicates=%d", i, unique[i].Duplicates)
+		}
 	}
 }
 

@@ -1,0 +1,405 @@
+// Package api exposes the concurrent analysis engine over an HTTP JSON API:
+// CCC vulnerability analysis (/v1/analyze), CCD fingerprinting
+// (/v1/fingerprint), corpus ingest and clone matching (/v1/corpus,
+// /v1/match), asynchronous full-study jobs (/v1/study), plus health and
+// metrics endpoints. cmd/serve wires it to a listener.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccc"
+	"repro/internal/ccd"
+	"repro/internal/pipeline"
+	"repro/internal/service"
+)
+
+// maxBodyBytes bounds request bodies (contracts are small; 8 MiB leaves
+// room for large batches).
+const maxBodyBytes = 8 << 20
+
+// maxStudyScale caps the corpus scale an HTTP client may request; the full
+// paper-size study (1.0) takes minutes of CPU.
+const maxStudyScale = 1.0
+
+// Server handles the JSON API around one engine.
+type Server struct {
+	engine *service.Engine
+	jobs   *jobStore
+	start  time.Time
+
+	// per-endpoint request counters, reported by /metrics.
+	reqAnalyze     atomic.Int64
+	reqFingerprint atomic.Int64
+	reqCorpus      atomic.Int64
+	reqMatch       atomic.Int64
+	reqStudy       atomic.Int64
+}
+
+// NewServer returns a server around engine.
+func NewServer(engine *service.Engine) *Server {
+	return &Server{engine: engine, jobs: newJobStore(), start: time.Now()}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/fingerprint", s.handleFingerprint)
+	mux.HandleFunc("POST /v1/corpus", s.handleCorpusAdd)
+	mux.HandleFunc("GET /v1/corpus", s.handleCorpusInfo)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/study", s.handleStudyStart)
+	mux.HandleFunc("GET /v1/study", s.handleStudyList)
+	mux.HandleFunc("GET /v1/study/{id}", s.handleStudyGet)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- request/response shapes --------------------------------------------------
+
+// AnalyzeRequest carries one source (Source) or a batch (Sources).
+type AnalyzeRequest struct {
+	Source  string   `json:"source,omitempty"`
+	Sources []string `json:"sources,omitempty"`
+}
+
+// AnalyzeResult is the outcome for one source.
+type AnalyzeResult struct {
+	// Key is the content address of the source (cache identity).
+	Key        string        `json:"key"`
+	Findings   []ccc.Finding `json:"findings"`
+	Categories []string      `json:"categories"`
+	Truncated  bool          `json:"truncated,omitempty"`
+	Error      string        `json:"error,omitempty"`
+}
+
+// AnalyzeResponse wraps batch results; single-source requests receive the
+// lone AnalyzeResult object instead.
+type AnalyzeResponse struct {
+	Results []AnalyzeResult `json:"results"`
+}
+
+// FingerprintResponse is the /v1/fingerprint result.
+type FingerprintResponse struct {
+	Key             string `json:"key"`
+	Fingerprint     string `json:"fingerprint"`
+	SubFingerprints int    `json:"sub_fingerprints"`
+	Error           string `json:"error,omitempty"`
+}
+
+// CorpusAddRequest bulk-adds documents to the serving corpus.
+type CorpusAddRequest struct {
+	Entries []CorpusEntry `json:"entries"`
+}
+
+// CorpusEntry is one document to index.
+type CorpusEntry struct {
+	ID     string `json:"id"`
+	Source string `json:"source"`
+}
+
+// CorpusAddResponse reports a bulk ingest.
+type CorpusAddResponse struct {
+	Added      int `json:"added"`
+	ParseIssue int `json:"parse_issues"` // indexed with partial fingerprints
+	Size       int `json:"size"`
+}
+
+// MatchRequest matches a source (or a precomputed fingerprint) against the
+// serving corpus.
+type MatchRequest struct {
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// Match is one clone candidate on the wire.
+type Match struct {
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+}
+
+// MatchResponse lists clone candidates, best first.
+type MatchResponse struct {
+	Matches []Match `json:"matches"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// StudyRequest starts an asynchronous study run.
+type StudyRequest struct {
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -----------------------------------------------------------------
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.reqAnalyze.Add(1)
+	var req AnalyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	single := req.Source != "" && len(req.Sources) == 0
+	srcs := req.Sources
+	if single {
+		srcs = []string{req.Source}
+	}
+	if len(srcs) == 0 {
+		writeError(w, http.StatusBadRequest, "provide \"source\" or \"sources\"")
+		return
+	}
+	results := make([]AnalyzeResult, len(srcs))
+	for i, out := range s.engine.AnalyzeBatch(srcs) {
+		results[i] = AnalyzeResult{
+			Key:       string(service.ContentKey(srcs[i])),
+			Findings:  out.Report.Findings,
+			Truncated: out.Report.Truncated,
+		}
+		if results[i].Findings == nil {
+			results[i].Findings = []ccc.Finding{}
+		}
+		results[i].Categories = []string{}
+		for _, c := range out.Report.Categories() {
+			results[i].Categories = append(results[i].Categories, string(c))
+		}
+		if out.Err != nil {
+			results[i].Error = out.Err.Error()
+		}
+	}
+	if single {
+		writeJSON(w, http.StatusOK, results[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{Results: results})
+}
+
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	s.reqFingerprint.Add(1)
+	var req AnalyzeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		writeError(w, http.StatusBadRequest, "provide \"source\"")
+		return
+	}
+	var resp FingerprintResponse
+	s.engine.Do(func() {
+		fp, err := s.engine.Fingerprint(req.Source)
+		resp = FingerprintResponse{
+			Key:             string(service.ContentKey(req.Source)),
+			Fingerprint:     string(fp),
+			SubFingerprints: len(fp.Subs()),
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Add(1)
+	var req CorpusAddRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Entries) == 0 {
+		writeError(w, http.StatusBadRequest, "provide \"entries\"")
+		return
+	}
+	for i, e := range req.Entries {
+		if e.ID == "" {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("entry %d: missing id", i))
+			return
+		}
+	}
+	entries := make([]service.CorpusEntry, len(req.Entries))
+	for i, e := range req.Entries {
+		entries[i] = service.CorpusEntry{ID: e.ID, Source: e.Source}
+	}
+	issues := 0
+	for _, err := range s.engine.CorpusAddBatch(entries) {
+		if err != nil {
+			issues++
+		}
+	}
+	writeJSON(w, http.StatusOK, CorpusAddResponse{
+		Added:      len(entries),
+		ParseIssue: issues,
+		Size:       s.engine.Corpus().Len(),
+	})
+}
+
+func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Add(1)
+	cfg := s.engine.Corpus().Config()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"size":    s.engine.Corpus().Len(),
+		"n":       cfg.N,
+		"eta":     cfg.Eta,
+		"epsilon": cfg.Epsilon,
+	})
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.reqMatch.Add(1)
+	var req MatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" && req.Fingerprint == "" {
+		writeError(w, http.StatusBadRequest, "provide \"source\" or \"fingerprint\"")
+		return
+	}
+	var resp MatchResponse
+	s.engine.Do(func() {
+		var ms []ccd.Match
+		var err error
+		if req.Source != "" {
+			ms, err = s.engine.Match(req.Source)
+		} else {
+			ms = s.engine.MatchFingerprint(ccd.Fingerprint(req.Fingerprint))
+		}
+		resp.Matches = make([]Match, len(ms))
+		for i, m := range ms {
+			resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+		}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {
+	s.reqStudy.Add(1)
+	var req StudyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Scale <= 0 {
+		req.Scale = 0.01
+	}
+	if req.Scale > maxStudyScale {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("scale %.3f exceeds maximum %.1f", req.Scale, maxStudyScale))
+		return
+	}
+	job, ok := s.jobs.start(time.Now())
+	if !ok {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("%d study jobs already running; retry after one finishes", maxRunningJobs))
+		return
+	}
+	// The job runs on a plain goroutine; the pipeline's internal fan-out
+	// goes through the shared engine pool, so heavy study work still
+	// competes fairly with interactive requests for worker slots.
+	go func() {
+		started := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.jobs.finish(job.ID, nil, fmt.Errorf("study panicked: %v", p))
+			}
+		}()
+		cfg := pipeline.DefaultConfig()
+		cfg.Seed = req.Seed
+		cfg.Scale = req.Scale
+		cfg.Engine = s.engine
+		res := pipeline.Run(cfg)
+		s.jobs.finish(job.ID, summarize(res, time.Since(started)), nil)
+	}()
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleStudyList(w http.ResponseWriter, r *http.Request) {
+	s.reqStudy.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleStudyGet(w http.ResponseWriter, r *http.Request) {
+	s.reqStudy.Add(1)
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.start).Round(time.Millisecond).String(),
+	})
+}
+
+// MetricsResponse is the /metrics payload: engine load, cache hit rates and
+// per-endpoint request counts.
+type MetricsResponse struct {
+	service.Snapshot
+	Requests map[string]int64 `json:"requests"`
+	// HitRates flattens per-cache hit rates for dashboards.
+	HitRates map[string]float64 `json:"cache_hit_rates"`
+	Uptime   string             `json:"uptime"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Metrics()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Snapshot: snap,
+		Requests: map[string]int64{
+			"analyze":     s.reqAnalyze.Load(),
+			"fingerprint": s.reqFingerprint.Load(),
+			"corpus":      s.reqCorpus.Load(),
+			"match":       s.reqMatch.Load(),
+			"study":       s.reqStudy.Load(),
+		},
+		HitRates: map[string]float64{
+			"parse":       snap.ParseCache.HitRate(),
+			"report":      snap.ReportCache.HitRate(),
+			"fingerprint": snap.FingerprintCache.HitRate(),
+		},
+		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+	})
+}
+
+// --- plumbing -----------------------------------------------------------------
+
+func decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		status := http.StatusBadRequest
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

@@ -1,0 +1,175 @@
+package api
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// maxRunningJobs caps concurrent study runs; further POST /v1/study requests
+// are rejected with 429 until one finishes. maxRetainedJobs bounds how many
+// finished jobs stay pollable before the oldest are evicted.
+const (
+	maxRunningJobs  = 4
+	maxRetainedJobs = 64
+)
+
+// JobStatus is the lifecycle state of an async study job.
+type JobStatus string
+
+const (
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// StudySummary is the JSON-able condensate of a pipeline.Result a polling
+// client receives (the full result embeds whole corpora and is far too large
+// to ship).
+type StudySummary struct {
+	Seed         int64                  `json:"seed"`
+	Scale        float64                `json:"scale"`
+	Funnel       pipeline.Funnel        `json:"funnel"`
+	Correlations []pipeline.Correlation `json:"correlations"`
+	// Table6 maps DASP category names to snippet/contract counts.
+	Table6 map[string]CategoryCount `json:"table6"`
+	// ManualSampleSize is the Table 8 stratified sample size.
+	ManualSampleSize int    `json:"manual_sample_size"`
+	Elapsed          string `json:"elapsed"`
+}
+
+// CategoryCount is one Table 6 cell pair.
+type CategoryCount struct {
+	Snippets  int `json:"snippets"`
+	Contracts int `json:"contracts"`
+}
+
+// Job is one asynchronous study run.
+type Job struct {
+	ID      string        `json:"id"`
+	Status  JobStatus     `json:"status"`
+	Created time.Time     `json:"created"`
+	Summary *StudySummary `json:"summary,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// jobStore tracks study jobs by id, caps how many run at once, and evicts
+// the oldest finished jobs beyond the retention bound.
+type jobStore struct {
+	mu      sync.RWMutex
+	seq     int
+	running int
+	jobs    map[string]*Job
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*Job)}
+}
+
+// start registers a running job and returns a copy of its initial state.
+// ok is false when maxRunningJobs studies are already in flight.
+func (s *jobStore) start(now time.Time) (_ Job, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running >= maxRunningJobs {
+		return Job{}, false
+	}
+	s.running++
+	s.seq++
+	j := &Job{ID: fmt.Sprintf("study-%d", s.seq), Status: JobRunning, Created: now}
+	s.jobs[j.ID] = j
+	s.pruneLocked()
+	return *j, true
+}
+
+// finish records a job's outcome and frees its running slot.
+func (s *jobStore) finish(id string, summary *StudySummary, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.Status != JobRunning {
+		return
+	}
+	s.running--
+	if err != nil {
+		j.Status = JobFailed
+		j.Error = err.Error()
+		return
+	}
+	j.Status = JobDone
+	j.Summary = summary
+}
+
+// pruneLocked evicts the oldest finished jobs until at most maxRetainedJobs
+// remain; running jobs are never evicted. Callers hold s.mu.
+func (s *jobStore) pruneLocked() {
+	if len(s.jobs) <= maxRetainedJobs {
+		return
+	}
+	var finished []*Job
+	for _, j := range s.jobs {
+		if j.Status != JobRunning {
+			finished = append(finished, j)
+		}
+	}
+	sort.Slice(finished, func(i, k int) bool {
+		if !finished[i].Created.Equal(finished[k].Created) {
+			return finished[i].Created.Before(finished[k].Created)
+		}
+		return finished[i].ID < finished[k].ID
+	})
+	for _, j := range finished {
+		if len(s.jobs) <= maxRetainedJobs {
+			return
+		}
+		delete(s.jobs, j.ID)
+	}
+}
+
+// get returns a copy of the job, if known.
+func (s *jobStore) get(id string) (Job, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// list returns copies of all jobs, newest first (by creation time, then id).
+func (s *jobStore) list() []Job {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].Created.Equal(out[k].Created) {
+			return out[i].Created.After(out[k].Created)
+		}
+		return out[i].ID > out[k].ID
+	})
+	return out
+}
+
+// summarize condenses a pipeline result.
+func summarize(res *pipeline.Result, elapsed time.Duration) *StudySummary {
+	sum := &StudySummary{
+		Seed:             res.Config.Seed,
+		Scale:            res.Config.Scale,
+		Funnel:           res.Funnel,
+		Correlations:     res.Correlations,
+		Table6:           make(map[string]CategoryCount, len(res.Table6)),
+		ManualSampleSize: res.Manual.SampleSize,
+		Elapsed:          elapsed.Round(time.Millisecond).String(),
+	}
+	for cat, e := range res.Table6 {
+		sum.Table6[string(cat)] = CategoryCount{Snippets: e.Snippets, Contracts: e.Contracts}
+	}
+	return sum
+}

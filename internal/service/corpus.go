@@ -1,0 +1,89 @@
+package service
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/ccd"
+)
+
+// DefaultShards is the shard count of a concurrent corpus when Options does
+// not override it.
+const DefaultShards = 16
+
+// Corpus is a sharded, RWMutex-guarded clone-detection corpus safe for
+// concurrent use: ingest fans out across shards (writers on different shards
+// never contend) and matching takes only read locks, so lookups proceed in
+// parallel with each other and with ingest on other shards. It wraps
+// ccd.Corpus, which itself is not safe for concurrent use.
+type Corpus struct {
+	cfg    ccd.Config
+	shards []corpusShard
+}
+
+type corpusShard struct {
+	mu sync.RWMutex
+	c  *ccd.Corpus
+}
+
+// NewCorpus returns an empty concurrent corpus with the given shard count
+// (≤ 0 selects DefaultShards). Zero-value cfg selects ccd.DefaultConfig.
+func NewCorpus(cfg ccd.Config, shards int) *Corpus {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	c := &Corpus{cfg: cfg, shards: make([]corpusShard, shards)}
+	for i := range c.shards {
+		c.shards[i].c = ccd.NewCorpus(cfg)
+	}
+	c.cfg = c.shards[0].c.Config() // after default substitution
+	return c
+}
+
+// Config returns the corpus configuration.
+func (c *Corpus) Config() ccd.Config { return c.cfg }
+
+func (c *Corpus) shard(id string) *corpusShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Add indexes a fingerprint under an id. Safe for concurrent use.
+func (c *Corpus) Add(id string, fp ccd.Fingerprint) {
+	s := c.shard(id)
+	s.mu.Lock()
+	s.c.Add(id, fp)
+	s.mu.Unlock()
+}
+
+// Len returns the total number of indexed entries.
+func (c *Corpus) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += c.shards[i].c.Len()
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Match queries every shard and merges the clone candidates. The result is
+// sorted by descending score (ties by id) so output is deterministic
+// regardless of ingest interleaving.
+func (c *Corpus) Match(fp ccd.Fingerprint) []ccd.Match {
+	var out []ccd.Match
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		out = append(out, c.shards[i].c.Match(fp)...)
+		c.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,280 @@
+// Package service is the concurrent analysis layer in front of the
+// reproduction's primitives: a bounded worker pool, content-addressed LRU
+// caches for parse results, CCC vulnerability reports and CCD fingerprints,
+// and a sharded corpus safe for parallel ingest and matching. The study
+// pipeline fans its hot steps out through the same Engine that cmd/serve
+// exposes over HTTP, so batch reproduction and online serving share one
+// scheduling and caching substrate.
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ccc"
+	"repro/internal/ccd"
+	"repro/internal/cpg"
+)
+
+// DefaultCacheEntries bounds each cache layer when Options does not override
+// it.
+const DefaultCacheEntries = 4096
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent work; ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// CacheEntries caps each cache layer (parse, report, fingerprint).
+	// 0 selects DefaultCacheEntries; < 0 disables caching (benchmarks use
+	// this to measure the uncached path).
+	CacheEntries int
+	// CCD configures the engine's serving corpus (zero value:
+	// ccd.DefaultConfig).
+	CCD ccd.Config
+	// Shards is the corpus shard count (≤ 0: DefaultShards).
+	Shards int
+}
+
+// Engine wraps CCC and CCD behind a worker pool and content-addressed
+// caches. The cached primitives (Graph, Analyze, Fingerprint, Match, ...)
+// are safe for concurrent use and do not themselves occupy worker slots;
+// bounding happens at the task level through Do, Map and the *Batch
+// helpers, so primitives may be freely composed inside pooled tasks without
+// risking slot-starvation deadlocks.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+	ctr     counters
+
+	graphs  *lru[graphEntry]
+	reports *lru[reportEntry]
+	prints  *lru[fpEntry]
+
+	corpus *Corpus
+}
+
+// Cached values retain the original computation's error so a hit replays
+// exactly what a miss produced (parse errors are deterministic per content).
+type graphEntry struct {
+	g   *cpg.Graph
+	err error
+}
+
+type reportEntry struct {
+	rep ccc.Report
+	err error
+}
+
+type fpEntry struct {
+	fp  ccd.Fingerprint
+	err error
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		graphs:  newLRU[graphEntry](opts.CacheEntries),
+		reports: newLRU[reportEntry](opts.CacheEntries),
+		prints:  newLRU[fpEntry](opts.CacheEntries),
+		corpus:  NewCorpus(opts.CCD, opts.Shards),
+	}
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// --- worker pool --------------------------------------------------------------
+
+// Do runs fn on a worker slot, blocking until one is free.
+func (e *Engine) Do(fn func()) {
+	e.sem <- struct{}{}
+	e.ctr.taskStart()
+	defer func() {
+		e.ctr.taskDone()
+		<-e.sem
+	}()
+	fn()
+}
+
+// Map runs fn(i) for every i in [0, n) across the worker pool and waits for
+// all of them. Items are dispatched through the engine-wide semaphore, so
+// concurrent Map calls (several batch requests, a study job) share the same
+// global bound. fn must not call Do or Map itself.
+//
+// A panic in fn stops dispatch and is re-raised on the calling goroutine
+// once in-flight items drain, so callers' recover guards (the study job
+// handler, net/http's per-request recovery) see it exactly as if the work
+// had run serially.
+func (e *Engine) Map(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	spawn := min(e.workers, n)
+	if spawn == 1 {
+		for i := 0; i < n; i++ {
+			e.Do(func() { fn(i) })
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicked atomic.Bool
+	var panicVal any // first panic; wg.Wait orders the read after the write
+	wg.Add(spawn)
+	for w := 0; w < spawn; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil && !panicked.Swap(true) {
+							panicVal = p
+						}
+					}()
+					e.Do(func() { fn(i) })
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// --- cached primitives --------------------------------------------------------
+
+// Graph parses src into a code property graph through the parse cache. The
+// graph is immutable after construction and may be analyzed concurrently.
+func (e *Engine) Graph(src string) (*cpg.Graph, error) {
+	return e.graph(ContentKey(src), src)
+}
+
+func (e *Engine) graph(key Key, src string) (*cpg.Graph, error) {
+	if ent, ok := e.graphs.Get(key); ok {
+		return ent.g, ent.err
+	}
+	g, err := cpg.Parse(src)
+	e.graphs.Put(key, graphEntry{g: g, err: err})
+	return g, err
+}
+
+// Analyze runs the default CCC analyzer over src through the report cache
+// (the parse itself goes through the parse cache).
+func (e *Engine) Analyze(src string) (ccc.Report, error) {
+	e.ctr.analyses.Add(1)
+	key := ContentKey(src)
+	if ent, ok := e.reports.Get(key); ok {
+		return ent.rep, ent.err
+	}
+	g, err := e.graph(key, src)
+	if err != nil {
+		e.reports.Put(key, reportEntry{err: err})
+		return ccc.Report{}, err
+	}
+	rep := ccc.Analyze(g)
+	e.reports.Put(key, reportEntry{rep: rep})
+	return rep, nil
+}
+
+// Fingerprint computes the CCD fuzzy-hash of src through the fingerprint
+// cache. Matching ccd.FingerprintSource, a partial fingerprint is returned
+// (and cached) even when parsing reported an error.
+func (e *Engine) Fingerprint(src string) (ccd.Fingerprint, error) {
+	e.ctr.fingerprints.Add(1)
+	key := ContentKey(src)
+	if ent, ok := e.prints.Get(key); ok {
+		return ent.fp, ent.err
+	}
+	fp, err := ccd.FingerprintSource(src)
+	e.prints.Put(key, fpEntry{fp: fp, err: err})
+	return fp, err
+}
+
+// --- serving corpus -----------------------------------------------------------
+
+// Corpus exposes the engine's concurrent serving corpus.
+func (e *Engine) Corpus() *Corpus { return e.corpus }
+
+// CorpusAdd fingerprints src and indexes it in the serving corpus under id.
+// A partial fingerprint is indexed even on parse errors (the ccd.AddSource
+// contract); the error is returned for reporting.
+func (e *Engine) CorpusAdd(id, src string) error {
+	fp, err := e.Fingerprint(src)
+	e.corpus.Add(id, fp)
+	e.ctr.corpusAdds.Add(1)
+	return err
+}
+
+// Match fingerprints src and returns its clone candidates from the serving
+// corpus, best first.
+func (e *Engine) Match(src string) ([]ccd.Match, error) {
+	fp, err := e.Fingerprint(src)
+	if err != nil && len(fp) == 0 {
+		return nil, err
+	}
+	return e.MatchFingerprint(fp), err
+}
+
+// MatchFingerprint matches a precomputed fingerprint against the serving
+// corpus.
+func (e *Engine) MatchFingerprint(fp ccd.Fingerprint) []ccd.Match {
+	e.ctr.matches.Add(1)
+	return e.corpus.Match(fp)
+}
+
+// --- pooled batch helpers -----------------------------------------------------
+
+// AnalyzeResult is one AnalyzeBatch element.
+type AnalyzeResult struct {
+	Report ccc.Report
+	Err    error
+}
+
+// AnalyzeBatch analyzes every source across the worker pool, preserving
+// input order.
+func (e *Engine) AnalyzeBatch(srcs []string) []AnalyzeResult {
+	out := make([]AnalyzeResult, len(srcs))
+	e.Map(len(srcs), func(i int) {
+		out[i].Report, out[i].Err = e.Analyze(srcs[i])
+	})
+	return out
+}
+
+// CorpusEntry is one document for bulk ingest.
+type CorpusEntry struct {
+	ID     string
+	Source string
+}
+
+// CorpusAddBatch ingests entries into the serving corpus across the worker
+// pool. The i-th error reports the i-th entry's parse status.
+func (e *Engine) CorpusAddBatch(entries []CorpusEntry) []error {
+	errs := make([]error, len(entries))
+	e.Map(len(entries), func(i int) {
+		errs[i] = e.CorpusAdd(entries[i].ID, entries[i].Source)
+	})
+	return errs
+}
+
+// MatchBatch matches every source against the serving corpus across the
+// worker pool, preserving input order.
+func (e *Engine) MatchBatch(srcs []string) ([][]ccd.Match, []error) {
+	out := make([][]ccd.Match, len(srcs))
+	errs := make([]error, len(srcs))
+	e.Map(len(srcs), func(i int) {
+		out[i], errs[i] = e.Match(srcs[i])
+	})
+	return out, errs
+}

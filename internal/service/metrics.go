@@ -1,0 +1,77 @@
+package service
+
+import "sync/atomic"
+
+// counters aggregates the engine's atomic operation counts.
+type counters struct {
+	analyses     atomic.Int64
+	fingerprints atomic.Int64
+	matches      atomic.Int64
+	corpusAdds   atomic.Int64
+	tasks        atomic.Int64
+	busy         atomic.Int64
+	peakBusy     atomic.Int64
+}
+
+// taskStart accounts one task entering a worker slot and keeps the
+// saturation high-water mark.
+func (c *counters) taskStart() {
+	c.tasks.Add(1)
+	busy := c.busy.Add(1)
+	for {
+		peak := c.peakBusy.Load()
+		if busy <= peak || c.peakBusy.CompareAndSwap(peak, busy) {
+			return
+		}
+	}
+}
+
+func (c *counters) taskDone() { c.busy.Add(-1) }
+
+// Snapshot is a point-in-time view of an Engine's load and cache
+// effectiveness, JSON-serializable for the /metrics endpoint.
+type Snapshot struct {
+	// Workers is the pool size; BusyWorkers the slots currently held;
+	// Saturation their ratio; PeakBusyWorkers the high-water mark.
+	Workers         int     `json:"workers"`
+	BusyWorkers     int64   `json:"busy_workers"`
+	PeakBusyWorkers int64   `json:"peak_busy_workers"`
+	Saturation      float64 `json:"saturation"`
+
+	// TasksExecuted counts every unit of work that went through the pool.
+	TasksExecuted int64 `json:"tasks_executed"`
+
+	// Operation counts.
+	Analyses     int64 `json:"analyses"`
+	Fingerprints int64 `json:"fingerprints"`
+	Matches      int64 `json:"matches"`
+	CorpusAdds   int64 `json:"corpus_adds"`
+	CorpusSize   int   `json:"corpus_size"`
+
+	// Per-layer cache statistics.
+	ParseCache       CacheStats `json:"parse_cache"`
+	ReportCache      CacheStats `json:"report_cache"`
+	FingerprintCache CacheStats `json:"fingerprint_cache"`
+}
+
+// Metrics returns a snapshot of the engine's counters and caches.
+func (e *Engine) Metrics() Snapshot {
+	s := Snapshot{
+		Workers:          e.workers,
+		BusyWorkers:      e.ctr.busy.Load(),
+		PeakBusyWorkers:  e.ctr.peakBusy.Load(),
+		TasksExecuted:    e.ctr.tasks.Load(),
+		Analyses:         e.ctr.analyses.Load(),
+		Fingerprints:     e.ctr.fingerprints.Load(),
+		Matches:          e.ctr.matches.Load(),
+		CorpusAdds:       e.ctr.corpusAdds.Load(),
+		CorpusSize:       e.corpus.Len(),
+		ParseCache:       e.graphs.Stats(),
+		ReportCache:      e.reports.Stats(),
+		FingerprintCache: e.prints.Stats(),
+	}
+	if e.workers > 0 {
+		s.Saturation = float64(s.BusyWorkers) / float64(e.workers)
+	}
+	return s
+}

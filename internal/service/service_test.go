@@ -1,0 +1,291 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ccd"
+)
+
+// Vulnerable / benign snippet sources used across the tests. reentrantSrc
+// triggers the reentrancy detector (state write after an external money
+// call); benignSrc parses cleanly and triggers nothing.
+const (
+	reentrantSrc = `contract Victim {
+	mapping(address => uint) balances;
+	function withdraw() public {
+		msg.sender.call{value: balances[msg.sender]}("");
+		balances[msg.sender] = 0;
+	}
+}`
+	benignSrc = `contract Safe {
+	uint total;
+	function deposit(uint amount) public {
+		total = total + 1;
+	}
+}`
+)
+
+func TestContentKeyNormalizes(t *testing.T) {
+	base := ContentKey(benignSrc)
+	comments := ContentKey("// a comment\n" + benignSrc + "\n/* trailing */")
+	spaced := ContentKey("  " + benignSrc + "\n\n")
+	if base != comments || base != spaced {
+		t.Errorf("normalized variants must share a key: %s %s %s", base, comments, spaced)
+	}
+	if base == ContentKey(reentrantSrc) {
+		t.Error("distinct sources must not collide")
+	}
+}
+
+func TestAnalyzeFindsVulnerabilityAndCaches(t *testing.T) {
+	e := New(Options{Workers: 2})
+	rep, err := e.Analyze(reentrantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("no findings on reentrant source")
+	}
+	// Identical resubmission must hit the report cache.
+	rep2, err := e.Analyze(reentrantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Findings) != len(rep.Findings) {
+		t.Errorf("cached report differs: %d vs %d findings", len(rep2.Findings), len(rep.Findings))
+	}
+	st := e.Metrics().ReportCache
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("report cache hits=%d misses=%d, want 1/1", st.Hits, st.Misses)
+	}
+	// A comment-only variant shares the content address.
+	if _, err := e.Analyze("// note\n" + reentrantSrc); err != nil {
+		t.Fatal(err)
+	}
+	if hits := e.Metrics().ReportCache.Hits; hits != 2 {
+		t.Errorf("normalized variant should hit: hits=%d", hits)
+	}
+}
+
+func TestAnalyzeErrorCached(t *testing.T) {
+	e := New(Options{Workers: 1})
+	const garbage = "pragma solidity ^0.4.0; contract {{{{"
+	_, err1 := e.Analyze(garbage)
+	_, err2 := e.Analyze(garbage)
+	if (err1 == nil) != (err2 == nil) {
+		t.Errorf("cache must replay errors: first=%v second=%v", err1, err2)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := newLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.Put("c", 3) // evicts b (a was just used)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions=%d, want 1", st.Evictions)
+	}
+	if st.Len != 2 || st.Cap != 2 {
+		t.Errorf("len=%d cap=%d, want 2/2", st.Len, st.Cap)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	e := New(Options{Workers: 1, CacheEntries: -1})
+	if _, err := e.Analyze(reentrantSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(reentrantSrc); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Metrics().ReportCache
+	if st.Hits != 0 || st.Len != 0 {
+		t.Errorf("disabled cache recorded hits=%d len=%d", st.Hits, st.Len)
+	}
+}
+
+func TestEngineBatchOrderPreserved(t *testing.T) {
+	e := New(Options{Workers: 4})
+	srcs := make([]string, 40)
+	for i := range srcs {
+		if i%2 == 0 {
+			srcs[i] = fmt.Sprintf("contract C%d { uint x; function f() public { x = %d; } }", i, i)
+		} else {
+			srcs[i] = reentrantSrc
+		}
+	}
+	out := e.AnalyzeBatch(srcs)
+	if len(out) != len(srcs) {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, r := range out {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		vulnerable := len(r.Report.Findings) > 0
+		if vulnerable != (i%2 == 1) {
+			t.Errorf("result %d: vulnerable=%v, want %v", i, vulnerable, i%2 == 1)
+		}
+	}
+}
+
+// TestConcurrentIngestAndMatch hammers the sharded corpus from many
+// goroutines at once — half ingesting, half matching — and then verifies
+// every ingested document is findable. Run under -race this is the
+// concurrency safety net for the serving path.
+func TestConcurrentIngestAndMatch(t *testing.T) {
+	e := New(Options{Workers: 8})
+	const writers, docsPerWriter, readers = 8, 25, 8
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for d := 0; d < docsPerWriter; d++ {
+				id := fmt.Sprintf("c-%d-%d", w, d)
+				if err := e.CorpusAdd(id, reentrantSrc); err != nil {
+					t.Errorf("add %s: %v", id, err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := e.Match(reentrantSrc); err != nil {
+					t.Errorf("match: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := e.Corpus().Len(); n != writers*docsPerWriter {
+		t.Fatalf("corpus size %d, want %d", n, writers*docsPerWriter)
+	}
+	ms, err := e.Match(reentrantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != writers*docsPerWriter {
+		t.Fatalf("identical source should match every entry: %d of %d", len(ms), writers*docsPerWriter)
+	}
+	for i := 1; i < len(ms); i++ {
+		prev, cur := ms[i-1], ms[i]
+		if prev.Score < cur.Score || (prev.Score == cur.Score && prev.ID >= cur.ID) {
+			t.Fatalf("matches not in deterministic order at %d: %+v then %+v", i, prev, cur)
+		}
+	}
+}
+
+func TestCorpusShardDistribution(t *testing.T) {
+	c := NewCorpus(ccd.DefaultConfig, 4)
+	for i := 0; i < 200; i++ {
+		c.Add(fmt.Sprintf("doc-%d", i), ccd.Fingerprint("abcdefgh"))
+	}
+	if c.Len() != 200 {
+		t.Fatalf("len %d", c.Len())
+	}
+	// fnv distributes ids across shards: no shard should hold everything.
+	for i := range c.shards {
+		if n := c.shards[i].c.Len(); n == 0 || n == 200 {
+			t.Errorf("shard %d holds %d of 200 entries", i, n)
+		}
+	}
+}
+
+func TestMapCoversAllIndicesOnce(t *testing.T) {
+	e := New(Options{Workers: 3})
+	const n = 500
+	hits := make([]int32, n)
+	var mu sync.Mutex
+	e.Map(n, func(i int) {
+		mu.Lock()
+		hits[i]++
+		mu.Unlock()
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+	m := e.Metrics()
+	if m.TasksExecuted != n {
+		t.Errorf("tasks=%d, want %d", m.TasksExecuted, n)
+	}
+	if m.PeakBusyWorkers > int64(e.Workers()) {
+		t.Errorf("peak busy %d exceeds pool %d", m.PeakBusyWorkers, e.Workers())
+	}
+	if m.BusyWorkers != 0 {
+		t.Errorf("busy workers after quiescence: %d", m.BusyWorkers)
+	}
+}
+
+// TestMapPropagatesPanic: a panic inside a pooled task must surface on the
+// calling goroutine (so recover guards around batch work keep working), not
+// crash the process from an internal worker goroutine.
+func TestMapPropagatesPanic(t *testing.T) {
+	e := New(Options{Workers: 4})
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recovered %v, want boom", p)
+		}
+		// The pool must be fully released for subsequent work.
+		e.Map(8, func(int) {})
+		if busy := e.Metrics().BusyWorkers; busy != 0 {
+			t.Fatalf("busy workers after panic drain: %d", busy)
+		}
+	}()
+	e.Map(100, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic swallowed")
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	e := New(Options{Workers: 2})
+	if _, err := e.Analyze(benignSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Analyze(benignSrc); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.CorpusAdd("a", benignSrc)
+	if _, err := e.Match(benignSrc); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Metrics()
+	if m.Analyses != 2 || m.CorpusAdds != 1 || m.Matches != 1 {
+		t.Errorf("op counts: %+v", m)
+	}
+	if m.CorpusSize != 1 {
+		t.Errorf("corpus size %d", m.CorpusSize)
+	}
+	if got := m.ReportCache.HitRate(); got != 0.5 {
+		t.Errorf("report hit rate %.2f, want 0.50", got)
+	}
+	// Fingerprint cache: miss on CorpusAdd, hit on Match of same source.
+	if m.FingerprintCache.Hits == 0 {
+		t.Error("fingerprint cache never hit")
+	}
+}
