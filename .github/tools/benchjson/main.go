@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_*.json artifact format: a map from benchmark name to ns/op, B/op,
+// allocs/op and any custom ReportMetric units, plus the run's environment
+// header. CI pipes the bench job through it and uploads the result so the
+// perf trajectory of every PR is recorded.
+//
+//	go test -bench . -benchtime 1x -benchmem -run '^$' | go run ./.github/tools/benchjson > BENCH_pr.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_op"`
+	BPerOp     float64            `json:"b_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_op,omitempty"`
+	MBPerSec   float64            `json:"mb_s,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the artifact layout.
+type Output struct {
+	Goos       string            `json:"goos,omitempty"`
+	Goarch     string            `json:"goarch,omitempty"`
+	CPU        string            `json:"cpu,omitempty"`
+	Pkg        string            `json:"pkg,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := Output{Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, res, ok := parseBenchLine(line)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping unparsable line: %s\n", line)
+				continue
+			}
+			out.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8  10  123 ns/op  45 B/op  6 allocs/op  7.5 custom-unit
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the name; value/unit
+// pairs beyond the standard testing units land in Metrics.
+func parseBenchLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BPerOp = val
+		case "allocs/op":
+			res.AllocsOp = val
+		case "MB/s":
+			res.MBPerSec = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return name, res, true
+}

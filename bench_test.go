@@ -6,7 +6,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -467,6 +469,143 @@ func BenchmarkEngineAnalyzeCached(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(srcs)*b.N)/b.Elapsed().Seconds(), "snippets/s")
 	b.ReportMetric(eng.Metrics().ReportCache.HitRate()*100, "cache-hit-%")
+}
+
+// --- corpus persistence: snapshot save/load vs re-fingerprinting ------------------
+
+// persistBench is the shared 10k-document fixture for the persistence
+// benchmarks: distinct mutated contract sources, their ingested corpus, and
+// its encoded snapshot.
+var persistBench struct {
+	once     sync.Once
+	entries  []service.CorpusEntry // id + source
+	snapshot []byte
+}
+
+func persistFixture(b *testing.B) ([]service.CorpusEntry, []byte) {
+	persistBench.once.Do(func() {
+		const docs = 10_000
+		hp := dataset.GenerateHoneypots(3)
+		m := dataset.NewMutator(17)
+		entries := make([]service.CorpusEntry, 0, docs)
+		for i := 0; len(entries) < docs; i++ {
+			src := hp[i%len(hp)].Source
+			if i >= len(hp) {
+				src = m.Mutate(src, 1+i%3)
+			}
+			entries = append(entries, service.CorpusEntry{
+				ID:     fmt.Sprintf("doc-%d", i),
+				Source: src,
+			})
+		}
+		eng := service.New(service.Options{})
+		for _, err := range eng.CorpusAddBatch(entries) {
+			if err != nil {
+				panic(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := eng.Corpus().WriteSnapshot(&buf); err != nil {
+			panic(err)
+		}
+		persistBench.entries = entries
+		persistBench.snapshot = buf.Bytes()
+	})
+	return persistBench.entries, persistBench.snapshot
+}
+
+// BenchmarkCorpusPersistence10k compares the two ways a 10k-document serving
+// corpus can come back after a restart: decoding the binary snapshot versus
+// re-fingerprinting every source through the engine (both parallel). The
+// restore/refingerprint ns/op ratio is the headline durability win — the
+// acceptance floor is 10×.
+func BenchmarkCorpusPersistence10k(b *testing.B) {
+	entries, snapshot := persistFixture(b)
+	b.Run("save", func(b *testing.B) {
+		eng := service.New(service.Options{})
+		if errs := eng.CorpusAddBatch(entries); errs[0] != nil {
+			b.Fatal(errs[0])
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Corpus().WriteSnapshot(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	})
+	b.Run("restore", func(b *testing.B) {
+		b.SetBytes(int64(len(snapshot)))
+		for i := 0; i < b.N; i++ {
+			c := service.NewCorpus(ccd.DefaultConfig, 0)
+			if err := c.ReadSnapshot(bytes.NewReader(snapshot)); err != nil {
+				b.Fatal(err)
+			}
+			if c.Len() != len(entries) {
+				b.Fatalf("restored %d entries, want %d", c.Len(), len(entries))
+			}
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	})
+	b.Run("refingerprint", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := service.New(service.Options{CacheEntries: -1})
+			for _, err := range eng.CorpusAddBatch(entries) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if eng.Corpus().Len() != len(entries) {
+				b.Fatalf("ingested %d entries, want %d", eng.Corpus().Len(), len(entries))
+			}
+		}
+		b.ReportMetric(float64(len(entries)), "entries")
+	})
+}
+
+// BenchmarkCCDSnapshotRoundTrip measures the single-shard ccd encode/decode
+// hot path underneath the sharded snapshot.
+func BenchmarkCCDSnapshotRoundTrip(b *testing.B) {
+	entries, _ := persistFixture(b)
+	c := ccd.NewCorpus(ccd.DefaultConfig)
+	eng := service.New(service.Options{})
+	for _, e := range entries[:2000] {
+		fp, _ := eng.Fingerprint(e.Source)
+		c.Add(e.ID, fp)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ccd.Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Len() != c.Len() {
+			b.Fatalf("len %d != %d", got.Len(), c.Len())
+		}
+	}
+}
+
+// BenchmarkWALAppend measures the durable-ingest overhead: one journaled,
+// fsynced Add through a store-attached corpus.
+func BenchmarkWALAppend(b *testing.B) {
+	c := service.NewCorpus(ccd.DefaultConfig, 0)
+	store, err := service.OpenStore(b.TempDir(), c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	fp := ccd.Fingerprint("QxRtYuIoPAbCdEfGh.ZxCvBnMQwErTy")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Add(fmt.Sprintf("doc-%d", i), fp); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkCorpusMatchParallel measures concurrent clone matching against

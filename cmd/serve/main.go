@@ -3,15 +3,26 @@
 // content-addressed caches and an HTTP JSON API.
 //
 //	serve -addr :8070 -workers 8 -cache 4096
+//	serve -corpus-dir ./data -snapshot-interval 5m     # durable corpus
+//
+// With -corpus-dir the serving corpus survives restarts: on boot the binary
+// snapshot (corpus.snap) is restored and the write-ahead log (corpus.wal)
+// replayed on top; every acknowledged corpus add is journaled before it is
+// visible, so a crash loses nothing that was acknowledged. Snapshots are
+// taken every -snapshot-interval (when there is new data), on demand via
+// POST /v1/corpus/snapshot, and once more on graceful shutdown.
 //
 // Endpoints:
 //
-//	POST /v1/analyze      {"source": "..."} or {"sources": ["...", ...]}
-//	POST /v1/fingerprint  {"source": "..."}
-//	POST /v1/corpus       {"entries": [{"id": "c1", "source": "..."}, ...]}
+//	POST /v1/analyze          {"source": "..."} or {"sources": ["...", ...]}
+//	POST /v1/fingerprint      {"source": "..."}
+//	POST /v1/corpus           {"entries": [{"id": "c1", "source": "..."}, ...]}
 //	GET  /v1/corpus
-//	POST /v1/match        {"source": "..."} or {"fingerprint": "..."}
-//	POST /v1/study        {"seed": 1, "scale": 0.01}   (async; poll the id)
+//	POST /v1/corpus/bulk      NDJSON stream: {"id", "source"|"fingerprint"} per line
+//	POST /v1/corpus/snapshot  persist now (requires -corpus-dir)
+//	GET  /v1/corpus/export    binary corpus snapshot download
+//	POST /v1/match            {"source": "..."} or {"fingerprint": "..."}
+//	POST /v1/study            {"seed": 1, "scale": 0.01}   (async; poll the id)
 //	GET  /v1/study/{id}
 //	GET  /healthz
 //	GET  /metrics
@@ -42,7 +53,14 @@ func main() {
 	n := flag.Int("ccd-n", ccd.DefaultConfig.N, "CCD n-gram size")
 	eta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "CCD n-gram containment threshold")
 	eps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "CCD similarity threshold (0-100)")
+	corpusDir := flag.String("corpus-dir", "", "directory for the durable corpus (empty = in-memory only)")
+	snapInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -corpus-dir (0 = on demand/shutdown only)")
 	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
 
 	engine := service.New(service.Options{
 		Workers:      *workers,
@@ -50,9 +68,33 @@ func main() {
 		Shards:       *shards,
 		CCD:          ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
 	})
+
+	var opts []api.Option
+	var store *service.Store
+	stopAutoSnapshot := func() {}
+	if *corpusDir != "" {
+		var err error
+		store, err = service.OpenStore(*corpusDir, engine.Corpus())
+		if err != nil {
+			die(err)
+		}
+		info := store.Info()
+		log.Printf("serve: corpus restored from %s: %d from snapshot, %d WAL records replayed (torn tail cut: %v)",
+			*corpusDir, info.RestoredEntries, info.ReplayedRecords, info.TornTailCut)
+		if *snapInterval > 0 {
+			stopAutoSnapshot = store.StartAutoSnapshot(*snapInterval, func(err error) {
+				log.Printf("serve: auto snapshot: %v", err)
+			})
+			defer stopAutoSnapshot() // idempotent; safety net for error exits
+		}
+		opts = append(opts, api.WithStore(store))
+	} else if *snapInterval > 0 {
+		die(errors.New("-snapshot-interval requires -corpus-dir"))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(engine).Handler(),
+		Handler:           api.NewServer(engine, opts...).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -61,21 +103,32 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serve: listening on %s (workers=%d)", *addr, engine.Workers())
+	log.Printf("serve: listening on %s (workers=%d, corpus=%d entries)", *addr, engine.Workers(), engine.Corpus().Len())
 
 	select {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 	case <-ctx.Done():
 		log.Print("serve: shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
-			os.Exit(1)
+			die(fmt.Errorf("shutdown: %w", err))
+		}
+		if store != nil {
+			// Quiesce the timer loop before the final snapshot so it cannot
+			// fire between the snapshot and the WAL close.
+			stopAutoSnapshot()
+			if info, err := store.Snapshot(); err != nil {
+				log.Printf("serve: final snapshot: %v", err)
+			} else {
+				log.Printf("serve: final snapshot: %d entries, %d bytes", info.Entries, info.Bytes)
+			}
+			if err := store.Close(); err != nil {
+				log.Printf("serve: close store: %v", err)
+			}
 		}
 	}
 }

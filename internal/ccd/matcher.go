@@ -2,6 +2,7 @@ package ccd
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/ngram"
 )
@@ -103,5 +104,6 @@ func (c *Corpus) MatchAllPairs(fp Fingerprint) []Match {
 	return out
 }
 
-// Entries exposes the indexed entries (read-only use).
-func (c *Corpus) Entries() []Entry { return c.entries }
+// Entries returns a copy of the indexed entries: mutating the result cannot
+// corrupt corpus state (entries and index doc numbers move in lockstep).
+func (c *Corpus) Entries() []Entry { return slices.Clone(c.entries) }

@@ -1,0 +1,293 @@
+package ccd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/ngram"
+)
+
+// Binary corpus snapshot (version 1):
+//
+//	magic   "CCDSNAP\x00"
+//	uvarint version
+//	uvarint N, float64 Eta, float64 Epsilon   (the matcher Config)
+//	uvarint entry count
+//	per entry: string id, string fingerprint  (uvarint-length-prefixed)
+//	byte    index flag: 0 = rebuild on load, 1 = embedded ngram codec follows
+//	[flag 1: uvarint index byte length, index bytes (ngram codec format)]
+//	uint32  CRC-32 (IEEE, little-endian) of every preceding byte
+//
+// The n-gram index is derivable: rebuilding it on load replays Add in entry
+// order, which reproduces doc numbering exactly. Save therefore embeds the
+// encoded index only when it is smaller than the fingerprint payload it
+// would be rebuilt from — for typical corpora the gram strings plus postings
+// outweigh the fingerprints and the snapshot ships entries only.
+const (
+	snapshotMagic = "CCDSNAP\x00"
+	// SnapshotVersion is the current corpus snapshot format version.
+	SnapshotVersion = 1
+)
+
+// maxSnapshotString bounds any single length-prefixed string in a snapshot,
+// protecting Load from allocating garbage lengths out of corrupt input.
+const maxSnapshotString = 1 << 26 // 64 MiB
+
+// crcWriter tees writes into a running CRC-32.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc.Write(p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) writeUvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := cw.Write(buf[:n])
+	return err
+}
+
+func (cw *crcWriter) writeString(s string) error {
+	if err := cw.writeUvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(cw, s)
+	return err
+}
+
+func (cw *crcWriter) writeFloat(f float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	_, err := cw.Write(buf[:])
+	return err
+}
+
+// Save writes the corpus in the versioned binary snapshot format.
+func (c *Corpus) Save(w io.Writer) error {
+	cw := &crcWriter{w: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	if _, err := io.WriteString(cw, snapshotMagic); err != nil {
+		return err
+	}
+	if err := cw.writeUvarint(SnapshotVersion); err != nil {
+		return err
+	}
+	if err := cw.writeUvarint(uint64(c.cfg.N)); err != nil {
+		return err
+	}
+	if err := cw.writeFloat(c.cfg.Eta); err != nil {
+		return err
+	}
+	if err := cw.writeFloat(c.cfg.Epsilon); err != nil {
+		return err
+	}
+	if err := cw.writeUvarint(uint64(len(c.entries))); err != nil {
+		return err
+	}
+	fpBytes := 0
+	for _, e := range c.entries {
+		if err := cw.writeString(e.ID); err != nil {
+			return err
+		}
+		if err := cw.writeString(string(e.FP)); err != nil {
+			return err
+		}
+		fpBytes += len(e.FP)
+	}
+	var encoded bytes.Buffer
+	if err := c.index.Save(&encoded); err != nil {
+		return err
+	}
+	if encoded.Len() < fpBytes {
+		if _, err := cw.Write([]byte{1}); err != nil {
+			return err
+		}
+		if err := cw.writeUvarint(uint64(encoded.Len())); err != nil {
+			return err
+		}
+		if _, err := cw.Write(encoded.Bytes()); err != nil {
+			return err
+		}
+	} else if _, err := cw.Write([]byte{0}); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], cw.crc.Sum32())
+	if _, err := cw.w.Write(trailer[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// crcReader tees reads into a running CRC-32. It implements io.ByteReader so
+// varints can be decoded without over-reading.
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcReader) readUvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return 0, fmt.Errorf("ccd: snapshot: read %s: %w", what, corruptEOF(err))
+	}
+	return v, nil
+}
+
+func (cr *crcReader) readString(what string) (string, error) {
+	n, err := cr.readUvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxSnapshotString {
+		return "", fmt.Errorf("ccd: snapshot: %s length %d exceeds limit", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(cr, buf); err != nil {
+		return "", fmt.Errorf("ccd: snapshot: read %s: %w", what, corruptEOF(err))
+	}
+	return string(buf), nil
+}
+
+func (cr *crcReader) readFloat(what string) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(cr, buf[:]); err != nil {
+		return 0, fmt.Errorf("ccd: snapshot: read %s: %w", what, corruptEOF(err))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+// corruptEOF maps a clean EOF inside a structure to ErrUnexpectedEOF: any
+// end-of-input after the magic means a truncated snapshot.
+func corruptEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Load reads a snapshot written by Save and returns the reconstructed
+// corpus. The whole payload is CRC-checked; truncated or corrupted input
+// yields an error, never a silently partial corpus.
+func Load(r io.Reader) (*Corpus, error) {
+	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("ccd: snapshot: read magic: %w", corruptEOF(err))
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("ccd: snapshot: bad magic %q", magic)
+	}
+	version, err := cr.readUvarint("version")
+	if err != nil {
+		return nil, err
+	}
+	if version != SnapshotVersion {
+		return nil, fmt.Errorf("ccd: snapshot: unsupported version %d (want %d)", version, SnapshotVersion)
+	}
+	n, err := cr.readUvarint("config N")
+	if err != nil {
+		return nil, err
+	}
+	eta, err := cr.readFloat("config Eta")
+	if err != nil {
+		return nil, err
+	}
+	eps, err := cr.readFloat("config Epsilon")
+	if err != nil {
+		return nil, err
+	}
+	cfg := Config{N: int(n), Eta: eta, Epsilon: eps}
+	count, err := cr.readUvarint("entry count")
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, min(count, 1<<20))
+	for i := uint64(0); i < count; i++ {
+		id, err := cr.readString("entry id")
+		if err != nil {
+			return nil, err
+		}
+		fp, err := cr.readString("entry fingerprint")
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{ID: id, FP: Fingerprint(fp)})
+	}
+	flag, err := cr.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("ccd: snapshot: read index flag: %w", corruptEOF(err))
+	}
+	var index *ngram.Index
+	switch flag {
+	case 0:
+		// Rebuilt below, after the CRC check.
+	case 1:
+		size, err := cr.readUvarint("index length")
+		if err != nil {
+			return nil, err
+		}
+		if size > maxSnapshotString {
+			return nil, fmt.Errorf("ccd: snapshot: index length %d exceeds limit", size)
+		}
+		section := io.LimitReader(cr, int64(size))
+		index, err = ngram.Load(section)
+		if err != nil {
+			return nil, fmt.Errorf("ccd: snapshot: embedded index: %w", err)
+		}
+		// Keep stream (and CRC) alignment even if the codec left padding.
+		if _, err := io.Copy(io.Discard, section); err != nil {
+			return nil, fmt.Errorf("ccd: snapshot: embedded index: %w", err)
+		}
+		if index.N() != cfg.N {
+			return nil, fmt.Errorf("ccd: snapshot: embedded index N=%d does not match config N=%d", index.N(), cfg.N)
+		}
+		if index.Len() != len(entries) {
+			return nil, fmt.Errorf("ccd: snapshot: embedded index has %d docs, corpus has %d entries", index.Len(), len(entries))
+		}
+	default:
+		return nil, fmt.Errorf("ccd: snapshot: unknown index flag %d", flag)
+	}
+	sum := cr.crc.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(cr.r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("ccd: snapshot: read checksum: %w", corruptEOF(err))
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != sum {
+		return nil, fmt.Errorf("ccd: snapshot: checksum mismatch (stored %08x, computed %08x)", got, sum)
+	}
+
+	c := NewCorpus(cfg)
+	if index != nil {
+		c.index = index
+		c.entries = entries
+		return c, nil
+	}
+	for _, e := range entries {
+		c.Add(e.ID, e.FP)
+	}
+	return c, nil
+}

@@ -1,0 +1,175 @@
+package ccd
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomFingerprint builds a plausible fingerprint: base64-alphabet runs
+// separated by function/contract separators.
+func randomFingerprint(rng *rand.Rand) Fingerprint {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+	var sb strings.Builder
+	funcs := 1 + rng.Intn(5)
+	for f := 0; f < funcs; f++ {
+		if f > 0 {
+			if rng.Intn(4) == 0 {
+				sb.WriteByte(ContractSep)
+			} else {
+				sb.WriteByte(FuncSep)
+			}
+		}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+		}
+	}
+	return Fingerprint(sb.String())
+}
+
+func randomCorpus(rng *rand.Rand, cfg Config, n int) *Corpus {
+	c := NewCorpus(cfg)
+	for i := 0; i < n; i++ {
+		id := "doc-" + strings.Repeat("x", rng.Intn(3)) + string(rune('a'+rng.Intn(26))) + "-" + string(rune('0'+i%10))
+		c.Add(id, randomFingerprint(rng))
+	}
+	return c
+}
+
+func saveLoad(t *testing.T, c *Corpus) *Corpus {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return got
+}
+
+// TestSnapshotRoundTripProperty: for random corpora and random query
+// fingerprints, a loaded snapshot must produce byte-identical Match results.
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	configs := []Config{DefaultConfig, ConservativeConfig, {N: 5, Eta: 0.3, Epsilon: 50}}
+	for trial := 0; trial < 20; trial++ {
+		cfg := configs[trial%len(configs)]
+		orig := randomCorpus(rng, cfg, 1+rng.Intn(60))
+		got := saveLoad(t, orig)
+		if got.Config() != orig.Config() {
+			t.Fatalf("trial %d: config %v != %v", trial, got.Config(), orig.Config())
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("trial %d: len %d != %d", trial, got.Len(), orig.Len())
+		}
+		for q := 0; q < 10; q++ {
+			fp := randomFingerprint(rng)
+			want := orig.Match(fp)
+			have := got.Match(fp)
+			if len(want) != len(have) {
+				t.Fatalf("trial %d query %d: %d matches != %d", trial, q, len(have), len(want))
+			}
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("trial %d query %d match %d: %+v != %+v", trial, q, i, have[i], want[i])
+				}
+			}
+		}
+		// Entries round-trip in order (doc numbering depends on it).
+		we, he := orig.Entries(), got.Entries()
+		for i := range we {
+			if we[i] != he[i] {
+				t.Fatalf("trial %d entry %d: %+v != %+v", trial, i, he[i], we[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotEmptyCorpus(t *testing.T) {
+	got := saveLoad(t, NewCorpus(Config{}))
+	if got.Len() != 0 {
+		t.Fatalf("len %d, want 0", got.Len())
+	}
+	if got.Config() != DefaultConfig {
+		t.Fatalf("config %v, want default", got.Config())
+	}
+	if ms := got.Match(Fingerprint("abcdefgh")); len(ms) != 0 {
+		t.Fatalf("empty corpus matched: %v", ms)
+	}
+}
+
+// TestSnapshotEmbeddedIndex forces the embedded-index path: ids so long that
+// the encoded index is smaller than the fingerprint payload would suggest is
+// impossible to hit naturally, so instead exercise the path via corpora whose
+// fingerprints are huge and repetitive (few distinct grams, tiny index).
+func TestSnapshotEmbeddedIndex(t *testing.T) {
+	c := NewCorpus(DefaultConfig)
+	// One distinct gram ("aaa") across giant fingerprints: the index encodes
+	// in a handful of bytes while fpBytes is large, so Save embeds it.
+	for i := 0; i < 4; i++ {
+		c.Add(string(rune('a'+i)), Fingerprint(strings.Repeat("a", 4096)))
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := got.Match(Fingerprint(strings.Repeat("a", 4096)))
+	if len(ms) != 4 {
+		t.Fatalf("got %d matches, want 4", len(ms))
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCorpus(rng, DefaultConfig, 20)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 1, 4, len(full) / 2, len(full) - 5, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d of %d: no error", cut, len(full))
+		}
+	}
+}
+
+func TestSnapshotCorrupted(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := randomCorpus(rng, DefaultConfig, 20)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one byte in the entry payload region: the CRC must catch it (or a
+	// structural check must fail first); a silent wrong corpus is the bug.
+	for _, pos := range []int{len(snapshotMagic) + 20, len(full) / 2, len(full) - 6} {
+		mut := bytes.Clone(full)
+		mut[pos] ^= 0x40
+		if got, err := Load(bytes.NewReader(mut)); err == nil {
+			// Flipping a fingerprint byte changes payload but CRC covers it.
+			t.Errorf("corruption at %d: loaded %d entries without error", pos, got.Len())
+		}
+	}
+	// Bad magic is reported as such.
+	mut := bytes.Clone(full)
+	mut[0] = 'X'
+	if _, err := Load(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err=%v", err)
+	}
+	// Future versions are rejected, not misparsed.
+	mut = bytes.Clone(full)
+	mut[len(snapshotMagic)] = 99
+	if _, err := Load(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: err=%v", err)
+	}
+}

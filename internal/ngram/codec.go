@@ -1,0 +1,177 @@
+package ngram
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary index encoding. The format is versioned independently of the corpus
+// snapshot that may embed it:
+//
+//	magic   "NGIX"
+//	uvarint version (currently 1)
+//	uvarint n-gram size
+//	uvarint doc count
+//	per doc: string id, uvarint distinct-gram count
+//	uvarint gram count
+//	per gram (sorted): string gram, uvarint posting count,
+//	                   delta-encoded uvarint doc numbers
+//
+// Postings are written as deltas between consecutive doc numbers: Add only
+// ever appends increasing doc numbers, so every posting list is strictly
+// increasing and deltas varint-pack well. Strings are uvarint-length-prefixed.
+const (
+	codecMagic   = "NGIX"
+	codecVersion = 1
+)
+
+// Save writes the index in the binary codec format.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(codecVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(ix.n)); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(ix.docs))); err != nil {
+		return err
+	}
+	for _, d := range ix.docs {
+		if err := writeString(d.id); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(d.ngrams)); err != nil {
+			return err
+		}
+	}
+	grams := make([]string, 0, len(ix.grams))
+	for g := range ix.grams {
+		grams = append(grams, g)
+	}
+	sort.Strings(grams)
+	if err := writeUvarint(uint64(len(grams))); err != nil {
+		return err
+	}
+	for _, g := range grams {
+		if err := writeString(g); err != nil {
+			return err
+		}
+		post := ix.grams[g]
+		if err := writeUvarint(uint64(len(post))); err != nil {
+			return err
+		}
+		prev := 0
+		for _, d := range post {
+			if err := writeUvarint(uint64(d - prev)); err != nil {
+				return err
+			}
+			prev = d
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads an index written by Save.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	readString := func(what string, max uint64) (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", fmt.Errorf("ngram: read %s length: %w", what, err)
+		}
+		if n > max {
+			return "", fmt.Errorf("ngram: %s length %d exceeds limit %d", what, n, max)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", fmt.Errorf("ngram: read %s: %w", what, err)
+		}
+		return string(buf), nil
+	}
+
+	magic := make([]byte, len(codecMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("ngram: read magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("ngram: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ngram: read version: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("ngram: unsupported codec version %d (want %d)", version, codecVersion)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ngram: read n: %w", err)
+	}
+	ix := New(int(n))
+	numDocs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ngram: read doc count: %w", err)
+	}
+	ix.docs = make([]doc, 0, numDocs)
+	for i := uint64(0); i < numDocs; i++ {
+		id, err := readString("doc id", 1<<24)
+		if err != nil {
+			return nil, err
+		}
+		grams, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("ngram: read doc gram count: %w", err)
+		}
+		ix.docs = append(ix.docs, doc{id: id, ngrams: int(grams)})
+	}
+	numGrams, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("ngram: read gram count: %w", err)
+	}
+	for i := uint64(0); i < numGrams; i++ {
+		g, err := readString("gram", 1<<20)
+		if err != nil {
+			return nil, err
+		}
+		count, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("ngram: read posting count: %w", err)
+		}
+		post := make([]int, 0, count)
+		prev := uint64(0)
+		for j := uint64(0); j < count; j++ {
+			delta, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("ngram: read posting: %w", err)
+			}
+			prev += delta
+			if prev >= numDocs {
+				return nil, fmt.Errorf("ngram: posting doc %d out of range (%d docs)", prev, numDocs)
+			}
+			post = append(post, int(prev))
+		}
+		ix.grams[g] = post
+	}
+	return ix, nil
+}

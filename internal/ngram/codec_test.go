@@ -1,0 +1,66 @@
+package ngram
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const alphabet = "abcdefgh."
+	for trial := 0; trial < 10; trial++ {
+		ix := New(2 + trial%3)
+		docs := rng.Intn(50)
+		var strs []string
+		for d := 0; d < docs; d++ {
+			n := rng.Intn(60)
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			s := string(buf)
+			strs = append(strs, s)
+			ix.Add(fmt.Sprintf("doc-%d", d), s)
+		}
+
+		var enc bytes.Buffer
+		if err := ix.Save(&enc); err != nil {
+			t.Fatalf("save: %v", err)
+		}
+		got, err := Load(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		if got.N() != ix.N() || got.Len() != ix.Len() {
+			t.Fatalf("n=%d len=%d, want n=%d len=%d", got.N(), got.Len(), ix.N(), ix.Len())
+		}
+		for i, s := range strs {
+			want := ix.Query(s, 0.5)
+			have := got.Query(s, 0.5)
+			if !reflect.DeepEqual(want, have) {
+				t.Fatalf("trial %d query %d: %v != %v", trial, i, have, want)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	ix := New(3)
+	ix.Add("a", "abcdef")
+	var enc bytes.Buffer
+	if err := ix.Save(&enc); err != nil {
+		t.Fatal(err)
+	}
+	full := enc.Bytes()
+	for cut := 0; cut < len(full); cut += 3 {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

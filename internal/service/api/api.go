@@ -30,6 +30,7 @@ const maxStudyScale = 1.0
 // Server handles the JSON API around one engine.
 type Server struct {
 	engine *service.Engine
+	store  *service.Store // nil when persistence is disabled
 	jobs   *jobStore
 	start  time.Time
 
@@ -41,9 +42,22 @@ type Server struct {
 	reqStudy       atomic.Int64
 }
 
+// Option configures a Server.
+type Option func(*Server)
+
+// WithStore enables the persistence endpoints (/v1/corpus/snapshot) against
+// the store backing the engine's corpus.
+func WithStore(store *service.Store) Option {
+	return func(s *Server) { s.store = store }
+}
+
 // NewServer returns a server around engine.
-func NewServer(engine *service.Engine) *Server {
-	return &Server{engine: engine, jobs: newJobStore(), start: time.Now()}
+func NewServer(engine *service.Engine, opts ...Option) *Server {
+	s := &Server{engine: engine, jobs: newJobStore(), start: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Handler returns the routed HTTP handler.
@@ -53,6 +67,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/fingerprint", s.handleFingerprint)
 	mux.HandleFunc("POST /v1/corpus", s.handleCorpusAdd)
 	mux.HandleFunc("GET /v1/corpus", s.handleCorpusInfo)
+	mux.HandleFunc("POST /v1/corpus/bulk", s.handleCorpusBulk)
+	mux.HandleFunc("POST /v1/corpus/snapshot", s.handleCorpusSnapshot)
+	mux.HandleFunc("GET /v1/corpus/export", s.handleCorpusExport)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/study", s.handleStudyStart)
 	mux.HandleFunc("GET /v1/study", s.handleStudyList)
@@ -230,6 +247,10 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	issues := 0
 	for _, err := range s.engine.CorpusAddBatch(entries) {
+		if errors.Is(err, service.ErrPersist) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		if err != nil {
 			issues++
 		}
@@ -244,12 +265,16 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
 	s.reqCorpus.Add(1)
 	cfg := s.engine.Corpus().Config()
-	writeJSON(w, http.StatusOK, map[string]any{
+	info := map[string]any{
 		"size":    s.engine.Corpus().Len(),
 		"n":       cfg.N,
 		"eta":     cfg.Eta,
 		"epsilon": cfg.Epsilon,
-	})
+	}
+	if s.store != nil {
+		info["persistence"] = s.store.Info()
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {

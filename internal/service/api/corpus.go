@@ -1,0 +1,168 @@
+package api
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ccd"
+	"repro/internal/service"
+)
+
+// Bulk NDJSON ingest limits: one JSON document per line.
+const (
+	// maxBulkLineBytes bounds a single NDJSON line (one contract).
+	maxBulkLineBytes = 1 << 20 // 1 MiB
+	// bulkChunk is how many parsed lines are fanned out through the engine
+	// at a time; bounded so a huge stream never materializes in memory.
+	bulkChunk = 256
+	// maxBulkErrors caps how many per-line error details are reported back.
+	maxBulkErrors = 10
+)
+
+// BulkEntry is one NDJSON line of a /v1/corpus/bulk stream: an id plus
+// either a source to fingerprint or a precomputed fingerprint (which wins
+// when both are present).
+type BulkEntry struct {
+	ID          string `json:"id"`
+	Source      string `json:"source,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// BulkResponse summarizes a streaming ingest.
+type BulkResponse struct {
+	// Added counts entries indexed (including ones with parse issues).
+	Added int `json:"added"`
+	// ParseIssues counts entries indexed with partial fingerprints.
+	ParseIssues int `json:"parse_issues"`
+	// Malformed counts skipped lines (bad JSON, missing fields, oversized).
+	Malformed int `json:"malformed"`
+	// Errors details the first few malformed lines.
+	Errors []string `json:"errors,omitempty"`
+	Size   int      `json:"size"`
+}
+
+// handleCorpusBulk streams NDJSON — {"id": ..., "source": ...} or
+// {"id": ..., "fingerprint": ...} per line — into the serving corpus,
+// fanning chunks out through the engine's worker pool. Malformed lines are
+// skipped and counted; a persistence failure aborts the stream with 500
+// (earlier chunks remain ingested: the stream is not transactional).
+func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Add(1)
+	var resp BulkResponse
+	malformed := func(line int, msg string) {
+		resp.Malformed++
+		if len(resp.Errors) < maxBulkErrors {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("line %d: %s", line, msg))
+		}
+	}
+	flush := func(chunk []service.CorpusEntry) error {
+		for _, err := range s.engine.CorpusAddBatch(chunk) {
+			switch {
+			case err == nil:
+			case errors.Is(err, service.ErrPersist):
+				return err
+			default:
+				resp.ParseIssues++
+			}
+		}
+		resp.Added += len(chunk)
+		return nil
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBulkLineBytes)
+	chunk := make([]service.CorpusEntry, 0, bulkChunk)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e BulkEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			malformed(line, "bad JSON: "+err.Error())
+			continue
+		}
+		if e.ID == "" {
+			malformed(line, "missing id")
+			continue
+		}
+		if e.Source == "" && e.Fingerprint == "" {
+			malformed(line, "missing source or fingerprint")
+			continue
+		}
+		chunk = append(chunk, service.CorpusEntry{
+			ID:          e.ID,
+			Source:      e.Source,
+			Fingerprint: ccd.Fingerprint(e.Fingerprint),
+		})
+		if len(chunk) == bulkChunk {
+			if err := flush(chunk); err != nil {
+				writeError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read stream at line %d: %s", line+1, err))
+		return
+	}
+	if len(chunk) > 0 {
+		if err := flush(chunk); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	resp.Size = s.engine.Corpus().Len()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SnapshotResponse reports a /v1/corpus/snapshot call.
+type SnapshotResponse struct {
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+	Entries int    `json:"entries"`
+	Elapsed string `json:"elapsed"`
+}
+
+// handleCorpusSnapshot persists the corpus and truncates the WAL. Requires
+// the server to run with persistence enabled (-corpus-dir).
+func (s *Server) handleCorpusSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Add(1)
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "persistence not enabled (start serve with -corpus-dir)")
+		return
+	}
+	info, err := s.store.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{
+		Path:    info.Path,
+		Bytes:   info.Bytes,
+		Entries: info.Entries,
+		Elapsed: info.Elapsed.Round(time.Millisecond).String(),
+	})
+}
+
+// handleCorpusExport streams the corpus in the binary snapshot format; the
+// result feeds straight back into -corpus-dir (as corpus.snap) or another
+// instance's restore. Works with or without persistence enabled.
+func (s *Server) handleCorpusExport(w http.ResponseWriter, r *http.Request) {
+	s.reqCorpus.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="corpus.snap"`)
+	w.Header().Set("X-Corpus-Snapshot-Version", fmt.Sprint(service.CorpusSnapshotVersion))
+	if err := s.engine.Corpus().WriteSnapshot(w); err != nil {
+		// Headers are gone; all we can do is log-level truncation. The
+		// per-shard CRCs make a truncated download detectable client-side.
+		return
+	}
+}

@@ -1,7 +1,12 @@
 package service
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 	"sync"
 
@@ -17,9 +22,17 @@ const DefaultShards = 16
 // never contend) and matching takes only read locks, so lookups proceed in
 // parallel with each other and with ingest on other shards. It wraps
 // ccd.Corpus, which itself is not safe for concurrent use.
+//
+// A Corpus is purely in-memory unless a Store is attached (OpenStore), in
+// which case every Add is journaled to the write-ahead log before it becomes
+// visible, and Snapshot/Restore persist the whole corpus atomically.
 type Corpus struct {
 	cfg    ccd.Config
 	shards []corpusShard
+
+	// store, when non-nil, intercepts Add for write-ahead logging. Set once
+	// during OpenStore, before the corpus serves traffic.
+	store *Store
 }
 
 type corpusShard struct {
@@ -50,8 +63,20 @@ func (c *Corpus) shard(id string) *corpusShard {
 	return &c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
-// Add indexes a fingerprint under an id. Safe for concurrent use.
-func (c *Corpus) Add(id string, fp ccd.Fingerprint) {
+// Add indexes a fingerprint under an id. Safe for concurrent use. With a
+// Store attached the entry is journaled first; a non-nil error means the
+// entry was NOT acknowledged and is neither durable nor visible.
+func (c *Corpus) Add(id string, fp ccd.Fingerprint) error {
+	if c.store != nil {
+		return c.store.add(id, fp)
+	}
+	c.addLocal(id, fp)
+	return nil
+}
+
+// addLocal inserts into the owning shard without journaling (direct ingest,
+// WAL replay, snapshot restore re-distribution).
+func (c *Corpus) addLocal(id string, fp ccd.Fingerprint) {
 	s := c.shard(id)
 	s.mu.Lock()
 	s.c.Add(id, fp)
@@ -86,4 +111,188 @@ func (c *Corpus) Match(fp ccd.Fingerprint) []ccd.Match {
 		return out[i].ID < out[j].ID
 	})
 	return out
+}
+
+// entryMultiset returns the multiset of indexed (id, fingerprint) pairs,
+// keyed id + NUL + fingerprint. Boot-time helper for idempotent WAL replay.
+func (c *Corpus) entryMultiset() map[string]int {
+	out := make(map[string]int, c.Len())
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		for _, e := range c.shards[i].c.Entries() {
+			out[e.ID+"\x00"+string(e.FP)]++
+		}
+		c.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// --- whole-corpus snapshots ----------------------------------------------------
+
+// Corpus snapshot container (version 1): a thin sharded envelope around the
+// ccd.Corpus binary snapshot format.
+//
+//	magic   "SVCSNAP\x00"
+//	uvarint version
+//	uvarint shard count
+//	per shard: uvarint byte length, ccd snapshot bytes
+//
+// Integrity lives in the per-shard ccd snapshots (each carries its own
+// CRC-32); the envelope adds only framing. Shards are encoded and decoded in
+// parallel.
+const (
+	corpusSnapshotMagic = "SVCSNAP\x00"
+	// CorpusSnapshotVersion is the sharded snapshot envelope version.
+	CorpusSnapshotVersion = 1
+)
+
+// WriteSnapshot encodes every shard (in parallel, under shard read locks)
+// and writes the sharded snapshot envelope. Without external
+// synchronization, entries added concurrently may or may not be included —
+// each shard is still internally consistent. Store.Snapshot provides the
+// fully consistent (and WAL-truncating) variant.
+func (c *Corpus) WriteSnapshot(w io.Writer) error {
+	encoded := make([][]byte, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			s := &c.shards[i]
+			s.mu.RLock()
+			errs[i] = s.c.Save(&buf)
+			s.mu.RUnlock()
+			encoded[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("service: snapshot shard %d: %w", i, err)
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if _, err := bw.WriteString(corpusSnapshotMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(CorpusSnapshotVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(len(encoded))); err != nil {
+		return err
+	}
+	for _, shard := range encoded {
+		if err := writeUvarint(uint64(len(shard))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(shard); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// maxShardBytes bounds one encoded shard (defense against corrupt envelopes).
+const maxShardBytes = 1 << 32 // 4 GiB
+
+// ReadSnapshot restores a snapshot written by WriteSnapshot into this
+// corpus, which must be empty. The snapshot's matcher configuration replaces
+// the corpus's own. When the stored shard count matches, decoded shards are
+// installed directly (id→shard hashing depends only on the count); otherwise
+// entries are re-distributed across the current shards.
+func (c *Corpus) ReadSnapshot(r io.Reader) error {
+	if c.Len() != 0 {
+		return fmt.Errorf("service: restore into non-empty corpus (%d entries)", c.Len())
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(corpusSnapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("service: snapshot: read magic: %w", err)
+	}
+	if string(magic) != corpusSnapshotMagic {
+		return fmt.Errorf("service: snapshot: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: read version: %w", err)
+	}
+	if version != CorpusSnapshotVersion {
+		return fmt.Errorf("service: snapshot: unsupported version %d (want %d)", version, CorpusSnapshotVersion)
+	}
+	shardCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: read shard count: %w", err)
+	}
+	if shardCount == 0 || shardCount > 1<<16 {
+		return fmt.Errorf("service: snapshot: implausible shard count %d", shardCount)
+	}
+	encoded := make([][]byte, shardCount)
+	for i := range encoded {
+		size, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("service: snapshot: read shard %d length: %w", i, err)
+		}
+		if size > maxShardBytes {
+			return fmt.Errorf("service: snapshot: shard %d length %d exceeds limit", i, size)
+		}
+		encoded[i] = make([]byte, size)
+		if _, err := io.ReadFull(br, encoded[i]); err != nil {
+			return fmt.Errorf("service: snapshot: read shard %d: %w", i, err)
+		}
+	}
+
+	decoded := make([]*ccd.Corpus, shardCount)
+	errs := make([]error, shardCount)
+	var wg sync.WaitGroup
+	for i := range encoded {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			decoded[i], errs[i] = ccd.Load(bytes.NewReader(encoded[i]))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("service: snapshot: decode shard %d: %w", i, err)
+		}
+	}
+	cfg := decoded[0].Config()
+	for i, d := range decoded {
+		if d.Config() != cfg {
+			return fmt.Errorf("service: snapshot: shard %d config %v differs from shard 0 config %v", i, d.Config(), cfg)
+		}
+	}
+
+	c.cfg = cfg
+	if int(shardCount) == len(c.shards) {
+		for i := range c.shards {
+			c.shards[i].mu.Lock()
+			c.shards[i].c = decoded[i]
+			c.shards[i].mu.Unlock()
+		}
+		return nil
+	}
+	// Shard count changed since the snapshot: rebuild empty shards under the
+	// restored config and re-distribute by id hash.
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		c.shards[i].c = ccd.NewCorpus(cfg)
+		c.shards[i].mu.Unlock()
+	}
+	for _, d := range decoded {
+		for _, e := range d.Entries() {
+			c.addLocal(e.ID, e.FP)
+		}
+	}
+	return nil
 }

@@ -209,12 +209,25 @@ func (e *Engine) Corpus() *Corpus { return e.corpus }
 
 // CorpusAdd fingerprints src and indexes it in the serving corpus under id.
 // A partial fingerprint is indexed even on parse errors (the ccd.AddSource
-// contract); the error is returned for reporting.
+// contract); the parse error is returned for reporting. A persistence
+// failure (errors.Is ErrPersist) means the entry was NOT indexed.
 func (e *Engine) CorpusAdd(id, src string) error {
-	fp, err := e.Fingerprint(src)
-	e.corpus.Add(id, fp)
+	fp, ferr := e.Fingerprint(src)
+	if err := e.corpus.Add(id, fp); err != nil {
+		return err
+	}
 	e.ctr.corpusAdds.Add(1)
-	return err
+	return ferr
+}
+
+// CorpusAddFingerprint indexes a precomputed fingerprint under id, skipping
+// parsing entirely (bulk ingest of pre-fingerprinted corpora).
+func (e *Engine) CorpusAddFingerprint(id string, fp ccd.Fingerprint) error {
+	if err := e.corpus.Add(id, fp); err != nil {
+		return err
+	}
+	e.ctr.corpusAdds.Add(1)
+	return nil
 }
 
 // Match fingerprints src and returns its clone candidates from the serving
@@ -252,18 +265,25 @@ func (e *Engine) AnalyzeBatch(srcs []string) []AnalyzeResult {
 	return out
 }
 
-// CorpusEntry is one document for bulk ingest.
+// CorpusEntry is one document for bulk ingest: a source to fingerprint, or
+// a precomputed Fingerprint (which wins when both are set).
 type CorpusEntry struct {
-	ID     string
-	Source string
+	ID          string
+	Source      string
+	Fingerprint ccd.Fingerprint
 }
 
 // CorpusAddBatch ingests entries into the serving corpus across the worker
-// pool. The i-th error reports the i-th entry's parse status.
+// pool. The i-th error reports the i-th entry's parse status (persistence
+// failures satisfy errors.Is ErrPersist and mean the entry was dropped).
 func (e *Engine) CorpusAddBatch(entries []CorpusEntry) []error {
 	errs := make([]error, len(entries))
 	e.Map(len(entries), func(i int) {
-		errs[i] = e.CorpusAdd(entries[i].ID, entries[i].Source)
+		if entries[i].Fingerprint != "" {
+			errs[i] = e.CorpusAddFingerprint(entries[i].ID, entries[i].Fingerprint)
+		} else {
+			errs[i] = e.CorpusAdd(entries[i].ID, entries[i].Source)
+		}
 	})
 	return errs
 }

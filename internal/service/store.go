@@ -1,0 +1,266 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccd"
+)
+
+// Snapshot and WAL file names inside a store directory.
+const (
+	SnapshotFile = "corpus.snap"
+	WALFile      = "corpus.wal"
+)
+
+// Store makes a Corpus durable inside one directory:
+//
+//	<dir>/corpus.snap   whole-corpus binary snapshot (atomic: temp + rename)
+//	<dir>/corpus.wal    append-only log of Adds since the last snapshot
+//
+// Every acknowledged Add is fsynced to the WAL before it becomes visible in
+// memory, so a crash (kill -9, power loss) between snapshots loses nothing
+// that was acknowledged. OpenStore restores the snapshot (if any), replays
+// the WAL on top, truncates any torn tail left by a crash mid-append, and
+// then journals all subsequent Adds. Snapshot persists the corpus and
+// truncates the WAL in one critical section.
+type Store struct {
+	dir    string
+	corpus *Corpus
+	wal    *wal
+
+	// mu orders Adds against Snapshot: Adds hold it shared (WAL append plus
+	// in-memory insert happen atomically w.r.t. snapshots), Snapshot holds
+	// it exclusively so the saved corpus and the truncated WAL agree.
+	mu sync.RWMutex
+
+	restored     int          // entries restored from the snapshot at boot
+	replayed     int          // WAL records applied at boot
+	replayDupes  int          // WAL records skipped as already in the snapshot
+	tornTail     bool         // whether boot found (and cut) a torn WAL tail
+	pendingAdds  atomic.Int64 // adds journaled since the last snapshot
+	snapshots    atomic.Int64 // successful snapshots taken
+	lastSnapshot atomic.Int64 // unix nanos of the last successful snapshot
+}
+
+// OpenStore attaches durable storage in dir to c (which must be empty: the
+// store's contents become the corpus's initial state). The directory is
+// created if needed.
+func OpenStore(dir string, c *Corpus) (*Store, error) {
+	if c.store != nil {
+		return nil, fmt.Errorf("service: corpus already has a store attached")
+	}
+	if c.Len() != 0 {
+		return nil, fmt.Errorf("service: OpenStore needs an empty corpus (%d entries)", c.Len())
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: create store dir: %w", err)
+	}
+	s := &Store{dir: dir, corpus: c}
+
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if f, err := os.Open(snapPath); err == nil {
+		restoreErr := c.ReadSnapshot(f)
+		f.Close()
+		if restoreErr != nil {
+			return nil, fmt.Errorf("service: restore %s: %w", snapPath, restoreErr)
+		}
+		s.restored = c.Len()
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	// Replay is idempotent against the snapshot: a crash between the
+	// snapshot rename and the WAL truncate leaves a WAL whose records are
+	// all already in the snapshot, so records matching a not-yet-consumed
+	// snapshot entry (same id and fingerprint) are skipped instead of
+	// indexed twice.
+	var covered map[string]int
+	if s.restored > 0 {
+		covered = c.entryMultiset()
+	}
+	walPath := filepath.Join(dir, WALFile)
+	_, goodOffset, torn, err := replayWAL(walPath, func(id string, fp ccd.Fingerprint) {
+		key := id + "\x00" + string(fp)
+		if covered[key] > 0 {
+			covered[key]--
+			s.replayDupes++
+			return
+		}
+		c.addLocal(id, fp)
+		s.replayed++
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: replay %s: %w", walPath, err)
+	}
+	s.tornTail = torn
+	if torn {
+		if err := os.Truncate(walPath, goodOffset); err != nil {
+			return nil, fmt.Errorf("service: cut torn WAL tail: %w", err)
+		}
+	}
+	s.pendingAdds.Store(int64(s.replayed))
+
+	if s.wal, err = openWAL(walPath); err != nil {
+		return nil, fmt.Errorf("service: open WAL: %w", err)
+	}
+	c.store = s
+	return s, nil
+}
+
+// add journals the entry, then makes it visible. Called by Corpus.Add.
+func (s *Store) add(id string, fp ccd.Fingerprint) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := s.wal.appendRecord(id, fp); err != nil {
+		return fmt.Errorf("%w: wal append: %v", ErrPersist, err)
+	}
+	s.corpus.addLocal(id, fp)
+	s.pendingAdds.Add(1)
+	return nil
+}
+
+// SnapshotInfo reports one Snapshot call.
+type SnapshotInfo struct {
+	Path    string        `json:"path"`
+	Bytes   int64         `json:"bytes"`
+	Entries int           `json:"entries"`
+	Elapsed time.Duration `json:"-"`
+}
+
+// Snapshot persists the corpus atomically (write to a temp file in the same
+// directory, fsync, rename) and truncates the WAL. Ingest pauses for the
+// duration; matching is unaffected.
+func (s *Store) Snapshot() (SnapshotInfo, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.dir, SnapshotFile+".tmp-*")
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_ = tmp.Chmod(0o644)        // CreateTemp defaults to 0600
+	if err := s.corpus.WriteSnapshot(tmp); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, err
+	}
+	st, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return SnapshotInfo{}, err
+	}
+	if err := tmp.Close(); err != nil {
+		return SnapshotInfo{}, err
+	}
+	final := filepath.Join(s.dir, SnapshotFile)
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return SnapshotInfo{}, err
+	}
+	syncDir(s.dir)
+	if err := s.wal.reset(); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("snapshot saved but WAL truncate failed (replay will be redundant, not lossy): %w", err)
+	}
+	s.pendingAdds.Store(0)
+	s.snapshots.Add(1)
+	s.lastSnapshot.Store(time.Now().UnixNano())
+	return SnapshotInfo{
+		Path:    final,
+		Bytes:   st.Size(),
+		Entries: s.corpus.Len(),
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems reject directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// StartAutoSnapshot snapshots every interval while there are journaled adds
+// not yet covered by a snapshot. The returned stop function halts the loop
+// and waits for an in-flight snapshot to finish; it is idempotent, so it can
+// be both deferred and called explicitly before Close.
+func (s *Store) StartAutoSnapshot(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var once sync.Once
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if s.pendingAdds.Load() == 0 {
+					continue
+				}
+				if _, err := s.Snapshot(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+// Close releases the WAL file handle. It does not snapshot; callers wanting
+// a clean shutdown snapshot first.
+func (s *Store) Close() error {
+	return s.wal.close()
+}
+
+// StoreInfo is a point-in-time view of the store for /v1/corpus and logs.
+type StoreInfo struct {
+	Dir             string `json:"dir"`
+	RestoredEntries int    `json:"restored_entries"`
+	ReplayedRecords int    `json:"replayed_records"`
+	// ReplaySkippedDuplicates counts WAL records already covered by the
+	// snapshot (a crash hit the window between snapshot rename and WAL
+	// truncate); they are collapsed at recovery, not indexed twice.
+	ReplaySkippedDuplicates int    `json:"replay_skipped_duplicates,omitempty"`
+	TornTailCut             bool   `json:"torn_tail_cut,omitempty"`
+	PendingAdds             int64  `json:"pending_adds"`
+	Snapshots               int64  `json:"snapshots"`
+	LastSnapshot            string `json:"last_snapshot,omitempty"`
+	WALBytes                int64  `json:"wal_bytes"`
+}
+
+// Info reports the store's boot and runtime statistics.
+func (s *Store) Info() StoreInfo {
+	info := StoreInfo{
+		Dir:                     s.dir,
+		RestoredEntries:         s.restored,
+		ReplayedRecords:         s.replayed,
+		ReplaySkippedDuplicates: s.replayDupes,
+		TornTailCut:             s.tornTail,
+		PendingAdds:             s.pendingAdds.Load(),
+		Snapshots:               s.snapshots.Load(),
+	}
+	if ns := s.lastSnapshot.Load(); ns != 0 {
+		info.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
+	}
+	if n, err := s.wal.size(); err == nil {
+		info.WALBytes = n
+	}
+	return info
+}

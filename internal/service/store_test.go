@@ -1,0 +1,387 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ccd"
+)
+
+func testFP(i int) ccd.Fingerprint {
+	return ccd.Fingerprint(fmt.Sprintf("QxRtYuIoP%dAbCdEfGh.ZxCvBnM%dQwErTy", i, i*7))
+}
+
+func mustAdd(t *testing.T, c *Corpus, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := c.Add(fmt.Sprintf("doc-%d", i), testFP(i)); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+}
+
+func verifyEntries(t *testing.T, c *Corpus, n int) {
+	t.Helper()
+	if c.Len() != n {
+		t.Fatalf("corpus has %d entries, want %d", c.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		ms := c.Match(testFP(i))
+		found := false
+		for _, m := range ms {
+			if m.ID == fmt.Sprintf("doc-%d", i) && m.Score == 100 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("doc-%d not matchable after recovery (got %v)", i, ms)
+		}
+	}
+}
+
+// TestStoreWALReplayAfterCrash is the acceptance-criteria test: every
+// acknowledged Add must survive a kill -9 (simulated by abandoning the store
+// without Close or Snapshot — exactly the on-disk state a crash leaves).
+func TestStoreWALReplayAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 4)
+	if _, err := OpenStore(dir, c1); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c1, 37)
+	// Crash: no Close, no Snapshot. Reopen from disk alone.
+
+	c2 := NewCorpus(ccd.DefaultConfig, 4)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if info := s2.Info(); info.ReplayedRecords != 37 || info.RestoredEntries != 0 {
+		t.Fatalf("boot info %+v, want 37 replayed / 0 restored", info)
+	}
+	verifyEntries(t, c2, 37)
+}
+
+// TestStoreSnapshotThenCrash: adds before a snapshot come back from the
+// snapshot, adds after it from the WAL; nothing acknowledged is lost.
+func TestStoreSnapshotThenCrash(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 4)
+	s1, err := OpenStore(dir, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c1, 20)
+	info, err := s1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Entries != 20 || info.Bytes == 0 {
+		t.Fatalf("snapshot info %+v", info)
+	}
+	if n, _ := s1.wal.size(); n != 0 {
+		t.Fatalf("WAL not truncated after snapshot: %d bytes", n)
+	}
+	for i := 20; i < 30; i++ {
+		if err := c1.Add(fmt.Sprintf("doc-%d", i), testFP(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash.
+
+	c2 := NewCorpus(ccd.DefaultConfig, 4)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if info := s2.Info(); info.RestoredEntries != 20 || info.ReplayedRecords != 10 {
+		t.Fatalf("boot info %+v, want 20 restored / 10 replayed", info)
+	}
+	verifyEntries(t, c2, 30)
+}
+
+// TestStoreTornWALTail: a crash mid-append leaves a truncated final record;
+// replay must keep every complete record, cut the tail, and keep appending.
+func TestStoreTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 2)
+	if _, err := OpenStore(dir, c1); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c1, 5)
+
+	walPath := filepath.Join(dir, WALFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 3 bytes.
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s2.Info()
+	if info.ReplayedRecords != 4 || !info.TornTailCut {
+		t.Fatalf("boot info %+v, want 4 replayed with torn tail cut", info)
+	}
+	verifyEntries(t, c2, 4)
+	// New appends after the cut must land on a clean boundary.
+	if err := c2.Add("post-tear", testFP(99)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	c3 := NewCorpus(ccd.DefaultConfig, 2)
+	s3, err := OpenStore(dir, c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Info().ReplayedRecords; got != 5 {
+		t.Fatalf("replayed %d records after re-append, want 5", got)
+	}
+	if c3.Len() != 5 {
+		t.Fatalf("corpus has %d entries, want 5", c3.Len())
+	}
+}
+
+// TestStoreCorruptWALRecord: a bit flip inside an earlier record stops
+// replay at the corruption point rather than indexing garbage.
+func TestStoreCorruptWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 2)
+	if _, err := OpenStore(dir, c1); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c1, 6)
+
+	walPath := filepath.Join(dir, WALFile)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	info := s2.Info()
+	if !info.TornTailCut || info.ReplayedRecords >= 6 {
+		t.Fatalf("boot info %+v, want torn cut with < 6 records", info)
+	}
+	if c2.Len() != info.ReplayedRecords {
+		t.Fatalf("corpus %d entries != %d replayed", c2.Len(), info.ReplayedRecords)
+	}
+}
+
+// TestStoreConcurrentAddsAndSnapshot hammers Add from many goroutines while
+// snapshots fire; afterwards a fresh boot must see every acknowledged add
+// exactly once.
+func TestStoreConcurrentAddsAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 8)
+	s1, err := OpenStore(dir, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 30
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if err := c1.Add(id, testFP(w*1000+i)); err != nil {
+					t.Errorf("add %s: %v", id, err)
+				}
+			}
+		}(w)
+	}
+	snapErrs := make(chan error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s1.Snapshot()
+			snapErrs <- err
+		}()
+	}
+	wg.Wait()
+	close(snapErrs)
+	for err := range snapErrs {
+		if err != nil {
+			t.Fatalf("snapshot: %v", err)
+		}
+	}
+	// Crash without a final snapshot.
+
+	c2 := NewCorpus(ccd.DefaultConfig, 8)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if c2.Len() != writers*perWriter {
+		t.Fatalf("recovered %d entries, want %d", c2.Len(), writers*perWriter)
+	}
+}
+
+// TestStoreCrashBetweenSnapshotAndWALTruncate: a crash can land after the
+// snapshot rename but before the WAL truncate, leaving a snapshot and a WAL
+// that both hold the same records. Recovery must not index them twice.
+func TestStoreCrashBetweenSnapshotAndWALTruncate(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCorpus(ccd.DefaultConfig, 4)
+	s1, err := OpenStore(dir, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c1, 15)
+	walPath := filepath.Join(dir, WALFile)
+	preSnapshotWAL, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: the snapshot landed but the WAL truncate
+	// did not — restore the pre-snapshot WAL content.
+	if err := os.WriteFile(walPath, preSnapshotWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCorpus(ccd.DefaultConfig, 4)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	info := s2.Info()
+	if info.RestoredEntries != 15 || info.ReplayedRecords != 0 || info.ReplaySkippedDuplicates != 15 {
+		t.Fatalf("boot info %+v, want 15 restored / 0 replayed / 15 skipped", info)
+	}
+	verifyEntries(t, c2, 15)
+	// No entry may appear twice.
+	for i := 0; i < 15; i++ {
+		hits := 0
+		for _, m := range c2.Match(testFP(i)) {
+			if m.ID == fmt.Sprintf("doc-%d", i) {
+				hits++
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("doc-%d indexed %d times after crash-window recovery", i, hits)
+		}
+	}
+}
+
+// TestStoreRestoreAcrossShardCounts: a snapshot taken with one shard count
+// restores into a corpus with another (entries re-distribute by id hash).
+func TestStoreRestoreAcrossShardCounts(t *testing.T) {
+	src := NewCorpus(ccd.DefaultConfig, 16)
+	mustAdd(t, src, 50)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewCorpus(ccd.ConservativeConfig, 3) // different cfg AND shards
+	if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Config() != src.Config() {
+		t.Fatalf("restored config %v, want %v (snapshot config wins)", dst.Config(), src.Config())
+	}
+	verifyEntries(t, dst, 50)
+}
+
+func TestReadSnapshotRejectsNonEmptyAndGarbage(t *testing.T) {
+	c := NewCorpus(ccd.DefaultConfig, 2)
+	mustAdd(t, c, 1)
+	if err := c.ReadSnapshot(bytes.NewReader(nil)); err == nil {
+		t.Error("restore into non-empty corpus accepted")
+	}
+	empty := NewCorpus(ccd.DefaultConfig, 2)
+	if err := empty.ReadSnapshot(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+	var buf bytes.Buffer
+	if err := NewCorpus(ccd.DefaultConfig, 2).WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{1, len(full) / 2, len(full) - 1} {
+		if err := NewCorpus(ccd.DefaultConfig, 2).ReadSnapshot(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated envelope at %d accepted", cut)
+		}
+	}
+}
+
+// TestEngineWithStore: the engine's ingest path journals through an attached
+// store and a rebooted engine serves the same corpus.
+func TestEngineWithStore(t *testing.T) {
+	dir := t.TempDir()
+	e1 := New(Options{Workers: 4})
+	if _, err := OpenStore(dir, e1.Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.CorpusAdd("reentrant", reentrantSrc); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.CorpusAddFingerprint("pre", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash.
+
+	e2 := New(Options{Workers: 4})
+	if _, err := OpenStore(dir, e2.Corpus()); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Corpus().Len() != 2 {
+		t.Fatalf("recovered %d entries, want 2", e2.Corpus().Len())
+	}
+	ms, err := e2.Match(reentrantSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 || ms[0].ID != "reentrant" || ms[0].Score != 100 {
+		t.Fatalf("recovered corpus match: %v", ms)
+	}
+}
+
+func TestOpenStoreRejectsNonEmptyCorpusAndDoubleAttach(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(ccd.DefaultConfig, 2)
+	mustAdd(t, c, 1)
+	if _, err := OpenStore(dir, c); err == nil {
+		t.Error("non-empty corpus accepted")
+	}
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	s, err := OpenStore(t.TempDir(), c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := OpenStore(t.TempDir(), c2); err == nil {
+		t.Error("double attach accepted")
+	}
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/ccd"
+)
+
+// ErrPersist marks durability failures: an Add that could not be journaled
+// was not acknowledged and is not visible in the corpus. Callers distinguish
+// it from per-entry parse issues (which still index a partial fingerprint).
+var ErrPersist = errors.New("corpus persistence failed")
+
+// WAL record layout:
+//
+//	uvarint payload length
+//	uint32  CRC-32 (IEEE, little-endian) of the payload
+//	payload: uvarint id length, id, uvarint fingerprint length, fingerprint
+//
+// Records are synced to disk before Add is acknowledged, so a crash loses at
+// most un-acknowledged writes. Replay stops at the first torn or corrupt
+// record — a crash mid-append leaves a truncated tail, never a reordered
+// one — and reports the byte offset of the last intact record so the tail
+// can be cut before new appends.
+type wal struct {
+	mu   sync.Mutex // guards writes to f and writeSeq
+	f    *os.File
+	path string
+
+	// Group commit: appenders write under mu, then sync under syncMu. An
+	// appender arriving while another's fsync is in flight waits on syncMu
+	// and usually finds its record already covered (syncSeq ≥ its seq), so
+	// N concurrent appends coalesce into ~2 fsyncs instead of N.
+	syncMu   sync.Mutex
+	writeSeq int64 // records written (mu)
+	syncSeq  int64 // records known durable (syncMu)
+}
+
+// openWAL opens (creating if needed) the log for appending.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, path: path}, nil
+}
+
+// appendRecord journals one entry and returns once it is on stable storage.
+func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
+	payload := make([]byte, 0, 2*binary.MaxVarintLen64+len(id)+len(fp))
+	payload = binary.AppendUvarint(payload, uint64(len(id)))
+	payload = append(payload, id...)
+	payload = binary.AppendUvarint(payload, uint64(len(fp)))
+	payload = append(payload, fp...)
+
+	rec := make([]byte, 0, binary.MaxVarintLen64+4+len(payload))
+	rec = binary.AppendUvarint(rec, uint64(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+
+	w.mu.Lock()
+	if _, err := w.f.Write(rec); err != nil {
+		w.mu.Unlock()
+		return err
+	}
+	w.writeSeq++
+	seq := w.writeSeq
+	w.mu.Unlock()
+
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.syncSeq >= seq {
+		return nil // a concurrent appender's fsync already covered us
+	}
+	w.mu.Lock()
+	covered := w.writeSeq // every record written before the Sync below
+	w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.syncSeq = covered
+	return nil
+}
+
+// reset truncates the log after a successful snapshot: everything it held is
+// now covered by the snapshot file.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// size returns the current log length in bytes.
+func (w *wal) size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// maxWALPayload bounds one record's payload (an id plus a fingerprint).
+const maxWALPayload = 1 << 28 // 256 MiB
+
+// replayWAL streams records from path into fn, tolerating a torn tail. It
+// returns the number of intact records, the byte offset just past the last
+// intact record (truncate the file here before appending), and whether a
+// torn/corrupt tail was skipped. A missing file replays zero records.
+func replayWAL(path string, fn func(id string, fp ccd.Fingerprint)) (records int, goodOffset int64, torn bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, false, nil
+	}
+	if err != nil {
+		return 0, 0, false, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReader(f)
+	offset := int64(0)
+	for {
+		payloadLen, n, err := readUvarintCounted(br)
+		if err == io.EOF {
+			return records, offset, false, nil
+		}
+		if err != nil || payloadLen > maxWALPayload {
+			return records, offset, true, nil
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return records, offset, true, nil
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, offset, true, nil
+		}
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return records, offset, true, nil
+		}
+		id, rest, ok := cutString(payload)
+		if !ok {
+			return records, offset, true, nil
+		}
+		fp, rest, ok := cutString(rest)
+		if !ok || len(rest) != 0 {
+			return records, offset, true, nil
+		}
+		fn(string(id), ccd.Fingerprint(fp))
+		records++
+		offset += int64(n) + 4 + int64(payloadLen)
+	}
+}
+
+// readUvarintCounted decodes a uvarint and reports how many bytes it took.
+func readUvarintCounted(br *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var n int
+	for shift := uint(0); ; shift += 7 {
+		b, err := br.ReadByte()
+		if err != nil {
+			if n > 0 && err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, n, err
+		}
+		n++
+		if shift >= 64 || n > binary.MaxVarintLen64 {
+			return 0, n, fmt.Errorf("uvarint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, n, nil
+		}
+	}
+}
+
+// cutString splits a uvarint-length-prefixed string off the front of buf.
+func cutString(buf []byte) (s, rest []byte, ok bool) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 || n > uint64(len(buf)-used) {
+		return nil, nil, false
+	}
+	return buf[used : used+int(n)], buf[used+int(n):], true
+}
