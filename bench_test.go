@@ -608,8 +608,84 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// --- read path: top-K planner and lock-free generations ---------------------------
+
+// matchBenchCorpus restores the shared 10k-document corpus from its snapshot
+// and precomputes query fingerprints drawn from the corpus itself (worst
+// case: many strong candidates survive the pre-filter).
+func matchBenchCorpus(b *testing.B) (*service.Corpus, []ccd.Fingerprint) {
+	entries, snapshot := persistFixture(b)
+	c := service.NewCorpus(ccd.DefaultConfig, 0)
+	if err := c.ReadSnapshot(bytes.NewReader(snapshot)); err != nil {
+		b.Fatal(err)
+	}
+	var fps []ccd.Fingerprint
+	for _, e := range entries[:16] {
+		fp, _ := ccd.FingerprintSource(e.Source)
+		fps = append(fps, fp)
+	}
+	return c, fps
+}
+
+// BenchmarkMatchTopK10k is the headline read-path benchmark on a 10k-doc
+// corpus: the full scoring pass (every pre-filter candidate runs Algorithm 1
+// — the seed `Match` behavior) against the top-K planner at k=10, whose heap
+// bound feeds back into the bounded edit distance. The acceptance floor is a
+// 3x ns/op ratio between the fullscan and top10 sub-benchmarks.
+func BenchmarkMatchTopK10k(b *testing.B) {
+	c, fps := matchBenchCorpus(b)
+	b.Run("fullscan", func(b *testing.B) {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += len(c.Match(fps[i%len(fps)]))
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+	})
+	b.Run("top10", func(b *testing.B) {
+		total := 0
+		for i := 0; i < b.N; i++ {
+			ms, _ := c.MatchTopK(fps[i%len(fps)], 10)
+			total += len(ms)
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+	})
+}
+
+// BenchmarkMatchUnderIngest measures match latency while writers publish
+// continuously: the generational corpus keeps readers lock-free, so ns/op
+// here should track BenchmarkMatchTopK10k/top10 rather than degrade behind
+// writer locks. Run with -race in CI as the lock-freedom safety net.
+func BenchmarkMatchUnderIngest(b *testing.B) {
+	c, fps := matchBenchCorpus(b)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // continuous single-entry ingest: worst-case publish churn
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				_ = c.Add(fmt.Sprintf("ingest-%d", i), fps[i%len(fps)])
+			}
+		}
+	}()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.MatchTopK(fps[i%len(fps)], 10)
+			i++
+		}
+	})
+	b.StopTimer()
+	close(done)
+	wg.Wait()
+}
+
 // BenchmarkCorpusMatchParallel measures concurrent clone matching against
-// the sharded corpus (readers proceed under shard read-locks in parallel).
+// the generational corpus (readers share immutable segments, no locks).
 func BenchmarkCorpusMatchParallel(b *testing.B) {
 	srcs := engineBenchSources(64)
 	eng := service.New(service.Options{})

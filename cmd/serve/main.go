@@ -21,7 +21,9 @@
 //	POST /v1/corpus/bulk      NDJSON stream: {"id", "source"|"fingerprint"} per line
 //	POST /v1/corpus/snapshot  persist now (requires -corpus-dir)
 //	GET  /v1/corpus/export    binary corpus snapshot download
-//	POST /v1/match            {"source": "..."} or {"fingerprint": "..."}
+//	POST /v1/match            {"source": "..."} or {"fingerprint": "..."};
+//	                          optional "limit": k keeps the top K; batch form
+//	                          {"sources": [...]} / {"fingerprints": [...]}
 //	POST /v1/study            {"seed": 1, "scale": 0.01}   (async; poll the id)
 //	GET  /v1/study/{id}
 //	GET  /healthz
@@ -49,7 +51,7 @@ func main() {
 	addr := flag.String("addr", ":8070", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "entries per cache layer (0 = default, <0 disables)")
-	shards := flag.Int("shards", 0, "corpus shard count (0 = default)")
+	shards := flag.Int("shards", 0, "deprecated: ignored (the corpus self-sizes its generations)")
 	n := flag.Int("ccd-n", ccd.DefaultConfig.N, "CCD n-gram size")
 	eta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "CCD n-gram containment threshold")
 	eps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "CCD similarity threshold (0-100)")

@@ -150,10 +150,10 @@ func TestSimilaritySelf(t *testing.T) {
 	}
 }
 
-func TestSimilarityAsymmetryContainment(t *testing.T) {
-	// A snippet fully contained in a larger contract scores 100 from the
-	// snippet's perspective (every snippet sub-fingerprint has a perfect
-	// counterpart).
+func TestSimilarityContainmentSymmetric(t *testing.T) {
+	// A snippet fully contained in a larger contract scores 100: Algorithm 1
+	// is evaluated from the smaller side (every snippet sub-fingerprint has
+	// a perfect counterpart), whichever argument order the caller used.
 	snippet := `function withdraw(uint amount) public {
 		msg.sender.transfer(amount);
 	}`
@@ -171,8 +171,8 @@ func TestSimilarityAsymmetryContainment(t *testing.T) {
 		t.Errorf("contained snippet should score high: %.1f", sSnippet)
 	}
 	sContract := Similarity(fc, fs)
-	if sContract >= sSnippet {
-		t.Errorf("containment should be asymmetric: %.1f vs %.1f", sContract, sSnippet)
+	if sContract != sSnippet {
+		t.Errorf("similarity should be symmetric: %.1f vs %.1f", sContract, sSnippet)
 	}
 }
 

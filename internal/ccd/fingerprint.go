@@ -93,12 +93,28 @@ func (f Fingerprint) matchSubs() []string {
 // Delta is the normalized sub-fingerprint similarity δ(s1,s2) in [0,100].
 func Delta(s1, s2 string) float64 { return editdist.Similarity(s1, s2) }
 
+// orient returns the two sub-fingerprint sets in canonical order: the side
+// with fewer subs first (ties broken by fingerprint byte order). Algorithm 1
+// is directional — each sub of the first set seeks its best match in the
+// second — so evaluating from the smaller side makes the score symmetric
+// while preserving the containment semantics the pipeline relies on: a
+// snippet matched against a full contract scores the snippet's containment,
+// whichever argument order the caller used.
+func orient(f1, f2 Fingerprint) (subs1, subs2 []string) {
+	subs1, subs2 = f1.matchSubs(), f2.matchSubs()
+	if len(subs1) > len(subs2) || (len(subs1) == len(subs2) && f1 > f2) {
+		subs1, subs2 = subs2, subs1
+	}
+	return subs1, subs2
+}
+
 // Similarity implements Algorithm 1 (order-independent similarity): every
-// sub-fingerprint of f1 is matched against all sub-fingerprints of f2, and
-// the mean of the best matches is returned (0..100). An empty f1 yields 0.
+// sub-fingerprint of the smaller unit is matched against all
+// sub-fingerprints of the larger, and the mean of the best matches is
+// returned (0..100). The score is symmetric in its arguments; an empty
+// fingerprint yields 0.
 func Similarity(f1, f2 Fingerprint) float64 {
-	subs1 := f1.matchSubs()
-	subs2 := f2.matchSubs()
+	subs1, subs2 := orient(f1, f2)
 	if len(subs1) == 0 || len(subs2) == 0 {
 		return 0
 	}
@@ -119,18 +135,37 @@ func Similarity(f1, f2 Fingerprint) float64 {
 // comparisons use bounded edit distance, and matching aborts once the
 // remaining sub-fingerprints cannot lift the mean above threshold.
 func SimilarityAtLeast(f1, f2 Fingerprint, threshold float64) (float64, bool) {
-	subs1 := f1.matchSubs()
-	subs2 := f2.matchSubs()
+	return similarityAtLeast(f1.matchSubs(), f1, f2.matchSubs(), f2, threshold)
+}
+
+// similarityAtLeast is SimilarityAtLeast over pre-split sub-fingerprints,
+// letting the matcher derive the query's subs once instead of per candidate.
+func similarityAtLeast(subs1 []string, f1 Fingerprint, subs2 []string, f2 Fingerprint, threshold float64) (float64, bool) {
+	if len(subs1) > len(subs2) || (len(subs1) == len(subs2) && f1 > f2) {
+		subs1, subs2 = subs2, subs1
+	}
 	if len(subs1) == 0 || len(subs2) == 0 {
 		return 0, threshold <= 0
 	}
-	needTotal := threshold * float64(len(subs1))
+	n := float64(len(subs1))
 	total := 0.0
 	for i, s1 := range subs1 {
+		remaining := float64(len(subs1) - i - 1)
+		// Lower bound on what this sub must contribute for the threshold to
+		// stay reachable, assuming every remaining sub scores a perfect 100.
+		// It feeds the bounded edit distance, so hopeless sub comparisons
+		// stop after a few rows instead of filling the whole matrix. The
+		// small slack keeps float rounding from ever rejecting a candidate
+		// scoring exactly the threshold (thresholds are often prior means);
+		// over-admitted borderline subs are settled exactly below.
+		minNeeded := threshold*n - total - remaining*100 - 1e-9*n
 		best := 0.0
 		for _, s2 := range subs2 {
-			d, _ := editdist.SimilarityAtLeast(s1, s2, best)
-			if d > best {
+			d, ok := editdist.SimilarityAtLeast(s1, s2, max(best, minNeeded))
+			// A failed bounded search reports a capped distance whose
+			// similarity overestimates the truth — only exact (ok) scores
+			// may raise best.
+			if ok && d > best {
 				best = d
 				if best == 100 {
 					break
@@ -138,12 +173,14 @@ func SimilarityAtLeast(f1, f2 Fingerprint, threshold float64) (float64, bool) {
 			}
 		}
 		total += best
-		// Even perfect remaining matches cannot reach the threshold.
-		remaining := float64(len(subs1) - i - 1)
-		if total+remaining*100 < needTotal {
-			return total / float64(len(subs1)), false
+		// Even perfect remaining matches cannot reach the threshold. The
+		// upper bound is compared as a mean — the same division the final
+		// verdict uses — so a candidate scoring exactly the threshold is
+		// never lost to float rounding.
+		if (total+remaining*100)/n < threshold {
+			return total / n, false
 		}
 	}
-	eps := total / float64(len(subs1))
+	eps := total / n
 	return eps, eps >= threshold
 }

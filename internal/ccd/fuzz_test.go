@@ -1,0 +1,71 @@
+package ccd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotLoad: Load on arbitrary bytes must return an error or a valid
+// corpus — never panic, never allocate absurdly, never hand back a corpus
+// that cannot round-trip. Seeded with valid snapshots (both index layouts)
+// plus truncations and header mutations; the committed corpus lives in
+// testdata/fuzz/FuzzSnapshotLoad.
+func FuzzSnapshotLoad(f *testing.F) {
+	seed := func(build func(c *Corpus)) []byte {
+		c := NewCorpus(DefaultConfig)
+		build(c)
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty := seed(func(c *Corpus) {})
+	small := seed(func(c *Corpus) {
+		c.Add("a", "QxRtYuIoPAbCdEfGh.ZxCvBnMQwErTy")
+		c.Add("b", "MmMmMmMmMm.NnNnNnNnNn:PpPpPpPp")
+	})
+	// Long repetitive fingerprints make the encoded n-gram index smaller
+	// than the fingerprint payload, forcing the embedded-index layout.
+	embedded := seed(func(c *Corpus) {
+		for i := 0; i < 4; i++ {
+			fp := bytes.Repeat([]byte("abcabcabcabc"), 200)
+			c.Add(string(rune('a'+i)), Fingerprint(fp))
+		}
+	})
+	f.Add(empty)
+	f.Add(small)
+	f.Add(embedded)
+	f.Add(small[:len(small)/2])
+	f.Add([]byte("CCDSNAP\x00"))
+	f.Add([]byte("CCDSNAP\x00\x01\x03garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		c, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever Load accepted must survive a save/load round trip intact.
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatalf("accepted corpus fails to save: %v", err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip fails to load: %v", err)
+		}
+		if got.Len() != c.Len() || got.Config() != c.Config() {
+			t.Fatalf("round trip drifted: %d/%v vs %d/%v", got.Len(), got.Config(), c.Len(), c.Config())
+		}
+		a, b := c.Entries(), got.Entries()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("entry %d drifted: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

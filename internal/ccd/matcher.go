@@ -90,6 +90,94 @@ func (c *Corpus) Match(fp Fingerprint) []Match {
 	return out
 }
 
+// MatchStats counts the work one top-K match did across the filter stages.
+type MatchStats struct {
+	// Candidates survived the n-gram pre-filter and were considered.
+	Candidates int
+	// FilterPruned were abandoned inside the pre-filter by the η
+	// upper-bound cutoff before their gram counts completed.
+	FilterPruned int
+	// Scored ran the full Algorithm-1 similarity to completion.
+	Scored int
+	// CutoffSkipped were cut short by the top-K lower bound: the bounded
+	// edit distance proved they could not enter the current top K, so the
+	// expensive exact score was never finished.
+	CutoffSkipped int
+}
+
+// Add accumulates other into s.
+func (s *MatchStats) Add(other MatchStats) {
+	s.Candidates += other.Candidates
+	s.FilterPruned += other.FilterPruned
+	s.Scored += other.Scored
+	s.CutoffSkipped += other.CutoffSkipped
+}
+
+// MatchTopK returns the k best matches (score descending, ties by id) whose
+// score reaches ε. k ≤ 0 means unbounded: the same match set as Match,
+// sorted. The candidate stream arrives containment-best-first from the
+// pre-filter, so the top-K lower bound tightens quickly and most of the
+// tail is rejected by bounded edit distance instead of being scored.
+func (c *Corpus) MatchTopK(fp Fingerprint, k int) []Match {
+	out, _ := c.MatchTopKStats(fp, k)
+	return out
+}
+
+// MatchTopKStats is MatchTopK plus the per-stage pruning counts.
+func (c *Corpus) MatchTopKStats(fp Fingerprint, k int) ([]Match, MatchStats) {
+	col := NewTopK(k, c.cfg.Epsilon)
+	stats := c.MatchTopKInto(fp, col)
+	return col.Results(), stats
+}
+
+// PreparedQuery is one query fingerprint with its derived forms — distinct
+// n-grams for the pre-filter, sub-fingerprints for Algorithm 1 — computed
+// once and reused across every segment and candidate the query touches.
+type PreparedQuery struct {
+	FP    Fingerprint
+	grams []string
+	subs  []string
+}
+
+// PrepareQuery derives the reusable query forms under cfg.
+func PrepareQuery(cfg Config, fp Fingerprint) *PreparedQuery {
+	if cfg.N == 0 {
+		cfg = DefaultConfig
+	}
+	return &PreparedQuery{
+		FP:    fp,
+		grams: ngram.Grams(string(fp), cfg.N),
+		subs:  fp.matchSubs(),
+	}
+}
+
+// MatchTopKInto streams this corpus's candidates into an external collector.
+func (c *Corpus) MatchTopKInto(fp Fingerprint, col *TopK) MatchStats {
+	return c.MatchPreparedInto(PrepareQuery(c.cfg, fp), col)
+}
+
+// MatchPreparedInto streams this corpus's candidates for a prepared query
+// into an external collector, so callers holding several corpora (the
+// service's generation segments) can share one top-K bound — and one
+// prepared query — across all of them. Returns this corpus's stats.
+func (c *Corpus) MatchPreparedInto(q *PreparedQuery, col *TopK) MatchStats {
+	var stats MatchStats
+	cands, qst := c.index.QueryGrams(q.grams, c.cfg.Eta)
+	stats.Candidates = len(cands)
+	stats.FilterPruned = qst.Pruned
+	for _, cand := range cands {
+		entry := c.entries[cand.Doc]
+		score, ok := similarityAtLeast(q.subs, q.FP, entry.FP.matchSubs(), entry.FP, col.Bound())
+		if !ok {
+			stats.CutoffSkipped++
+			continue
+		}
+		stats.Scored++
+		col.Offer(Match{ID: entry.ID, Score: score})
+	}
+	return stats
+}
+
 // MatchAllPairs scores the query against every entry without the n-gram
 // pre-filter (ablation baseline for the Execution Time challenge of
 // Section 5.5).

@@ -1,6 +1,8 @@
 package ccd
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -109,6 +111,85 @@ func TestPropertyCorpusMatchMonotoneInEpsilon(t *testing.T) {
 			t.Fatalf("ε=70 returned fewer matches (%d) than ε=90 (%d)", len(ml), len(ms))
 		}
 	}
+}
+
+// TestPropertySimilaritySymmetric: Algorithm 1 evaluated from the canonical
+// (smaller) side is symmetric in its arguments, including the early-exit
+// variant's verdict.
+func TestPropertySimilaritySymmetric(t *testing.T) {
+	srcs := corpusSources()
+	var fps []Fingerprint
+	for _, s := range srcs {
+		fp, _ := FingerprintSource(s)
+		fps = append(fps, fp)
+	}
+	for i := range fps {
+		for j := i + 1; j < len(fps); j++ {
+			ab := Similarity(fps[i], fps[j])
+			ba := Similarity(fps[j], fps[i])
+			if ab != ba {
+				t.Fatalf("similarity not symmetric: %.4f vs %.4f (%d,%d)", ab, ba, i, j)
+			}
+			_, okAB := SimilarityAtLeast(fps[i], fps[j], 70)
+			_, okBA := SimilarityAtLeast(fps[j], fps[i], 70)
+			if okAB != okBA {
+				t.Fatalf("SimilarityAtLeast verdict not symmetric (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestPropertyMatchTopKAgreesWithMatch: on random corpora, MatchTopK with an
+// unbounded k returns exactly the sorted Match set, and every finite k
+// returns its prefix — the heap bound and the edit-distance cutoff are exact
+// optimizations, not approximations.
+func TestPropertyMatchTopKAgreesWithMatch(t *testing.T) {
+	m := dataset.NewMutator(23)
+	srcs := corpusSources()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		cfg := Config{N: 3, Eta: 0.5, Epsilon: []float64{50, 70, 90}[trial%3]}
+		corpus := NewCorpus(cfg)
+		docs := 10 + rng.Intn(30)
+		for d := 0; d < docs; d++ {
+			src := srcs[rng.Intn(len(srcs))]
+			if rng.Intn(2) == 0 {
+				src = m.Mutate(src, 1+rng.Intn(3))
+			}
+			_ = corpus.AddSource(fmt.Sprintf("doc-%d-%d", trial, d), src)
+		}
+		for q := 0; q < 10; q++ {
+			fp, _ := FingerprintSource(srcs[rng.Intn(len(srcs))])
+			want := corpus.Match(fp)
+			SortMatches(want)
+			all := corpus.MatchTopK(fp, 0)
+			if !matchesEqual(all, want) {
+				t.Fatalf("trial %d: MatchTopK(0) != sorted Match:\n got %v\nwant %v", trial, all, want)
+			}
+			for _, k := range []int{1, 3, len(want), len(want) + 5} {
+				if k == 0 {
+					continue
+				}
+				got := corpus.MatchTopK(fp, k)
+				expect := want[:min(k, len(want))]
+				if !matchesEqual(got, expect) {
+					t.Fatalf("trial %d k=%d:\n got %v\nwant %v", trial, k, got, expect)
+				}
+			}
+		}
+	}
+}
+
+func matchesEqual(a, b []Match) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestPropertyNormalizeDeterministic over the corpus.

@@ -1,0 +1,106 @@
+package ccd
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK collects the k best matches seen so far: a bounded min-heap ordered
+// worst-first, so the match that would be evicted next sits at the root.
+// Bound exposes the score a new match must reach to enter, which MatchTopKInto
+// feeds into the bounded edit distance — the expensive exact similarity runs
+// only on candidates that can still make the cut. k ≤ 0 disables the bound
+// (collect everything at ε or better).
+type TopK struct {
+	k   int
+	eps float64
+	h   matchHeap
+}
+
+// NewTopK returns a collector for the k best matches scoring at least eps.
+func NewTopK(k int, eps float64) *TopK {
+	return &TopK{k: k, eps: eps}
+}
+
+// Bound returns the score a match must reach to enter the collection: ε
+// until the heap fills, then the worst collected score (a match tying the
+// bound still needs a smaller id than the current worst to displace it).
+func (t *TopK) Bound() float64 {
+	if t.k > 0 && len(t.h) == t.k {
+		return max(t.eps, t.h[0].Score)
+	}
+	return t.eps
+}
+
+// Offer considers one match; it is kept when it beats the current bound (or
+// ties it with a smaller id).
+func (t *TopK) Offer(m Match) {
+	if m.Score < t.eps {
+		return
+	}
+	if t.k <= 0 || len(t.h) < t.k {
+		heap.Push(&t.h, m)
+		return
+	}
+	if worseOrEqual(m, t.h[0]) {
+		return
+	}
+	t.h[0] = m
+	heap.Fix(&t.h, 0)
+}
+
+// Len returns how many matches are currently held.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Results drains the collection, best first (score descending, ties by id
+// ascending). The collector is empty afterwards.
+func (t *TopK) Results() []Match {
+	if len(t.h) == 0 {
+		return nil
+	}
+	out := make([]Match, len(t.h))
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&t.h).(Match)
+	}
+	return out
+}
+
+// worseOrEqual reports whether a ranks no better than b (score descending,
+// ties by id ascending).
+func worseOrEqual(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID >= b.ID
+}
+
+// matchHeap is a worst-first heap: the minimum-ranked match is at the root.
+type matchHeap []Match
+
+func (h matchHeap) Len() int      { return len(h) }
+func (h matchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h matchHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID
+}
+func (h *matchHeap) Push(x any) { *h = append(*h, x.(Match)) }
+func (h *matchHeap) Pop() any {
+	old := *h
+	m := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return m
+}
+
+// SortMatches orders matches best-first (score descending, ties by id
+// ascending) in place — the canonical presentation order shared by Match
+// (after sorting) and MatchTopK.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		return ms[i].ID < ms[j].ID
+	})
+}

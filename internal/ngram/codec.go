@@ -65,8 +65,8 @@ func (ix *Index) Save(w io.Writer) error {
 			return err
 		}
 	}
-	grams := make([]string, 0, len(ix.grams))
-	for g := range ix.grams {
+	grams := make([]string, 0, len(ix.postings))
+	for g := range ix.postings {
 		grams = append(grams, g)
 	}
 	sort.Strings(grams)
@@ -77,11 +77,11 @@ func (ix *Index) Save(w io.Writer) error {
 		if err := writeString(g); err != nil {
 			return err
 		}
-		post := ix.grams[g]
+		post := ix.postings[g]
 		if err := writeUvarint(uint64(len(post))); err != nil {
 			return err
 		}
-		prev := 0
+		prev := uint32(0)
 		for _, d := range post {
 			if err := writeUvarint(uint64(d - prev)); err != nil {
 				return err
@@ -133,7 +133,9 @@ func Load(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ngram: read doc count: %w", err)
 	}
-	ix.docs = make([]doc, 0, numDocs)
+	// Cap the pre-allocation: numDocs is untrusted input and the loop below
+	// grows organically past the cap if the stream really is that long.
+	ix.docs = make([]doc, 0, min(numDocs, 1<<20))
 	for i := uint64(0); i < numDocs; i++ {
 		id, err := readString("doc id", 1<<24)
 		if err != nil {
@@ -158,20 +160,26 @@ func Load(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ngram: read posting count: %w", err)
 		}
-		post := make([]int, 0, count)
+		post := make([]uint32, 0, min(count, 1<<20))
 		prev := uint64(0)
 		for j := uint64(0); j < count; j++ {
 			delta, err := binary.ReadUvarint(br)
 			if err != nil {
 				return nil, fmt.Errorf("ngram: read posting: %w", err)
 			}
+			// Posting lists are strictly increasing (the query merge relies
+			// on it); a zero delta after the first entry means a corrupt or
+			// crafted stream that would duplicate a document.
+			if j > 0 && delta == 0 {
+				return nil, fmt.Errorf("ngram: non-increasing posting list for gram %q", g)
+			}
 			prev += delta
 			if prev >= numDocs {
 				return nil, fmt.Errorf("ngram: posting doc %d out of range (%d docs)", prev, numDocs)
 			}
-			post = append(post, int(prev))
+			post = append(post, uint32(prev))
 		}
-		ix.grams[g] = post
+		ix.postings[g] = post
 	}
 	return ix, nil
 }

@@ -47,6 +47,27 @@ func TestCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCodecRejectsDuplicatePostings: a zero posting delta after the first
+// entry would put the same document twice in a list, violating the strictly
+// increasing invariant the query merge relies on — Load must refuse it.
+func TestCodecRejectsDuplicatePostings(t *testing.T) {
+	ix := New(3)
+	ix.Add("a", "abcd")
+	ix.Add("b", "abcd")
+	var enc bytes.Buffer
+	if err := ix.Save(&enc); err != nil {
+		t.Fatal(err)
+	}
+	raw := enc.Bytes()
+	// Postings for each gram are docs [0,1], delta-encoded 0x00 0x01 at the
+	// stream tail. Zeroing the final delta makes the list [0,0].
+	corrupt := bytes.Clone(raw)
+	corrupt[len(corrupt)-1] = 0x00
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Error("duplicate posting accepted")
+	}
+}
+
 func TestCodecRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
 		t.Error("garbage accepted")

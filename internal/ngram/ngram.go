@@ -4,15 +4,24 @@
 // n-grams, indexed, and a query retrieves only the fingerprints sharing at
 // least a fraction η of the query's distinct n-grams — the cheap candidate
 // filter in front of the expensive edit-distance similarity.
+//
+// Retrieval is document-at-a-time over sorted posting lists. A query needing
+// t = ⌈η·|Q|⌉ shared grams first merge-counts the |Q|−t+1 shortest posting
+// lists — by the pigeonhole principle every qualifying document appears in at
+// least one of them — and then walks the remaining lists longest-last,
+// abandoning any candidate whose count plus the lists still unread can no
+// longer reach t. The pruning is exact: the surviving candidate set and its
+// containment scores are identical to a full scan.
 package ngram
 
 import "sort"
 
-// Index is an inverted index from n-gram to document ids.
+// Index is an inverted index from n-gram to a sorted posting list of
+// document numbers.
 type Index struct {
-	n     int
-	grams map[string][]int
-	docs  []doc
+	n        int
+	postings map[string][]uint32
+	docs     []doc
 }
 
 type doc struct {
@@ -25,7 +34,7 @@ func New(n int) *Index {
 	if n < 1 {
 		n = 1
 	}
-	return &Index{n: n, grams: make(map[string][]int)}
+	return &Index{n: n, postings: make(map[string][]uint32)}
 }
 
 // N returns the configured n-gram size.
@@ -61,15 +70,16 @@ func Grams(s string, n int) []string {
 }
 
 // Add indexes the string under the given id and returns the internal doc
-// number.
+// number. Doc numbers increase monotonically, so every posting list stays
+// sorted by construction.
 func (ix *Index) Add(id, s string) int {
-	num := len(ix.docs)
+	num := uint32(len(ix.docs))
 	grams := ix.Grams(s)
 	ix.docs = append(ix.docs, doc{id: id, ngrams: len(grams)})
 	for _, g := range grams {
-		ix.grams[g] = append(ix.grams[g], num)
+		ix.postings[g] = append(ix.postings[g], num)
 	}
-	return num
+	return int(num)
 }
 
 // Candidate is a retrieval result.
@@ -81,26 +91,108 @@ type Candidate struct {
 	Containment float64
 }
 
+// Stats counts the work one Query did; the service layer aggregates these
+// into its pruning metrics.
+type Stats struct {
+	// Lists is the number of query grams with a non-empty posting list.
+	Lists int
+	// Candidates is how many distinct documents the merge phase touched.
+	Candidates int
+	// Pruned is how many of those were abandoned by the η upper-bound
+	// cutoff before their full gram count was known.
+	Pruned int
+	// Kept is how many candidates reached the containment threshold.
+	Kept int
+}
+
 // Query returns the ids of indexed documents sharing at least eta (0..1) of
-// the query string's distinct n-grams, most-overlapping first.
+// the query string's distinct n-grams, most-overlapping first (ties by doc
+// number).
 func (ix *Index) Query(s string, eta float64) []Candidate {
-	grams := ix.Grams(s)
+	out, _ := ix.QueryStats(s, eta)
+	return out
+}
+
+// QueryStats is Query plus retrieval statistics.
+func (ix *Index) QueryStats(s string, eta float64) ([]Candidate, Stats) {
+	return ix.QueryGrams(ix.Grams(s), eta)
+}
+
+// QueryGrams retrieves by precomputed distinct query grams — callers
+// querying several indexes with one query (the service's generation
+// segments) derive the grams once and reuse them.
+func (ix *Index) QueryGrams(grams []string, eta float64) ([]Candidate, Stats) {
+	var st Stats
 	if len(grams) == 0 {
-		return nil
+		return nil, st
 	}
-	counts := make(map[int]int)
-	for _, g := range grams {
-		for _, d := range ix.grams[g] {
-			counts[d]++
-		}
-	}
+	// A qualifying document shares at least t grams: the smallest integer
+	// count c with c ≥ η·|Q| (matching the historical float comparison),
+	// never below 1 so η ≤ 0 still demands one shared gram.
 	need := eta * float64(len(grams))
-	var out []Candidate
-	for d, c := range counts {
-		cont := float64(c) / float64(len(grams))
-		if float64(c) >= need {
-			out = append(out, Candidate{ID: ix.docs[d].id, Doc: d, Containment: cont})
+	t := int(need)
+	if float64(t) < need {
+		t++
+	}
+	t = max(t, 1)
+
+	lists := make([][]uint32, 0, len(grams))
+	for _, g := range grams {
+		if p := ix.postings[g]; len(p) > 0 {
+			lists = append(lists, p)
 		}
+	}
+	st.Lists = len(lists)
+	if len(lists) < t {
+		return nil, st // even full membership cannot reach the threshold
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+
+	// Phase 1 — pigeonhole prefix: any document with ≥ t shared grams
+	// appears in at least one of the |lists|−t+1 shortest lists. Merge them
+	// document-at-a-time into (doc, count) runs, in doc order.
+	prefix := len(lists) - t + 1
+	cands := mergeCount(lists[:prefix])
+	st.Candidates = len(cands)
+
+	// Phase 2 — walk the remaining (longer) lists shortest-first, merging
+	// each against the surviving candidates. After list j there are
+	// remaining = |lists|−j−1 unread lists; a candidate counting c can reach
+	// at most c+remaining, so anything below t−remaining is abandoned.
+	for j := prefix; j < len(lists); j++ {
+		post := lists[j]
+		remaining := len(lists) - j - 1
+		live := cands[:0]
+		pi := 0
+		for _, c := range cands {
+			// Gallop forward: candidates and postings are both doc-sorted.
+			pi += gallop(post[pi:], c.doc)
+			if pi < len(post) && post[pi] == c.doc {
+				c.count++
+				pi++
+			}
+			if c.count+remaining < t {
+				st.Pruned++
+				continue
+			}
+			live = append(live, c)
+		}
+		cands = live
+	}
+
+	out := make([]Candidate, 0, len(cands))
+	for _, c := range cands {
+		if c.count >= t {
+			out = append(out, Candidate{
+				ID:          ix.docs[c.doc].id,
+				Doc:         int(c.doc),
+				Containment: float64(c.count) / float64(len(grams)),
+			})
+		}
+	}
+	st.Kept = len(out)
+	if len(out) == 0 {
+		return nil, st
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Containment != out[j].Containment {
@@ -108,5 +200,73 @@ func (ix *Index) Query(s string, eta float64) []Candidate {
 		}
 		return out[i].Doc < out[j].Doc
 	})
-	return out
+	return out, st
+}
+
+// counted is one candidate document with its shared-gram count so far.
+type counted struct {
+	doc   uint32
+	count int
+}
+
+// mergeCount merges sorted posting lists into (doc, count) pairs in doc
+// order — the document-at-a-time counting step. Lists are consumed with a
+// cursor each; every round the minimum unconsumed doc is emitted with the
+// number of lists it appears in.
+func mergeCount(lists [][]uint32) []counted {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]counted, len(lists[0]))
+		for i, d := range lists[0] {
+			out[i] = counted{doc: d, count: 1}
+		}
+		return out
+	}
+	cursors := make([]int, len(lists))
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]counted, 0, total)
+	for {
+		minDoc := uint32(0)
+		found := false
+		for i, l := range lists {
+			if cursors[i] < len(l) {
+				if d := l[cursors[i]]; !found || d < minDoc {
+					minDoc, found = d, true
+				}
+			}
+		}
+		if !found {
+			return out
+		}
+		count := 0
+		for i, l := range lists {
+			if cursors[i] < len(l) && l[cursors[i]] == minDoc {
+				count++
+				cursors[i]++
+			}
+		}
+		out = append(out, counted{doc: minDoc, count: count})
+	}
+}
+
+// gallop returns the number of leading elements of post strictly below doc,
+// doubling the probe step before finishing with a binary search — O(log d)
+// for a cursor advance of d, so intersecting a short candidate set against a
+// long posting list never degrades to a linear walk.
+func gallop(post []uint32, doc uint32) int {
+	if len(post) == 0 || post[0] >= doc {
+		return 0
+	}
+	hi := 1
+	for hi < len(post) && post[hi] < doc {
+		hi *= 2
+	}
+	lo := hi / 2
+	hi = min(hi, len(post))
+	return lo + sort.Search(hi-lo, func(i int) bool { return post[lo+i] >= doc })
 }

@@ -1,6 +1,10 @@
 package ngram
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -90,6 +94,94 @@ func TestQuerySelfRetrieval(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// referenceQuery is the seed's term-at-a-time scan: count every posting of
+// every query gram into a map, keep docs reaching η·|Q|. The pruned
+// document-at-a-time Query must reproduce it exactly.
+func referenceQuery(ix *Index, s string, eta float64) []Candidate {
+	grams := ix.Grams(s)
+	if len(grams) == 0 {
+		return nil
+	}
+	counts := make(map[uint32]int)
+	for _, g := range grams {
+		for _, d := range ix.postings[g] {
+			counts[d]++
+		}
+	}
+	need := eta * float64(len(grams))
+	var out []Candidate
+	for d, c := range counts {
+		if float64(c) >= need {
+			out = append(out, Candidate{
+				ID:          ix.docs[d].id,
+				Doc:         int(d),
+				Containment: float64(c) / float64(len(grams)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Containment != out[j].Containment {
+			return out[i].Containment > out[j].Containment
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+// TestQueryMatchesReferenceScan: the posting-list merge with η pruning is an
+// exact optimization — same candidates, same containments, same order as the
+// full scan, across random corpora and thresholds.
+func TestQueryMatchesReferenceScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := "abcdefgh" // small alphabet forces heavy gram sharing
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 50; trial++ {
+		ix := New(3)
+		docs := 1 + rng.Intn(40)
+		for d := 0; d < docs; d++ {
+			ix.Add(fmt.Sprintf("doc-%d", d), randStr(1+rng.Intn(60)))
+		}
+		for q := 0; q < 10; q++ {
+			query := randStr(1 + rng.Intn(60))
+			eta := float64(rng.Intn(11)) / 10
+			want := referenceQuery(ix, query, eta)
+			got, st := ix.QueryStats(query, eta)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d eta=%.1f query=%q:\n got %v\nwant %v", trial, eta, query, got, want)
+			}
+			if st.Kept != len(got) {
+				t.Fatalf("stats kept=%d, returned %d", st.Kept, len(got))
+			}
+		}
+	}
+}
+
+func TestQueryStatsPrunes(t *testing.T) {
+	ix := New(3)
+	// One near-duplicate plus far documents that each share exactly one gram
+	// with the query: their single-entry posting lists sort into the
+	// pigeonhole prefix, so they become candidates with count 1 and must be
+	// abandoned once the unread lists can no longer lift them to threshold.
+	const query = "abcdefghijklmnopqrst"
+	ix.Add("near", query)
+	for i := 0; i+3 <= len(query); i++ {
+		ix.Add(fmt.Sprintf("far-%d", i), query[i:i+3]+fmt.Sprintf("%015d", i))
+	}
+	got, st := ix.QueryStats("abcdefghijklmnopqrst", 0.8)
+	if len(got) != 1 || got[0].ID != "near" {
+		t.Fatalf("got %v", got)
+	}
+	if st.Pruned == 0 {
+		t.Errorf("expected early abandonment of far docs, stats %+v", st)
 	}
 }
 

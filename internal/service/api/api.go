@@ -129,11 +129,17 @@ type CorpusAddResponse struct {
 	Size       int `json:"size"`
 }
 
-// MatchRequest matches a source (or a precomputed fingerprint) against the
-// serving corpus.
+// MatchRequest matches one query — a source or a precomputed fingerprint —
+// or a batch of them against the serving corpus. Limit keeps only the k
+// best candidates per query (0 = all).
 type MatchRequest struct {
 	Source      string `json:"source,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Sources / Fingerprints select the batch form: the response is a
+	// MatchBatchResponse with one result per query, sources first.
+	Sources      []string `json:"sources,omitempty"`
+	Fingerprints []string `json:"fingerprints,omitempty"`
+	Limit        int      `json:"limit,omitempty"`
 }
 
 // Match is one clone candidate on the wire.
@@ -146,6 +152,12 @@ type Match struct {
 type MatchResponse struct {
 	Matches []Match `json:"matches"`
 	Error   string  `json:"error,omitempty"`
+}
+
+// MatchBatchResponse answers the batch form of /v1/match: one entry per
+// query, in request order (sources before fingerprints).
+type MatchBatchResponse struct {
+	Results []MatchResponse `json:"results"`
 }
 
 // StudyRequest starts an asynchronous study run.
@@ -283,28 +295,70 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if req.Source == "" && req.Fingerprint == "" {
-		writeError(w, http.StatusBadRequest, "provide \"source\" or \"fingerprint\"")
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "\"limit\" must be ≥ 0")
 		return
 	}
-	var resp MatchResponse
-	s.engine.Do(func() {
-		var ms []ccd.Match
-		var err error
-		if req.Source != "" {
-			ms, err = s.engine.Match(req.Source)
-		} else {
-			ms = s.engine.MatchFingerprint(ccd.Fingerprint(req.Fingerprint))
+	batch := len(req.Sources) > 0 || len(req.Fingerprints) > 0
+	if batch && (req.Source != "" || req.Fingerprint != "") {
+		writeError(w, http.StatusBadRequest, "mix of single and batch fields: use either \"source\"/\"fingerprint\" or \"sources\"/\"fingerprints\"")
+		return
+	}
+	if !batch {
+		if req.Source == "" && req.Fingerprint == "" {
+			writeError(w, http.StatusBadRequest, "provide \"source\" or \"fingerprint\"")
+			return
 		}
-		resp.Matches = make([]Match, len(ms))
-		for i, m := range ms {
-			resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+		var resp MatchResponse
+		s.engine.Do(func() {
+			resp = s.matchOne(req.Source, ccd.Fingerprint(req.Fingerprint), req.Limit)
+		})
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	resp := MatchBatchResponse{Results: make([]MatchResponse, len(req.Sources)+len(req.Fingerprints))}
+	// Source queries fan out through the pooled batch helper (fingerprinting
+	// is the expensive part); precomputed fingerprints match inline on one
+	// worker slot — the read path itself is lock-free and cheap.
+	if len(req.Sources) > 0 {
+		mss, errs := s.engine.MatchBatchTopK(req.Sources, req.Limit)
+		for i := range mss {
+			resp.Results[i] = toMatchResponse(mss[i], errs[i])
 		}
-		if err != nil {
-			resp.Error = err.Error()
-		}
-	})
+	}
+	if len(req.Fingerprints) > 0 {
+		s.engine.Do(func() {
+			for i, fp := range req.Fingerprints {
+				ms := s.engine.MatchFingerprintTopK(ccd.Fingerprint(fp), req.Limit)
+				resp.Results[len(req.Sources)+i] = toMatchResponse(ms, nil)
+			}
+		})
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// matchOne serves the single-query form of /v1/match.
+func (s *Server) matchOne(source string, fp ccd.Fingerprint, limit int) MatchResponse {
+	var ms []ccd.Match
+	var err error
+	if source != "" {
+		ms, err = s.engine.MatchTopK(source, limit)
+	} else {
+		ms = s.engine.MatchFingerprintTopK(fp, limit)
+	}
+	return toMatchResponse(ms, err)
+}
+
+func toMatchResponse(ms []ccd.Match, err error) MatchResponse {
+	resp := MatchResponse{Matches: make([]Match, len(ms))}
+	for i, m := range ms {
+		resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	return resp
 }
 
 func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {

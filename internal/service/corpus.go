@@ -5,63 +5,85 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"io"
-	"sort"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ccd"
 )
 
-// DefaultShards is the shard count of a concurrent corpus when Options does
-// not override it.
+// DefaultShards is retained for API compatibility with the sharded corpus
+// this package used to ship. The generational corpus sizes its segments
+// automatically; the value is no longer consulted.
 const DefaultShards = 16
 
-// Corpus is a sharded, RWMutex-guarded clone-detection corpus safe for
-// concurrent use: ingest fans out across shards (writers on different shards
-// never contend) and matching takes only read locks, so lookups proceed in
-// parallel with each other and with ingest on other shards. It wraps
-// ccd.Corpus, which itself is not safe for concurrent use.
+// Corpus is a clone-detection corpus with lock-free reads: the entire index
+// lives in an immutable *generation* reached through one atomic pointer, so
+// Match and MatchTopK never take a lock and never wait on writers — match
+// latency is independent of ingest bursts.
+//
+// Writers batch into a pending delta and publish it off the read path: an
+// Add enqueues its entry under a short mutex, then whichever writer reaches
+// the publish lock first drains the whole delta into a fresh segment and
+// swings the generation pointer (group commit — N concurrent Adds coalesce
+// into ~2 publishes). An Add returns only after its entry is visible, so
+// read-your-writes still holds.
+//
+// A generation holds the corpus as immutable segments in descending size.
+// Publishing appends the delta as a new segment and then merges neighbours
+// until every segment is at least twice its successor's size (the classic
+// logarithmic method), keeping the segment count O(log n) and amortized
+// publish cost O(log n) per entry.
 //
 // A Corpus is purely in-memory unless a Store is attached (OpenStore), in
 // which case every Add is journaled to the write-ahead log before it becomes
 // visible, and Snapshot/Restore persist the whole corpus atomically.
 type Corpus struct {
-	cfg    ccd.Config
-	shards []corpusShard
+	cfg ccd.Config
+	gen atomic.Pointer[generation]
+
+	// pendMu guards the write delta; held only to append one batch.
+	pendMu   sync.Mutex
+	pending  []ccd.Entry
+	enqueued uint64 // entries ever enqueued
+
+	// pubMu serializes publishing; held while a new generation is built.
+	// The read path never touches it.
+	pubMu     sync.Mutex
+	published uint64 // entries ever published (≤ enqueued)
+
+	publishes   atomic.Int64
+	compactions atomic.Int64
 
 	// store, when non-nil, intercepts Add for write-ahead logging. Set once
 	// during OpenStore, before the corpus serves traffic.
 	store *Store
 }
 
-type corpusShard struct {
-	mu sync.RWMutex
-	c  *ccd.Corpus
+// generation is one immutable published state of the corpus. Readers load it
+// atomically and use it without synchronization; it is never mutated after
+// the pointer swing.
+type generation struct {
+	segments []*ccd.Corpus // descending size, each immutable
+	size     int           // total entries across segments
+	seq      uint64        // publish counter (diagnostics)
 }
 
-// NewCorpus returns an empty concurrent corpus with the given shard count
-// (≤ 0 selects DefaultShards). Zero-value cfg selects ccd.DefaultConfig.
-func NewCorpus(cfg ccd.Config, shards int) *Corpus {
-	if shards <= 0 {
-		shards = DefaultShards
+// NewCorpus returns an empty concurrent corpus. Zero-value cfg selects
+// ccd.DefaultConfig. The second parameter is the legacy shard count of the
+// RWMutex-sharded predecessor; it is accepted and ignored.
+func NewCorpus(cfg ccd.Config, _ int) *Corpus {
+	if cfg.N == 0 {
+		cfg = ccd.DefaultConfig
 	}
-	c := &Corpus{cfg: cfg, shards: make([]corpusShard, shards)}
-	for i := range c.shards {
-		c.shards[i].c = ccd.NewCorpus(cfg)
-	}
-	c.cfg = c.shards[0].c.Config() // after default substitution
+	c := &Corpus{cfg: ccd.NewCorpus(cfg).Config()}
+	c.gen.Store(&generation{})
 	return c
 }
 
 // Config returns the corpus configuration.
 func (c *Corpus) Config() ccd.Config { return c.cfg }
-
-func (c *Corpus) shard(id string) *corpusShard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &c.shards[h.Sum32()%uint32(len(c.shards))]
-}
 
 // Add indexes a fingerprint under an id. Safe for concurrent use. With a
 // Store attached the entry is journaled first; a non-nil error means the
@@ -74,103 +96,173 @@ func (c *Corpus) Add(id string, fp ccd.Fingerprint) error {
 	return nil
 }
 
-// addLocal inserts into the owning shard without journaling (direct ingest,
-// WAL replay, snapshot restore re-distribution).
+// addLocal inserts without journaling (direct ingest, WAL replay, snapshot
+// restore). It returns once the entry is published and visible to readers.
 func (c *Corpus) addLocal(id string, fp ccd.Fingerprint) {
-	s := c.shard(id)
-	s.mu.Lock()
-	s.c.Add(id, fp)
-	s.mu.Unlock()
+	c.addLocalBatch([]ccd.Entry{{ID: id, FP: fp}})
 }
 
-// Len returns the total number of indexed entries.
-func (c *Corpus) Len() int {
-	n := 0
-	for i := range c.shards {
-		c.shards[i].mu.RLock()
-		n += c.shards[i].c.Len()
-		c.shards[i].mu.RUnlock()
+// addLocalBatch enqueues entries as one delta and publishes through the
+// group-commit path. Empty batches are no-ops.
+func (c *Corpus) addLocalBatch(entries []ccd.Entry) {
+	if len(entries) == 0 {
+		return
 	}
-	return n
+	c.pendMu.Lock()
+	c.pending = append(c.pending, entries...)
+	c.enqueued += uint64(len(entries))
+	upTo := c.enqueued
+	c.pendMu.Unlock()
+	c.publish(upTo)
 }
 
-// Match queries every shard and merges the clone candidates. The result is
-// sorted by descending score (ties by id) so output is deterministic
-// regardless of ingest interleaving.
-func (c *Corpus) Match(fp ccd.Fingerprint) []ccd.Match {
-	var out []ccd.Match
-	for i := range c.shards {
-		c.shards[i].mu.RLock()
-		out = append(out, c.shards[i].c.Match(fp)...)
-		c.shards[i].mu.RUnlock()
+// publish makes every entry enqueued at or before upTo visible. Whichever
+// writer wins the publish lock drains the whole delta — writers arriving
+// while a publish is in flight usually find their entries already covered.
+func (c *Corpus) publish(upTo uint64) {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	if c.published >= upTo {
+		return // a concurrent writer's publish covered us
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
+	c.pendMu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.pendMu.Unlock()
+
+	seg := ccd.NewCorpus(c.cfg)
+	for _, e := range batch {
+		seg.Add(e.ID, e.FP)
+	}
+	old := c.gen.Load()
+	segs := append(slices.Clip(slices.Clone(old.segments)), seg)
+	// Logarithmic compaction: merge the tail while the newest segment has
+	// reached at least half its predecessor, keeping sizes strictly
+	// geometric and the segment count O(log n).
+	for len(segs) >= 2 && 2*segs[len(segs)-1].Len() >= segs[len(segs)-2].Len() {
+		segs = append(segs[:len(segs)-2], mergeSegments(c.cfg, segs[len(segs)-2], segs[len(segs)-1]))
+		c.compactions.Add(1)
+	}
+	c.gen.Store(&generation{
+		segments: segs,
+		size:     old.size + len(batch),
+		seq:      old.seq + 1,
 	})
+	c.published += uint64(len(batch))
+	c.publishes.Add(1)
+}
+
+// mergeSegments builds one immutable segment holding every entry of a and b
+// (in order, so ccd doc numbering stays deterministic).
+func mergeSegments(cfg ccd.Config, a, b *ccd.Corpus) *ccd.Corpus {
+	out := ccd.NewCorpus(cfg)
+	for _, e := range a.Entries() {
+		out.Add(e.ID, e.FP)
+	}
+	for _, e := range b.Entries() {
+		out.Add(e.ID, e.FP)
+	}
 	return out
+}
+
+// Len returns the number of published entries.
+func (c *Corpus) Len() int { return c.gen.Load().size }
+
+// Segments returns the current generation's segment count (diagnostics).
+func (c *Corpus) Segments() int { return len(c.gen.Load().segments) }
+
+// Generation returns the publish sequence number of the current generation.
+func (c *Corpus) Generation() uint64 { return c.gen.Load().seq }
+
+// Publishes and Compactions report writer-side activity since boot.
+func (c *Corpus) Publishes() int64   { return c.publishes.Load() }
+func (c *Corpus) Compactions() int64 { return c.compactions.Load() }
+
+// Match returns every clone of fp at the configured ε, best first (score
+// descending, ties by id). Lock-free: runs entirely against one immutable
+// generation.
+func (c *Corpus) Match(fp ccd.Fingerprint) []ccd.Match {
+	ms, _ := c.MatchTopK(fp, 0)
+	return ms
+}
+
+// MatchTopK returns the k best clones of fp (k ≤ 0: all of them), best
+// first, plus the pruning statistics of this query. One top-K collector is
+// shared across segments, so a strong match found in an early (large)
+// segment raises the admission bound for every later segment.
+func (c *Corpus) MatchTopK(fp ccd.Fingerprint, k int) ([]ccd.Match, ccd.MatchStats) {
+	g := c.gen.Load()
+	col := ccd.NewTopK(k, c.cfg.Epsilon)
+	q := ccd.PrepareQuery(c.cfg, fp)
+	var stats ccd.MatchStats
+	for _, seg := range g.segments {
+		stats.Add(seg.MatchPreparedInto(q, col))
+	}
+	return col.Results(), stats
 }
 
 // entryMultiset returns the multiset of indexed (id, fingerprint) pairs,
 // keyed id + NUL + fingerprint. Boot-time helper for idempotent WAL replay.
 func (c *Corpus) entryMultiset() map[string]int {
-	out := make(map[string]int, c.Len())
-	for i := range c.shards {
-		c.shards[i].mu.RLock()
-		for _, e := range c.shards[i].c.Entries() {
+	g := c.gen.Load()
+	out := make(map[string]int, g.size)
+	for _, seg := range g.segments {
+		for _, e := range seg.Entries() {
 			out[e.ID+"\x00"+string(e.FP)]++
 		}
-		c.shards[i].mu.RUnlock()
 	}
 	return out
 }
 
 // --- whole-corpus snapshots ----------------------------------------------------
 
-// Corpus snapshot container (version 1): a thin sharded envelope around the
-// ccd.Corpus binary snapshot format.
+// Corpus snapshot container (version 1): a framed sequence of ccd.Corpus
+// binary snapshots, one per generation segment (historically one per shard —
+// the layouts are interchangeable and both directions restore cleanly).
 //
 //	magic   "SVCSNAP\x00"
 //	uvarint version
-//	uvarint shard count
-//	per shard: uvarint byte length, ccd snapshot bytes
+//	uvarint segment count
+//	per segment: uvarint byte length, ccd snapshot bytes
 //
-// Integrity lives in the per-shard ccd snapshots (each carries its own
-// CRC-32); the envelope adds only framing. Shards are encoded and decoded in
-// parallel.
+// Integrity lives in the per-segment ccd snapshots (each carries its own
+// CRC-32); the envelope adds only framing. Segments are encoded and decoded
+// in parallel.
 const (
 	corpusSnapshotMagic = "SVCSNAP\x00"
-	// CorpusSnapshotVersion is the sharded snapshot envelope version.
+	// CorpusSnapshotVersion is the snapshot envelope version.
 	CorpusSnapshotVersion = 1
 )
 
-// WriteSnapshot encodes every shard (in parallel, under shard read locks)
-// and writes the sharded snapshot envelope. Without external
-// synchronization, entries added concurrently may or may not be included —
-// each shard is still internally consistent. Store.Snapshot provides the
-// fully consistent (and WAL-truncating) variant.
+// WriteSnapshot encodes the current generation's segments (in parallel —
+// they are immutable, so no locks are needed) and writes the snapshot
+// envelope. Entries added concurrently may or may not be included; the
+// snapshot is always a consistent published generation. Store.Snapshot
+// provides the ingest-quiescent (and WAL-truncating) variant.
 func (c *Corpus) WriteSnapshot(w io.Writer) error {
-	encoded := make([][]byte, len(c.shards))
-	errs := make([]error, len(c.shards))
+	g := c.gen.Load()
+	segments := g.segments
+	if len(segments) == 0 {
+		// Encode one empty segment so the envelope always frames at least
+		// one ccd snapshot (the historical sharded format never wrote zero).
+		segments = []*ccd.Corpus{ccd.NewCorpus(c.cfg)}
+	}
+	encoded := make([][]byte, len(segments))
+	errs := make([]error, len(segments))
 	var wg sync.WaitGroup
-	for i := range c.shards {
+	for i := range segments {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			var buf bytes.Buffer
-			s := &c.shards[i]
-			s.mu.RLock()
-			errs[i] = s.c.Save(&buf)
-			s.mu.RUnlock()
+			errs[i] = segments[i].Save(&buf)
 			encoded[i] = buf.Bytes()
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("service: snapshot shard %d: %w", i, err)
+			return fmt.Errorf("service: snapshot segment %d: %w", i, err)
 		}
 	}
 
@@ -190,25 +282,27 @@ func (c *Corpus) WriteSnapshot(w io.Writer) error {
 	if err := writeUvarint(uint64(len(encoded))); err != nil {
 		return err
 	}
-	for _, shard := range encoded {
-		if err := writeUvarint(uint64(len(shard))); err != nil {
+	for _, seg := range encoded {
+		if err := writeUvarint(uint64(len(seg))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(shard); err != nil {
+		if _, err := bw.Write(seg); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// maxShardBytes bounds one encoded shard (defense against corrupt envelopes).
-const maxShardBytes = 1 << 32 // 4 GiB
+// maxSegmentBytes bounds one encoded segment (defense against corrupt
+// envelopes).
+const maxSegmentBytes = 1 << 32 // 4 GiB
 
 // ReadSnapshot restores a snapshot written by WriteSnapshot into this
 // corpus, which must be empty. The snapshot's matcher configuration replaces
-// the corpus's own. When the stored shard count matches, decoded shards are
-// installed directly (id→shard hashing depends only on the count); otherwise
-// entries are re-distributed across the current shards.
+// the corpus's own. Decoded segments are installed directly as the first
+// generation (ordered largest-first so the compaction invariant holds for
+// subsequent ingest); snapshots from the older sharded layout restore the
+// same way, since segment membership does not depend on id hashing.
 func (c *Corpus) ReadSnapshot(r io.Reader) error {
 	if c.Len() != 0 {
 		return fmt.Errorf("service: restore into non-empty corpus (%d entries)", c.Len())
@@ -228,30 +322,30 @@ func (c *Corpus) ReadSnapshot(r io.Reader) error {
 	if version != CorpusSnapshotVersion {
 		return fmt.Errorf("service: snapshot: unsupported version %d (want %d)", version, CorpusSnapshotVersion)
 	}
-	shardCount, err := binary.ReadUvarint(br)
+	segCount, err := binary.ReadUvarint(br)
 	if err != nil {
-		return fmt.Errorf("service: snapshot: read shard count: %w", err)
+		return fmt.Errorf("service: snapshot: read segment count: %w", err)
 	}
-	if shardCount == 0 || shardCount > 1<<16 {
-		return fmt.Errorf("service: snapshot: implausible shard count %d", shardCount)
+	if segCount == 0 || segCount > 1<<16 {
+		return fmt.Errorf("service: snapshot: implausible segment count %d", segCount)
 	}
-	encoded := make([][]byte, shardCount)
+	encoded := make([][]byte, segCount)
 	for i := range encoded {
 		size, err := binary.ReadUvarint(br)
 		if err != nil {
-			return fmt.Errorf("service: snapshot: read shard %d length: %w", i, err)
+			return fmt.Errorf("service: snapshot: read segment %d length: %w", i, err)
 		}
-		if size > maxShardBytes {
-			return fmt.Errorf("service: snapshot: shard %d length %d exceeds limit", i, size)
+		if size > maxSegmentBytes {
+			return fmt.Errorf("service: snapshot: segment %d length %d exceeds limit", i, size)
 		}
 		encoded[i] = make([]byte, size)
 		if _, err := io.ReadFull(br, encoded[i]); err != nil {
-			return fmt.Errorf("service: snapshot: read shard %d: %w", i, err)
+			return fmt.Errorf("service: snapshot: read segment %d: %w", i, err)
 		}
 	}
 
-	decoded := make([]*ccd.Corpus, shardCount)
-	errs := make([]error, shardCount)
+	decoded := make([]*ccd.Corpus, segCount)
+	errs := make([]error, segCount)
 	var wg sync.WaitGroup
 	for i := range encoded {
 		wg.Add(1)
@@ -263,36 +357,30 @@ func (c *Corpus) ReadSnapshot(r io.Reader) error {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("service: snapshot: decode shard %d: %w", i, err)
+			return fmt.Errorf("service: snapshot: decode segment %d: %w", i, err)
 		}
 	}
 	cfg := decoded[0].Config()
 	for i, d := range decoded {
 		if d.Config() != cfg {
-			return fmt.Errorf("service: snapshot: shard %d config %v differs from shard 0 config %v", i, d.Config(), cfg)
+			return fmt.Errorf("service: snapshot: segment %d config %v differs from segment 0 config %v", i, d.Config(), cfg)
 		}
 	}
 
-	c.cfg = cfg
-	if int(shardCount) == len(c.shards) {
-		for i := range c.shards {
-			c.shards[i].mu.Lock()
-			c.shards[i].c = decoded[i]
-			c.shards[i].mu.Unlock()
-		}
-		return nil
-	}
-	// Shard count changed since the snapshot: rebuild empty shards under the
-	// restored config and re-distribute by id hash.
-	for i := range c.shards {
-		c.shards[i].mu.Lock()
-		c.shards[i].c = ccd.NewCorpus(cfg)
-		c.shards[i].mu.Unlock()
-	}
+	segments := make([]*ccd.Corpus, 0, len(decoded))
+	size := 0
 	for _, d := range decoded {
-		for _, e := range d.Entries() {
-			c.addLocal(e.ID, e.FP)
+		if d.Len() == 0 {
+			continue // empty-corpus placeholder segment
 		}
+		segments = append(segments, d)
+		size += d.Len()
 	}
+	slices.SortStableFunc(segments, func(a, b *ccd.Corpus) int { return b.Len() - a.Len() })
+
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
+	c.cfg = cfg
+	c.gen.Store(&generation{segments: segments, size: size, seq: 1})
 	return nil
 }

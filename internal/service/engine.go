@@ -1,16 +1,18 @@
 // Package service is the concurrent analysis layer in front of the
 // reproduction's primitives: a bounded worker pool, content-addressed LRU
 // caches for parse results, CCC vulnerability reports and CCD fingerprints,
-// and a sharded corpus safe for parallel ingest and matching. The study
-// pipeline fans its hot steps out through the same Engine that cmd/serve
-// exposes over HTTP, so batch reproduction and online serving share one
-// scheduling and caching substrate.
+// and a generational corpus whose readers are lock-free (matching loads one
+// immutable snapshot pointer; ingest publishes new generations off the read
+// path). The study pipeline fans its hot steps out through the same Engine
+// that cmd/serve exposes over HTTP, so batch reproduction and online serving
+// share one scheduling and caching substrate.
 package service
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ccc"
 	"repro/internal/ccd"
@@ -32,7 +34,8 @@ type Options struct {
 	// CCD configures the engine's serving corpus (zero value:
 	// ccd.DefaultConfig).
 	CCD ccd.Config
-	// Shards is the corpus shard count (≤ 0: DefaultShards).
+	// Shards is the legacy shard count of the RWMutex-sharded corpus;
+	// the generational corpus ignores it (accepted for compatibility).
 	Shards int
 }
 
@@ -233,18 +236,34 @@ func (e *Engine) CorpusAddFingerprint(id string, fp ccd.Fingerprint) error {
 // Match fingerprints src and returns its clone candidates from the serving
 // corpus, best first.
 func (e *Engine) Match(src string) ([]ccd.Match, error) {
+	return e.MatchTopK(src, 0)
+}
+
+// MatchTopK fingerprints src and returns its k best clone candidates (k ≤ 0:
+// all of them), best first.
+func (e *Engine) MatchTopK(src string, k int) ([]ccd.Match, error) {
 	fp, err := e.Fingerprint(src)
 	if err != nil && len(fp) == 0 {
 		return nil, err
 	}
-	return e.MatchFingerprint(fp), err
+	return e.MatchFingerprintTopK(fp, k), err
 }
 
 // MatchFingerprint matches a precomputed fingerprint against the serving
 // corpus.
 func (e *Engine) MatchFingerprint(fp ccd.Fingerprint) []ccd.Match {
-	e.ctr.matches.Add(1)
-	return e.corpus.Match(fp)
+	return e.MatchFingerprintTopK(fp, 0)
+}
+
+// MatchFingerprintTopK matches a precomputed fingerprint against the serving
+// corpus, returning the k best candidates (k ≤ 0: all). The call is
+// lock-free against concurrent ingest; its latency and pruning counts feed
+// the /metrics histogram.
+func (e *Engine) MatchFingerprintTopK(fp ccd.Fingerprint, k int) []ccd.Match {
+	start := time.Now()
+	ms, stats := e.corpus.MatchTopK(fp, k)
+	e.ctr.observeMatch(stats, time.Since(start))
+	return ms
 }
 
 // --- pooled batch helpers -----------------------------------------------------
@@ -291,10 +310,16 @@ func (e *Engine) CorpusAddBatch(entries []CorpusEntry) []error {
 // MatchBatch matches every source against the serving corpus across the
 // worker pool, preserving input order.
 func (e *Engine) MatchBatch(srcs []string) ([][]ccd.Match, []error) {
+	return e.MatchBatchTopK(srcs, 0)
+}
+
+// MatchBatchTopK matches every source across the worker pool, keeping the k
+// best candidates per source (k ≤ 0: all), preserving input order.
+func (e *Engine) MatchBatchTopK(srcs []string, k int) ([][]ccd.Match, []error) {
 	out := make([][]ccd.Match, len(srcs))
 	errs := make([]error, len(srcs))
 	e.Map(len(srcs), func(i int) {
-		out[i], errs[i] = e.Match(srcs[i])
+		out[i], errs[i] = e.MatchTopK(srcs[i], k)
 	})
 	return out, errs
 }

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ccd"
+)
+
+// FuzzWALReplay: byte-level corruption or truncation of a write-ahead log
+// must never panic or fabricate records — replay yields an exact prefix of
+// the entries that were appended, and cutting the file at the reported good
+// offset leaves a log that replays identically with no torn tail. The fuzzer
+// drives both the log contents (entries derived from data) and the damage
+// (truncate at cut, XOR one byte at xorPos).
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte("id1\xffQxRtYuIoP.AbCdEf\xffid2\xffZzZzZzZz"), uint16(0), uint16(0), byte(0))
+	f.Add([]byte("a\xffbbbb"), uint16(3), uint16(2), byte(0x40))
+	f.Add([]byte{}, uint16(9), uint16(1), byte(0xff))
+	f.Add([]byte("doc\xfffingerprint\xffdoc\xfffingerprint"), uint16(65535), uint16(20), byte(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16, xorPos uint16, xorVal byte) {
+		// Derive entries from data (fields split on 0xFF, paired id/fp) and
+		// build the valid log image.
+		fields := bytes.Split(data, []byte{0xff})
+		var entries []ccd.Entry
+		var log []byte
+		for i := 0; i+1 < len(fields); i += 2 {
+			e := ccd.Entry{ID: string(fields[i]), FP: ccd.Fingerprint(fields[i+1])}
+			entries = append(entries, e)
+			log = append(log, encodeWALRecord(e.ID, e.FP)...)
+		}
+
+		// Damage it: truncate, then flip bits in one surviving byte.
+		if int(cut) < len(log) {
+			log = log[:cut]
+		}
+		if len(log) > 0 {
+			log[int(xorPos)%len(log)] ^= xorVal
+		}
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "corrupt.wal")
+		if err := os.WriteFile(path, log, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var replayed []ccd.Entry
+		records, goodOffset, _, err := replayWAL(path, func(id string, fp ccd.Fingerprint) {
+			replayed = append(replayed, ccd.Entry{ID: id, FP: fp})
+		})
+		if err != nil {
+			t.Fatalf("replay of existing file errored: %v", err)
+		}
+		if records != len(replayed) {
+			t.Fatalf("reported %d records, callback saw %d", records, len(replayed))
+		}
+		if goodOffset < 0 || goodOffset > int64(len(log)) {
+			t.Fatalf("good offset %d outside file of %d bytes", goodOffset, len(log))
+		}
+		// Exact prefix: nothing reordered, duplicated or invented. (A
+		// corrupted record can only be accepted if the XOR was a no-op or
+		// re-created a valid image of the same prefix; equality still holds
+		// record-for-record below goodOffset in every case the CRC admits.)
+		if len(replayed) > len(entries) {
+			t.Fatalf("replayed %d records from a log of %d", len(replayed), len(entries))
+		}
+		for i, e := range replayed {
+			if xorVal == 0 || int(xorPos)%max(len(log), 1) >= int(goodOffset) {
+				// Damage (if any) lies beyond the accepted prefix: the
+				// replayed records must match the originals exactly.
+				if e != entries[i] {
+					t.Fatalf("record %d: got %+v, want %+v", i, e, entries[i])
+				}
+			}
+		}
+
+		// Cutting at goodOffset (what OpenStore does) must leave a clean log
+		// that replays the same records with no torn tail.
+		if err := os.Truncate(path, goodOffset); err != nil {
+			t.Fatal(err)
+		}
+		var second []ccd.Entry
+		records2, offset2, torn2, err := replayWAL(path, func(id string, fp ccd.Fingerprint) {
+			second = append(second, ccd.Entry{ID: id, FP: fp})
+		})
+		if err != nil {
+			t.Fatalf("second replay: %v", err)
+		}
+		if torn2 {
+			t.Fatal("log cut at good offset still reports a torn tail")
+		}
+		if records2 != records || offset2 != goodOffset {
+			t.Fatalf("second replay: %d records to offset %d, want %d to %d", records2, offset2, records, goodOffset)
+		}
+		for i := range second {
+			if second[i] != replayed[i] {
+				t.Fatalf("second replay record %d differs: %+v vs %+v", i, second[i], replayed[i])
+			}
+		}
+	})
+}

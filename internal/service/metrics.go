@@ -1,6 +1,13 @@
 package service
 
-import "sync/atomic"
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccd"
+)
 
 // counters aggregates the engine's atomic operation counts.
 type counters struct {
@@ -11,6 +18,24 @@ type counters struct {
 	tasks        atomic.Int64
 	busy         atomic.Int64
 	peakBusy     atomic.Int64
+
+	// Match read-path pruning: how far candidates got before being cut.
+	matchCandidates    atomic.Int64
+	matchFilterPruned  atomic.Int64
+	matchScored        atomic.Int64
+	matchCutoffSkipped atomic.Int64
+
+	matchLatency latencyHist
+}
+
+// observeMatch folds one match call's stats and latency into the counters.
+func (c *counters) observeMatch(st ccd.MatchStats, elapsed time.Duration) {
+	c.matches.Add(1)
+	c.matchCandidates.Add(int64(st.Candidates))
+	c.matchFilterPruned.Add(int64(st.FilterPruned))
+	c.matchScored.Add(int64(st.Scored))
+	c.matchCutoffSkipped.Add(int64(st.CutoffSkipped))
+	c.matchLatency.observe(elapsed)
 }
 
 // taskStart accounts one task entering a worker slot and keeps the
@@ -27,6 +52,77 @@ func (c *counters) taskStart() {
 }
 
 func (c *counters) taskDone() { c.busy.Add(-1) }
+
+// latencyHist is a lock-free log₂-bucketed latency histogram: bucket i
+// counts observations in [2^i, 2^(i+1)) microseconds, with the last bucket
+// absorbing everything slower (~4 s and up).
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+const histBuckets = 23
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = min(bits.Len64(uint64(us))-1, histBuckets-1)
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// quantile returns the upper bound (µs) of the bucket holding the q-th
+// observation — an estimate with factor-of-two resolution, which is all a
+// dashboard histogram needs.
+func (h *latencyHist) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	// Ceiling rank: the q-quantile of n samples is the ⌈q·n⌉-th smallest, so
+	// p99 of a handful of observations still lands on the slowest one.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return float64(uint64(1) << (i + 1)) // bucket upper bound in µs
+		}
+	}
+	return float64(uint64(1) << histBuckets)
+}
+
+// LatencyStats is the JSON view of a latency histogram.
+type LatencyStats struct {
+	Count    int64   `json:"count"`
+	MeanUs   float64 `json:"mean_us"`
+	P50Us    float64 `json:"p50_us"`
+	P90Us    float64 `json:"p90_us"`
+	P99Us    float64 `json:"p99_us"`
+	TotalSec float64 `json:"total_sec"`
+}
+
+func (h *latencyHist) stats() LatencyStats {
+	s := LatencyStats{
+		Count: h.count.Load(),
+		P50Us: h.quantile(0.50),
+		P90Us: h.quantile(0.90),
+		P99Us: h.quantile(0.99),
+	}
+	ns := h.sumNs.Load()
+	if s.Count > 0 {
+		s.MeanUs = float64(ns) / float64(s.Count) / 1e3
+	}
+	s.TotalSec = float64(ns) / 1e9
+	return s
+}
 
 // Snapshot is a point-in-time view of an Engine's load and cache
 // effectiveness, JSON-serializable for the /metrics endpoint.
@@ -48,6 +144,23 @@ type Snapshot struct {
 	CorpusAdds   int64 `json:"corpus_adds"`
 	CorpusSize   int   `json:"corpus_size"`
 
+	// Read-path shape: the generation the lock-free readers currently see.
+	CorpusSegments    int    `json:"corpus_segments"`
+	CorpusGeneration  uint64 `json:"corpus_generation"`
+	CorpusPublishes   int64  `json:"corpus_publishes"`
+	CorpusCompactions int64  `json:"corpus_compactions"`
+
+	// Match pruning funnel: candidates from the n-gram pre-filter, how many
+	// the η cutoff abandoned inside the filter, how many were fully scored,
+	// and how many the top-K lower bound cut short.
+	MatchCandidates    int64 `json:"match_candidates"`
+	MatchFilterPruned  int64 `json:"match_filter_pruned"`
+	MatchScored        int64 `json:"match_scored"`
+	MatchCutoffSkipped int64 `json:"match_cutoff_skipped"`
+
+	// MatchLatency is the /v1/match service-time histogram summary.
+	MatchLatency LatencyStats `json:"match_latency"`
+
 	// Per-layer cache statistics.
 	ParseCache       CacheStats `json:"parse_cache"`
 	ReportCache      CacheStats `json:"report_cache"`
@@ -57,18 +170,27 @@ type Snapshot struct {
 // Metrics returns a snapshot of the engine's counters and caches.
 func (e *Engine) Metrics() Snapshot {
 	s := Snapshot{
-		Workers:          e.workers,
-		BusyWorkers:      e.ctr.busy.Load(),
-		PeakBusyWorkers:  e.ctr.peakBusy.Load(),
-		TasksExecuted:    e.ctr.tasks.Load(),
-		Analyses:         e.ctr.analyses.Load(),
-		Fingerprints:     e.ctr.fingerprints.Load(),
-		Matches:          e.ctr.matches.Load(),
-		CorpusAdds:       e.ctr.corpusAdds.Load(),
-		CorpusSize:       e.corpus.Len(),
-		ParseCache:       e.graphs.Stats(),
-		ReportCache:      e.reports.Stats(),
-		FingerprintCache: e.prints.Stats(),
+		Workers:            e.workers,
+		BusyWorkers:        e.ctr.busy.Load(),
+		PeakBusyWorkers:    e.ctr.peakBusy.Load(),
+		TasksExecuted:      e.ctr.tasks.Load(),
+		Analyses:           e.ctr.analyses.Load(),
+		Fingerprints:       e.ctr.fingerprints.Load(),
+		Matches:            e.ctr.matches.Load(),
+		CorpusAdds:         e.ctr.corpusAdds.Load(),
+		CorpusSize:         e.corpus.Len(),
+		CorpusSegments:     e.corpus.Segments(),
+		CorpusGeneration:   e.corpus.Generation(),
+		CorpusPublishes:    e.corpus.Publishes(),
+		CorpusCompactions:  e.corpus.Compactions(),
+		MatchCandidates:    e.ctr.matchCandidates.Load(),
+		MatchFilterPruned:  e.ctr.matchFilterPruned.Load(),
+		MatchScored:        e.ctr.matchScored.Load(),
+		MatchCutoffSkipped: e.ctr.matchCutoffSkipped.Load(),
+		MatchLatency:       e.ctr.matchLatency.stats(),
+		ParseCache:         e.graphs.Stats(),
+		ReportCache:        e.reports.Stats(),
+		FingerprintCache:   e.prints.Stats(),
 	}
 	if e.workers > 0 {
 		s.Saturation = float64(s.BusyWorkers) / float64(e.workers)

@@ -196,20 +196,72 @@ func TestConcurrentIngestAndMatch(t *testing.T) {
 	}
 }
 
-func TestCorpusShardDistribution(t *testing.T) {
-	c := NewCorpus(ccd.DefaultConfig, 4)
-	for i := 0; i < 200; i++ {
-		c.Add(fmt.Sprintf("doc-%d", i), ccd.Fingerprint("abcdefgh"))
+func TestCorpusGenerationsCompact(t *testing.T) {
+	c := NewCorpus(ccd.DefaultConfig, 0)
+	const docs = 200
+	for i := 0; i < docs; i++ {
+		_ = c.Add(fmt.Sprintf("doc-%d", i), ccd.Fingerprint("abcdefgh"))
 	}
-	if c.Len() != 200 {
+	if c.Len() != docs {
 		t.Fatalf("len %d", c.Len())
 	}
-	// fnv distributes ids across shards: no shard should hold everything.
-	for i := range c.shards {
-		if n := c.shards[i].c.Len(); n == 0 || n == 200 {
-			t.Errorf("shard %d holds %d of 200 entries", i, n)
+	// Logarithmic compaction keeps the segment count O(log n): with 200
+	// single adds there must be at most ⌈log₂ 200⌉ = 8 segments, each more
+	// than twice its successor.
+	g := c.gen.Load()
+	if len(g.segments) == 0 || len(g.segments) > 8 {
+		t.Fatalf("segment count %d after %d adds", len(g.segments), docs)
+	}
+	total := 0
+	for i, seg := range g.segments {
+		total += seg.Len()
+		if i > 0 && 2*seg.Len() >= g.segments[i-1].Len() {
+			t.Errorf("segment %d (%d entries) not geometrically smaller than %d (%d)",
+				i, seg.Len(), i-1, g.segments[i-1].Len())
 		}
 	}
+	if total != docs {
+		t.Fatalf("segments hold %d entries, want %d", total, docs)
+	}
+	if c.Publishes() == 0 || c.Compactions() == 0 {
+		t.Errorf("publishes=%d compactions=%d, want both > 0", c.Publishes(), c.Compactions())
+	}
+}
+
+// TestCorpusReadersNeverBlockOnWriters: a reader loaded generation stays
+// fully usable while writers publish new ones, and reads observe
+// monotonically growing corpora (no torn or shrinking states).
+func TestCorpusReadersNeverBlockOnWriters(t *testing.T) {
+	c := NewCorpus(ccd.DefaultConfig, 0)
+	fp := ccd.Fingerprint("QxRtYuIoPAbCdEfGh.ZxCvBnMQwErTy")
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: continuous single adds (worst-case publish churn)
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				_ = c.Add(fmt.Sprintf("w-%d", i), fp)
+			}
+		}
+	}()
+	prev := 0
+	for i := 0; i < 2000; i++ {
+		ms, _ := c.MatchTopK(fp, 5)
+		if len(ms) > 5 {
+			t.Fatalf("top-5 returned %d matches", len(ms))
+		}
+		if n := c.Len(); n < prev {
+			t.Fatalf("corpus shrank: %d after %d", n, prev)
+		} else {
+			prev = n
+		}
+	}
+	close(done)
+	wg.Wait()
 }
 
 func TestMapCoversAllIndicesOnce(t *testing.T) {

@@ -84,6 +84,7 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 		covered = c.entryMultiset()
 	}
 	walPath := filepath.Join(dir, WALFile)
+	var replayBatch []ccd.Entry
 	_, goodOffset, torn, err := replayWAL(walPath, func(id string, fp ccd.Fingerprint) {
 		key := id + "\x00" + string(fp)
 		if covered[key] > 0 {
@@ -91,9 +92,12 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 			s.replayDupes++
 			return
 		}
-		c.addLocal(id, fp)
+		replayBatch = append(replayBatch, ccd.Entry{ID: id, FP: fp})
 		s.replayed++
 	})
+	// One publish for the whole log instead of one per record: boot-time
+	// replay builds a single delta segment.
+	c.addLocalBatch(replayBatch)
 	if err != nil {
 		return nil, fmt.Errorf("service: replay %s: %w", walPath, err)
 	}

@@ -52,8 +52,9 @@ func openWAL(path string) (*wal, error) {
 	return &wal{f: f, path: path}, nil
 }
 
-// appendRecord journals one entry and returns once it is on stable storage.
-func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
+// encodeWALRecord renders one entry in the on-disk record layout. Pure, so
+// the replay fuzzer can synthesize valid logs without touching a file.
+func encodeWALRecord(id string, fp ccd.Fingerprint) []byte {
 	payload := make([]byte, 0, 2*binary.MaxVarintLen64+len(id)+len(fp))
 	payload = binary.AppendUvarint(payload, uint64(len(id)))
 	payload = append(payload, id...)
@@ -63,7 +64,12 @@ func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
 	rec := make([]byte, 0, binary.MaxVarintLen64+4+len(payload))
 	rec = binary.AppendUvarint(rec, uint64(len(payload)))
 	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
-	rec = append(rec, payload...)
+	return append(rec, payload...)
+}
+
+// appendRecord journals one entry and returns once it is on stable storage.
+func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
+	rec := encodeWALRecord(id, fp)
 
 	w.mu.Lock()
 	if _, err := w.f.Write(rec); err != nil {

@@ -284,7 +284,21 @@ func TypeString(t TypeName) string {
 		}
 		return TypeString(tt.Elem) + "[]"
 	case *FunctionType:
-		return "function"
+		// Print the parameter parens even when empty: a bare `function`
+		// token in statement position re-parses as a function declaration,
+		// not a type expression.
+		var params, returns []string
+		for _, p := range tt.Params {
+			params = append(params, TypeString(p.Type))
+		}
+		s := "function (" + strings.Join(params, ", ") + ")"
+		for _, r := range tt.Returns {
+			returns = append(returns, TypeString(r.Type))
+		}
+		if len(returns) > 0 {
+			s += " returns (" + strings.Join(returns, ", ") + ")"
+		}
+		return s
 	}
 	return "?"
 }
@@ -480,6 +494,33 @@ type NumberLit struct {
 
 func (*NumberLit) expr() {}
 
+// escapeStringLit renders a decoded string value back into double-quoted
+// literal syntax, inverting exactly the escapes the lexer understands —
+// embedded quotes, backslashes, newlines (which would otherwise terminate
+// the literal), tabs, carriage returns and NUL.
+func escapeStringLit(v string) string {
+	var sb strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case 0:
+			sb.WriteString(`\0`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
 // StringLit is a string literal.
 type StringLit struct {
 	Span
@@ -616,7 +657,7 @@ func writeExpr(sb *strings.Builder, e Expr) {
 		}
 	case *StringLit:
 		sb.WriteString("\"")
-		sb.WriteString(x.Value)
+		sb.WriteString(escapeStringLit(x.Value))
 		sb.WriteString("\"")
 	case *BoolLit:
 		if x.Value {

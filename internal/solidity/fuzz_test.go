@@ -1,0 +1,62 @@
+package solidity_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/solidity"
+)
+
+// FuzzParse: the parser must never panic on arbitrary input in either
+// grammar mode, and the printer must be a fixpoint of the fuzzy parser —
+// whatever Parse accepts, Print renders back into something Parse accepts
+// again (with an identical second print, so print∘parse converges after one
+// round). Seeded from the generated study corpus plus syntax edge cases;
+// the committed corpus lives in testdata/fuzz/FuzzParse.
+func FuzzParse(f *testing.F) {
+	for _, t := range dataset.VulnTemplates() {
+		f.Add(t.Source)
+	}
+	hp := dataset.GenerateHoneypots(1)
+	for i := 0; i < 5 && i < len(hp); i++ {
+		f.Add(hp[i].Source)
+	}
+	for _, s := range []string{
+		"",
+		"contract C {",
+		"function f(uint x) public { x = ; }",
+		"contract A { function f() public { if (x) { y = 1 } else z = 2 } }",
+		"pragma solidity ^0.8.0;\ninterface I { function f() external; }",
+		"x = msg.sender.call{value: 1}(\"\")",
+		"for (uint i = 0; i < 10; i++) { total += i }",
+		"contract \x00\xff { }",
+		"modifier m() { _; } function g() m public {}",
+		"assembly { let x := 0 }",
+	} {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		// Strict mode: must not panic; nothing else is promised for
+		// arbitrary input.
+		_, _ = solidity.ParseStrict(src)
+
+		unit, err := solidity.Parse(src)
+		if err != nil || unit == nil {
+			return
+		}
+		printed := solidity.Print(unit)
+		reparsed, err := solidity.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form no longer parses: %v\ninput:   %q\nprinted: %q", err, src, printed)
+		}
+		// One round of print∘parse must reach a fixpoint: printing the
+		// reparsed unit yields the same text.
+		if again := solidity.Print(reparsed); again != printed {
+			t.Fatalf("print/parse does not converge:\nfirst:  %q\nsecond: %q\ninput:  %q", printed, again, src)
+		}
+	})
+}

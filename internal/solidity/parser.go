@@ -334,10 +334,34 @@ func (p *Parser) parsePragma() *PragmaDirective {
 	}
 	var parts []string
 	for !p.at(SEMICOLON) && !p.at(EOF) && !p.cur().NewlineBefore {
-		parts = append(parts, p.next().Literal)
+		t := p.next()
+		switch t.Kind {
+		case STRING:
+			// Keep string tokens quoted so the rendered pragma re-lexes to
+			// the same token sequence.
+			parts = append(parts, "\""+escapeStringLit(t.Literal)+"\"")
+		case HEXSTRING:
+			parts = append(parts, "hex\""+escapeStringLit(t.Literal)+"\"")
+		default:
+			parts = append(parts, t.Literal)
+		}
 	}
 	p.accept(SEMICOLON)
-	return &PragmaDirective{Span: p.span(start), Name: name, Value: strings.Join(parts, "")}
+	// Concatenate, separating only boundaries whose fusion would be
+	// swallowed on re-lexing — "//" and "/*" start comments, "..." becomes a
+	// filtered elision marker. Every other fusion re-lexes to a stable token
+	// run, and version ranges like ">=0.4.22" stay in one piece.
+	var sb strings.Builder
+	for i, part := range parts {
+		if i > 0 && len(parts[i-1]) > 0 && len(part) > 0 {
+			prev, next := parts[i-1][len(parts[i-1])-1], part[0]
+			if (prev == '.' || prev == '/') && (next == '.' || next == '/' || next == '*') {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(part)
+	}
+	return &PragmaDirective{Span: p.span(start), Name: name, Value: sb.String()}
 }
 
 func (p *Parser) parseImport() *ImportDirective {
@@ -607,10 +631,16 @@ func (p *Parser) parseStruct() *StructDecl {
 	if p.accept(LBRACE) {
 		for !p.at(RBRACE) && !p.at(EOF) {
 			fstart := p.cur().Pos
+			before := p.pos
 			t := p.parseType()
 			if t == nil {
 				p.syncStatement()
 				p.accept(SEMICOLON)
+				if p.pos == before && !p.at(RBRACE) && !p.at(EOF) {
+					// Recovery stalled on an unbalanced closer (e.g. a stray
+					// ')'): force progress rather than loop forever.
+					p.next()
+				}
 				continue
 			}
 			name := ""

@@ -295,6 +295,11 @@ func (p *Parser) parsePrimary() Expr {
 			if p.at(COMMA) {
 				tup.Elems = append(tup.Elems, nil)
 				p.next()
+				if p.at(RPAREN) {
+					// `(a,)` has a trailing empty slot: record it so slot
+					// count equals comma count + 1 and printing round-trips.
+					tup.Elems = append(tup.Elems, nil)
+				}
 				continue
 			}
 			e := p.parseExpr()
@@ -304,6 +309,9 @@ func (p *Parser) parsePrimary() Expr {
 			tup.Elems = append(tup.Elems, e)
 			if !p.accept(COMMA) {
 				break
+			}
+			if p.at(RPAREN) {
+				tup.Elems = append(tup.Elems, nil)
 			}
 		}
 		p.expect(RPAREN)
@@ -328,6 +336,12 @@ func (p *Parser) parsePrimary() Expr {
 		}
 		p.expect(RBRACKET)
 		tup.Span = p.span(start)
+		// Single-element literals collapse like parenthesized exprs do: the
+		// tuple modeling is already lossy, and keeping the wrapper would
+		// print as `(x)` only to be unwrapped on the next parse.
+		if len(tup.Elems) == 1 && tup.Elems[0] != nil {
+			return tup.Elems[0]
+		}
 		return tup
 	}
 	if p.kind().IsKeyword() {

@@ -1,5 +1,7 @@
 package solidity
 
+import "strings"
+
 // Statement, type and expression parsing.
 
 // parseBlock parses `{ stmt* }`.
@@ -413,9 +415,30 @@ func (p *Parser) parseAssembly() Stmt {
 	if p.at(LBRACE) {
 		from := p.pos
 		p.skipBalanced(LBRACE, RBRACE)
-		for i := from; i < p.pos; i++ {
-			raw += p.toks[i].Literal + " "
+		// Capture the body only — the delimiting braces stay out of Raw, so
+		// printing "assembly { <raw> }" and re-parsing reproduces the same
+		// statement instead of nesting one block deeper per round trip.
+		to := p.pos
+		if to > from && p.toks[to-1].Kind == RBRACE {
+			to--
 		}
+		var parts []string
+		for i := from + 1; i < to; i++ {
+			tok := p.toks[i]
+			// Token literals hold decoded values; string-ish tokens must be
+			// re-quoted or the raw text re-lexes differently.
+			switch tok.Kind {
+			case STRING:
+				parts = append(parts, "\""+escapeStringLit(tok.Literal)+"\"")
+			case HEXSTRING:
+				parts = append(parts, "hex\""+escapeStringLit(tok.Literal)+"\"")
+			default:
+				if tok.Literal != "" {
+					parts = append(parts, tok.Literal)
+				}
+			}
+		}
+		raw = strings.Join(parts, " ")
 	}
 	return &AssemblyStmt{Span: p.span(start), Raw: raw}
 }

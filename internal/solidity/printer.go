@@ -12,10 +12,17 @@ import (
 func Print(u *SourceUnit) string {
 	var p printer
 	for _, pr := range u.Pragmas {
-		p.line("pragma " + pr.Name + " " + pr.Value + ";")
+		line := "pragma"
+		if pr.Name != "" {
+			line += " " + pr.Name
+		}
+		if pr.Value != "" {
+			line += " " + pr.Value
+		}
+		p.line(line + ";")
 	}
 	for _, im := range u.Imports {
-		p.line("import \"" + im.Path + "\";")
+		p.line("import \"" + escapeStringLit(im.Path) + "\";")
 	}
 	for _, d := range u.Decls {
 		p.decl(d)
@@ -183,11 +190,13 @@ func (p *printer) function(f *FunctionDecl) {
 
 func (p *printer) block(b *Block) {
 	p.line("{")
-	p.indent++
-	for _, st := range b.Stmts {
-		p.stmt(st)
+	if b != nil {
+		p.indent++
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
 	}
-	p.indent--
 	p.line("}")
 }
 
@@ -234,7 +243,11 @@ func (p *printer) stmt(s Stmt) {
 	case *DoWhileStmt:
 		p.line("do")
 		p.nested(x.Body)
-		p.line("while (" + ExprString(x.Cond) + ");")
+		// A truncated snippet can leave the while clause off entirely; the
+		// parser accepts that, so print it the same way back.
+		if x.Cond != nil {
+			p.line("while (" + ExprString(x.Cond) + ");")
+		}
 	case *ReturnStmt:
 		if x.Value != nil {
 			p.line("return " + ExprString(x.Value) + ";")
@@ -254,7 +267,11 @@ func (p *printer) stmt(s Stmt) {
 	case *PlaceholderStmt:
 		p.line("_;")
 	case *AssemblyStmt:
-		p.line("assembly { " + x.Raw + "}")
+		if x.Raw == "" {
+			p.line("assembly { }")
+		} else {
+			p.line("assembly { " + x.Raw + " }")
+		}
 	case *UncheckedBlock:
 		p.line("unchecked")
 		if x.Body != nil {
@@ -289,6 +306,14 @@ func (p *printer) stmt(s Stmt) {
 
 // nested prints a statement indented unless it is a block.
 func (p *printer) nested(s Stmt) {
+	if s == nil {
+		// A truncated snippet can leave a control statement without a body
+		// (`for;` at EOF). Print an explicit empty block so the output
+		// always re-parses.
+		p.line("{")
+		p.line("}")
+		return
+	}
 	if b, ok := s.(*Block); ok {
 		p.block(b)
 		return
