@@ -7,8 +7,10 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/editdist"
 	"repro/internal/experiments"
+	"repro/internal/index"
 	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/service"
@@ -682,6 +685,98 @@ func BenchmarkMatchUnderIngest(b *testing.B) {
 	b.StopTimer()
 	close(done)
 	wg.Wait()
+}
+
+// BenchmarkMatchScatterGather10k is the headline sharding benchmark: top-10
+// query latency on the 10k-doc corpus at 1, 4 and GOMAXPROCS generation-
+// shards, while a writer ingests continuously. Queries run one at a time, so
+// ns/op measures intra-query scatter-gather parallelism — the acceptance
+// floor is 2x throughput at 4+ shards over 1 shard on a multi-core host.
+func BenchmarkMatchScatterGather10k(b *testing.B) {
+	entries, snapshot := persistFixture(b)
+	var fps []ccd.Fingerprint
+	for _, e := range entries[:16] {
+		fp, _ := ccd.FingerprintSource(e.Source)
+		fps = append(fps, fp)
+	}
+	seen := map[int]bool{}
+	for _, shards := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := service.NewCorpus(ccd.DefaultConfig, shards)
+			if err := c.ReadSnapshot(bytes.NewReader(snapshot)); err != nil {
+				b.Fatal(err)
+			}
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // concurrent ingest: worst-case publish churn
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+						_ = c.Add(fmt.Sprintf("ingest-%d", i), fps[i%len(fps)])
+					}
+				}
+			}()
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				ms, _ := c.MatchTopK(fps[i%len(fps)], 10)
+				total += len(ms)
+			}
+			b.StopTimer()
+			close(done)
+			wg.Wait()
+			b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+		})
+	}
+}
+
+// BenchmarkBackendCompare pits the three similarity backends against each
+// other on one 2k-document corpus: same documents, same top-10 query, each
+// backend scoring with its own scheme (posting-list pre-filter + Algorithm 1
+// vs CTPH digest edit distance vs AST-embedding cosine).
+func BenchmarkBackendCompare(b *testing.B) {
+	entries, _ := persistFixture(b)
+	const docs = 2000
+	eng := service.New(service.Options{})
+	docsPrepared := make([]index.Doc, docs)
+	for i, e := range entries[:docs] {
+		fp, _ := eng.Fingerprint(e.Source)
+		docsPrepared[i] = index.Doc{ID: e.ID, Source: e.Source, FP: fp}
+	}
+	query := index.Doc{Source: entries[0].Source, FP: docsPrepared[0].FP}
+	for _, backend := range index.Names() {
+		b.Run(backend, func(b *testing.B) {
+			c, err := service.NewBackendCorpus(backend, index.Config{}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, d := range docsPrepared {
+				_ = c.AddDoc(d) // smartembed skips unparsable docs
+			}
+			if c.Len() == 0 {
+				b.Fatalf("backend %s indexed nothing", backend)
+			}
+			b.ResetTimer()
+			total := 0
+			for i := 0; i < b.N; i++ {
+				ms, _, err := c.MatchDocTopK(context.Background(), query, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(ms)
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+			b.ReportMetric(float64(c.Len()), "docs")
+		})
+	}
 }
 
 // BenchmarkCorpusMatchParallel measures concurrent clone matching against

@@ -40,6 +40,7 @@ func main() {
 	snapN := flag.Int("ccd-n", ccd.DefaultConfig.N, "snapshot corpus n-gram size")
 	snapEta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "snapshot corpus containment threshold")
 	snapEps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "snapshot corpus similarity threshold (0-100)")
+	snapShards := flag.Int("shards", 0, "snapshot corpus generation-shards (0 = GOMAXPROCS; restore re-shards on mismatch)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -114,9 +115,12 @@ func main() {
 
 	// Fingerprint the deployed-contract corpora in parallel and emit the
 	// snapshot the service restores from. Written via temp + rename so a
-	// killed run never leaves a half-snapshot behind.
+	// killed run never leaves a half-snapshot behind. The snapshot is always
+	// ccd-backed: the only restore path (serve -corpus-dir) attaches a store
+	// to the ccd corpus; the other backends re-index live traffic instead.
 	engine := service.New(service.Options{
-		CCD: ccd.Config{N: *snapN, Eta: *snapEta, Epsilon: *snapEps},
+		CCD:    ccd.Config{N: *snapN, Eta: *snapEta, Epsilon: *snapEps},
+		Shards: *snapShards,
 	})
 	entries := make([]service.CorpusEntry, 0, len(sc)+len(hp))
 	for _, c := range sc {
@@ -131,17 +135,18 @@ func main() {
 			parseIssues++
 		}
 	}
+	corpus := engine.Corpus()
 	die(os.MkdirAll(filepath.Dir(*snapshot), 0o755))
 	tmp, err := os.CreateTemp(filepath.Dir(*snapshot), filepath.Base(*snapshot)+".tmp-*")
 	die(err)
 	defer os.Remove(tmp.Name())
 	die(tmp.Chmod(0o644))
-	die(engine.Corpus().WriteSnapshot(tmp))
+	die(corpus.WriteSnapshot(tmp))
 	die(tmp.Sync())
 	st, err := tmp.Stat()
 	die(err)
 	die(tmp.Close())
 	die(os.Rename(tmp.Name(), *snapshot))
-	fmt.Printf("snapshot: %s (%d entries, %d bytes, %d parse issues)\n",
-		*snapshot, engine.Corpus().Len(), st.Size(), parseIssues)
+	fmt.Printf("snapshot: %s (backend %s, %d shards, %d entries, %d bytes, %d parse issues)\n",
+		*snapshot, corpus.Backend(), corpus.Shards(), corpus.Len(), st.Size(), parseIssues)
 }

@@ -4,6 +4,15 @@
 //
 //	serve -addr :8070 -workers 8 -cache 4096
 //	serve -corpus-dir ./data -snapshot-interval 5m     # durable corpus
+//	serve -shards 8 -backend ccd,ssdeep,smartembed     # scatter-gather width + extra matchers
+//
+// The serving corpus is hash-partitioned into -shards generation-shards
+// (default GOMAXPROCS): each /v1/match scatter-gathers across all shards in
+// parallel under one shared admission bound, so query latency drops roughly
+// with the shard count on multi-core hosts. -backend loads additional
+// similarity backends (the paper's comparison tools) next to the always-on
+// ccd matcher; select one per query with /v1/match?backend=ssdeep. Only the
+// ccd corpus is durable — the extra backends re-index live traffic.
 //
 // With -corpus-dir the serving corpus survives restarts: on boot the binary
 // snapshot (corpus.snap) is restored and the write-ahead log (corpus.wal)
@@ -23,7 +32,9 @@
 //	GET  /v1/corpus/export    binary corpus snapshot download
 //	POST /v1/match            {"source": "..."} or {"fingerprint": "..."};
 //	                          optional "limit": k keeps the top K; batch form
-//	                          {"sources": [...]} / {"fingerprints": [...]}
+//	                          {"sources": [...]} / {"fingerprints": [...]};
+//	                          ?backend=ccd|ssdeep|smartembed selects the
+//	                          matcher, ?explain=1 attaches the pruning funnel
 //	POST /v1/study            {"seed": 1, "scale": 0.01}   (async; poll the id)
 //	GET  /v1/study/{id}
 //	GET  /healthz
@@ -39,10 +50,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/ccd"
+	"repro/internal/index"
 	"repro/internal/service"
 	"repro/internal/service/api"
 )
@@ -51,7 +64,8 @@ func main() {
 	addr := flag.String("addr", ":8070", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "entries per cache layer (0 = default, <0 disables)")
-	shards := flag.Int("shards", 0, "deprecated: ignored (the corpus self-sizes its generations)")
+	shards := flag.Int("shards", 0, "generation-shards per corpus / scatter-gather width (0 = GOMAXPROCS)")
+	backends := flag.String("backend", "ccd", "comma-separated similarity backends to load (ccd always on; e.g. ccd,ssdeep,smartembed)")
 	n := flag.Int("ccd-n", ccd.DefaultConfig.N, "CCD n-gram size")
 	eta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "CCD n-gram containment threshold")
 	eps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "CCD similarity threshold (0-100)")
@@ -64,10 +78,23 @@ func main() {
 		os.Exit(1)
 	}
 
+	var extraBackends []string
+	for _, name := range strings.Split(*backends, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !index.Known(name) {
+			die(fmt.Errorf("unknown backend %q (known: %v)", name, index.Names()))
+		}
+		extraBackends = append(extraBackends, name)
+	}
+
 	engine := service.New(service.Options{
 		Workers:      *workers,
 		CacheEntries: *cache,
 		Shards:       *shards,
+		Backends:     extraBackends,
 		CCD:          ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
 	})
 
@@ -105,7 +132,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serve: listening on %s (workers=%d, corpus=%d entries)", *addr, engine.Workers(), engine.Corpus().Len())
+	log.Printf("serve: listening on %s (workers=%d, shards=%d, backends=%v, corpus=%d entries)",
+		*addr, engine.Workers(), engine.Corpus().Shards(), engine.Backends(), engine.Corpus().Len())
 
 	select {
 	case err := <-errCh:

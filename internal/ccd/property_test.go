@@ -22,6 +22,73 @@ func corpusSources() []string {
 	return out
 }
 
+// TestPropertySharedBoundPartitionEquivalence: collectors running over
+// disjoint partitions of a corpus with one shared AtomicBound, merged
+// through a final collector, must return exactly what a single collector
+// over the whole corpus returns — for every k. This is the unit-level pin of
+// the service's scatter-gather merge.
+func TestPropertySharedBoundPartitionEquivalence(t *testing.T) {
+	srcs := corpusSources()
+	whole := NewCorpus(DefaultConfig)
+	parts := []*Corpus{NewCorpus(DefaultConfig), NewCorpus(DefaultConfig), NewCorpus(DefaultConfig)}
+	for i, src := range srcs {
+		fp, _ := FingerprintSource(src)
+		id := fmt.Sprintf("doc-%02d", i)
+		whole.Add(id, fp)
+		parts[i%len(parts)].Add(id, fp)
+	}
+	for _, src := range srcs[:6] {
+		q, _ := FingerprintSource(src)
+		for k := 0; k <= 8; k++ {
+			want := whole.MatchTopK(q, k)
+
+			shared := NewAtomicBound(0)
+			final := NewTopK(k, 0)
+			for _, p := range parts {
+				col := NewTopK(k, DefaultConfig.Epsilon).Share(shared)
+				p.MatchTopKInto(q, col)
+				for _, m := range col.Results() {
+					final.Offer(m)
+				}
+			}
+			got := final.Results()
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: %d matches, want %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d match %d: %+v, want %+v", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAtomicBoundMonotone: Raise never lowers the bound and is safe under
+// concurrent raisers (run with -race).
+func TestAtomicBoundMonotone(t *testing.T) {
+	b := NewAtomicBound(10)
+	b.Raise(5)
+	if got := b.Load(); got != 10 {
+		t.Fatalf("bound lowered to %v", got)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				b.Raise(float64(i % 97))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if got := b.Load(); got != 96 {
+		t.Fatalf("bound %v after concurrent raises, want 96", got)
+	}
+}
+
 // TestPropertySelfSimilarityIs100 over the whole template corpus.
 func TestPropertySelfSimilarityIs100(t *testing.T) {
 	for _, src := range corpusSources() {

@@ -2,8 +2,45 @@ package ccd
 
 import (
 	"container/heap"
+	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// AtomicBound is a lock-free, monotonically increasing score bound shared by
+// TopK collectors running in parallel over partitions of one corpus (the
+// service's generation-shards). When any collector fills to k matches, it
+// raises the shared bound to its worst kept score; every other collector then
+// prunes candidates that can no longer enter the global top K, so a strong
+// match found in one partition cheapens the scan of all the others.
+type AtomicBound struct {
+	bits atomic.Uint64
+}
+
+// NewAtomicBound returns a bound starting at floor (typically ε).
+func NewAtomicBound(floor float64) *AtomicBound {
+	b := &AtomicBound{}
+	b.bits.Store(math.Float64bits(floor))
+	return b
+}
+
+// Load returns the current bound.
+func (b *AtomicBound) Load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// Raise lifts the bound to s if s is higher (CAS max; never lowers).
+func (b *AtomicBound) Raise(s float64) {
+	for {
+		old := b.bits.Load()
+		if s <= math.Float64frombits(old) {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
 
 // TopK collects the k best matches seen so far: a bounded min-heap ordered
 // worst-first, so the match that would be evicted next sits at the root.
@@ -12,9 +49,10 @@ import (
 // only on candidates that can still make the cut. k ≤ 0 disables the bound
 // (collect everything at ε or better).
 type TopK struct {
-	k   int
-	eps float64
-	h   matchHeap
+	k      int
+	eps    float64
+	h      matchHeap
+	shared *AtomicBound // optional cross-partition bound (Share)
 }
 
 // NewTopK returns a collector for the k best matches scoring at least eps.
@@ -22,14 +60,31 @@ func NewTopK(k int, eps float64) *TopK {
 	return &TopK{k: k, eps: eps}
 }
 
+// Share attaches a cross-partition admission bound: Bound() reads it, and
+// whenever this collector's heap is full its worst kept score is published
+// back, so sibling collectors over other partitions prune against the best
+// global evidence seen so far. Returns t for chaining. Safe only before the
+// first Offer.
+func (t *TopK) Share(b *AtomicBound) *TopK {
+	t.shared = b
+	return t
+}
+
 // Bound returns the score a match must reach to enter the collection: ε
 // until the heap fills, then the worst collected score (a match tying the
 // bound still needs a smaller id than the current worst to displace it).
+// With a shared bound attached, the highest of the local and shared bounds
+// wins — a score tying the shared bound is still admissible, so k-th-place
+// ties across partitions resolve by id at merge time.
 func (t *TopK) Bound() float64 {
-	if t.k > 0 && len(t.h) == t.k {
-		return max(t.eps, t.h[0].Score)
+	b := t.eps
+	if t.shared != nil {
+		b = max(b, t.shared.Load())
 	}
-	return t.eps
+	if t.k > 0 && len(t.h) == t.k {
+		b = max(b, t.h[0].Score)
+	}
+	return b
 }
 
 // Offer considers one match; it is kept when it beats the current bound (or
@@ -38,8 +93,15 @@ func (t *TopK) Offer(m Match) {
 	if m.Score < t.eps {
 		return
 	}
+	if t.shared != nil && m.Score < t.shared.Load() {
+		// Some partition already holds k matches at or above the shared
+		// bound, so m cannot enter the merged top K. Strictly-below only:
+		// ties survive to the merge, where ids break them.
+		return
+	}
 	if t.k <= 0 || len(t.h) < t.k {
 		heap.Push(&t.h, m)
+		t.publishBound()
 		return
 	}
 	if worseOrEqual(m, t.h[0]) {
@@ -47,6 +109,14 @@ func (t *TopK) Offer(m Match) {
 	}
 	t.h[0] = m
 	heap.Fix(&t.h, 0)
+	t.publishBound()
+}
+
+// publishBound exports the local k-th-best score once the heap is full.
+func (t *TopK) publishBound() {
+	if t.shared != nil && t.k > 0 && len(t.h) == t.k {
+		t.shared.Raise(t.h[0].Score)
+	}
 }
 
 // Len returns how many matches are currently held.

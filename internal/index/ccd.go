@@ -1,0 +1,100 @@
+package index
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ccd"
+)
+
+// BackendCCD is the registry name of the paper's n-gram/edit-distance clone
+// detector — the default backend and the only one with a durable on-disk
+// representation (the WAL journals (id, fingerprint) pairs, which is exactly
+// what this backend indexes).
+const BackendCCD = "ccd"
+
+func init() {
+	Register(BackendCCD, func(cfg Config) Backend {
+		if cfg.CCD.N == 0 {
+			cfg.CCD = ccd.DefaultConfig
+		}
+		return &ccdBackend{cfg: cfg, c: ccd.NewCorpus(cfg.CCD)}
+	})
+}
+
+// ccdBackend adapts *ccd.Corpus (posting-list pre-filter + Algorithm-1
+// scoring) to the Backend interface.
+type ccdBackend struct {
+	cfg Config
+	c   *ccd.Corpus
+}
+
+func (b *ccdBackend) Name() string   { return BackendCCD }
+func (b *ccdBackend) Config() Config { return b.cfg }
+func (b *ccdBackend) Len() int       { return b.c.Len() }
+
+// Entries exposes the indexed (id, fingerprint) pairs for WAL-replay
+// deduplication and shard re-partitioning (EntryLister).
+func (b *ccdBackend) Entries() []ccd.Entry { return b.c.Entries() }
+
+func (b *ccdBackend) Add(doc Doc) error {
+	fp := doc.FP
+	if fp == "" {
+		if doc.Source == "" {
+			return fmt.Errorf("%w: ccd needs a fingerprint or source", ErrDocUnsupported)
+		}
+		fp, _ = ccd.FingerprintSource(doc.Source) // partial fp still indexes
+	}
+	b.c.Add(doc.ID, fp)
+	return nil
+}
+
+func (b *ccdBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
+	prep := q.Prepare(func() any {
+		fp := q.Doc.FP
+		if fp == "" {
+			fp, _ = ccd.FingerprintSource(q.Doc.Source)
+		}
+		return ccd.PrepareQuery(b.cfg.CCD, fp)
+	}).(*ccd.PreparedQuery)
+	col := ccd.NewTopK(q.K, b.epsilon()).Share(q.Bound)
+	stats := b.c.MatchPreparedInto(prep, col)
+	return col.Results(), stats
+}
+
+func (b *ccdBackend) epsilon() float64 {
+	if b.cfg.Epsilon > 0 {
+		return b.cfg.Epsilon
+	}
+	return b.cfg.CCD.Epsilon
+}
+
+func (b *ccdBackend) Merge(other Backend) (Backend, error) {
+	o, ok := other.(*ccdBackend)
+	if !ok {
+		return nil, fmt.Errorf("index: merge ccd with %s", other.Name())
+	}
+	out := ccd.NewCorpus(b.cfg.CCD)
+	for _, e := range b.c.Entries() {
+		out.Add(e.ID, e.FP)
+	}
+	for _, e := range o.c.Entries() {
+		out.Add(e.ID, e.FP)
+	}
+	return &ccdBackend{cfg: b.cfg, c: out}, nil
+}
+
+func (b *ccdBackend) Snapshot(w io.Writer) error { return b.c.Save(w) }
+
+func (b *ccdBackend) Restore(r io.Reader) error {
+	if b.c.Len() != 0 {
+		return fmt.Errorf("index: restore into non-empty ccd backend (%d entries)", b.c.Len())
+	}
+	c, err := ccd.Load(r)
+	if err != nil {
+		return err
+	}
+	b.c = c
+	b.cfg.CCD = c.Config()
+	return nil
+}

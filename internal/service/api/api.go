@@ -6,15 +6,18 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ccc"
 	"repro/internal/ccd"
+	"repro/internal/index"
 	"repro/internal/pipeline"
 	"repro/internal/service"
 )
@@ -130,8 +133,11 @@ type CorpusAddResponse struct {
 }
 
 // MatchRequest matches one query — a source or a precomputed fingerprint —
-// or a batch of them against the serving corpus. Limit keeps only the k
-// best candidates per query (0 = all).
+// or a batch of them against a serving corpus. Limit keeps only the k
+// best candidates per query (0 = all). Backend selects the similarity
+// backend ("ccd", "ssdeep", "smartembed"; empty = ccd) and Explain attaches
+// the per-stage pruning funnel to each result; both are also accepted as
+// query parameters (?backend=...&explain=1), which win over the body.
 type MatchRequest struct {
 	Source      string `json:"source,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
@@ -140,6 +146,8 @@ type MatchRequest struct {
 	Sources      []string `json:"sources,omitempty"`
 	Fingerprints []string `json:"fingerprints,omitempty"`
 	Limit        int      `json:"limit,omitempty"`
+	Backend      string   `json:"backend,omitempty"`
+	Explain      bool     `json:"explain,omitempty"`
 }
 
 // Match is one clone candidate on the wire.
@@ -148,10 +156,25 @@ type Match struct {
 	Score float64 `json:"score"`
 }
 
+// MatchExplain is the per-query pruning funnel attached by explain=1: how
+// many candidates the backend's pre-filter produced, how many it abandoned
+// in-filter, how many were fully scored, and how many the shared top-K
+// admission bound cut short, plus the scatter-gather fan-out width.
+type MatchExplain struct {
+	Backend       string `json:"backend"`
+	Shards        int    `json:"shards"`
+	Limit         int    `json:"limit,omitempty"`
+	Candidates    int    `json:"candidates"`
+	FilterPruned  int    `json:"filter_pruned"`
+	Scored        int    `json:"scored"`
+	CutoffSkipped int    `json:"cutoff_skipped"`
+}
+
 // MatchResponse lists clone candidates, best first.
 type MatchResponse struct {
-	Matches []Match `json:"matches"`
-	Error   string  `json:"error,omitempty"`
+	Matches []Match       `json:"matches"`
+	Explain *MatchExplain `json:"explain,omitempty"`
+	Error   string        `json:"error,omitempty"`
 }
 
 // MatchBatchResponse answers the batch form of /v1/match: one entry per
@@ -223,7 +246,7 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp FingerprintResponse
-	s.engine.Do(func() {
+	if err := s.engine.DoCtx(r.Context(), func() {
 		fp, err := s.engine.Fingerprint(req.Source)
 		resp = FingerprintResponse{
 			Key:             string(service.ContentKey(req.Source)),
@@ -233,7 +256,9 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			resp.Error = err.Error()
 		}
-	})
+	}); err != nil {
+		return // client gone while queued
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -277,11 +302,25 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
 	s.reqCorpus.Add(1)
 	cfg := s.engine.Corpus().Config()
+	backends := map[string]any{}
+	for _, name := range s.engine.Backends() {
+		c, err := s.engine.CorpusFor(name)
+		if err != nil {
+			continue
+		}
+		backends[name] = map[string]any{
+			"size":   c.Len(),
+			"shards": c.Shards(),
+			"adds":   c.Adds(),
+			"skips":  c.Skips(),
+		}
+	}
 	info := map[string]any{
-		"size":    s.engine.Corpus().Len(),
-		"n":       cfg.N,
-		"eta":     cfg.Eta,
-		"epsilon": cfg.Epsilon,
+		"size":     s.engine.Corpus().Len(),
+		"n":        cfg.N,
+		"eta":      cfg.Eta,
+		"epsilon":  cfg.Epsilon,
+		"backends": backends,
 	}
 	if s.store != nil {
 		info["persistence"] = s.store.Info()
@@ -295,8 +334,21 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	// Query parameters override the body: ?backend=ssdeep&explain=1.
+	if qp := r.URL.Query(); qp.Has("backend") || qp.Has("explain") {
+		if qp.Has("backend") {
+			req.Backend = qp.Get("backend")
+		}
+		if v := qp.Get("explain"); v != "" {
+			req.Explain = v == "1" || strings.EqualFold(v, "true")
+		}
+	}
 	if req.Limit < 0 {
 		writeError(w, http.StatusBadRequest, "\"limit\" must be ≥ 0")
+		return
+	}
+	if _, err := s.engine.CorpusFor(req.Backend); err != nil {
+		writeBackendError(w, err)
 		return
 	}
 	batch := len(req.Sources) > 0 || len(req.Fingerprints) > 0
@@ -304,15 +356,21 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "mix of single and batch fields: use either \"source\"/\"fingerprint\" or \"sources\"/\"fingerprints\"")
 		return
 	}
+	ctx := r.Context() // a disconnected client cancels in-flight scatter-gather work
 	if !batch {
 		if req.Source == "" && req.Fingerprint == "" {
 			writeError(w, http.StatusBadRequest, "provide \"source\" or \"fingerprint\"")
 			return
 		}
 		var resp MatchResponse
-		s.engine.Do(func() {
-			resp = s.matchOne(req.Source, ccd.Fingerprint(req.Fingerprint), req.Limit)
-		})
+		if err := s.engine.DoCtx(ctx, func() {
+			resp = s.matchOne(ctx, req)
+		}); err != nil {
+			return // client gone while queued; nobody is listening
+		}
+		if ctx.Err() != nil {
+			return // cancelled mid-scan
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -322,35 +380,60 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	// is the expensive part); precomputed fingerprints match inline on one
 	// worker slot — the read path itself is lock-free and cheap.
 	if len(req.Sources) > 0 {
-		mss, errs := s.engine.MatchBatchTopK(req.Sources, req.Limit)
+		mss, stats, errs, err := s.matchSources(ctx, req)
+		if err != nil {
+			return // cancelled; client gone
+		}
 		for i := range mss {
-			resp.Results[i] = toMatchResponse(mss[i], errs[i])
+			resp.Results[i] = s.toMatchResponse(req, mss[i], stats[i], errs[i])
 		}
 	}
 	if len(req.Fingerprints) > 0 {
-		s.engine.Do(func() {
+		if err := s.engine.DoCtx(ctx, func() {
 			for i, fp := range req.Fingerprints {
-				ms := s.engine.MatchFingerprintTopK(ccd.Fingerprint(fp), req.Limit)
-				resp.Results[len(req.Sources)+i] = toMatchResponse(ms, nil)
+				doc := index.Doc{FP: ccd.Fingerprint(fp)}
+				ms, st, err := s.engine.MatchDoc(ctx, req.Backend, doc, req.Limit)
+				if err != nil {
+					return // only ctx errors reach here (backend pre-validated)
+				}
+				resp.Results[len(req.Sources)+i] = s.toMatchResponse(req, ms, st, nil)
 			}
-		})
+		}); err != nil {
+			return
+		}
+	}
+	if ctx.Err() != nil {
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// matchOne serves the single-query form of /v1/match.
-func (s *Server) matchOne(source string, fp ccd.Fingerprint, limit int) MatchResponse {
-	var ms []ccd.Match
-	var err error
-	if source != "" {
-		ms, err = s.engine.MatchTopK(source, limit)
-	} else {
-		ms = s.engine.MatchFingerprintTopK(fp, limit)
-	}
-	return toMatchResponse(ms, err)
+// matchSources runs the batch source form on the worker pool, collecting
+// per-source stats for explain=1.
+func (s *Server) matchSources(ctx context.Context, req MatchRequest) ([][]ccd.Match, []ccd.MatchStats, []error, error) {
+	mss := make([][]ccd.Match, len(req.Sources))
+	stats := make([]ccd.MatchStats, len(req.Sources))
+	errs := make([]error, len(req.Sources))
+	err := s.engine.MapCtx(ctx, len(req.Sources), func(i int) {
+		mss[i], stats[i], errs[i] = s.engine.MatchSource(ctx, req.Backend, req.Sources[i], req.Limit)
+	})
+	return mss, stats, errs, err
 }
 
-func toMatchResponse(ms []ccd.Match, err error) MatchResponse {
+// matchOne serves the single-query form of /v1/match.
+func (s *Server) matchOne(ctx context.Context, req MatchRequest) MatchResponse {
+	var ms []ccd.Match
+	var st ccd.MatchStats
+	var err error
+	if req.Source != "" {
+		ms, st, err = s.engine.MatchSource(ctx, req.Backend, req.Source, req.Limit)
+	} else {
+		ms, st, err = s.engine.MatchDoc(ctx, req.Backend, index.Doc{FP: ccd.Fingerprint(req.Fingerprint)}, req.Limit)
+	}
+	return s.toMatchResponse(req, ms, st, err)
+}
+
+func (s *Server) toMatchResponse(req MatchRequest, ms []ccd.Match, st ccd.MatchStats, err error) MatchResponse {
 	resp := MatchResponse{Matches: make([]Match, len(ms))}
 	for i, m := range ms {
 		resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
@@ -358,7 +441,32 @@ func toMatchResponse(ms []ccd.Match, err error) MatchResponse {
 	if err != nil {
 		resp.Error = err.Error()
 	}
+	if req.Explain {
+		corpus, cerr := s.engine.CorpusFor(req.Backend)
+		if cerr == nil {
+			resp.Explain = &MatchExplain{
+				Backend:       corpus.Backend(),
+				Shards:        corpus.Shards(),
+				Limit:         req.Limit,
+				Candidates:    st.Candidates,
+				FilterPruned:  st.FilterPruned,
+				Scored:        st.Scored,
+				CutoffSkipped: st.CutoffSkipped,
+			}
+		}
+	}
 	return resp
+}
+
+// writeBackendError maps backend-routing failures: unknown names are client
+// errors (400), known-but-not-loaded backends are a deployment state the
+// client cannot fix in the request (409).
+func writeBackendError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, service.ErrBackendNotLoaded) {
+		status = http.StatusConflict
+	}
+	writeError(w, status, err.Error())
 }
 
 func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {

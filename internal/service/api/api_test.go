@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/index"
 	"repro/internal/service"
 )
 
@@ -30,9 +31,23 @@ const (
 }`
 )
 
+// newTestServer runs every registered backend with a pinned shard count, so
+// responses (including the golden fixtures) are machine-independent.
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	s := NewServer(service.New(service.Options{Workers: 4}))
+	return newTestServerOpts(t, service.Options{Workers: 4, Shards: 4, Backends: index.Names()})
+}
+
+// newCCDOnlyServer runs with just the default backend (the
+// backend-not-loaded error shape).
+func newCCDOnlyServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	return newTestServerOpts(t, service.Options{Workers: 4, Shards: 4})
+}
+
+func newTestServerOpts(t *testing.T, opts service.Options) (*httptest.Server, *Server) {
+	t.Helper()
+	s := NewServer(service.New(opts))
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s

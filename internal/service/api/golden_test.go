@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
@@ -53,55 +54,78 @@ func TestGoldenResponses(t *testing.T) {
 		{"match_fingerprint_miss", http.MethodPost, "/v1/match", map[string]any{"fingerprint": "zzzzzzzzzzzz"}},
 		{"match_bad_limit", http.MethodPost, "/v1/match", map[string]any{"source": benignSrc, "limit": -1}},
 		{"match_mixed_forms", http.MethodPost, "/v1/match", map[string]any{"source": benignSrc, "sources": []string{benignSrc}}},
+		// Backend selection and explain, as query parameters.
+		{"match_backend_ssdeep", http.MethodPost, "/v1/match?backend=ssdeep", map[string]any{"source": reentrantSrc, "limit": 1}},
+		{"match_backend_smartembed", http.MethodPost, "/v1/match?backend=smartembed", map[string]any{"source": reentrantSrc, "limit": 1}},
+		{"match_backend_unknown", http.MethodPost, "/v1/match?backend=nope", map[string]any{"source": benignSrc}},
+		{"match_explain", http.MethodPost, "/v1/match?explain=1", map[string]any{"source": reentrantSrc, "limit": 2}},
+		{"match_explain_body_backend", http.MethodPost, "/v1/match", map[string]any{
+			"source": reentrantSrc, "backend": "ssdeep", "explain": true, "limit": 1,
+		}},
 	}
 
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			var req *http.Request
-			var err error
-			if tc.body == nil {
-				req, err = http.NewRequest(tc.method, ts.URL+tc.path, nil)
-			} else {
-				buf, merr := json.Marshal(tc.body)
-				if merr != nil {
-					t.Fatal(merr)
-				}
-				req, err = http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(buf))
-				req.Header.Set("Content-Type", "application/json")
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			raw, err := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := canonicalize(t, resp.StatusCode, raw)
-
-			path := filepath.Join("testdata", "golden", tc.name+".json")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-				return
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("missing golden fixture (run with -update): %v", err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Errorf("response shape changed for %s %s.\n got: %s\nwant: %s\n(re-run with -update if intentional)",
-					tc.method, tc.path, got, want)
-			}
+			runGoldenCase(t, ts, tc.name, tc.method, tc.path, tc.body)
 		})
+	}
+}
+
+// TestGoldenBackendNotLoaded pins the error shape of a registered backend
+// the server was not started with (serve without -backend ssdeep).
+func TestGoldenBackendNotLoaded(t *testing.T) {
+	ts, _ := newCCDOnlyServer(t)
+	runGoldenCase(t, ts, "match_backend_not_loaded", http.MethodPost,
+		"/v1/match?backend=ssdeep", map[string]any{"source": benignSrc})
+}
+
+// runGoldenCase issues one request and compares (status, body) against the
+// committed fixture, rewriting it under -update.
+func runGoldenCase(t *testing.T, ts *httptest.Server, name, method, path string, body any) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if body == nil {
+		req, err = http.NewRequest(method, ts.URL+path, nil)
+	} else {
+		buf, merr := json.Marshal(body)
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		req, err = http.NewRequest(method, ts.URL+path, bytes.NewReader(buf))
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := canonicalize(t, resp.StatusCode, raw)
+
+	fixture := filepath.Join("testdata", "golden", name+".json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(fixture), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixture, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response shape changed for %s %s.\n got: %s\nwant: %s\n(re-run with -update if intentional)",
+			method, path, got, want)
 	}
 }
 

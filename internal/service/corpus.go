@@ -3,212 +3,456 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
+	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/ccd"
+	"repro/internal/index"
 )
 
-// DefaultShards is retained for API compatibility with the sharded corpus
-// this package used to ship. The generational corpus sizes its segments
-// automatically; the value is no longer consulted.
-const DefaultShards = 16
-
-// Corpus is a clone-detection corpus with lock-free reads: the entire index
-// lives in an immutable *generation* reached through one atomic pointer, so
-// Match and MatchTopK never take a lock and never wait on writers — match
-// latency is independent of ingest bursts.
+// Corpus is a sharded, backend-pluggable similarity corpus with lock-free
+// reads. Documents are hash-partitioned by id across N independent
+// generation-shards; each shard is the generational structure this package
+// has always used — readers load one atomic pointer to an immutable
+// generation of segments, writers group-commit deltas and compact
+// logarithmically — so ingest on one shard never contends with ingest on
+// another, and matching never takes a lock at all.
 //
-// Writers batch into a pending delta and publish it off the read path: an
-// Add enqueues its entry under a short mutex, then whichever writer reaches
-// the publish lock first drains the whole delta into a fresh segment and
-// swings the generation pointer (group commit — N concurrent Adds coalesce
-// into ~2 publishes). An Add returns only after its entry is visible, so
-// read-your-writes still holds.
+// Matching is scatter-gather: MatchTopK fans the query out to every shard in
+// parallel, the shards share one atomic admission bound (a strong match found
+// in any shard immediately tightens the pruning cutoff of all the others),
+// and the per-shard top-K lists merge through one bounded heap. The whole
+// fan-out is context-cancellable: a disconnected client stops the scan at
+// the next segment boundary.
 //
-// A generation holds the corpus as immutable segments in descending size.
-// Publishing appends the delta as a new segment and then merges neighbours
-// until every segment is at least twice its successor's size (the classic
-// logarithmic method), keeping the segment count O(log n) and amortized
-// publish cost O(log n) per entry.
-//
-// A Corpus is purely in-memory unless a Store is attached (OpenStore), in
-// which case every Add is journaled to the write-ahead log before it becomes
-// visible, and Snapshot/Restore persist the whole corpus atomically.
+// Segments are index.Backend instances, so the same sharding, snapshotting
+// and scatter-gather machinery serves the paper's ccd matcher, the ssdeep
+// CTPH comparator and the SmartEmbed structural embedder alike. Only a
+// ccd-backed corpus can attach a Store (the WAL journals exactly what that
+// backend indexes).
 type Corpus struct {
-	cfg ccd.Config
-	gen atomic.Pointer[generation]
-
-	// pendMu guards the write delta; held only to append one batch.
-	pendMu   sync.Mutex
-	pending  []ccd.Entry
-	enqueued uint64 // entries ever enqueued
-
-	// pubMu serializes publishing; held while a new generation is built.
-	// The read path never touches it.
-	pubMu     sync.Mutex
-	published uint64 // entries ever published (≤ enqueued)
+	backend string
+	cfg     index.Config
+	shards  []*shard
 
 	publishes   atomic.Int64
 	compactions atomic.Int64
+
+	// Ingest accounting: adds that were indexed, skips the backend refused
+	// (index.ErrDocUnsupported — e.g. fingerprint-only docs offered to
+	// SmartEmbed).
+	adds  atomic.Int64
+	skips atomic.Int64
+
+	// Read-path funnel across all shards (per-backend metrics).
+	matches        atomic.Int64
+	candidates     atomic.Int64
+	filterPruned   atomic.Int64
+	scored         atomic.Int64
+	cutoffSkipped  atomic.Int64
+	cancelledReads atomic.Int64
 
 	// store, when non-nil, intercepts Add for write-ahead logging. Set once
 	// during OpenStore, before the corpus serves traffic.
 	store *Store
 }
 
-// generation is one immutable published state of the corpus. Readers load it
+// shard is one independent generation chain plus its write delta.
+type shard struct {
+	// pendMu guards the write delta; held only to append one batch.
+	pendMu   sync.Mutex
+	pending  []index.Doc
+	enqueued uint64 // docs ever enqueued
+
+	// pubMu serializes publishing; held while a new generation is built.
+	// The read path never touches it.
+	pubMu     sync.Mutex
+	published uint64 // docs ever published (≤ enqueued)
+
+	gen atomic.Pointer[generation]
+
+	// Per-shard read statistics.
+	matches    atomic.Int64
+	candidates atomic.Int64
+	scored     atomic.Int64
+}
+
+// generation is one immutable published state of a shard. Readers load it
 // atomically and use it without synchronization; it is never mutated after
 // the pointer swing.
 type generation struct {
-	segments []*ccd.Corpus // descending size, each immutable
-	size     int           // total entries across segments
-	seq      uint64        // publish counter (diagnostics)
+	segments []index.Backend // descending size, each immutable
+	size     int             // total indexed docs across segments
+	seq      uint64          // publish counter (diagnostics)
 }
 
-// NewCorpus returns an empty concurrent corpus. Zero-value cfg selects
-// ccd.DefaultConfig. The second parameter is the legacy shard count of the
-// RWMutex-sharded predecessor; it is accepted and ignored.
-func NewCorpus(cfg ccd.Config, _ int) *Corpus {
-	if cfg.N == 0 {
-		cfg = ccd.DefaultConfig
+// NewCorpus returns an empty ccd-backed corpus with the given shard count
+// (≤ 0 selects GOMAXPROCS). Zero-value cfg selects ccd.DefaultConfig.
+func NewCorpus(cfg ccd.Config, shards int) *Corpus {
+	c, err := NewBackendCorpus(index.BackendCCD, index.Config{CCD: cfg}, shards)
+	if err != nil {
+		panic(err) // the ccd backend is always registered
 	}
-	c := &Corpus{cfg: ccd.NewCorpus(cfg).Config()}
-	c.gen.Store(&generation{})
 	return c
 }
 
-// Config returns the corpus configuration.
-func (c *Corpus) Config() ccd.Config { return c.cfg }
+// NewBackendCorpus returns an empty sharded corpus over the named similarity
+// backend (see index.Names). shards ≤ 0 selects GOMAXPROCS.
+func NewBackendCorpus(backend string, cfg index.Config, shards int) (*Corpus, error) {
+	if !index.Known(backend) {
+		return nil, fmt.Errorf("service: unknown backend %q (known: %v)", backend, index.Names())
+	}
+	if cfg.CCD.N == 0 {
+		cfg.CCD = ccd.DefaultConfig
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	c := &Corpus{backend: backend, cfg: cfg, shards: make([]*shard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &shard{}
+		c.shards[i].gen.Store(&generation{})
+	}
+	return c, nil
+}
+
+// newSegment builds an empty backend segment under the corpus configuration.
+func (c *Corpus) newSegment() index.Backend {
+	b, err := index.New(c.backend, c.cfg)
+	if err != nil {
+		panic(err) // name validated at construction
+	}
+	return b
+}
+
+// Backend returns the similarity backend name this corpus runs on.
+func (c *Corpus) Backend() string { return c.backend }
+
+// Config returns the corpus's ccd matcher configuration.
+func (c *Corpus) Config() ccd.Config { return c.cfg.CCD }
+
+// BackendConfig returns the full backend configuration.
+func (c *Corpus) BackendConfig() index.Config { return c.cfg }
+
+// Shards returns the shard count.
+func (c *Corpus) Shards() int { return len(c.shards) }
+
+// shardFor routes a document id to its home shard.
+func (c *Corpus) shardFor(id string) *shard {
+	return c.shards[c.shardIndex(id)]
+}
 
 // Add indexes a fingerprint under an id. Safe for concurrent use. With a
 // Store attached the entry is journaled first; a non-nil error means the
 // entry was NOT acknowledged and is neither durable nor visible.
 func (c *Corpus) Add(id string, fp ccd.Fingerprint) error {
+	return c.AddDoc(index.Doc{ID: id, FP: fp})
+}
+
+// AddDoc indexes one document. With a Store attached the (id, fingerprint)
+// pair is journaled before the document becomes visible; the raw source is
+// not journaled (the ccd backend — the only one a store attaches to — does
+// not index it).
+func (c *Corpus) AddDoc(doc index.Doc) error {
 	if c.store != nil {
-		return c.store.add(id, fp)
+		return c.store.add(doc.ID, doc.FP)
 	}
-	c.addLocal(id, fp)
+	c.addDocsLocal([]index.Doc{doc})
 	return nil
 }
 
 // addLocal inserts without journaling (direct ingest, WAL replay, snapshot
 // restore). It returns once the entry is published and visible to readers.
 func (c *Corpus) addLocal(id string, fp ccd.Fingerprint) {
-	c.addLocalBatch([]ccd.Entry{{ID: id, FP: fp}})
+	c.addDocsLocal([]index.Doc{{ID: id, FP: fp}})
 }
 
-// addLocalBatch enqueues entries as one delta and publishes through the
-// group-commit path. Empty batches are no-ops.
+// addLocalBatch enqueues fingerprint entries as per-shard deltas and
+// publishes each shard through its group-commit path (WAL boot replay).
 func (c *Corpus) addLocalBatch(entries []ccd.Entry) {
-	if len(entries) == 0 {
+	docs := make([]index.Doc, len(entries))
+	for i, e := range entries {
+		docs[i] = index.Doc{ID: e.ID, FP: e.FP}
+	}
+	c.addDocsLocal(docs)
+}
+
+// addDocsLocal partitions docs to their home shards and publishes every
+// touched shard, in parallel when the batch spans several. Empty batches are
+// no-ops.
+func (c *Corpus) addDocsLocal(docs []index.Doc) {
+	if len(docs) == 0 {
 		return
 	}
-	c.pendMu.Lock()
-	c.pending = append(c.pending, entries...)
-	c.enqueued += uint64(len(entries))
-	upTo := c.enqueued
-	c.pendMu.Unlock()
-	c.publish(upTo)
+	if len(docs) == 1 {
+		sh := c.shardFor(docs[0].ID)
+		c.publish(sh, sh.enqueue(docs))
+		return
+	}
+	parts := make(map[*shard][]index.Doc, len(c.shards))
+	for _, d := range docs {
+		sh := c.shardFor(d.ID)
+		parts[sh] = append(parts[sh], d)
+	}
+	var wg sync.WaitGroup
+	for sh, part := range parts {
+		wg.Add(1)
+		go func(sh *shard, part []index.Doc) {
+			defer wg.Done()
+			c.publish(sh, sh.enqueue(part))
+		}(sh, part)
+	}
+	wg.Wait()
 }
 
-// publish makes every entry enqueued at or before upTo visible. Whichever
-// writer wins the publish lock drains the whole delta — writers arriving
-// while a publish is in flight usually find their entries already covered.
-func (c *Corpus) publish(upTo uint64) {
-	c.pubMu.Lock()
-	defer c.pubMu.Unlock()
-	if c.published >= upTo {
+// enqueue appends docs to the shard's write delta and returns the enqueue
+// watermark the caller must see published.
+func (sh *shard) enqueue(docs []index.Doc) uint64 {
+	sh.pendMu.Lock()
+	defer sh.pendMu.Unlock()
+	sh.pending = append(sh.pending, docs...)
+	sh.enqueued += uint64(len(docs))
+	return sh.enqueued
+}
+
+// publish makes every doc enqueued on sh at or before upTo visible.
+// Whichever writer wins the shard's publish lock drains the whole delta —
+// writers arriving while a publish is in flight usually find their docs
+// already covered (group commit).
+func (c *Corpus) publish(sh *shard, upTo uint64) {
+	sh.pubMu.Lock()
+	defer sh.pubMu.Unlock()
+	if sh.published >= upTo {
 		return // a concurrent writer's publish covered us
 	}
-	c.pendMu.Lock()
-	batch := c.pending
-	c.pending = nil
-	c.pendMu.Unlock()
+	sh.pendMu.Lock()
+	batch := sh.pending
+	sh.pending = nil
+	sh.pendMu.Unlock()
 
-	seg := ccd.NewCorpus(c.cfg)
-	for _, e := range batch {
-		seg.Add(e.ID, e.FP)
+	seg := c.newSegment()
+	indexed := 0
+	for _, d := range batch {
+		if err := seg.Add(d); err != nil {
+			c.skips.Add(1)
+			continue
+		}
+		indexed++
 	}
-	old := c.gen.Load()
+	c.adds.Add(int64(indexed))
+	old := sh.gen.Load()
 	segs := append(slices.Clip(slices.Clone(old.segments)), seg)
 	// Logarithmic compaction: merge the tail while the newest segment has
 	// reached at least half its predecessor, keeping sizes strictly
 	// geometric and the segment count O(log n).
 	for len(segs) >= 2 && 2*segs[len(segs)-1].Len() >= segs[len(segs)-2].Len() {
-		segs = append(segs[:len(segs)-2], mergeSegments(c.cfg, segs[len(segs)-2], segs[len(segs)-1]))
+		merged, err := segs[len(segs)-2].Merge(segs[len(segs)-1])
+		if err != nil {
+			break // same-kind merges cannot fail; keep segments unmerged
+		}
+		segs = append(segs[:len(segs)-2], merged)
 		c.compactions.Add(1)
 	}
-	c.gen.Store(&generation{
+	sh.gen.Store(&generation{
 		segments: segs,
-		size:     old.size + len(batch),
+		size:     old.size + indexed,
 		seq:      old.seq + 1,
 	})
-	c.published += uint64(len(batch))
+	sh.published += uint64(len(batch))
 	c.publishes.Add(1)
 }
 
-// mergeSegments builds one immutable segment holding every entry of a and b
-// (in order, so ccd doc numbering stays deterministic).
-func mergeSegments(cfg ccd.Config, a, b *ccd.Corpus) *ccd.Corpus {
-	out := ccd.NewCorpus(cfg)
-	for _, e := range a.Entries() {
-		out.Add(e.ID, e.FP)
+// Len returns the number of indexed documents across all shards.
+func (c *Corpus) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.gen.Load().size
 	}
-	for _, e := range b.Entries() {
-		out.Add(e.ID, e.FP)
-	}
-	return out
+	return n
 }
 
-// Len returns the number of published entries.
-func (c *Corpus) Len() int { return c.gen.Load().size }
+// Segments returns the total segment count across shards (diagnostics).
+func (c *Corpus) Segments() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh.gen.Load().segments)
+	}
+	return n
+}
 
-// Segments returns the current generation's segment count (diagnostics).
-func (c *Corpus) Segments() int { return len(c.gen.Load().segments) }
-
-// Generation returns the publish sequence number of the current generation.
-func (c *Corpus) Generation() uint64 { return c.gen.Load().seq }
+// Generation returns the highest publish sequence number across shards.
+func (c *Corpus) Generation() uint64 {
+	var g uint64
+	for _, sh := range c.shards {
+		g = max(g, sh.gen.Load().seq)
+	}
+	return g
+}
 
 // Publishes and Compactions report writer-side activity since boot.
 func (c *Corpus) Publishes() int64   { return c.publishes.Load() }
 func (c *Corpus) Compactions() int64 { return c.compactions.Load() }
 
-// Match returns every clone of fp at the configured ε, best first (score
-// descending, ties by id). Lock-free: runs entirely against one immutable
-// generation.
+// Adds and Skips report ingest accounting: documents indexed vs refused by
+// the backend (index.ErrDocUnsupported).
+func (c *Corpus) Adds() int64  { return c.adds.Load() }
+func (c *Corpus) Skips() int64 { return c.skips.Load() }
+
+// Match returns every clone of fp at the backend's admission threshold, best
+// first (score descending, ties by id). Lock-free.
 func (c *Corpus) Match(fp ccd.Fingerprint) []ccd.Match {
 	ms, _ := c.MatchTopK(fp, 0)
 	return ms
 }
 
 // MatchTopK returns the k best clones of fp (k ≤ 0: all of them), best
-// first, plus the pruning statistics of this query. One top-K collector is
-// shared across segments, so a strong match found in an early (large)
-// segment raises the admission bound for every later segment.
+// first, plus the pruning statistics of this query.
 func (c *Corpus) MatchTopK(fp ccd.Fingerprint, k int) ([]ccd.Match, ccd.MatchStats) {
-	g := c.gen.Load()
-	col := ccd.NewTopK(k, c.cfg.Epsilon)
-	q := ccd.PrepareQuery(c.cfg, fp)
-	var stats ccd.MatchStats
-	for _, seg := range g.segments {
-		stats.Add(seg.MatchPreparedInto(q, col))
+	ms, stats, _ := c.MatchDocTopK(context.Background(), index.Doc{FP: fp}, k)
+	return ms, stats
+}
+
+// MatchDocTopK scatter-gathers doc's k best matches (k ≤ 0: all) across the
+// shards: each shard scans its immutable generation in parallel, all shards
+// share one atomic admission bound, and the per-shard top-K lists merge
+// through one bounded heap. A cancelled ctx stops the scan at the next
+// segment boundary and returns ctx.Err() with no matches.
+func (c *Corpus) MatchDocTopK(ctx context.Context, doc index.Doc, k int) ([]ccd.Match, ccd.MatchStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return col.Results(), stats
+	q := &index.Query{Doc: doc, K: k, Ctx: ctx, Bound: ccd.NewAtomicBound(0)}
+
+	type shardResult struct {
+		ms    []ccd.Match
+		stats ccd.MatchStats
+	}
+	results := make([]shardResult, len(c.shards))
+	scan := func(i int) {
+		sh := c.shards[i]
+		g := sh.gen.Load()
+		res := &results[i]
+		for _, seg := range g.segments {
+			if ctx.Err() != nil {
+				return
+			}
+			ms, st := seg.MatchTopK(q)
+			res.ms = append(res.ms, ms...)
+			res.stats.Add(st)
+		}
+		sh.matches.Add(1)
+		sh.candidates.Add(int64(res.stats.Candidates))
+		sh.scored.Add(int64(res.stats.Scored))
+	}
+	if len(c.shards) == 1 {
+		scan(0)
+	} else {
+		var wg sync.WaitGroup
+		for i := range c.shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				scan(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	var stats ccd.MatchStats
+	col := ccd.NewTopK(k, 0) // per-segment collectors already applied ε
+	for i := range results {
+		stats.Add(results[i].stats)
+		for _, m := range results[i].ms {
+			col.Offer(m)
+		}
+	}
+	// Partial work (candidates, pruning) is real even when the query is
+	// cancelled; only completed queries count as matches, mirroring the
+	// per-shard counters (which the cancellation early-return also skips).
+	c.candidates.Add(int64(stats.Candidates))
+	c.filterPruned.Add(int64(stats.FilterPruned))
+	c.scored.Add(int64(stats.Scored))
+	c.cutoffSkipped.Add(int64(stats.CutoffSkipped))
+	if err := ctx.Err(); err != nil {
+		c.cancelledReads.Add(1)
+		return nil, stats, err
+	}
+	c.matches.Add(1)
+	return col.Results(), stats, nil
 }
 
 // entryMultiset returns the multiset of indexed (id, fingerprint) pairs,
-// keyed id + NUL + fingerprint. Boot-time helper for idempotent WAL replay.
+// keyed id + NUL + fingerprint. Boot-time helper for idempotent WAL replay;
+// only meaningful for backends exposing their entries (ccd).
 func (c *Corpus) entryMultiset() map[string]int {
-	g := c.gen.Load()
-	out := make(map[string]int, g.size)
-	for _, seg := range g.segments {
-		for _, e := range seg.Entries() {
-			out[e.ID+"\x00"+string(e.FP)]++
+	out := make(map[string]int, c.Len())
+	for _, sh := range c.shards {
+		for _, seg := range sh.gen.Load().segments {
+			lister, ok := seg.(index.EntryLister)
+			if !ok {
+				continue
+			}
+			for _, e := range lister.Entries() {
+				out[e.ID+"\x00"+string(e.FP)]++
+			}
+		}
+	}
+	return out
+}
+
+// CorpusFunnel aggregates the corpus's read-path pruning counters.
+type CorpusFunnel struct {
+	Matches        int64 `json:"matches"`
+	Candidates     int64 `json:"candidates"`
+	FilterPruned   int64 `json:"filter_pruned"`
+	Scored         int64 `json:"scored"`
+	CutoffSkipped  int64 `json:"cutoff_skipped"`
+	CancelledReads int64 `json:"cancelled_reads"`
+}
+
+// Funnel reports the corpus's cumulative match funnel.
+func (c *Corpus) Funnel() CorpusFunnel {
+	return CorpusFunnel{
+		Matches:        c.matches.Load(),
+		Candidates:     c.candidates.Load(),
+		FilterPruned:   c.filterPruned.Load(),
+		Scored:         c.scored.Load(),
+		CutoffSkipped:  c.cutoffSkipped.Load(),
+		CancelledReads: c.cancelledReads.Load(),
+	}
+}
+
+// ShardSnapshot is a point-in-time view of one shard for /metrics.
+type ShardSnapshot struct {
+	Size       int    `json:"size"`
+	Segments   int    `json:"segments"`
+	Generation uint64 `json:"generation"`
+	Matches    int64  `json:"matches"`
+	Candidates int64  `json:"candidates"`
+	Scored     int64  `json:"scored"`
+}
+
+// ShardStats reports per-shard sizes and read activity.
+func (c *Corpus) ShardStats() []ShardSnapshot {
+	out := make([]ShardSnapshot, len(c.shards))
+	for i, sh := range c.shards {
+		g := sh.gen.Load()
+		out[i] = ShardSnapshot{
+			Size:       g.size,
+			Segments:   len(g.segments),
+			Generation: g.seq,
+			Matches:    sh.matches.Load(),
+			Candidates: sh.candidates.Load(),
+			Scored:     sh.scored.Load(),
 		}
 	}
 	return out
@@ -216,53 +460,72 @@ func (c *Corpus) entryMultiset() map[string]int {
 
 // --- whole-corpus snapshots ----------------------------------------------------
 
-// Corpus snapshot container (version 1): a framed sequence of ccd.Corpus
-// binary snapshots, one per generation segment (historically one per shard —
-// the layouts are interchangeable and both directions restore cleanly).
+// Corpus snapshot envelope.
+//
+// Version 2 (shard-aware, backend-tagged):
 //
 //	magic   "SVCSNAP\x00"
-//	uvarint version
-//	uvarint segment count
-//	per segment: uvarint byte length, ccd snapshot bytes
+//	uvarint version (2)
+//	string  backend name (uvarint-length-prefixed)
+//	uvarint N, float64 Eta, float64 Epsilon, float64 backend-Epsilon (Config)
+//	uvarint shard count
+//	per shard: uvarint segment count
+//	           per segment: uvarint byte length, backend snapshot bytes
 //
-// Integrity lives in the per-segment ccd snapshots (each carries its own
+// Version 1 (legacy, pre-shard): a flat framed sequence of ccd.Corpus
+// snapshots. Still loads — segments restore into the current shard layout
+// (directly when one shard, re-partitioned by id hash otherwise).
+//
+// Integrity lives in the per-segment backend snapshots (each carries its own
 // CRC-32); the envelope adds only framing. Segments are encoded and decoded
 // in parallel.
 const (
 	corpusSnapshotMagic = "SVCSNAP\x00"
-	// CorpusSnapshotVersion is the snapshot envelope version.
-	CorpusSnapshotVersion = 1
+	// CorpusSnapshotVersion is the current snapshot envelope version.
+	CorpusSnapshotVersion = 2
+	// corpusSnapshotLegacy is the pre-shard envelope still accepted on read.
+	corpusSnapshotLegacy = 1
 )
 
-// WriteSnapshot encodes the current generation's segments (in parallel —
-// they are immutable, so no locks are needed) and writes the snapshot
-// envelope. Entries added concurrently may or may not be included; the
-// snapshot is always a consistent published generation. Store.Snapshot
-// provides the ingest-quiescent (and WAL-truncating) variant.
+// maxSegmentBytes bounds one encoded segment (defense against corrupt
+// envelopes).
+const maxSegmentBytes = 1 << 32 // 4 GiB
+
+// maxSnapshotShards bounds the declared shard count on read.
+const maxSnapshotShards = 1 << 12
+
+// WriteSnapshot encodes every shard's published segments (in parallel — they
+// are immutable, so no locks are needed) and writes the snapshot envelope.
+// Entries added concurrently may or may not be included; each shard
+// contributes one consistent published generation. Store.Snapshot provides
+// the ingest-quiescent (and WAL-truncating) variant.
 func (c *Corpus) WriteSnapshot(w io.Writer) error {
-	g := c.gen.Load()
-	segments := g.segments
-	if len(segments) == 0 {
-		// Encode one empty segment so the envelope always frames at least
-		// one ccd snapshot (the historical sharded format never wrote zero).
-		segments = []*ccd.Corpus{ccd.NewCorpus(c.cfg)}
+	type encSeg struct {
+		data []byte
+		err  error
 	}
-	encoded := make([][]byte, len(segments))
-	errs := make([]error, len(segments))
+	perShard := make([][]index.Backend, len(c.shards))
+	encoded := make([][]encSeg, len(c.shards))
 	var wg sync.WaitGroup
-	for i := range segments {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			var buf bytes.Buffer
-			errs[i] = segments[i].Save(&buf)
-			encoded[i] = buf.Bytes()
-		}(i)
+	for i, sh := range c.shards {
+		perShard[i] = sh.gen.Load().segments
+		encoded[i] = make([]encSeg, len(perShard[i]))
+		for j := range perShard[i] {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				var buf bytes.Buffer
+				encoded[i][j].err = perShard[i][j].Snapshot(&buf)
+				encoded[i][j].data = buf.Bytes()
+			}(i, j)
+		}
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("service: snapshot segment %d: %w", i, err)
+	for i := range encoded {
+		for j := range encoded[i] {
+			if err := encoded[i][j].err; err != nil {
+				return fmt.Errorf("service: snapshot shard %d segment %d: %w", i, j, err)
+			}
 		}
 	}
 
@@ -273,36 +536,58 @@ func (c *Corpus) WriteSnapshot(w io.Writer) error {
 		_, err := bw.Write(scratch[:n])
 		return err
 	}
+	writeFloat := func(f float64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		_, err := bw.Write(buf[:])
+		return err
+	}
 	if _, err := bw.WriteString(corpusSnapshotMagic); err != nil {
 		return err
 	}
 	if err := writeUvarint(CorpusSnapshotVersion); err != nil {
 		return err
 	}
+	if err := writeUvarint(uint64(len(c.backend))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(c.backend); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(c.cfg.CCD.N)); err != nil {
+		return err
+	}
+	for _, f := range []float64{c.cfg.CCD.Eta, c.cfg.CCD.Epsilon, c.cfg.Epsilon} {
+		if err := writeFloat(f); err != nil {
+			return err
+		}
+	}
 	if err := writeUvarint(uint64(len(encoded))); err != nil {
 		return err
 	}
-	for _, seg := range encoded {
-		if err := writeUvarint(uint64(len(seg))); err != nil {
+	for _, shardSegs := range encoded {
+		if err := writeUvarint(uint64(len(shardSegs))); err != nil {
 			return err
 		}
-		if _, err := bw.Write(seg); err != nil {
-			return err
+		for _, seg := range shardSegs {
+			if err := writeUvarint(uint64(len(seg.data))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(seg.data); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
 }
 
-// maxSegmentBytes bounds one encoded segment (defense against corrupt
-// envelopes).
-const maxSegmentBytes = 1 << 32 // 4 GiB
-
 // ReadSnapshot restores a snapshot written by WriteSnapshot into this
-// corpus, which must be empty. The snapshot's matcher configuration replaces
-// the corpus's own. Decoded segments are installed directly as the first
-// generation (ordered largest-first so the compaction invariant holds for
-// subsequent ingest); snapshots from the older sharded layout restore the
-// same way, since segment membership does not depend on id hashing.
+// corpus, which must be empty and run the snapshot's backend. The snapshot's
+// configuration replaces the corpus's own. When the shard counts match, the
+// decoded segments install directly (byte-identical restore); otherwise the
+// documents re-partition by id hash (or, for backends that cannot enumerate
+// entries, segments spread round-robin). Pre-shard (version 1) snapshots
+// restore the same way, as a one-shard layout.
 func (c *Corpus) ReadSnapshot(r io.Reader) error {
 	if c.Len() != 0 {
 		return fmt.Errorf("service: restore into non-empty corpus (%d entries)", c.Len())
@@ -319,8 +604,86 @@ func (c *Corpus) ReadSnapshot(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("service: snapshot: read version: %w", err)
 	}
-	if version != CorpusSnapshotVersion {
-		return fmt.Errorf("service: snapshot: unsupported version %d (want %d)", version, CorpusSnapshotVersion)
+	switch version {
+	case corpusSnapshotLegacy:
+		return c.readLegacySnapshot(br)
+	case CorpusSnapshotVersion:
+		return c.readShardedSnapshot(br)
+	}
+	return fmt.Errorf("service: snapshot: unsupported version %d (want %d or %d)",
+		version, corpusSnapshotLegacy, CorpusSnapshotVersion)
+}
+
+// readShardedSnapshot parses the version-2 body.
+func (c *Corpus) readShardedSnapshot(br *bufio.Reader) error {
+	readFloat := func() (float64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil || nameLen > 256 {
+		return fmt.Errorf("service: snapshot: read backend name length: %w", orErr(err, "implausible"))
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return fmt.Errorf("service: snapshot: read backend name: %w", err)
+	}
+	if string(name) != c.backend {
+		return fmt.Errorf("service: snapshot holds backend %q, corpus runs %q", name, c.backend)
+	}
+	var cfg index.Config
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: read config: %w", err)
+	}
+	cfg.CCD.N = int(n)
+	for _, dst := range []*float64{&cfg.CCD.Eta, &cfg.CCD.Epsilon, &cfg.Epsilon} {
+		if *dst, err = readFloat(); err != nil {
+			return fmt.Errorf("service: snapshot: read config: %w", err)
+		}
+	}
+	shardCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("service: snapshot: read shard count: %w", err)
+	}
+	if shardCount == 0 || shardCount > maxSnapshotShards {
+		return fmt.Errorf("service: snapshot: implausible shard count %d", shardCount)
+	}
+	perShard := make([][][]byte, shardCount)
+	for i := range perShard {
+		segCount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("service: snapshot: shard %d segment count: %w", i, err)
+		}
+		if segCount > 1<<16 {
+			return fmt.Errorf("service: snapshot: shard %d implausible segment count %d", i, segCount)
+		}
+		perShard[i] = make([][]byte, segCount)
+		for j := range perShard[i] {
+			size, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("service: snapshot: shard %d segment %d length: %w", i, j, err)
+			}
+			if size > maxSegmentBytes {
+				return fmt.Errorf("service: snapshot: shard %d segment %d length %d exceeds limit", i, j, size)
+			}
+			perShard[i][j] = make([]byte, size)
+			if _, err := io.ReadFull(br, perShard[i][j]); err != nil {
+				return fmt.Errorf("service: snapshot: shard %d segment %d: %w", i, j, err)
+			}
+		}
+	}
+	return c.installSnapshot(cfg, perShard)
+}
+
+// readLegacySnapshot parses the pre-shard (version 1) body: a flat ccd
+// segment list, restored as a one-shard layout.
+func (c *Corpus) readLegacySnapshot(br *bufio.Reader) error {
+	if c.backend != index.BackendCCD {
+		return fmt.Errorf("service: pre-shard snapshot holds backend %q, corpus runs %q", index.BackendCCD, c.backend)
 	}
 	segCount, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -343,44 +706,199 @@ func (c *Corpus) ReadSnapshot(r io.Reader) error {
 			return fmt.Errorf("service: snapshot: read segment %d: %w", i, err)
 		}
 	}
+	// Decode the first segment eagerly to learn the snapshot's config (the
+	// legacy envelope does not carry one; even an empty placeholder segment
+	// does). installSnapshot re-decodes all segments in parallel.
+	probe, err := ccd.Load(bytes.NewReader(encoded[0]))
+	if err != nil {
+		return fmt.Errorf("service: snapshot: decode segment 0: %w", err)
+	}
+	return c.installSnapshot(index.Config{CCD: probe.Config()}, [][][]byte{encoded})
+}
 
-	decoded := make([]*ccd.Corpus, segCount)
-	errs := make([]error, segCount)
+// installSnapshot decodes the framed segments (in parallel) under cfg and
+// installs them: directly when the on-disk and in-memory shard counts match,
+// re-partitioned otherwise.
+func (c *Corpus) installSnapshot(cfg index.Config, perShard [][][]byte) error {
+	if cfg.CCD.N == 0 {
+		cfg.CCD = ccd.DefaultConfig
+	}
+	if err := validateSnapshotConfig(cfg); err != nil {
+		return fmt.Errorf("service: snapshot: %w", err)
+	}
+	// The factory must build segments under the snapshot's config from here
+	// on (Restore below double-checks by overwriting from decoded state).
+	c.cfg = cfg
+
+	decoded := make([][]index.Backend, len(perShard))
+	errs := make([][]error, len(perShard))
 	var wg sync.WaitGroup
-	for i := range encoded {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			decoded[i], errs[i] = ccd.Load(bytes.NewReader(encoded[i]))
-		}(i)
+	for i := range perShard {
+		decoded[i] = make([]index.Backend, len(perShard[i]))
+		errs[i] = make([]error, len(perShard[i]))
+		for j := range perShard[i] {
+			wg.Add(1)
+			go func(i, j int) {
+				defer wg.Done()
+				seg := c.newSegment()
+				if err := seg.Restore(bytes.NewReader(perShard[i][j])); err != nil {
+					errs[i][j] = err
+					return
+				}
+				decoded[i][j] = seg
+			}(i, j)
+		}
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("service: snapshot: decode segment %d: %w", i, err)
+	for i := range errs {
+		for j, err := range errs[i] {
+			if err != nil {
+				return fmt.Errorf("service: snapshot: decode shard %d segment %d: %w", i, j, err)
+			}
 		}
 	}
-	cfg := decoded[0].Config()
-	for i, d := range decoded {
-		if d.Config() != cfg {
-			return fmt.Errorf("service: snapshot: segment %d config %v differs from segment 0 config %v", i, d.Config(), cfg)
+	// Every segment must agree with the envelope's configuration (Restore
+	// adopts the decoded state's config): a forged or mixed-config snapshot
+	// would otherwise match with wrong parameters — the prepared query is
+	// derived once per query under one config and reused for every segment.
+	for i := range decoded {
+		for j, seg := range decoded[i] {
+			if got := seg.Config(); got != cfg {
+				return fmt.Errorf("service: snapshot: shard %d segment %d config %+v differs from snapshot config %+v",
+					i, j, got, cfg)
+			}
 		}
 	}
 
-	segments := make([]*ccd.Corpus, 0, len(decoded))
-	size := 0
-	for _, d := range decoded {
-		if d.Len() == 0 {
-			continue // empty-corpus placeholder segment
+	install := make([][]index.Backend, len(c.shards))
+	switch {
+	case len(perShard) == len(c.shards):
+		// Fast path: the layout matches — segments install byte-identically.
+		for i := range decoded {
+			install[i] = dropEmpty(decoded[i])
 		}
-		segments = append(segments, d)
-		size += d.Len()
+	default:
+		flat := dropEmpty(slices.Concat(decoded...))
+		if entries, ok := allEntries(flat); ok {
+			// Re-partition documents by id hash, one rebuilt segment per
+			// shard, restoring the write-balance invariant.
+			parts := make([][]ccd.Entry, len(c.shards))
+			for _, e := range entries {
+				i := c.shardIndex(e.ID)
+				parts[i] = append(parts[i], e)
+			}
+			var wg sync.WaitGroup
+			rebuildErrs := make([]error, len(c.shards))
+			for i := range c.shards {
+				if len(parts[i]) == 0 {
+					continue
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					seg := c.newSegment()
+					for _, e := range parts[i] {
+						if err := seg.Add(index.Doc{ID: e.ID, FP: e.FP}); err != nil {
+							rebuildErrs[i] = err
+							return
+						}
+					}
+					install[i] = []index.Backend{seg}
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range rebuildErrs {
+				if err != nil {
+					return fmt.Errorf("service: snapshot: re-partition: %w", err)
+				}
+			}
+		} else {
+			// Backends that cannot enumerate entries: spread whole segments
+			// round-robin (reads scan every shard, so placement is free).
+			for i, seg := range flat {
+				idx := i % len(c.shards)
+				install[idx] = append(install[idx], seg)
+			}
+		}
 	}
-	slices.SortStableFunc(segments, func(a, b *ccd.Corpus) int { return b.Len() - a.Len() })
 
-	c.pubMu.Lock()
-	defer c.pubMu.Unlock()
-	c.cfg = cfg
-	c.gen.Store(&generation{segments: segments, size: size, seq: 1})
+	for i, sh := range c.shards {
+		segs := install[i]
+		slices.SortStableFunc(segs, func(a, b index.Backend) int { return b.Len() - a.Len() })
+		size := 0
+		for _, s := range segs {
+			size += s.Len()
+		}
+		sh.pubMu.Lock()
+		sh.gen.Store(&generation{segments: segs, size: size, seq: 1})
+		sh.pubMu.Unlock()
+	}
 	return nil
+}
+
+// shardIndex computes a document id's home shard (FNV-1a).
+func (c *Corpus) shardIndex(id string) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum32() % uint32(len(c.shards)))
+}
+
+// validateSnapshotConfig bounds a snapshot's matcher configuration to the
+// parameter domain before any segment is installed. The envelope carries the
+// config as raw ints/floats with no CRC of its own, and an implausible value
+// must fail the restore here — a negative N or NaN threshold would otherwise
+// take down the process on the first Add or Match.
+func validateSnapshotConfig(cfg index.Config) error {
+	if cfg.CCD.N < 1 || cfg.CCD.N > 1<<10 {
+		return fmt.Errorf("implausible n-gram size %d", cfg.CCD.N)
+	}
+	inRange := func(v, lo, hi float64) bool {
+		return !math.IsNaN(v) && v >= lo && v <= hi
+	}
+	if !inRange(cfg.CCD.Eta, 0, 1) {
+		return fmt.Errorf("containment threshold %v outside [0,1]", cfg.CCD.Eta)
+	}
+	if !inRange(cfg.CCD.Epsilon, 0, 100) {
+		return fmt.Errorf("similarity threshold %v outside [0,100]", cfg.CCD.Epsilon)
+	}
+	if !inRange(cfg.Epsilon, 0, 100) {
+		return fmt.Errorf("backend threshold %v outside [0,100]", cfg.Epsilon)
+	}
+	return nil
+}
+
+// dropEmpty removes zero-length segments (empty-corpus placeholders).
+func dropEmpty(segs []index.Backend) []index.Backend {
+	out := segs[:0:len(segs)]
+	for _, s := range segs {
+		if s != nil && s.Len() > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// allEntries flattens the (id, fingerprint) pairs of every segment, or
+// reports false when a segment cannot enumerate them.
+func allEntries(segs []index.Backend) ([]ccd.Entry, bool) {
+	var out []ccd.Entry
+	for _, s := range segs {
+		lister, ok := s.(index.EntryLister)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, lister.Entries()...)
+	}
+	return out, true
+}
+
+// orErr returns err when non-nil, else an error built from fallback.
+func orErr(err error, fallback string) error {
+	if err != nil {
+		return err
+	}
+	return errors.New(fallback)
 }

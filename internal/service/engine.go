@@ -9,7 +9,11 @@
 package service
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +21,7 @@ import (
 	"repro/internal/ccc"
 	"repro/internal/ccd"
 	"repro/internal/cpg"
+	"repro/internal/index"
 )
 
 // DefaultCacheEntries bounds each cache layer when Options does not override
@@ -31,13 +36,27 @@ type Options struct {
 	// 0 selects DefaultCacheEntries; < 0 disables caching (benchmarks use
 	// this to measure the uncached path).
 	CacheEntries int
-	// CCD configures the engine's serving corpus (zero value:
+	// CCD configures the engine's serving corpora (zero value:
 	// ccd.DefaultConfig).
 	CCD ccd.Config
-	// Shards is the legacy shard count of the RWMutex-sharded corpus;
-	// the generational corpus ignores it (accepted for compatibility).
+	// Shards is the generation-shard count of each serving corpus (the
+	// scatter-gather fan-out width); ≤ 0 selects GOMAXPROCS.
 	Shards int
+	// Backends lists extra similarity backends to serve alongside the
+	// always-on ccd corpus (see index.Names). Unknown names panic — validate
+	// with index.Known first when the list comes from user input.
+	Backends []string
 }
+
+// Backend-routing errors, wrapped by CorpusFor and the match paths so the
+// API layer can map them to distinct HTTP statuses.
+var (
+	// ErrUnknownBackend marks a backend name absent from the registry.
+	ErrUnknownBackend = errors.New("unknown backend")
+	// ErrBackendNotLoaded marks a registered backend this engine was not
+	// started with.
+	ErrBackendNotLoaded = errors.New("backend not loaded")
+)
 
 // Engine wraps CCC and CCD behind a worker pool and content-addressed
 // caches. The cached primitives (Graph, Analyze, Fingerprint, Match, ...)
@@ -54,7 +73,11 @@ type Engine struct {
 	reports *lru[reportEntry]
 	prints  *lru[fpEntry]
 
-	corpus *Corpus
+	// corpus is the always-on ccd serving corpus; corpora maps every loaded
+	// backend name (including "ccd") to its sharded corpus. Both are fixed
+	// at construction — reads need no locking.
+	corpus  *Corpus
+	corpora map[string]*Corpus
 }
 
 // Cached values retain the original computation's error so a hit replays
@@ -80,7 +103,7 @@ func New(opts Options) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		workers: workers,
 		sem:     make(chan struct{}, workers),
 		graphs:  newLRU[graphEntry](opts.CacheEntries),
@@ -88,22 +111,64 @@ func New(opts Options) *Engine {
 		prints:  newLRU[fpEntry](opts.CacheEntries),
 		corpus:  NewCorpus(opts.CCD, opts.Shards),
 	}
+	e.corpora = map[string]*Corpus{index.BackendCCD: e.corpus}
+	for _, name := range opts.Backends {
+		if name == index.BackendCCD {
+			continue // always on
+		}
+		if _, dup := e.corpora[name]; dup {
+			continue
+		}
+		c, err := NewBackendCorpus(name, index.Config{CCD: opts.CCD}, opts.Shards)
+		if err != nil {
+			panic(fmt.Sprintf("service: Options.Backends: %v", err))
+		}
+		e.corpora[name] = c
+	}
+	return e
 }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// Backends returns the loaded backend names, sorted.
+func (e *Engine) Backends() []string {
+	out := make([]string, 0, len(e.corpora))
+	for name := range e.corpora {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // --- worker pool --------------------------------------------------------------
 
 // Do runs fn on a worker slot, blocking until one is free.
 func (e *Engine) Do(fn func()) {
-	e.sem <- struct{}{}
+	_ = e.DoCtx(context.Background(), fn)
+}
+
+// DoCtx runs fn on a worker slot. If ctx is cancelled before a slot frees,
+// fn never runs and ctx.Err() is returned — a disconnected client stops
+// occupying the queue. Once fn starts it runs to completion; cancellation
+// mid-task is the task's own business (the match paths check ctx between
+// segments).
+func (e *Engine) DoCtx(ctx context.Context, fn func()) error {
+	if err := ctx.Err(); err != nil {
+		return err // already cancelled: never race the semaphore
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	e.ctr.taskStart()
 	defer func() {
 		e.ctr.taskDone()
 		<-e.sem
 	}()
 	fn()
+	return nil
 }
 
 // Map runs fn(i) for every i in [0, n) across the worker pool and waits for
@@ -116,15 +181,28 @@ func (e *Engine) Do(fn func()) {
 // handler, net/http's per-request recovery) see it exactly as if the work
 // had run serially.
 func (e *Engine) Map(n int, fn func(int)) {
+	_ = e.MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cancellation: once ctx is cancelled no further items
+// are dispatched (in-flight items finish) and ctx.Err() is returned. Items
+// skipped by cancellation simply never ran — callers distinguish them by the
+// returned error.
+func (e *Engine) MapCtx(ctx context.Context, n int, fn func(int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	spawn := min(e.workers, n)
 	if spawn == 1 {
 		for i := 0; i < n; i++ {
-			e.Do(func() { fn(i) })
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := e.DoCtx(ctx, func() { fn(i) }); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -136,7 +214,7 @@ func (e *Engine) Map(n int, fn func(int)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || panicked.Load() {
+				if i >= n || panicked.Load() || ctx.Err() != nil {
 					return
 				}
 				func() {
@@ -145,7 +223,7 @@ func (e *Engine) Map(n int, fn func(int)) {
 							panicVal = p
 						}
 					}()
-					e.Do(func() { fn(i) })
+					_ = e.DoCtx(ctx, func() { fn(i) })
 				}()
 			}
 		}()
@@ -154,6 +232,7 @@ func (e *Engine) Map(n int, fn func(int)) {
 	if panicked.Load() {
 		panic(panicVal)
 	}
+	return ctx.Err()
 }
 
 // --- cached primitives --------------------------------------------------------
@@ -207,34 +286,66 @@ func (e *Engine) Fingerprint(src string) (ccd.Fingerprint, error) {
 
 // --- serving corpus -----------------------------------------------------------
 
-// Corpus exposes the engine's concurrent serving corpus.
+// Corpus exposes the engine's always-on ccd serving corpus.
 func (e *Engine) Corpus() *Corpus { return e.corpus }
 
-// CorpusAdd fingerprints src and indexes it in the serving corpus under id.
-// A partial fingerprint is indexed even on parse errors (the ccd.AddSource
-// contract); the parse error is returned for reporting. A persistence
-// failure (errors.Is ErrPersist) means the entry was NOT indexed.
+// CorpusFor resolves a backend name to its serving corpus. The empty name
+// selects ccd. Errors wrap ErrUnknownBackend (not in the registry) or
+// ErrBackendNotLoaded (registered but not enabled on this engine).
+func (e *Engine) CorpusFor(backend string) (*Corpus, error) {
+	if backend == "" {
+		return e.corpus, nil
+	}
+	if c, ok := e.corpora[backend]; ok {
+		return c, nil
+	}
+	if index.Known(backend) {
+		return nil, fmt.Errorf("%w: %q (loaded: %v; start serve with -backend %s)",
+			ErrBackendNotLoaded, backend, e.Backends(), backend)
+	}
+	return nil, fmt.Errorf("%w: %q (known: %v)", ErrUnknownBackend, backend, index.Names())
+}
+
+// CorpusAdd fingerprints src and indexes it in every loaded serving corpus
+// under id. A partial fingerprint is indexed even on parse errors (the
+// ccd.AddSource contract); the parse error is returned for reporting. A
+// persistence failure (errors.Is ErrPersist) means the entry was NOT
+// indexed.
 func (e *Engine) CorpusAdd(id, src string) error {
 	fp, ferr := e.Fingerprint(src)
-	if err := e.corpus.Add(id, fp); err != nil {
+	if err := e.corpusAddDoc(index.Doc{ID: id, Source: src, FP: fp}); err != nil {
 		return err
 	}
-	e.ctr.corpusAdds.Add(1)
 	return ferr
 }
 
 // CorpusAddFingerprint indexes a precomputed fingerprint under id, skipping
-// parsing entirely (bulk ingest of pre-fingerprinted corpora).
+// parsing entirely (bulk ingest of pre-fingerprinted corpora). Backends that
+// need source (SmartEmbed) count it as a skip.
 func (e *Engine) CorpusAddFingerprint(id string, fp ccd.Fingerprint) error {
-	if err := e.corpus.Add(id, fp); err != nil {
+	return e.corpusAddDoc(index.Doc{ID: id, FP: fp})
+}
+
+// corpusAddDoc fans one document out to every loaded backend corpus. The
+// durable ccd corpus goes first: if its journaled add fails the document is
+// nowhere; per-backend skips of the in-memory corpora are absorbed (they are
+// counted on the corpus).
+func (e *Engine) corpusAddDoc(doc index.Doc) error {
+	if err := e.corpus.AddDoc(doc); err != nil {
 		return err
+	}
+	for name, c := range e.corpora {
+		if name == index.BackendCCD {
+			continue
+		}
+		_ = c.AddDoc(doc) // in-memory; unsupported docs are counted as skips
 	}
 	e.ctr.corpusAdds.Add(1)
 	return nil
 }
 
-// Match fingerprints src and returns its clone candidates from the serving
-// corpus, best first.
+// Match fingerprints src and returns its clone candidates from the ccd
+// serving corpus, best first.
 func (e *Engine) Match(src string) ([]ccd.Match, error) {
 	return e.MatchTopK(src, 0)
 }
@@ -242,27 +353,56 @@ func (e *Engine) Match(src string) ([]ccd.Match, error) {
 // MatchTopK fingerprints src and returns its k best clone candidates (k ≤ 0:
 // all of them), best first.
 func (e *Engine) MatchTopK(src string, k int) ([]ccd.Match, error) {
-	fp, err := e.Fingerprint(src)
-	if err != nil && len(fp) == 0 {
-		return nil, err
-	}
-	return e.MatchFingerprintTopK(fp, k), err
+	ms, _, err := e.MatchSource(context.Background(), "", src, k)
+	return ms, err
 }
 
-// MatchFingerprint matches a precomputed fingerprint against the serving
+// MatchSource fingerprints src (through the cache) and scatter-gathers its k
+// best candidates on the named backend's corpus. The returned stats are the
+// query's pruning funnel; the error reports parse problems (matches still
+// returned when a partial fingerprint exists), backend-routing failures, or
+// ctx cancellation.
+func (e *Engine) MatchSource(ctx context.Context, backend, src string, k int) ([]ccd.Match, ccd.MatchStats, error) {
+	fp, ferr := e.Fingerprint(src)
+	if ferr != nil && len(fp) == 0 {
+		return nil, ccd.MatchStats{}, ferr
+	}
+	ms, stats, err := e.MatchDoc(ctx, backend, index.Doc{Source: src, FP: fp}, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	return ms, stats, ferr
+}
+
+// MatchDoc scatter-gathers doc's k best candidates on the named backend's
+// corpus (empty name: ccd). Latency and pruning counts feed the /metrics
+// histogram; cancelled queries return ctx.Err() and are not observed as
+// completed matches.
+func (e *Engine) MatchDoc(ctx context.Context, backend string, doc index.Doc, k int) ([]ccd.Match, ccd.MatchStats, error) {
+	c, err := e.CorpusFor(backend)
+	if err != nil {
+		return nil, ccd.MatchStats{}, err
+	}
+	start := time.Now()
+	ms, stats, err := c.MatchDocTopK(ctx, doc, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	e.ctr.observeMatch(stats, time.Since(start))
+	return ms, stats, nil
+}
+
+// MatchFingerprint matches a precomputed fingerprint against the ccd serving
 // corpus.
 func (e *Engine) MatchFingerprint(fp ccd.Fingerprint) []ccd.Match {
 	return e.MatchFingerprintTopK(fp, 0)
 }
 
-// MatchFingerprintTopK matches a precomputed fingerprint against the serving
-// corpus, returning the k best candidates (k ≤ 0: all). The call is
-// lock-free against concurrent ingest; its latency and pruning counts feed
-// the /metrics histogram.
+// MatchFingerprintTopK matches a precomputed fingerprint against the ccd
+// serving corpus, returning the k best candidates (k ≤ 0: all). The call is
+// lock-free against concurrent ingest.
 func (e *Engine) MatchFingerprintTopK(fp ccd.Fingerprint, k int) []ccd.Match {
-	start := time.Now()
-	ms, stats := e.corpus.MatchTopK(fp, k)
-	e.ctr.observeMatch(stats, time.Since(start))
+	ms, _, _ := e.MatchDoc(context.Background(), "", index.Doc{FP: fp}, k)
 	return ms
 }
 
@@ -307,7 +447,7 @@ func (e *Engine) CorpusAddBatch(entries []CorpusEntry) []error {
 	return errs
 }
 
-// MatchBatch matches every source against the serving corpus across the
+// MatchBatch matches every source against the ccd serving corpus across the
 // worker pool, preserving input order.
 func (e *Engine) MatchBatch(srcs []string) ([][]ccd.Match, []error) {
 	return e.MatchBatchTopK(srcs, 0)
@@ -316,10 +456,23 @@ func (e *Engine) MatchBatch(srcs []string) ([][]ccd.Match, []error) {
 // MatchBatchTopK matches every source across the worker pool, keeping the k
 // best candidates per source (k ≤ 0: all), preserving input order.
 func (e *Engine) MatchBatchTopK(srcs []string, k int) ([][]ccd.Match, []error) {
+	out, errs, _ := e.MatchBatchCtx(context.Background(), "", srcs, k)
+	return out, errs
+}
+
+// MatchBatchCtx matches every source on the named backend across the worker
+// pool, preserving input order. A cancelled ctx stops dispatching further
+// sources, cancels in-flight scatter-gathers at their next segment boundary,
+// and is returned; per-source errors report parse problems. Backend-routing
+// failures surface as the overall error before any work is dispatched.
+func (e *Engine) MatchBatchCtx(ctx context.Context, backend string, srcs []string, k int) ([][]ccd.Match, []error, error) {
+	if _, err := e.CorpusFor(backend); err != nil {
+		return nil, nil, err
+	}
 	out := make([][]ccd.Match, len(srcs))
 	errs := make([]error, len(srcs))
-	e.Map(len(srcs), func(i int) {
-		out[i], errs[i] = e.MatchTopK(srcs[i], k)
+	mapErr := e.MapCtx(ctx, len(srcs), func(i int) {
+		out[i], _, errs[i] = e.MatchSource(ctx, backend, srcs[i], k)
 	})
-	return out, errs
+	return out, errs, mapErr
 }

@@ -2,12 +2,76 @@ package service
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"repro/internal/ccd"
 )
+
+// FuzzSnapshotLoad: ReadSnapshot on arbitrary bytes must return an error or
+// a valid corpus — never panic, never allocate absurdly, never hand back a
+// corpus that cannot round-trip through WriteSnapshot. Seeded with valid
+// version-2 envelopes (matching and mismatching shard counts), a pre-shard
+// legacy (version 1) envelope, a truncated shard directory, and a
+// shard-count header that over-declares its payload.
+func FuzzSnapshotLoad(f *testing.F) {
+	encode := func(shards, docs int) []byte {
+		c := NewCorpus(ccd.DefaultConfig, shards)
+		for i := 0; i < docs; i++ {
+			if err := c.Add(fmt.Sprintf("doc-%d", i), testFP(i)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := c.WriteSnapshot(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	empty := encode(2, 0)
+	small := encode(2, 9)
+	wide := encode(5, 17)
+	f.Add(empty)
+	f.Add(small)
+	f.Add(wide)
+	f.Add(small[:len(small)/2])            // truncated shard directory
+	f.Add(append([]byte{}, small[:14]...)) // cut inside the config block
+	// Over-declared shard count: keep the v2 preamble, bump the count byte.
+	f.Add(bytes.Replace(small, []byte{2, 0}, []byte{63, 0}, 1))
+	// Pre-shard legacy header with garbage body.
+	f.Add([]byte("SVCSNAP\x00\x01\x03garbage"))
+	f.Add([]byte("SVCSNAP\x00\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		c := NewCorpus(ccd.DefaultConfig, 2)
+		if err := c.ReadSnapshot(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// Whatever ReadSnapshot accepted must survive a write/read round trip
+		// with an identical entry multiset and configuration.
+		var buf bytes.Buffer
+		if err := c.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("accepted corpus fails to snapshot: %v", err)
+		}
+		got := NewCorpus(ccd.DefaultConfig, 2)
+		if err := got.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("round trip fails to load: %v", err)
+		}
+		if got.Len() != c.Len() || got.Config() != c.Config() {
+			t.Fatalf("round trip drifted: %d/%v vs %d/%v", got.Len(), got.Config(), c.Len(), c.Config())
+		}
+		if !reflect.DeepEqual(got.entryMultiset(), c.entryMultiset()) {
+			t.Fatal("round trip changed the entry multiset")
+		}
+	})
+}
 
 // FuzzWALReplay: byte-level corruption or truncation of a write-ahead log
 // must never panic or fabricate records — replay yields an exact prefix of

@@ -144,11 +144,20 @@ type Snapshot struct {
 	CorpusAdds   int64 `json:"corpus_adds"`
 	CorpusSize   int   `json:"corpus_size"`
 
-	// Read-path shape: the generation the lock-free readers currently see.
+	// Read-path shape of the ccd corpus: the generations the lock-free
+	// readers currently see, across all shards.
+	CorpusShardCount  int    `json:"corpus_shard_count"`
 	CorpusSegments    int    `json:"corpus_segments"`
 	CorpusGeneration  uint64 `json:"corpus_generation"`
 	CorpusPublishes   int64  `json:"corpus_publishes"`
 	CorpusCompactions int64  `json:"corpus_compactions"`
+
+	// CorpusShards breaks the ccd corpus down per generation-shard.
+	CorpusShards []ShardSnapshot `json:"corpus_shards"`
+
+	// Backends reports every loaded similarity backend's corpus: size,
+	// shard layout, ingest accounting and its own match funnel.
+	Backends map[string]BackendSnapshot `json:"backends"`
 
 	// Match pruning funnel: candidates from the n-gram pre-filter, how many
 	// the η cutoff abandoned inside the filter, how many were fully scored,
@@ -167,8 +176,29 @@ type Snapshot struct {
 	FingerprintCache CacheStats `json:"fingerprint_cache"`
 }
 
+// BackendSnapshot is the /metrics view of one loaded backend's corpus.
+type BackendSnapshot struct {
+	Size     int          `json:"size"`
+	Shards   int          `json:"shards"`
+	Segments int          `json:"segments"`
+	Adds     int64        `json:"adds"`
+	Skips    int64        `json:"skips,omitempty"`
+	Funnel   CorpusFunnel `json:"funnel"`
+}
+
 // Metrics returns a snapshot of the engine's counters and caches.
 func (e *Engine) Metrics() Snapshot {
+	backends := make(map[string]BackendSnapshot, len(e.corpora))
+	for name, c := range e.corpora {
+		backends[name] = BackendSnapshot{
+			Size:     c.Len(),
+			Shards:   c.Shards(),
+			Segments: c.Segments(),
+			Adds:     c.Adds(),
+			Skips:    c.Skips(),
+			Funnel:   c.Funnel(),
+		}
+	}
 	s := Snapshot{
 		Workers:            e.workers,
 		BusyWorkers:        e.ctr.busy.Load(),
@@ -179,10 +209,13 @@ func (e *Engine) Metrics() Snapshot {
 		Matches:            e.ctr.matches.Load(),
 		CorpusAdds:         e.ctr.corpusAdds.Load(),
 		CorpusSize:         e.corpus.Len(),
+		CorpusShardCount:   e.corpus.Shards(),
 		CorpusSegments:     e.corpus.Segments(),
 		CorpusGeneration:   e.corpus.Generation(),
 		CorpusPublishes:    e.corpus.Publishes(),
 		CorpusCompactions:  e.corpus.Compactions(),
+		CorpusShards:       e.corpus.ShardStats(),
+		Backends:           backends,
 		MatchCandidates:    e.ctr.matchCandidates.Load(),
 		MatchFilterPruned:  e.ctr.matchFilterPruned.Load(),
 		MatchScored:        e.ctr.matchScored.Load(),

@@ -197,7 +197,7 @@ func TestConcurrentIngestAndMatch(t *testing.T) {
 }
 
 func TestCorpusGenerationsCompact(t *testing.T) {
-	c := NewCorpus(ccd.DefaultConfig, 0)
+	c := NewCorpus(ccd.DefaultConfig, 1) // one shard: inspect its chain directly
 	const docs = 200
 	for i := 0; i < docs; i++ {
 		_ = c.Add(fmt.Sprintf("doc-%d", i), ccd.Fingerprint("abcdefgh"))
@@ -208,7 +208,7 @@ func TestCorpusGenerationsCompact(t *testing.T) {
 	// Logarithmic compaction keeps the segment count O(log n): with 200
 	// single adds there must be at most ⌈log₂ 200⌉ = 8 segments, each more
 	// than twice its successor.
-	g := c.gen.Load()
+	g := c.shards[0].gen.Load()
 	if len(g.segments) == 0 || len(g.segments) > 8 {
 		t.Fatalf("segment count %d after %d adds", len(g.segments), docs)
 	}
@@ -226,6 +226,39 @@ func TestCorpusGenerationsCompact(t *testing.T) {
 	if c.Publishes() == 0 || c.Compactions() == 0 {
 		t.Errorf("publishes=%d compactions=%d, want both > 0", c.Publishes(), c.Compactions())
 	}
+}
+
+// TestCorpusShardPartitioning: documents spread across shards by id hash,
+// every shard's entries stay findable, and Len/Segments aggregate cleanly.
+func TestCorpusShardPartitioning(t *testing.T) {
+	c := NewCorpus(ccd.DefaultConfig, 4)
+	const docs = 120
+	for i := 0; i < docs; i++ {
+		if err := c.Add(fmt.Sprintf("doc-%d", i), testFP(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != docs {
+		t.Fatalf("len %d, want %d", c.Len(), docs)
+	}
+	stats := c.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("shard stats: %d", len(stats))
+	}
+	nonEmpty, total := 0, 0
+	for _, st := range stats {
+		total += st.Size
+		if st.Size > 0 {
+			nonEmpty++
+		}
+	}
+	if total != docs {
+		t.Fatalf("shard sizes sum to %d, want %d", total, docs)
+	}
+	if nonEmpty < 3 {
+		t.Errorf("hash partitioning left %d of 4 shards populated", nonEmpty)
+	}
+	verifyEntries(t, c, docs)
 }
 
 // TestCorpusReadersNeverBlockOnWriters: a reader loaded generation stays

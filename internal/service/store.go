@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/ccd"
+	"repro/internal/index"
 )
 
 // Snapshot and WAL file names inside a store directory.
@@ -53,6 +54,9 @@ type Store struct {
 func OpenStore(dir string, c *Corpus) (*Store, error) {
 	if c.store != nil {
 		return nil, fmt.Errorf("service: corpus already has a store attached")
+	}
+	if c.Backend() != index.BackendCCD {
+		return nil, fmt.Errorf("service: store requires a ccd-backed corpus (got %q): the WAL journals (id, fingerprint) pairs", c.Backend())
 	}
 	if c.Len() != 0 {
 		return nil, fmt.Errorf("service: OpenStore needs an empty corpus (%d entries)", c.Len())
