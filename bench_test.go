@@ -14,8 +14,11 @@ import (
 	"sync"
 	"testing"
 
+	"math/rand"
 	"repro/internal/ccc"
+
 	"repro/internal/ccd"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/editdist"
 	"repro/internal/experiments"
@@ -777,6 +780,79 @@ func BenchmarkBackendCompare(b *testing.B) {
 			b.ReportMetric(float64(c.Len()), "docs")
 		})
 	}
+}
+
+// --- corpus-wide clone study: self-join planner vs naive all-pairs ---------------
+
+// selfJoinFixture builds a deterministic 10k-document corpus of clone
+// groups: long random per-group base fingerprints (similar lengths, so the
+// naive baseline cannot shortcut on length difference) with exact and
+// one-edit copies.
+func selfJoinFixture(docs int) []ccd.Entry {
+	rng := rand.New(rand.NewSource(41))
+	alphabet := []byte("QxRtYuIoPAbCdEfGhZvNmWqSjKl")
+	entries := make([]ccd.Entry, 0, docs)
+	for len(entries) < docs {
+		base := make([]byte, 40+rng.Intn(8))
+		for i := range base {
+			base[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		size := 1 + rng.Intn(5)
+		for m := 0; m < size && len(entries) < docs; m++ {
+			fp := append([]byte(nil), base...)
+			if m%3 == 1 {
+				fp[rng.Intn(len(fp))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			entries = append(entries, ccd.Entry{ID: fmt.Sprintf("doc-%05d", len(entries)), FP: ccd.Fingerprint(fp)})
+		}
+	}
+	return entries
+}
+
+// BenchmarkSelfJoin10k is the headline clone-study benchmark: the corpus
+// self-join through the posting-list planner (pigeonhole blocking +
+// scatter-gather verification) against the naive all-pairs scoring pass on
+// the same 10k documents. The acceptance floor is a 3x ns/op ratio between
+// the naive and planner sub-benchmarks.
+func BenchmarkSelfJoin10k(b *testing.B) {
+	entries := selfJoinFixture(10_000)
+	b.Run("planner", func(b *testing.B) {
+		eng := service.New(service.Options{})
+		for _, e := range entries {
+			if err := eng.CorpusAddFingerprint(e.ID, e.FP); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := eng.RunCloneStudy(context.Background(), "", 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.Summary.Clusters), "clusters")
+			b.ReportMetric(float64(rep.Stats.Candidates), "candidate-pairs")
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set := service.NaiveSelfJoin(entries, ccd.DefaultConfig)
+			b.ReportMetric(float64(set.Count()), "components")
+		}
+	})
+}
+
+// BenchmarkClusterIncremental measures the online clustering substrate: one
+// union (with path compression + union by rank) per ingest-time clone edge
+// over a growing million-scale id space.
+func BenchmarkClusterIncremental(b *testing.B) {
+	set := cluster.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := fmt.Sprintf("doc-%07d", i)
+		prev := fmt.Sprintf("doc-%07d", i/2) // link toward earlier docs: deep trees
+		set.Union(a, prev)
+	}
+	b.ReportMetric(float64(set.Count()), "components")
 }
 
 // BenchmarkCorpusMatchParallel measures concurrent clone matching against

@@ -36,9 +36,22 @@
 //	                          ?backend=ccd|ssdeep|smartembed selects the
 //	                          matcher, ?explain=1 attaches the pruning funnel
 //	POST /v1/study            {"seed": 1, "scale": 0.01}   (async; poll the id)
+//	                          {"mode": "corpus", "backend": "ccd", "limit": 0}
+//	                          runs the corpus-wide clone study — posting-list
+//	                          self-join + clustering — over the live serving
+//	                          corpus instead of a regenerated one
 //	GET  /v1/study/{id}
+//	GET  /v1/clusters         live clone-cluster view (?top=N largest)
+//	GET  /v1/clusters/export  NDJSON, one cluster per line (?min=N size floor)
 //	GET  /healthz
 //	GET  /metrics
+//
+// With -clusters (default on) every ingested document is matched against
+// the ccd corpus and its clone edges folded into an incremental union-find,
+// so /v1/clusters answers from memory at any time; the /v1/study corpus
+// mode recomputes the exact distribution on demand. The live view covers
+// documents ingested since boot — after a -corpus-dir restore, run one
+// corpus study to measure everything that was restored.
 package main
 
 import (
@@ -71,6 +84,7 @@ func main() {
 	eps := flag.Float64("ccd-eps", ccd.DefaultConfig.Epsilon, "CCD similarity threshold (0-100)")
 	corpusDir := flag.String("corpus-dir", "", "directory for the durable corpus (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -corpus-dir (0 = on demand/shutdown only)")
+	clusters := flag.Bool("clusters", true, "maintain the live clone-cluster view as ingest lands (/v1/clusters)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -91,11 +105,12 @@ func main() {
 	}
 
 	engine := service.New(service.Options{
-		Workers:      *workers,
-		CacheEntries: *cache,
-		Shards:       *shards,
-		Backends:     extraBackends,
-		CCD:          ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
+		Workers:       *workers,
+		CacheEntries:  *cache,
+		Shards:        *shards,
+		Backends:      extraBackends,
+		CCD:           ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
+		TrackClusters: *clusters,
 	})
 
 	var opts []api.Option

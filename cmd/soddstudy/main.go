@@ -5,11 +5,21 @@
 //	soddstudy -table 2        # CCC on Original/Functions/Statements
 //	soddstudy -table 3        # CCD vs SmartEmbed on honeypots
 //	soddstudy -table study    # Tables 4-8 (the full Figure 6 pipeline)
+//	                          # plus the corpus-wide clone study
 //	soddstudy -table 9        # Figure 9 / Table 9 parameter sweep
 //	soddstudy -table all      # everything
 //
 // -scale controls the corpus size of the study relative to the paper
 // (default 0.02 ≈ 790 snippets / 6,450 contracts).
+//
+// The study run ends with the corpus-wide clone study: every contract is
+// self-joined against the corpus (posting-list blocking, no O(n²) scoring)
+// and clustered with incremental union-find. -service routes it through the
+// serving engine — sharded scatter-gather corpus, pooled fan-out — i.e. the
+// exact implementation behind cmd/serve's /v1/study corpus mode; without
+// the flag an offline single-shard join of the same implementation runs
+// serially. Both report the identical distribution. -clone-limit caps the
+// matches per document (0 = exact).
 package main
 
 import (
@@ -19,6 +29,8 @@ import (
 
 	"repro/internal/ccd"
 	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/service"
 )
 
 func main() {
@@ -26,6 +38,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "corpus generation seed")
 	scale := flag.Float64("scale", 0.02, "study corpus scale (1.0 = paper size)")
 	csvOut := flag.String("csv", "", "write the Figure 9 sweep as CSV to this file")
+	svc := flag.Bool("service", false, "run the clone study through the serving engine path (sharded scatter-gather, worker pool)")
+	cloneLimit := flag.Int("clone-limit", 0, "per-document match cap of the clone study (0 = exact join)")
 	flag.Parse()
 
 	run1 := func() { fmt.Println(experiments.RenderTable1(experiments.Table1(*seed))) }
@@ -34,7 +48,20 @@ func main() {
 		fmt.Println(experiments.RenderTable3(experiments.Table3(*seed, ccd.DefaultConfig)))
 	}
 	runStudy := func() {
-		fmt.Println(experiments.RenderStudy(experiments.Study(*seed, *scale)))
+		// One engine backs the pipeline AND the clone study, so the study's
+		// fingerprints come straight from the content-addressed cache.
+		cfg := pipeline.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Scale = *scale
+		cfg.Engine = service.New(service.Options{CCD: cfg.CCD})
+		res := pipeline.Run(cfg)
+		fmt.Println(experiments.RenderStudy(res))
+		rep, err := experiments.CloneStudy(cfg.Engine, res.Contracts, cfg.CCD, *svc, *cloneLimit)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soddstudy: clone study: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderCloneStudy(rep))
 	}
 	run9 := func() {
 		pts, se := experiments.Figure9(*seed)

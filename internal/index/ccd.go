@@ -34,8 +34,29 @@ func (b *ccdBackend) Config() Config { return b.cfg }
 func (b *ccdBackend) Len() int       { return b.c.Len() }
 
 // Entries exposes the indexed (id, fingerprint) pairs for WAL-replay
-// deduplication and shard re-partitioning (EntryLister).
+// deduplication, shard re-partitioning and the corpus self-join
+// (EntryLister).
 func (b *ccdBackend) Entries() []ccd.Entry { return b.c.Entries() }
+
+// IDs enumerates the indexed document ids (IDLister).
+func (b *ccdBackend) IDs() []string {
+	return entryIDs(b.c.Entries(), func(e ccd.Entry) string { return e.ID })
+}
+
+// WithoutIDs rebuilds the segment without the dead ids (EntryRemover). The
+// n-gram index cannot delete in place, so the survivors re-index into a
+// fresh corpus.
+func (b *ccdBackend) WithoutIDs(dead map[string]struct{}) (Backend, int) {
+	live, removed := withoutIDs(b.c.Entries(), func(e ccd.Entry) string { return e.ID }, dead)
+	if removed == 0 {
+		return b, 0
+	}
+	out := ccd.NewCorpus(b.cfg.CCD)
+	for _, e := range live {
+		out.Add(e.ID, e.FP)
+	}
+	return &ccdBackend{cfg: b.cfg, c: out}, removed
+}
 
 func (b *ccdBackend) Add(doc Doc) error {
 	fp := doc.FP
@@ -57,12 +78,13 @@ func (b *ccdBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 		}
 		return ccd.PrepareQuery(b.cfg.CCD, fp)
 	}).(*ccd.PreparedQuery)
-	col := ccd.NewTopK(q.K, b.epsilon()).Share(q.Bound)
+	col := ccd.NewTopK(q.K, b.Epsilon()).Share(q.Bound)
 	stats := b.c.MatchPreparedInto(prep, col)
 	return col.Results(), stats
 }
 
-func (b *ccdBackend) epsilon() float64 {
+// Epsilon returns the effective admission threshold.
+func (b *ccdBackend) Epsilon() float64 {
 	if b.cfg.Epsilon > 0 {
 		return b.cfg.Epsilon
 	}

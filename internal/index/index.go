@@ -94,6 +94,9 @@ type Backend interface {
 	// Config returns the effective configuration (after Restore, the
 	// snapshot's configuration).
 	Config() Config
+	// Epsilon returns the effective admission threshold on the 0-100 score
+	// scale (Config().Epsilon when positive, else the backend's default).
+	Epsilon() float64
 	// Add indexes one document. ErrDocUnsupported marks a per-doc skip.
 	Add(doc Doc) error
 	// Len returns the number of indexed documents.
@@ -114,9 +117,60 @@ type Backend interface {
 
 // EntryLister is implemented by backends that can enumerate their indexed
 // (id, fingerprint) pairs — the ccd backend. The service's WAL-replay
-// deduplication and shard re-partitioning depend on it.
+// deduplication, shard re-partitioning and corpus self-join depend on it.
 type EntryLister interface {
 	Entries() []ccd.Entry
+}
+
+// IDLister is implemented by backends that can enumerate their indexed
+// document ids (all built-in backends). The service's duplicate-id supersede
+// uses it to seed the per-shard live-id set after a snapshot restore.
+type IDLister interface {
+	IDs() []string
+}
+
+// EntryRemover is implemented by backends that can rebuild themselves
+// without a set of document ids. The service uses it when a re-ingested id
+// supersedes an earlier copy living in an older generation-segment: the
+// stale segment is rebuilt without the dead entries, so a duplicate Add
+// replaces instead of double-counting. Returns the rebuilt backend and how
+// many entries were dropped; a backend containing none of the ids returns
+// itself unchanged with 0.
+type EntryRemover interface {
+	WithoutIDs(dead map[string]struct{}) (Backend, int)
+}
+
+// entryIDs collects the document ids of a backend's entry slice — the
+// shared body of the IDLister implementations.
+func entryIDs[E any](entries []E, id func(E) string) []string {
+	out := make([]string, len(entries))
+	for i := range entries {
+		out[i] = id(entries[i])
+	}
+	return out
+}
+
+// withoutIDs filters a backend's entry slice for its EntryRemover: the
+// surviving entries (order preserved) and how many were dropped. removed==0
+// returns the input slice untouched, so callers can keep the original
+// backend.
+func withoutIDs[E any](entries []E, id func(E) string, dead map[string]struct{}) (live []E, removed int) {
+	for i := range entries {
+		if _, dup := dead[id(entries[i])]; dup {
+			removed++
+		}
+	}
+	if removed == 0 {
+		return entries, 0
+	}
+	live = make([]E, 0, len(entries)-removed)
+	for i := range entries {
+		if _, dup := dead[id(entries[i])]; dup {
+			continue
+		}
+		live = append(live, entries[i])
+	}
+	return live, removed
 }
 
 // --- registry -----------------------------------------------------------------

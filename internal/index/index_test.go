@@ -227,3 +227,67 @@ func TestSSDeepComparisonRules(t *testing.T) {
 		t.Fatalf("identical fingerprint digest: %v (stats %+v)", ms, stats)
 	}
 }
+
+// TestSSDeepDegenerateSignatures is the representation-mismatch regression:
+// the same document ingested with source+fingerprint and queried by
+// fingerprint alone (the bulk-load and corpus-self-join shape) must stay
+// block-size comparable and score 100 — digesting the source on one side
+// and the fingerprint on the other produced len(pairs) == 0 (block sizes
+// beyond the 2× window) or score 0 (same block size, disjoint signatures)
+// for identical documents. Very short inputs are the boundary: their
+// signatures collapse to a handful of characters, so any representation
+// skew is fatal rather than merely lossy.
+func TestSSDeepDegenerateSignatures(t *testing.T) {
+	// Identical document, both representation shapes, across sizes from the
+	// degenerate near-empty fingerprint up to one long enough that the raw
+	// source's digest used a larger block size.
+	sources := []string{
+		"contract T { function f() public { } }", // near-empty fingerprint
+		parsableSrc,
+		parsableSrc + strings.Repeat("\ncontract Pad { function p() public { uint z; z = 1; } }", 6),
+	}
+	for i, src := range sources {
+		d := sourceDoc(t, fmt.Sprintf("doc-%d", i), src)
+		if len(d.FP) == 0 {
+			t.Fatalf("source %d produced an empty fingerprint", i)
+		}
+		qd := digestDoc(Doc{FP: d.FP})
+		ed := digestDoc(d)
+		if pairs := comparePairs(qd, ed); len(pairs) == 0 {
+			t.Fatalf("source %d: identical doc has no comparable pairs (query %q vs entry %q)",
+				i, qd.String(), ed.String())
+		}
+		b := mustBackend(t, BackendSSDeep, Config{CCD: ccd.DefaultConfig})
+		if err := b.Add(d); err != nil {
+			t.Fatal(err)
+		}
+		ms, stats := b.MatchTopK(&Query{Doc: Doc{FP: d.FP}, K: 1})
+		if len(ms) != 1 || ms[0].Score != 100 {
+			t.Fatalf("source %d: fingerprint query against source-ingested doc: %v (stats %+v)", i, ms, stats)
+		}
+	}
+
+	// Identical very-short fingerprints: signatures are 1-2 characters (or
+	// empty), and identity must still score 100.
+	for _, fp := range []ccd.Fingerprint{"Q", "Qx", "Qx.Rt"} {
+		b := mustBackend(t, BackendSSDeep, Config{CCD: ccd.DefaultConfig})
+		if err := b.Add(Doc{ID: "tiny", FP: fp}); err != nil {
+			t.Fatal(err)
+		}
+		ms, _ := b.MatchTopK(&Query{Doc: Doc{FP: fp}, K: 0})
+		if len(ms) != 1 || ms[0].Score != 100 {
+			t.Fatalf("identical tiny fingerprint %q: %v", fp, ms)
+		}
+	}
+
+	// Source-only documents (no fingerprint anywhere) keep digesting the
+	// source and stay comparable with each other.
+	b := mustBackend(t, BackendSSDeep, Config{CCD: ccd.DefaultConfig})
+	if err := b.Add(Doc{ID: "src-only", Source: parsableSrc}); err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := b.MatchTopK(&Query{Doc: Doc{Source: parsableSrc}, K: 0})
+	if len(ms) != 1 || ms[0].Score != 100 {
+		t.Fatalf("identical source-only doc: %v", ms)
+	}
+}

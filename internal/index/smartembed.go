@@ -47,7 +47,8 @@ func (b *smartEmbedBackend) Name() string   { return BackendSmartEmbed }
 func (b *smartEmbedBackend) Config() Config { return b.cfg }
 func (b *smartEmbedBackend) Len() int       { return len(b.entries) }
 
-func (b *smartEmbedBackend) epsilon() float64 {
+// Epsilon returns the effective admission threshold.
+func (b *smartEmbedBackend) Epsilon() float64 {
 	if b.cfg.Epsilon > 0 {
 		return b.cfg.Epsilon
 	}
@@ -85,7 +86,7 @@ func (b *smartEmbedBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 	if !pq.ok {
 		return nil, stats
 	}
-	col := ccd.NewTopK(q.K, b.epsilon()).Share(q.Bound)
+	col := ccd.NewTopK(q.K, b.Epsilon()).Share(q.Bound)
 	// No pre-filter: every entry is a candidate and is fully scored, so
 	// Candidates = Scored (the ccd funnel invariant with zero pruning).
 	for i, e := range b.entries {
@@ -97,6 +98,20 @@ func (b *smartEmbedBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 		col.Offer(ccd.Match{ID: e.id, Score: baseline.Cosine(pq.emb, e.emb) * 100})
 	}
 	return col.Results(), stats
+}
+
+// IDs enumerates the indexed document ids (IDLister).
+func (b *smartEmbedBackend) IDs() []string {
+	return entryIDs(b.entries, func(e embEntry) string { return e.id })
+}
+
+// WithoutIDs rebuilds the segment without the dead ids (EntryRemover).
+func (b *smartEmbedBackend) WithoutIDs(dead map[string]struct{}) (Backend, int) {
+	live, removed := withoutIDs(b.entries, func(e embEntry) string { return e.id }, dead)
+	if removed == 0 {
+		return b, 0
+	}
+	return &smartEmbedBackend{cfg: b.cfg, se: b.se, entries: live}, removed
 }
 
 func (b *smartEmbedBackend) Merge(other Backend) (Backend, error) {

@@ -55,14 +55,21 @@ func parseDigest(s string) (ssdDigest, error) {
 	return ssdDigest{bs: bs, sig1: parts[1], sig2: parts[2]}, nil
 }
 
-// digestDoc derives the CTPH digest of a document: the raw source when
-// present, else the ccd fingerprint bytes (a token-per-character stream, so
-// fingerprint-only ingest and fingerprint-only queries stay comparable with
-// each other).
+// digestDoc derives the CTPH digest of a document from its canonical
+// representation: the ccd fingerprint when present (a token-per-character
+// stream), else the raw source. The fingerprint is preferred because the
+// same document reaches this backend in different shapes — ingest carries
+// source plus fingerprint, while bulk fingerprint loads and the corpus
+// self-join query by fingerprint alone. Digesting the source on one side
+// and the (much shorter) fingerprint on the other let the adaptive block
+// sizes diverge beyond the 2× comparison window, so the block-size
+// compatibility rule produced zero comparable pairs — and score 0 — for
+// literally identical documents; on very short inputs the block sizes still
+// agreed but the signatures differed, with the same zero-score result.
 func digestDoc(doc Doc) ssdDigest {
-	data := []byte(doc.Source)
+	data := []byte(doc.FP)
 	if len(data) == 0 {
-		data = []byte(doc.FP)
+		data = []byte(doc.Source)
 	}
 	d, _ := parseDigest(ssdeep.Hash(data))
 	return d
@@ -78,7 +85,8 @@ func (b *ssdeepBackend) Name() string   { return BackendSSDeep }
 func (b *ssdeepBackend) Config() Config { return b.cfg }
 func (b *ssdeepBackend) Len() int       { return len(b.entries) }
 
-func (b *ssdeepBackend) epsilon() float64 {
+// Epsilon returns the effective admission threshold.
+func (b *ssdeepBackend) Epsilon() float64 {
 	if b.cfg.Epsilon > 0 {
 		return b.cfg.Epsilon
 	}
@@ -125,7 +133,7 @@ func pairUpper(s1, s2 string) float64 {
 
 func (b *ssdeepBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 	qd := q.Prepare(func() any { return digestDoc(q.Doc) }).(ssdDigest)
-	col := ccd.NewTopK(q.K, b.epsilon()).Share(q.Bound)
+	col := ccd.NewTopK(q.K, b.Epsilon()).Share(q.Bound)
 	// Funnel semantics match the ccd backend: Candidates are the entries
 	// that survive the (block-size compatibility) pre-filter, FilterPruned
 	// the ones it rejected — Candidates = Scored + CutoffSkipped.
@@ -160,6 +168,20 @@ func (b *ssdeepBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 		col.Offer(ccd.Match{ID: e.id, Score: best})
 	}
 	return col.Results(), stats
+}
+
+// IDs enumerates the indexed document ids (IDLister).
+func (b *ssdeepBackend) IDs() []string {
+	return entryIDs(b.entries, func(e ssdEntry) string { return e.id })
+}
+
+// WithoutIDs rebuilds the segment without the dead ids (EntryRemover).
+func (b *ssdeepBackend) WithoutIDs(dead map[string]struct{}) (Backend, int) {
+	live, removed := withoutIDs(b.entries, func(e ssdEntry) string { return e.id }, dead)
+	if removed == 0 {
+		return b, 0
+	}
+	return &ssdeepBackend{cfg: b.cfg, entries: live}, removed
 }
 
 func (b *ssdeepBackend) Merge(other Backend) (Backend, error) {

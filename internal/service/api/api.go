@@ -43,6 +43,7 @@ type Server struct {
 	reqCorpus      atomic.Int64
 	reqMatch       atomic.Int64
 	reqStudy       atomic.Int64
+	reqClusters    atomic.Int64
 }
 
 // Option configures a Server.
@@ -77,6 +78,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/study", s.handleStudyStart)
 	mux.HandleFunc("GET /v1/study", s.handleStudyList)
 	mux.HandleFunc("GET /v1/study/{id}", s.handleStudyGet)
+	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
+	mux.HandleFunc("GET /v1/clusters/export", s.handleClustersExport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -183,10 +186,19 @@ type MatchBatchResponse struct {
 	Results []MatchResponse `json:"results"`
 }
 
-// StudyRequest starts an asynchronous study run.
+// StudyRequest starts an asynchronous study run. Mode selects what the job
+// computes: "pipeline" (the default) regenerates the paper's Figure 6
+// snippet→contract pipeline at Scale, while "corpus" runs the corpus-wide
+// clone study — posting-list self-join plus incremental clustering — over
+// the live serving corpus of the selected backend. The corpus mode ignores
+// Seed/Scale (it measures what is actually indexed) and accepts Limit, the
+// per-document match cap (0 = exact join at the backend's ε).
 type StudyRequest struct {
-	Seed  int64   `json:"seed"`
-	Scale float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Scale   float64 `json:"scale"`
+	Mode    string  `json:"mode,omitempty"`
+	Backend string  `json:"backend,omitempty"`
+	Limit   int     `json:"limit,omitempty"`
 }
 
 type errorResponse struct {
@@ -475,6 +487,19 @@ func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	switch req.Mode {
+	case "", "pipeline":
+		s.startPipelineStudy(w, req)
+	case "corpus":
+		s.startCorpusStudy(w, req)
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown study mode %q (want \"pipeline\" or \"corpus\")", req.Mode))
+	}
+}
+
+// startPipelineStudy launches the paper's Figure 6 pipeline regeneration.
+func (s *Server) startPipelineStudy(w http.ResponseWriter, req StudyRequest) {
 	if req.Seed == 0 {
 		req.Seed = 1
 	}
@@ -507,6 +532,45 @@ func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {
 		cfg.Engine = s.engine
 		res := pipeline.Run(cfg)
 		s.jobs.finish(job.ID, summarize(res, time.Since(started)), nil)
+	}()
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+// startCorpusStudy launches the corpus-wide clone study over the serving
+// corpus: the same asynchronous job machinery, but measuring what the
+// service actually indexes instead of a regenerated throwaway corpus.
+func (s *Server) startCorpusStudy(w http.ResponseWriter, req StudyRequest) {
+	if req.Limit < 0 {
+		writeError(w, http.StatusBadRequest, "\"limit\" must be ≥ 0")
+		return
+	}
+	if _, err := s.engine.CorpusFor(req.Backend); err != nil {
+		writeBackendError(w, err)
+		return
+	}
+	job, ok := s.jobs.start(time.Now())
+	if !ok {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("%d study jobs already running; retry after one finishes", maxRunningJobs))
+		return
+	}
+	go func() {
+		started := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.jobs.finish(job.ID, nil, fmt.Errorf("corpus study panicked: %v", p))
+			}
+		}()
+		// The study's per-document queries fan out through the engine pool
+		// (same slots as interactive traffic) and, like pipeline jobs, run
+		// to completion in the background. Embedders needing cancel/resume
+		// drive service.SelfJoin directly via Engine.NewCloneStudy.
+		rep, err := s.engine.RunCloneStudy(context.Background(), req.Backend, req.Limit, defaultTopClusters)
+		if err != nil {
+			s.jobs.finish(job.ID, nil, err)
+			return
+		}
+		s.jobs.finish(job.ID, summarizeClone(rep, time.Since(started)), nil)
 	}()
 	writeJSON(w, http.StatusAccepted, job)
 }
@@ -553,6 +617,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"corpus":      s.reqCorpus.Load(),
 			"match":       s.reqMatch.Load(),
 			"study":       s.reqStudy.Load(),
+			"clusters":    s.reqClusters.Load(),
 		},
 		HitRates: map[string]float64{
 			"parse":       snap.ParseCache.HitRate(),

@@ -31,11 +31,12 @@ const (
 }`
 )
 
-// newTestServer runs every registered backend with a pinned shard count, so
-// responses (including the golden fixtures) are machine-independent.
+// newTestServer runs every registered backend with a pinned shard count and
+// live cluster tracking, so responses (including the golden fixtures) are
+// machine-independent.
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
-	return newTestServerOpts(t, service.Options{Workers: 4, Shards: 4, Backends: index.Names()})
+	return newTestServerOpts(t, service.Options{Workers: 4, Shards: 4, Backends: index.Names(), TrackClusters: true})
 }
 
 // newCCDOnlyServer runs with just the default backend (the
@@ -381,6 +382,131 @@ func TestStudyJobLifecycle(t *testing.T) {
 			t.Fatal("job did not finish in time")
 		}
 		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestCorpusStudyLifecycle drives the /v1/study corpus mode end to end:
+// seed clone groups into the serving corpus, run the corpus-wide study, and
+// check the cluster-size distribution plus the live /v1/clusters view and
+// its NDJSON export agree with the seeded ground truth.
+func TestCorpusStudyLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Three exact clones plus one unrelated doc: one cluster of 3.
+	entries := []map[string]string{
+		{"id": "clone-a", "source": reentrantSrc},
+		{"id": "clone-b", "source": reentrantSrc},
+		{"id": "clone-c", "source": reentrantSrc},
+		{"id": "other-1", "source": benignSrc},
+	}
+	if resp, m := post(t, ts.URL+"/v1/corpus", map[string]any{"entries": entries}); resp.StatusCode != 200 {
+		t.Fatalf("seed: %d %v", resp.StatusCode, m)
+	}
+
+	resp, m := post(t, ts.URL+"/v1/study", map[string]any{"mode": "corpus"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("start: %d %v", resp.StatusCode, m)
+	}
+	id := m["id"].(string)
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, m = get(t, ts.URL+"/v1/study/"+id)
+		if resp.StatusCode != 200 {
+			t.Fatalf("poll: %d", resp.StatusCode)
+		}
+		if m["status"] == "done" {
+			break
+		}
+		if m["status"] == "failed" {
+			t.Fatalf("corpus study failed: %v", m["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("corpus study did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sum := m["summary"].(map[string]any)
+	if sum["mode"] != "corpus" {
+		t.Fatalf("summary mode %v", sum["mode"])
+	}
+	clone := sum["clone"].(map[string]any)
+	if clone["backend"] != "ccd" {
+		t.Errorf("clone backend %v", clone["backend"])
+	}
+	dist := clone["summary"].(map[string]any)
+	if dist["docs"].(float64) != 4 || dist["largest"].(float64) != 3 || dist["clusters"].(float64) != 1 {
+		t.Fatalf("clone distribution %v, want one 3-cluster over 4 docs", dist)
+	}
+	if clone["stats"].(map[string]any)["queried"].(float64) != 4 {
+		t.Errorf("study stats %v", clone["stats"])
+	}
+	top := clone["top"].([]any)
+	if len(top) != 1 || top[0].(map[string]any)["rep"] != "clone-a" || top[0].(map[string]any)["size"].(float64) != 3 {
+		t.Fatalf("top clusters %v", top)
+	}
+
+	// The live view agrees (ingest-time tracking found the same clusters).
+	_, cl := get(t, ts.URL+"/v1/clusters")
+	if cl["enabled"] != true {
+		t.Fatalf("clusters response %v", cl)
+	}
+	lsum := cl["summary"].(map[string]any)
+	if lsum["largest"].(float64) != 3 || lsum["clustered"].(float64) != 3 {
+		t.Fatalf("live summary %v", lsum)
+	}
+
+	// NDJSON export: one line, the 3-cluster with sorted members.
+	resp, err := http.Get(ts.URL + "/v1/clusters/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("export content type %q", ct)
+	}
+	var lines []map[string]any
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var c map[string]any
+		if err := dec.Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, c)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("export lines %v, want 1 cluster", lines)
+	}
+	members := lines[0]["members"].([]any)
+	if len(members) != 3 || members[0] != "clone-a" || members[2] != "clone-c" {
+		t.Fatalf("export members %v", members)
+	}
+
+	// min=1 includes the singletons.
+	resp2, err := http.Get(ts.URL + "/v1/clusters/export?min=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	n := 0
+	dec = json.NewDecoder(resp2.Body)
+	for dec.More() {
+		var c map[string]any
+		if err := dec.Decode(&c); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("export min=1 returned %d components, want 2", n)
+	}
+
+	// The metrics funnel recorded the study.
+	_, metrics := get(t, ts.URL+"/metrics")
+	sj := metrics["self_join"].(map[string]any)
+	if sj["completed"].(float64) != 1 || sj["docs"].(float64) != 4 {
+		t.Fatalf("metrics self_join %v", sj)
+	}
+	if metrics["clusters"] == nil {
+		t.Fatal("metrics missing live clusters block")
 	}
 }
 

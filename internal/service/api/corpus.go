@@ -34,22 +34,33 @@ type BulkEntry struct {
 
 // BulkResponse summarizes a streaming ingest.
 type BulkResponse struct {
-	// Added counts entries indexed (including ones with parse issues).
+	// Added counts entries indexed AND journaled (including ones with parse
+	// issues). On a persistence failure the response still carries the exact
+	// count, so the client's accounting always agrees with what a WAL replay
+	// will reproduce on boot.
 	Added int `json:"added"`
 	// ParseIssues counts entries indexed with partial fingerprints.
 	ParseIssues int `json:"parse_issues"`
 	// Malformed counts skipped lines (bad JSON, missing fields, oversized).
 	Malformed int `json:"malformed"`
+	// PersistFailures counts entries whose WAL append failed: they were NOT
+	// acknowledged, are not in the corpus, and will not replay.
+	PersistFailures int `json:"persist_failures,omitempty"`
 	// Errors details the first few malformed lines.
 	Errors []string `json:"errors,omitempty"`
 	Size   int      `json:"size"`
+	// Error carries the persistence failure that aborted the stream.
+	Error string `json:"error,omitempty"`
 }
 
 // handleCorpusBulk streams NDJSON — {"id": ..., "source": ...} or
 // {"id": ..., "fingerprint": ...} per line — into the serving corpus,
 // fanning chunks out through the engine's worker pool. Malformed lines are
 // skipped and counted; a persistence failure aborts the stream with 500
-// (earlier chunks remain ingested: the stream is not transactional).
+// (earlier chunks remain ingested: the stream is not transactional). The
+// failure response still carries the per-entry accounting: a partially
+// committed chunk reports exactly the entries that were journaled, never
+// the whole chunk, so the response and a boot-time WAL replay agree.
 func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 	s.reqCorpus.Add(1)
 	var resp BulkResponse
@@ -60,17 +71,20 @@ func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	flush := func(chunk []service.CorpusEntry) error {
+		var persistErr error
 		for _, err := range s.engine.CorpusAddBatch(chunk) {
 			switch {
 			case err == nil:
+				resp.Added++
 			case errors.Is(err, service.ErrPersist):
-				return err
+				resp.PersistFailures++
+				persistErr = err
 			default:
 				resp.ParseIssues++
+				resp.Added++ // indexed with a partial fingerprint
 			}
 		}
-		resp.Added += len(chunk)
-		return nil
+		return persistErr
 	}
 
 	sc := bufio.NewScanner(r.Body)
@@ -103,7 +117,7 @@ func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 		})
 		if len(chunk) == bulkChunk {
 			if err := flush(chunk); err != nil {
-				writeError(w, http.StatusInternalServerError, err.Error())
+				abortBulk(w, &resp, s, err)
 				return
 			}
 			chunk = chunk[:0]
@@ -115,12 +129,20 @@ func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(chunk) > 0 {
 		if err := flush(chunk); err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			abortBulk(w, &resp, s, err)
 			return
 		}
 	}
 	resp.Size = s.engine.Corpus().Len()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// abortBulk answers a persistence-failed bulk stream with 500 plus the exact
+// accounting so far (entries journaled before the failure stay ingested).
+func abortBulk(w http.ResponseWriter, resp *BulkResponse, s *Server, err error) {
+	resp.Error = err.Error()
+	resp.Size = s.engine.Corpus().Len()
+	writeJSON(w, http.StatusInternalServerError, *resp)
 }
 
 // SnapshotResponse reports a /v1/corpus/snapshot call.

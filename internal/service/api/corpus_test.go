@@ -86,6 +86,56 @@ func TestCorpusBulkMalformedLines(t *testing.T) {
 	}
 }
 
+// TestCorpusBulkPersistFailureAccounting: when the WAL dies mid-stream, the
+// 500 response must still carry the exact per-entry accounting — the lines
+// journaled before the failure count as added, the rest as persist failures,
+// and a duplicate-free boot replay would reproduce precisely the added set.
+func TestCorpusBulkPersistFailureAccounting(t *testing.T) {
+	engine := service.New(service.Options{Workers: 2})
+	store, err := service.OpenStore(t.TempDir(), engine.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(engine, WithStore(store)).Handler())
+	defer ts.Close()
+
+	// First stream lands durably.
+	resp, got := postNDJSON(t, ts.URL,
+		`{"id": "a", "fingerprint": "QsRtYuIoPlKjHgFdSaZx.WqErTyUiOp"}`+"\n"+
+			`{"id": "b", "fingerprint": "QsRtYuIoPlKjHgFdSaZy.WqErTyUiOq"}`+"\n")
+	if resp.StatusCode != http.StatusOK || got["added"].(float64) != 2 {
+		t.Fatalf("seed stream: status %d, %v", resp.StatusCode, got)
+	}
+
+	// Kill the WAL under the server: every further journaled add fails.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	resp, got = postNDJSON(t, ts.URL,
+		`{"id": "c", "fingerprint": "QsRtYuIoPlKjHgFdSaZz.WqErTyUiOr"}`+"\n"+
+			`not json at all`+"\n"+
+			`{"id": "d", "fingerprint": "QsRtYuIoPlKjHgFdSaZw.WqErTyUiOs"}`+"\n")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if got["added"].(float64) != 0 {
+		t.Errorf("added %v entries of a dead-WAL stream, want 0", got["added"])
+	}
+	if got["persist_failures"].(float64) != 2 {
+		t.Errorf("persist_failures %v, want 2", got["persist_failures"])
+	}
+	if got["malformed"].(float64) != 1 {
+		t.Errorf("malformed %v, want 1", got["malformed"])
+	}
+	if got["error"] == nil || got["error"].(string) == "" {
+		t.Error("500 response carries no error detail")
+	}
+	// The corpus still holds exactly the acknowledged entries.
+	if got["size"].(float64) != 2 {
+		t.Errorf("size %v, want 2", got["size"])
+	}
+}
+
 func TestCorpusBulkOversizedLine(t *testing.T) {
 	ts, _ := newTestServer(t)
 	huge := `{"id": "huge", "source": "` + strings.Repeat("x", 2<<20) + `"}`

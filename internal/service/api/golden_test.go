@@ -62,6 +62,13 @@ func TestGoldenResponses(t *testing.T) {
 		{"match_explain_body_backend", http.MethodPost, "/v1/match", map[string]any{
 			"source": reentrantSrc, "backend": "ssdeep", "explain": true, "limit": 1,
 		}},
+		// Live clone-cluster view (the two seeded docs are unrelated: two
+		// singletons, no clusters).
+		{"clusters", http.MethodGet, "/v1/clusters?top=5", nil},
+		// Study-mode validation shapes.
+		{"study_bad_mode", http.MethodPost, "/v1/study", map[string]any{"mode": "nope"}},
+		{"study_corpus_bad_backend", http.MethodPost, "/v1/study", map[string]any{"mode": "corpus", "backend": "nope"}},
+		{"study_corpus_bad_limit", http.MethodPost, "/v1/study", map[string]any{"mode": "corpus", "limit": -1}},
 	}
 
 	for _, tc := range cases {
@@ -72,11 +79,14 @@ func TestGoldenResponses(t *testing.T) {
 }
 
 // TestGoldenBackendNotLoaded pins the error shape of a registered backend
-// the server was not started with (serve without -backend ssdeep).
+// the server was not started with (serve without -backend ssdeep), plus the
+// cluster endpoints' disabled shapes (serve -clusters=false).
 func TestGoldenBackendNotLoaded(t *testing.T) {
 	ts, _ := newCCDOnlyServer(t)
 	runGoldenCase(t, ts, "match_backend_not_loaded", http.MethodPost,
 		"/v1/match?backend=ssdeep", map[string]any{"source": benignSrc})
+	runGoldenCase(t, ts, "clusters_disabled", http.MethodGet, "/v1/clusters", nil)
+	runGoldenCase(t, ts, "clusters_export_disabled", http.MethodGet, "/v1/clusters/export", nil)
 }
 
 // runGoldenCase issues one request and compares (status, body) against the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/service"
 )
 
 // maxRunningJobs caps concurrent study runs; further POST /v1/study requests
@@ -26,19 +27,25 @@ const (
 	JobFailed  JobStatus = "failed"
 )
 
-// StudySummary is the JSON-able condensate of a pipeline.Result a polling
-// client receives (the full result embeds whole corpora and is far too large
-// to ship).
+// StudySummary is the JSON-able condensate a polling client receives. For
+// pipeline-mode jobs it carries the Figure 6 funnel and tables (the full
+// pipeline.Result embeds whole corpora and is far too large to ship); for
+// corpus-mode jobs it carries the clone study report instead.
 type StudySummary struct {
-	Seed         int64                  `json:"seed"`
-	Scale        float64                `json:"scale"`
-	Funnel       pipeline.Funnel        `json:"funnel"`
-	Correlations []pipeline.Correlation `json:"correlations"`
+	// Mode is "pipeline" or "corpus".
+	Mode         string                 `json:"mode"`
+	Seed         int64                  `json:"seed,omitempty"`
+	Scale        float64                `json:"scale,omitempty"`
+	Funnel       *pipeline.Funnel       `json:"funnel,omitempty"`
+	Correlations []pipeline.Correlation `json:"correlations,omitempty"`
 	// Table6 maps DASP category names to snippet/contract counts.
-	Table6 map[string]CategoryCount `json:"table6"`
+	Table6 map[string]CategoryCount `json:"table6,omitempty"`
 	// ManualSampleSize is the Table 8 stratified sample size.
-	ManualSampleSize int    `json:"manual_sample_size"`
-	Elapsed          string `json:"elapsed"`
+	ManualSampleSize int `json:"manual_sample_size,omitempty"`
+	// Clone is the corpus-mode result: self-join funnel plus the
+	// cluster-size distribution over the serving corpus.
+	Clone   *service.CloneReport `json:"clone,omitempty"`
+	Elapsed string               `json:"elapsed"`
 }
 
 // CategoryCount is one Table 6 cell pair.
@@ -159,10 +166,12 @@ func (s *jobStore) list() []Job {
 
 // summarize condenses a pipeline result.
 func summarize(res *pipeline.Result, elapsed time.Duration) *StudySummary {
+	funnel := res.Funnel
 	sum := &StudySummary{
+		Mode:             "pipeline",
 		Seed:             res.Config.Seed,
 		Scale:            res.Config.Scale,
-		Funnel:           res.Funnel,
+		Funnel:           &funnel,
 		Correlations:     res.Correlations,
 		Table6:           make(map[string]CategoryCount, len(res.Table6)),
 		ManualSampleSize: res.Manual.SampleSize,
@@ -172,4 +181,13 @@ func summarize(res *pipeline.Result, elapsed time.Duration) *StudySummary {
 		sum.Table6[string(cat)] = CategoryCount{Snippets: e.Snippets, Contracts: e.Contracts}
 	}
 	return sum
+}
+
+// summarizeClone wraps a corpus-mode clone study report.
+func summarizeClone(rep *service.CloneReport, elapsed time.Duration) *StudySummary {
+	return &StudySummary{
+		Mode:    "corpus",
+		Clone:   rep,
+		Elapsed: elapsed.Round(time.Millisecond).String(),
+	}
 }

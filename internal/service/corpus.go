@@ -49,9 +49,10 @@ type Corpus struct {
 
 	// Ingest accounting: adds that were indexed, skips the backend refused
 	// (index.ErrDocUnsupported — e.g. fingerprint-only docs offered to
-	// SmartEmbed).
-	adds  atomic.Int64
-	skips atomic.Int64
+	// SmartEmbed), supersedes earlier copies replaced by a re-ingested id.
+	adds       atomic.Int64
+	skips      atomic.Int64
+	supersedes atomic.Int64
 
 	// Read-path funnel across all shards (per-backend metrics).
 	matches        atomic.Int64
@@ -77,6 +78,12 @@ type shard struct {
 	// The read path never touches it.
 	pubMu     sync.Mutex
 	published uint64 // docs ever published (≤ enqueued)
+
+	// ids is the shard's live document-id set, maintained by publish and
+	// snapshot restore under pubMu. A re-ingested id found here supersedes
+	// its earlier copy: the stale segment is rebuilt without it, so
+	// duplicate Adds replace instead of double-counting.
+	ids map[string]struct{}
 
 	gen atomic.Pointer[generation]
 
@@ -227,7 +234,10 @@ func (sh *shard) enqueue(docs []index.Doc) uint64 {
 // publish makes every doc enqueued on sh at or before upTo visible.
 // Whichever writer wins the shard's publish lock drains the whole delta —
 // writers arriving while a publish is in flight usually find their docs
-// already covered (group commit).
+// already covered (group commit). A batch doc whose id is already live in
+// the shard supersedes the earlier copy: the stale segments are rebuilt
+// without it, so Len, the ingest stats and match results never see the same
+// id twice.
 func (c *Corpus) publish(sh *shard, upTo uint64) {
 	sh.pubMu.Lock()
 	defer sh.pubMu.Unlock()
@@ -238,19 +248,73 @@ func (c *Corpus) publish(sh *shard, upTo uint64) {
 	batch := sh.pending
 	sh.pending = nil
 	sh.pendMu.Unlock()
+	drained := uint64(len(batch)) // the watermark advances by drained docs, deduped or not
+
+	// Last write wins inside the batch itself: an id re-enqueued before its
+	// first copy published is collapsed here, before anything indexes.
+	if len(batch) > 1 {
+		last := make(map[string]int, len(batch))
+		for i, d := range batch {
+			last[d.ID] = i
+		}
+		if len(last) < len(batch) {
+			dedup := make([]index.Doc, 0, len(last))
+			for i, d := range batch {
+				if last[d.ID] == i {
+					dedup = append(dedup, d)
+				}
+			}
+			c.supersedes.Add(int64(len(batch) - len(dedup)))
+			batch = dedup
+		}
+	}
 
 	seg := c.newSegment()
 	indexed := 0
+	stale := make(map[string]struct{})
+	if sh.ids == nil {
+		sh.ids = make(map[string]struct{})
+	}
 	for _, d := range batch {
 		if err := seg.Add(d); err != nil {
 			c.skips.Add(1)
 			continue
 		}
 		indexed++
+		if _, dup := sh.ids[d.ID]; dup {
+			stale[d.ID] = struct{}{}
+		} else {
+			sh.ids[d.ID] = struct{}{}
+		}
 	}
 	c.adds.Add(int64(indexed))
+
 	old := sh.gen.Load()
-	segs := append(slices.Clip(slices.Clone(old.segments)), seg)
+	live := old.segments
+	removed := 0
+	if len(stale) > 0 {
+		// Rebuild every published segment holding a superseded copy. The
+		// rebuilt segments are fresh values, so concurrent readers keep
+		// scanning the old generation untouched.
+		live = make([]index.Backend, 0, len(old.segments))
+		for _, s := range old.segments {
+			if rem, ok := s.(index.EntryRemover); ok {
+				rebuilt, n := rem.WithoutIDs(stale)
+				removed += n
+				if rebuilt.Len() == 0 {
+					continue
+				}
+				live = append(live, rebuilt)
+				continue
+			}
+			live = append(live, s) // cannot rebuild: the old copy survives
+		}
+		c.supersedes.Add(int64(removed))
+	}
+	segs := slices.Clip(slices.Clone(live))
+	if indexed > 0 {
+		segs = append(segs, seg)
+	}
 	// Logarithmic compaction: merge the tail while the newest segment has
 	// reached at least half its predecessor, keeping sizes strictly
 	// geometric and the segment count O(log n).
@@ -264,10 +328,10 @@ func (c *Corpus) publish(sh *shard, upTo uint64) {
 	}
 	sh.gen.Store(&generation{
 		segments: segs,
-		size:     old.size + indexed,
+		size:     old.size + indexed - removed,
 		seq:      old.seq + 1,
 	})
-	sh.published += uint64(len(batch))
+	sh.published += drained
 	c.publishes.Add(1)
 }
 
@@ -303,9 +367,11 @@ func (c *Corpus) Publishes() int64   { return c.publishes.Load() }
 func (c *Corpus) Compactions() int64 { return c.compactions.Load() }
 
 // Adds and Skips report ingest accounting: documents indexed vs refused by
-// the backend (index.ErrDocUnsupported).
-func (c *Corpus) Adds() int64  { return c.adds.Load() }
-func (c *Corpus) Skips() int64 { return c.skips.Load() }
+// the backend (index.ErrDocUnsupported). Supersedes counts earlier copies
+// replaced by a re-ingested id (duplicate Adds never double-count).
+func (c *Corpus) Adds() int64       { return c.adds.Load() }
+func (c *Corpus) Skips() int64      { return c.skips.Load() }
+func (c *Corpus) Supersedes() int64 { return c.supersedes.Load() }
 
 // Match returns every clone of fp at the backend's admission threshold, best
 // first (score descending, ties by id). Lock-free.
@@ -829,7 +895,16 @@ func (c *Corpus) installSnapshot(cfg index.Config, perShard [][][]byte) error {
 		for _, s := range segs {
 			size += s.Len()
 		}
+		ids := make(map[string]struct{}, size)
+		for _, s := range segs {
+			if lister, ok := s.(index.IDLister); ok {
+				for _, id := range lister.IDs() {
+					ids[id] = struct{}{}
+				}
+			}
+		}
 		sh.pubMu.Lock()
+		sh.ids = ids
 		sh.gen.Store(&generation{segments: segs, size: size, seq: 1})
 		sh.pubMu.Unlock()
 	}

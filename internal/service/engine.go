@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/ccc"
 	"repro/internal/ccd"
+	"repro/internal/cluster"
 	"repro/internal/cpg"
 	"repro/internal/index"
 )
@@ -46,7 +47,20 @@ type Options struct {
 	// always-on ccd corpus (see index.Names). Unknown names panic — validate
 	// with index.Known first when the list comes from user input.
 	Backends []string
+	// TrackClusters maintains the live clone-cluster view online: every
+	// ingested document is matched against the ccd serving corpus and its
+	// clone edges folded into an incremental union-find (GET /v1/clusters).
+	// The live view is an additive approximation — supersedes don't unlink,
+	// and each ingest contributes its top onlineClusterK edges — while the
+	// /v1/study corpus mode recomputes the exact distribution on demand.
+	TrackClusters bool
 }
+
+// onlineClusterK caps the clone edges one ingest contributes to the live
+// cluster view. Top-K keeps ingest into an n-document clone cluster O(K)
+// instead of O(n) while preserving connectivity: every new member links to
+// the cluster's best matches, which are already linked to each other.
+const onlineClusterK = 8
 
 // Backend-routing errors, wrapped by CorpusFor and the match paths so the
 // API layer can map them to distinct HTTP statuses.
@@ -78,6 +92,10 @@ type Engine struct {
 	// at construction — reads need no locking.
 	corpus  *Corpus
 	corpora map[string]*Corpus
+
+	// clusters is the live clone-cluster view (nil unless
+	// Options.TrackClusters), updated as ingest lands.
+	clusters *cluster.Set
 }
 
 // Cached values retain the original computation's error so a hit replays
@@ -125,8 +143,15 @@ func New(opts Options) *Engine {
 		}
 		e.corpora[name] = c
 	}
+	if opts.TrackClusters {
+		e.clusters = cluster.New()
+	}
 	return e
 }
+
+// Clusters exposes the live clone-cluster view (nil unless the engine was
+// built with Options.TrackClusters).
+func (e *Engine) Clusters() *cluster.Set { return e.clusters }
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -341,7 +366,59 @@ func (e *Engine) corpusAddDoc(doc index.Doc) error {
 		_ = c.AddDoc(doc) // in-memory; unsupported docs are counted as skips
 	}
 	e.ctr.corpusAdds.Add(1)
+	if e.clusters != nil {
+		// Live clustering: the freshly published document (read-your-writes)
+		// matches against the ccd corpus and its top clone edges land in the
+		// union-find. Best-effort and additive — the /v1/study corpus mode
+		// recomputes exactly.
+		e.clusters.Add(doc.ID)
+		if ms, _, err := e.corpus.MatchDocTopK(context.Background(), doc, onlineClusterK); err == nil {
+			for _, m := range ms {
+				if m.ID != doc.ID {
+					e.clusters.Union(doc.ID, m.ID)
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// --- corpus-wide clone study ----------------------------------------------------
+
+// NewCloneStudy plans a corpus-wide clone self-join: documents enumerate
+// from the durable ccd corpus and clone queries run against the named
+// backend's serving corpus (empty = ccd itself). The join fans out through
+// the engine's worker pool, so a running study competes fairly with
+// interactive traffic; it is context-cancellable and resumable (see
+// SelfJoin.Run).
+func (e *Engine) NewCloneStudy(backend string, limit int) (*SelfJoin, error) {
+	target, err := e.CorpusFor(backend)
+	if err != nil {
+		return nil, err
+	}
+	j, err := NewSelfJoin(e.corpus, target, limit)
+	if err != nil {
+		return nil, err
+	}
+	j.par = e.MapCtx
+	return j, nil
+}
+
+// RunCloneStudy plans and runs a clone study to completion, folding its
+// funnel into the engine's study metrics and returning the report with the
+// topN largest clusters attached.
+func (e *Engine) RunCloneStudy(ctx context.Context, backend string, limit, topN int) (*CloneReport, error) {
+	j, err := e.NewCloneStudy(backend, limit)
+	if err != nil {
+		return nil, err
+	}
+	e.ctr.studiesStarted.Add(1)
+	if err := j.Run(ctx); err != nil {
+		e.ctr.observeStudy(j.Stats(), false)
+		return nil, err
+	}
+	e.ctr.observeStudy(j.Stats(), true)
+	return j.Report(topN), nil
 }
 
 // Match fingerprints src and returns its clone candidates from the ccd

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/ccd"
+	"repro/internal/cluster"
 )
 
 // counters aggregates the engine's atomic operation counts.
@@ -26,6 +27,35 @@ type counters struct {
 	matchCutoffSkipped atomic.Int64
 
 	matchLatency latencyHist
+
+	// Corpus-wide clone studies (the /v1/study corpus mode): cumulative
+	// per-phase funnel across every self-join this engine ran.
+	studiesStarted   atomic.Int64
+	studiesCompleted atomic.Int64
+	studiesCancelled atomic.Int64
+	studyDocs        atomic.Int64
+	studyQueried     atomic.Int64
+	studyCandidates  atomic.Int64
+	studyScored      atomic.Int64
+	studyCutoffs     atomic.Int64
+	studyMatches     atomic.Int64
+	studyUnions      atomic.Int64
+}
+
+// observeStudy folds a finished (or cancelled) self-join's funnel in.
+func (c *counters) observeStudy(st SelfJoinStats, completed bool) {
+	if completed {
+		c.studiesCompleted.Add(1)
+	} else {
+		c.studiesCancelled.Add(1)
+	}
+	c.studyDocs.Add(st.Docs)
+	c.studyQueried.Add(st.Queried)
+	c.studyCandidates.Add(st.Candidates)
+	c.studyScored.Add(st.Scored)
+	c.studyCutoffs.Add(st.CutoffSkipped)
+	c.studyMatches.Add(st.Matches)
+	c.studyUnions.Add(st.Unions)
 }
 
 // observeMatch folds one match call's stats and latency into the counters.
@@ -170,20 +200,45 @@ type Snapshot struct {
 	// MatchLatency is the /v1/match service-time histogram summary.
 	MatchLatency LatencyStats `json:"match_latency"`
 
+	// SelfJoin is the cumulative per-phase funnel of the corpus-wide clone
+	// studies this engine ran (the /v1/study corpus mode).
+	SelfJoin StudyFunnel `json:"self_join"`
+
+	// Clusters is the live clone-cluster view (present only when the engine
+	// tracks clusters online).
+	Clusters *cluster.Summary `json:"clusters,omitempty"`
+
 	// Per-layer cache statistics.
 	ParseCache       CacheStats `json:"parse_cache"`
 	ReportCache      CacheStats `json:"report_cache"`
 	FingerprintCache CacheStats `json:"fingerprint_cache"`
 }
 
+// StudyFunnel aggregates the engine's clone-study phases for /metrics:
+// enumerate → block (posting-list candidates) → verify (scored vs cut) →
+// edges (matches, of which unions merged components).
+type StudyFunnel struct {
+	Started       int64 `json:"started"`
+	Completed     int64 `json:"completed"`
+	Cancelled     int64 `json:"cancelled"`
+	Docs          int64 `json:"docs"`
+	Queried       int64 `json:"queried"`
+	Candidates    int64 `json:"candidates"`
+	Scored        int64 `json:"scored"`
+	CutoffSkipped int64 `json:"cutoff_skipped"`
+	Matches       int64 `json:"matches"`
+	Unions        int64 `json:"unions"`
+}
+
 // BackendSnapshot is the /metrics view of one loaded backend's corpus.
 type BackendSnapshot struct {
-	Size     int          `json:"size"`
-	Shards   int          `json:"shards"`
-	Segments int          `json:"segments"`
-	Adds     int64        `json:"adds"`
-	Skips    int64        `json:"skips,omitempty"`
-	Funnel   CorpusFunnel `json:"funnel"`
+	Size       int          `json:"size"`
+	Shards     int          `json:"shards"`
+	Segments   int          `json:"segments"`
+	Adds       int64        `json:"adds"`
+	Skips      int64        `json:"skips,omitempty"`
+	Supersedes int64        `json:"supersedes,omitempty"`
+	Funnel     CorpusFunnel `json:"funnel"`
 }
 
 // Metrics returns a snapshot of the engine's counters and caches.
@@ -191,12 +246,13 @@ func (e *Engine) Metrics() Snapshot {
 	backends := make(map[string]BackendSnapshot, len(e.corpora))
 	for name, c := range e.corpora {
 		backends[name] = BackendSnapshot{
-			Size:     c.Len(),
-			Shards:   c.Shards(),
-			Segments: c.Segments(),
-			Adds:     c.Adds(),
-			Skips:    c.Skips(),
-			Funnel:   c.Funnel(),
+			Size:       c.Len(),
+			Shards:     c.Shards(),
+			Segments:   c.Segments(),
+			Adds:       c.Adds(),
+			Skips:      c.Skips(),
+			Supersedes: c.Supersedes(),
+			Funnel:     c.Funnel(),
 		}
 	}
 	s := Snapshot{
@@ -221,9 +277,25 @@ func (e *Engine) Metrics() Snapshot {
 		MatchScored:        e.ctr.matchScored.Load(),
 		MatchCutoffSkipped: e.ctr.matchCutoffSkipped.Load(),
 		MatchLatency:       e.ctr.matchLatency.stats(),
-		ParseCache:         e.graphs.Stats(),
-		ReportCache:        e.reports.Stats(),
-		FingerprintCache:   e.prints.Stats(),
+		SelfJoin: StudyFunnel{
+			Started:       e.ctr.studiesStarted.Load(),
+			Completed:     e.ctr.studiesCompleted.Load(),
+			Cancelled:     e.ctr.studiesCancelled.Load(),
+			Docs:          e.ctr.studyDocs.Load(),
+			Queried:       e.ctr.studyQueried.Load(),
+			Candidates:    e.ctr.studyCandidates.Load(),
+			Scored:        e.ctr.studyScored.Load(),
+			CutoffSkipped: e.ctr.studyCutoffs.Load(),
+			Matches:       e.ctr.studyMatches.Load(),
+			Unions:        e.ctr.studyUnions.Load(),
+		},
+		ParseCache:       e.graphs.Stats(),
+		ReportCache:      e.reports.Stats(),
+		FingerprintCache: e.prints.Stats(),
+	}
+	if e.clusters != nil {
+		sum := e.clusters.Summary()
+		s.Clusters = &sum
 	}
 	if e.workers > 0 {
 		s.Saturation = float64(s.BusyWorkers) / float64(e.workers)

@@ -1,0 +1,277 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/ccd"
+	"repro/internal/cluster"
+	"repro/internal/index"
+)
+
+// SelfJoin is the corpus-wide clone study planner: it enumerates every
+// document of the serving corpus and finds its clones by running each one
+// through the posting-list match planner, feeding the resulting edges into
+// an incremental union-find. Candidate pairs come from the n-gram
+// pigeonhole blocking inside each backend segment — no O(n²) scoring pass —
+// and the per-query verification scatter-gathers across the generation-
+// shards under the shared ccd.AtomicBound admission machinery, exactly like
+// interactive /v1/match traffic.
+//
+// The join is context-cancellable and resumable: work is checkpointed by
+// (shard, segment) of the enumeration plan, which is captured once from the
+// source corpus's immutable generations at construction and therefore
+// stable across pauses, compactions and concurrent ingest. Cancelling Run
+// mid-segment loses nothing — re-running a segment re-derives the same
+// edges, and union-find is idempotent — so Resume simply calls Run again.
+type SelfJoin struct {
+	source *Corpus // enumerated corpus (must expose entries — ccd)
+	target *Corpus // corpus queried for clones (any loaded backend)
+	limit  int     // per-query match cap (0 = every clone at ε)
+
+	// plan is the captured enumeration snapshot: one immutable segment list
+	// per source shard.
+	plan [][]index.Backend
+
+	// par fans a segment's queries out; the engine wires its pooled MapCtx
+	// here, the standalone (offline) join runs serially.
+	par func(ctx context.Context, n int, fn func(int)) error
+
+	set *cluster.Set
+
+	mu      sync.Mutex
+	stats   SelfJoinStats
+	shard   int // checkpoint: next shard
+	segment int // checkpoint: next segment within that shard
+	started bool
+	done    bool
+}
+
+// SelfJoinStats is the per-phase funnel of one corpus self-join.
+type SelfJoinStats struct {
+	// Enumeration phase.
+	Docs          int64 `json:"docs"`           // documents enumerated
+	SegmentsDone  int   `json:"segments_done"`  // checkpointed segments
+	SegmentsTotal int   `json:"segments_total"` // segments in the plan
+
+	// Query phase (per-document posting-list matching).
+	Queried       int64 `json:"queried"`
+	Candidates    int64 `json:"candidates"`
+	FilterPruned  int64 `json:"filter_pruned"`
+	Scored        int64 `json:"scored"`
+	CutoffSkipped int64 `json:"cutoff_skipped"`
+
+	// Edge phase.
+	Matches int64 `json:"matches"` // clone pairs reported (self-hits excluded)
+	Unions  int64 `json:"unions"`  // edges that merged two components
+
+	// Lifecycle.
+	Resumes   int64 `json:"resumes,omitempty"`
+	Cancelled int64 `json:"cancelled,omitempty"` // queries cut by ctx
+}
+
+// add folds one query's outcome in. Callers hold j.mu.
+func (s *SelfJoinStats) add(st ccd.MatchStats, matches, unions int64) {
+	s.Queried++
+	s.Candidates += int64(st.Candidates)
+	s.FilterPruned += int64(st.FilterPruned)
+	s.Scored += int64(st.Scored)
+	s.CutoffSkipped += int64(st.CutoffSkipped)
+	s.Matches += matches
+	s.Unions += unions
+}
+
+// NewSelfJoin plans a clone self-join: source supplies the documents (it
+// must be able to enumerate entries — the ccd system-of-record corpus),
+// target answers the clone queries (any backend; pass source itself for the
+// plain ccd study). limit caps the matches per query (0 = every clone at the
+// backend's ε; a cap bounds the quadratic blow-up of giant clusters while
+// preserving their connectivity through shared top matches).
+func NewSelfJoin(source, target *Corpus, limit int) (*SelfJoin, error) {
+	j := &SelfJoin{
+		source: source,
+		target: target,
+		limit:  limit,
+		set:    cluster.New(),
+		par: func(ctx context.Context, n int, fn func(int)) error {
+			for i := 0; i < n; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				fn(i)
+			}
+			return ctx.Err()
+		},
+	}
+	total := 0
+	j.plan = make([][]index.Backend, len(source.shards))
+	for i, sh := range source.shards {
+		segs := sh.gen.Load().segments
+		for _, seg := range segs {
+			if _, ok := seg.(index.EntryLister); !ok {
+				return nil, fmt.Errorf("service: self-join source backend %q cannot enumerate entries", seg.Name())
+			}
+		}
+		j.plan[i] = segs
+		total += len(segs)
+	}
+	j.stats.SegmentsTotal = total
+	return j, nil
+}
+
+// Clusters exposes the join's (partial, while running) cluster set.
+func (j *SelfJoin) Clusters() *cluster.Set { return j.set }
+
+// Stats returns a snapshot of the per-phase funnel.
+func (j *SelfJoin) Stats() SelfJoinStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Checkpoint reports the resume position: the next (shard, segment) to
+// process, and whether the join has completed.
+func (j *SelfJoin) Checkpoint() (shard, segment int, done bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.shard, j.segment, j.done
+}
+
+// Run executes the join from its checkpoint. A cancelled ctx stops at the
+// next query boundary and returns ctx.Err(); calling Run again resumes from
+// the last completed segment (the unfinished segment re-runs — edge
+// derivation is deterministic and union-find idempotent, so the partial
+// work is absorbed, with the funnel counters recording the extra queries).
+func (j *SelfJoin) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	j.mu.Lock()
+	if j.done {
+		j.mu.Unlock()
+		return nil
+	}
+	if j.started {
+		j.stats.Resumes++
+	}
+	j.started = true
+	shard, segment := j.shard, j.segment
+	j.mu.Unlock()
+
+	for ; shard < len(j.plan); shard, segment = shard+1, 0 {
+		for ; segment < len(j.plan[shard]); segment++ {
+			if err := j.runSegment(ctx, j.plan[shard][segment]); err != nil {
+				return err
+			}
+			j.mu.Lock()
+			j.shard, j.segment = shard, segment+1
+			j.stats.SegmentsDone++
+			j.mu.Unlock()
+		}
+	}
+	j.mu.Lock()
+	j.done = true
+	j.mu.Unlock()
+	return nil
+}
+
+// runSegment self-joins every document of one enumeration segment.
+func (j *SelfJoin) runSegment(ctx context.Context, seg index.Backend) error {
+	entries := seg.(index.EntryLister).Entries()
+	j.mu.Lock()
+	j.stats.Docs += int64(len(entries))
+	j.mu.Unlock()
+	// Singletons count too: every enumerated document appears in the
+	// cluster-size distribution even when nothing matches it.
+	for _, e := range entries {
+		j.set.Add(e.ID)
+	}
+	return j.par(ctx, len(entries), func(i int) {
+		e := entries[i]
+		ms, st, err := j.target.MatchDocTopK(ctx, index.Doc{ID: e.ID, FP: e.FP}, j.limit)
+		if err != nil {
+			j.mu.Lock()
+			j.stats.Cancelled++
+			j.mu.Unlock()
+			return
+		}
+		var matches, unions int64
+		for _, m := range ms {
+			if m.ID == e.ID {
+				continue
+			}
+			matches++
+			if j.set.Union(e.ID, m.ID) {
+				unions++
+			}
+		}
+		j.mu.Lock()
+		j.stats.add(st, matches, unions)
+		j.mu.Unlock()
+	})
+}
+
+// CloneReport is the outcome of a corpus-wide clone study: the clone
+// parameters, the per-phase funnel and the cluster-size distribution the
+// paper's corpus measurement is built from.
+type CloneReport struct {
+	Backend string  `json:"backend"`
+	Eta     float64 `json:"eta"`
+	Epsilon float64 `json:"epsilon"`
+	// Limit is the per-query match cap the join ran with (0 = exact).
+	Limit   int             `json:"limit,omitempty"`
+	Stats   SelfJoinStats   `json:"stats"`
+	Summary cluster.Summary `json:"summary"`
+	// Top lists the largest clusters (size descending, representative id
+	// ascending), without member lists.
+	Top []cluster.Cluster `json:"top,omitempty"`
+}
+
+// Report condenses the join into a CloneReport with the topN largest
+// clusters attached (topN ≤ 0 omits them).
+func (j *SelfJoin) Report(topN int) *CloneReport {
+	rep := &CloneReport{
+		Backend: j.target.Backend(),
+		Eta:     j.target.Config().Eta,
+		Epsilon: j.target.Epsilon(),
+		Limit:   j.limit,
+		Stats:   j.Stats(),
+		Summary: j.set.Summary(),
+	}
+	if topN > 0 {
+		top := j.set.Clusters(2, false)
+		if len(top) > topN {
+			top = top[:topN]
+		}
+		rep.Top = top
+	}
+	return rep
+}
+
+// Epsilon returns the corpus backend's effective admission threshold.
+func (c *Corpus) Epsilon() float64 { return c.newSegment().Epsilon() }
+
+// NaiveSelfJoin is the ablation baseline the planner is benchmarked
+// against: an all-pairs scoring pass with no posting-list blocking. Returns
+// the resulting cluster set.
+func NaiveSelfJoin(entries []ccd.Entry, cfg ccd.Config) *cluster.Set {
+	if cfg.N == 0 {
+		cfg = ccd.DefaultConfig
+	}
+	set := cluster.New()
+	for _, e := range entries {
+		set.Add(e.ID)
+	}
+	for i := 0; i < len(entries); i++ {
+		for k := i + 1; k < len(entries); k++ {
+			if entries[i].ID == entries[k].ID {
+				continue
+			}
+			if _, ok := ccd.SimilarityAtLeast(entries[i].FP, entries[k].FP, cfg.Epsilon); ok {
+				set.Union(entries[i].ID, entries[k].ID)
+			}
+		}
+	}
+	return set
+}

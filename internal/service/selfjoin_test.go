@@ -1,0 +1,231 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/ccd"
+)
+
+// clusteredFingerprints builds a corpus with a known ground-truth partition:
+// nClusters groups whose members are exact or one-edit copies of a long
+// random per-cluster base (far above ε within a group, unrelated across
+// groups). Returns the entries and the expected member partition.
+func clusteredFingerprints(seed int64, nClusters, maxSize int) ([]ccd.Entry, map[string]int) {
+	rng := rand.New(rand.NewSource(seed))
+	alphabet := []byte("QxRtYuIoPAbCdEfGhZvNmWqSjKl")
+	var entries []ccd.Entry
+	groupOf := map[string]int{}
+	doc := 0
+	for c := 0; c < nClusters; c++ {
+		base := make([]byte, 36+rng.Intn(12))
+		for i := range base {
+			base[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		size := 1 + rng.Intn(maxSize)
+		for m := 0; m < size; m++ {
+			fp := append([]byte(nil), base...)
+			if m%3 == 1 { // one point mutation: similarity stays ≥ 90
+				fp[rng.Intn(len(fp))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			id := fmt.Sprintf("doc-%05d", doc)
+			doc++
+			entries = append(entries, ccd.Entry{ID: id, FP: ccd.Fingerprint(fp)})
+			groupOf[id] = c
+		}
+	}
+	// Interleave ids across groups so every shard sees every group.
+	rng.Shuffle(len(entries), func(i, j int) { entries[i], entries[j] = entries[j], entries[i] })
+	return entries, groupOf
+}
+
+func seedCorpus(t *testing.T, shards int, entries []ccd.Entry) *Corpus {
+	t.Helper()
+	c := NewCorpus(ccd.DefaultConfig, shards)
+	for _, e := range entries {
+		if err := c.Add(e.ID, e.FP); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestSelfJoinFindsGroundTruthClusters: the posting-list self-join recovers
+// exactly the generated partition, for any shard count, and agrees with the
+// naive all-pairs baseline.
+func TestSelfJoinFindsGroundTruthClusters(t *testing.T) {
+	entries, groupOf := clusteredFingerprints(5, 25, 6)
+	naive := NaiveSelfJoin(entries, ccd.DefaultConfig)
+	want := naive.Clusters(1, true)
+
+	for _, shards := range []int{1, 4} {
+		c := seedCorpus(t, shards, entries)
+		j, err := NewSelfJoin(c, c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		got := j.Clusters().Clusters(1, true)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d: planner clusters differ from naive all-pairs\n got %d clusters\nwant %d", shards, len(got), len(want))
+		}
+		// Ground truth: members of one generated group always cluster
+		// together (they are ≤ 2 edits apart through the base).
+		for _, cl := range got {
+			g := groupOf[cl.Members[0]]
+			for _, m := range cl.Members {
+				if groupOf[m] != g {
+					t.Fatalf("shards=%d: cluster %v mixes groups %d and %d", shards, cl.Members, g, groupOf[m])
+				}
+			}
+		}
+		st := j.Stats()
+		if st.Docs != int64(len(entries)) || st.Queried != int64(len(entries)) {
+			t.Fatalf("shards=%d: stats %+v, want docs=queried=%d", shards, st, len(entries))
+		}
+		if st.Candidates < st.Scored+st.CutoffSkipped {
+			t.Fatalf("shards=%d: funnel inconsistent: %+v", shards, st)
+		}
+		if _, _, done := j.Checkpoint(); !done {
+			t.Fatalf("shards=%d: join not marked done", shards)
+		}
+		// Running a finished join is a no-op.
+		if err := j.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSelfJoinCancelAndResume: a cancelled join stops with ctx.Err() and a
+// checkpoint; resuming completes it with the identical partition (and the
+// funnel records the resume).
+func TestSelfJoinCancelAndResume(t *testing.T) {
+	entries, _ := clusteredFingerprints(9, 30, 5)
+	c := seedCorpus(t, 3, entries)
+
+	ref, err := NewSelfJoin(c, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Clusters().Clusters(1, true)
+
+	j, err := NewSelfJoin(c, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel from inside the fan-out after a handful of queries.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inner := j.par
+	queries := 0
+	j.par = func(ctx context.Context, n int, fn func(int)) error {
+		return inner(ctx, n, func(i int) {
+			queries++
+			if queries > 3 {
+				cancel()
+			}
+			fn(i)
+		})
+	}
+	if err := j.Run(ctx); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if _, _, done := j.Checkpoint(); done {
+		t.Fatal("cancelled join reports done")
+	}
+	j.par = inner
+	if err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, done := j.Checkpoint(); !done {
+		t.Fatal("resumed join not done")
+	}
+	if got := j.Clusters().Clusters(1, true); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed join produced a different partition")
+	}
+	if st := j.Stats(); st.Resumes != 1 {
+		t.Fatalf("resumes %d, want 1", st.Resumes)
+	}
+}
+
+// TestEngineCloneStudyMatchesOfflineJoin is the shared-implementation
+// equivalence at the service layer: the engine's pooled, sharded study and
+// the offline single-shard join produce the identical cluster-size
+// distribution at the same η/ε — for the exact join and for a capped one.
+func TestEngineCloneStudyMatchesOfflineJoin(t *testing.T) {
+	entries, _ := clusteredFingerprints(13, 40, 6)
+	for _, limit := range []int{0, 3} {
+		offlineCorpus := seedCorpus(t, 1, entries)
+		offline, err := NewSelfJoin(offlineCorpus, offlineCorpus, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := offline.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		offRep := offline.Report(5)
+
+		eng := New(Options{Workers: 4, Shards: 3})
+		for _, e := range entries {
+			if err := eng.CorpusAddFingerprint(e.ID, e.FP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		onRep, err := eng.RunCloneStudy(context.Background(), "", limit, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(onRep.Summary, offRep.Summary) {
+			t.Fatalf("limit=%d: online summary %+v != offline %+v", limit, onRep.Summary, offRep.Summary)
+		}
+		if !reflect.DeepEqual(onRep.Top, offRep.Top) {
+			t.Fatalf("limit=%d: online top clusters %v != offline %v", limit, onRep.Top, offRep.Top)
+		}
+		if onRep.Eta != offRep.Eta || onRep.Epsilon != offRep.Epsilon {
+			t.Fatalf("limit=%d: parameter mismatch: %v/%v vs %v/%v", limit, onRep.Eta, onRep.Epsilon, offRep.Eta, offRep.Epsilon)
+		}
+		m := eng.Metrics()
+		if m.SelfJoin.Completed != 1 || m.SelfJoin.Docs != int64(len(entries)) {
+			t.Fatalf("limit=%d: study funnel %+v", limit, m.SelfJoin)
+		}
+	}
+}
+
+// TestEngineOnlineClusterTracking: with TrackClusters, ingest maintains the
+// live union-find and /metrics carries its summary.
+func TestEngineOnlineClusterTracking(t *testing.T) {
+	e := New(Options{Workers: 2, Shards: 2, TrackClusters: true})
+	fp := ccd.Fingerprint("QxRtYuIoPAbCdEfGhZvNmQwErTyUiOp")
+	for i := 0; i < 5; i++ {
+		if err := e.CorpusAddFingerprint(fmt.Sprintf("dup-%d", i), fp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.CorpusAddFingerprint("lone", ccd.Fingerprint("ZmNvBqWsEdRfTgYhUjMkOlPa")); err != nil {
+		t.Fatal(err)
+	}
+	set := e.Clusters()
+	if set == nil {
+		t.Fatal("TrackClusters engine has no cluster set")
+	}
+	sum := set.Summary()
+	if sum.Docs != 6 || sum.Clusters != 1 || sum.Largest != 5 || sum.Singletons != 1 {
+		t.Fatalf("live summary %+v, want one 5-cluster and one singleton", sum)
+	}
+	m := e.Metrics()
+	if m.Clusters == nil || m.Clusters.Largest != 5 {
+		t.Fatalf("metrics clusters %+v", m.Clusters)
+	}
+	// Engines without tracking expose neither the set nor the metric.
+	if e2 := New(Options{Workers: 1}); e2.Clusters() != nil || e2.Metrics().Clusters != nil {
+		t.Fatal("untracked engine leaks a cluster view")
+	}
+}

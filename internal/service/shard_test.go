@@ -91,6 +91,85 @@ func TestShardedMatchTopKEqualsSingleCorpusPrefix(t *testing.T) {
 	}
 }
 
+// TestShardedTopKTieAtBound is the adversarial tie-at-bound extension of the
+// sharded≡single property: the corpus is built so that many documents score
+// EXACTLY the same as the k-th place — the score the shared ccd.AtomicBound
+// settles at — across different shards. Ties at the shared admission bound
+// must survive to the merge (the bound is a strictly-below cutoff) and
+// resolve by id there, so the k-th place id is pinned deterministic for
+// every shard count and every k straddling a tie group.
+func TestShardedTopKTieAtBound(t *testing.T) {
+	base := ccd.Fingerprint("QxRtYuIoPAbCdEfGhZvNmQwErTy")
+	near := ccd.Fingerprint("QxRtYuIoPAbCdEfGhZvNmQwErTz") // 1 edit: one shared sub-score tier
+	far := ccd.Fingerprint("QxRtYuIoPAbCdEfGhZvNmQwEraa")  // 2 edits: a lower tier
+	var entries []ccd.Entry
+	// 12 exact duplicates (score 100), 8 one-edit copies (one identical
+	// intermediate score), 6 two-edit copies: three plateaus of exact ties.
+	// Ids interleave so every tie group spans every shard.
+	for i := 0; i < 12; i++ {
+		entries = append(entries, ccd.Entry{ID: fmt.Sprintf("dup-%02d", i), FP: base})
+	}
+	for i := 0; i < 8; i++ {
+		entries = append(entries, ccd.Entry{ID: fmt.Sprintf("near-%02d", i), FP: near})
+	}
+	for i := 0; i < 6; i++ {
+		entries = append(entries, ccd.Entry{ID: fmt.Sprintf("far-%02d", i), FP: far})
+	}
+
+	single := ccd.NewCorpus(ccd.DefaultConfig)
+	for _, e := range entries {
+		single.Add(e.ID, e.FP)
+	}
+	reference := single.Match(base)
+	ccd.SortMatches(reference)
+	if len(reference) < 20 {
+		t.Fatalf("tie fixture too weak: only %d reference matches", len(reference))
+	}
+	// The fixture must actually produce score plateaus.
+	plateau := map[float64]int{}
+	for _, m := range reference {
+		plateau[m.Score]++
+	}
+	if plateau[100] != 12 {
+		t.Fatalf("want 12 exact ties at 100, got %d (scores %v)", plateau[100], plateau)
+	}
+
+	for _, shards := range []int{1, 2, 3, 5, 8} {
+		c := NewCorpus(ccd.DefaultConfig, shards)
+		for _, e := range entries {
+			if err := c.Add(e.ID, e.FP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Every k, including each k that lands INSIDE a tie plateau (k=5 cuts
+		// the twelve 100s; k=15 cuts the near group): the merged result must
+		// be the exact k-prefix of the reference, ids and all.
+		for k := 0; k <= len(reference)+1; k++ {
+			got, _ := c.MatchTopK(base, k)
+			want := reference
+			if k > 0 && k < len(want) {
+				want = want[:k]
+			}
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d k=%d:\n got %v\nwant %v", shards, k, got, want)
+			}
+		}
+		// Determinism across repeated runs of the same racy scatter-gather:
+		// the shared bound is raised concurrently, but the merged k-th place
+		// must never wobble.
+		for run := 0; run < 10; run++ {
+			got, _ := c.MatchTopK(base, 5)
+			if !reflect.DeepEqual(got, reference[:5]) {
+				t.Fatalf("shards=%d run %d: tie-at-bound merge wobbled:\n got %v\nwant %v",
+					shards, run, got, reference[:5])
+			}
+		}
+	}
+}
+
 // TestShardedMatchAcrossBackends runs the same prefix property on the ssdeep
 // backend (whose scoring has no n-gram pre-filter): k-truncation must be a
 // prefix of the unbounded result for any shard count.
@@ -132,6 +211,127 @@ func TestShardedMatchAcrossBackends(t *testing.T) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("k=%d:\n got %v\nwant %v", k, got, want)
 		}
+	}
+}
+
+// TestDuplicateAddSupersedes is the duplicate-ingest regression: re-adding
+// an existing id must replace the earlier copy — across generation-segments,
+// in Len, the ingest stats and match results — never double-count it.
+func TestDuplicateAddSupersedes(t *testing.T) {
+	fp1 := ccd.Fingerprint("QxRtYuIoPAbCdEfGhZvNm")
+	fp2 := ccd.Fingerprint("ZZZZYuIoPAbCdEfGhXXXX")
+	for _, shards := range []int{1, 4} {
+		c := NewCorpus(ccd.DefaultConfig, shards)
+		if err := c.Add("dup", fp1); err != nil {
+			t.Fatal(err)
+		}
+		// Bury the first copy under later segments so the supersede has to
+		// reach across generation-segments, not just the newest one.
+		for i := 0; i < 20; i++ {
+			if err := c.Add(fmt.Sprintf("filler-%02d", i), testFP(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Add("dup", fp2); err != nil {
+			t.Fatal(err)
+		}
+
+		if got := c.Len(); got != 21 {
+			t.Fatalf("shards=%d: Len %d after duplicate add, want 21", shards, got)
+		}
+		if got := c.Supersedes(); got != 1 {
+			t.Fatalf("shards=%d: supersedes %d, want 1", shards, got)
+		}
+		if got := c.entryMultiset()["dup\x00"+string(fp1)]; got != 0 {
+			t.Fatalf("shards=%d: stale fingerprint still indexed %d times", shards, got)
+		}
+		if got := c.entryMultiset()["dup\x00"+string(fp2)]; got != 1 {
+			t.Fatalf("shards=%d: new fingerprint indexed %d times, want 1", shards, got)
+		}
+		// The old fingerprint no longer matches at 100; the new one matches
+		// exactly once.
+		for _, m := range c.Match(fp1) {
+			if m.ID == "dup" && m.Score == 100 {
+				t.Fatalf("shards=%d: superseded copy still matches at 100", shards)
+			}
+		}
+		hits := 0
+		for _, m := range c.Match(fp2) {
+			if m.ID == "dup" {
+				hits++
+				if m.Score != 100 {
+					t.Fatalf("shards=%d: superseding copy scores %v", shards, m.Score)
+				}
+			}
+		}
+		if hits != 1 {
+			t.Fatalf("shards=%d: new copy matched %d times, want exactly 1", shards, hits)
+		}
+
+		// Same-batch duplicates collapse too (last write wins).
+		c2 := NewCorpus(ccd.DefaultConfig, shards)
+		c2.addLocalBatch([]ccd.Entry{{ID: "x", FP: fp1}, {ID: "x", FP: fp2}, {ID: "y", FP: fp1}})
+		if c2.Len() != 2 {
+			t.Fatalf("shards=%d: batch dup Len %d, want 2", shards, c2.Len())
+		}
+		if got := c2.entryMultiset()["x\x00"+string(fp2)]; got != 1 {
+			t.Fatalf("shards=%d: batch dup kept wrong version (%d)", shards, got)
+		}
+	}
+
+	// Supersede must survive a snapshot restore: the live-id set is rebuilt
+	// from the restored segments, so a post-restore re-ingest still replaces.
+	src := NewCorpus(ccd.DefaultConfig, 2)
+	if err := src.Add("dup", fp1); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, src, 8)
+	var buf bytes.Buffer
+	if err := src.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCorpus(ccd.DefaultConfig, 2)
+	if err := dst.ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Add("dup", fp2); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 9 {
+		t.Fatalf("post-restore Len %d, want 9", dst.Len())
+	}
+	if got := dst.entryMultiset()["dup\x00"+string(fp1)]; got != 0 {
+		t.Fatal("post-restore re-ingest did not supersede the restored copy")
+	}
+
+	// The ssdeep backend rebuilds through the same EntryRemover path.
+	ssd, err := NewBackendCorpus(index.BackendSSDeep, index.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := ssd.AddDoc(index.Doc{ID: fmt.Sprintf("s-%d", i), FP: testFP(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ssd.AddDoc(index.Doc{ID: "s-3", FP: testFP(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if ssd.Len() != 6 {
+		t.Fatalf("ssdeep Len %d after duplicate add, want 6", ssd.Len())
+	}
+	ms, _, err := ssd.MatchDocTopK(context.Background(), index.Doc{FP: testFP(3)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, m := range ms {
+		if m.ID == "s-3" {
+			seen++
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("ssdeep duplicate id matched %d times, want 1", seen)
 	}
 }
 

@@ -39,13 +39,14 @@ type Store struct {
 	// it exclusively so the saved corpus and the truncated WAL agree.
 	mu sync.RWMutex
 
-	restored     int          // entries restored from the snapshot at boot
-	replayed     int          // WAL records applied at boot
-	replayDupes  int          // WAL records skipped as already in the snapshot
-	tornTail     bool         // whether boot found (and cut) a torn WAL tail
-	pendingAdds  atomic.Int64 // adds journaled since the last snapshot
-	snapshots    atomic.Int64 // successful snapshots taken
-	lastSnapshot atomic.Int64 // unix nanos of the last successful snapshot
+	restored       int          // entries restored from the snapshot at boot
+	replayed       int          // WAL records applied at boot
+	replayDupes    int          // WAL records skipped as already in the snapshot
+	replayOutdated int          // WAL records superseded by a later record for the same id
+	tornTail       bool         // whether boot found (and cut) a torn WAL tail
+	pendingAdds    atomic.Int64 // adds journaled since the last snapshot
+	snapshots      atomic.Int64 // successful snapshots taken
+	lastSnapshot   atomic.Int64 // unix nanos of the last successful snapshot
 }
 
 // OpenStore attaches durable storage in dir to c (which must be empty: the
@@ -82,23 +83,38 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 	// snapshot rename and the WAL truncate leaves a WAL whose records are
 	// all already in the snapshot, so records matching a not-yet-consumed
 	// snapshot entry (same id and fingerprint) are skipped instead of
-	// indexed twice.
+	// indexed twice. Only the LAST record per id replays: the corpus's
+	// duplicate-id supersede means applying an earlier record after the
+	// snapshot restore would roll the id back to a stale fingerprint (the
+	// snapshot already holds the final one).
 	var covered map[string]int
 	if s.restored > 0 {
 		covered = c.entryMultiset()
 	}
 	walPath := filepath.Join(dir, WALFile)
-	var replayBatch []ccd.Entry
+	var recs []ccd.Entry
 	_, goodOffset, torn, err := replayWAL(walPath, func(id string, fp ccd.Fingerprint) {
-		key := id + "\x00" + string(fp)
+		recs = append(recs, ccd.Entry{ID: id, FP: fp})
+	})
+	lastFor := make(map[string]int, len(recs))
+	for i, r := range recs {
+		lastFor[r.ID] = i
+	}
+	var replayBatch []ccd.Entry
+	for i, r := range recs {
+		if lastFor[r.ID] != i {
+			s.replayOutdated++
+			continue
+		}
+		key := r.ID + "\x00" + string(r.FP)
 		if covered[key] > 0 {
 			covered[key]--
 			s.replayDupes++
-			return
+			continue
 		}
-		replayBatch = append(replayBatch, ccd.Entry{ID: id, FP: fp})
+		replayBatch = append(replayBatch, r)
 		s.replayed++
-	})
+	}
 	// One publish for the whole log instead of one per record: boot-time
 	// replay builds a single delta segment.
 	c.addLocalBatch(replayBatch)
@@ -245,12 +261,15 @@ type StoreInfo struct {
 	// ReplaySkippedDuplicates counts WAL records already covered by the
 	// snapshot (a crash hit the window between snapshot rename and WAL
 	// truncate); they are collapsed at recovery, not indexed twice.
-	ReplaySkippedDuplicates int    `json:"replay_skipped_duplicates,omitempty"`
-	TornTailCut             bool   `json:"torn_tail_cut,omitempty"`
-	PendingAdds             int64  `json:"pending_adds"`
-	Snapshots               int64  `json:"snapshots"`
-	LastSnapshot            string `json:"last_snapshot,omitempty"`
-	WALBytes                int64  `json:"wal_bytes"`
+	ReplaySkippedDuplicates int `json:"replay_skipped_duplicates,omitempty"`
+	// ReplaySuperseded counts WAL records outdated by a later record for the
+	// same id; only the final version of each id replays.
+	ReplaySuperseded int    `json:"replay_superseded,omitempty"`
+	TornTailCut      bool   `json:"torn_tail_cut,omitempty"`
+	PendingAdds      int64  `json:"pending_adds"`
+	Snapshots        int64  `json:"snapshots"`
+	LastSnapshot     string `json:"last_snapshot,omitempty"`
+	WALBytes         int64  `json:"wal_bytes"`
 }
 
 // Info reports the store's boot and runtime statistics.
@@ -260,6 +279,7 @@ func (s *Store) Info() StoreInfo {
 		RestoredEntries:         s.restored,
 		ReplayedRecords:         s.replayed,
 		ReplaySkippedDuplicates: s.replayDupes,
+		ReplaySuperseded:        s.replayOutdated,
 		TornTailCut:             s.tornTail,
 		PendingAdds:             s.pendingAdds.Load(),
 		Snapshots:               s.snapshots.Load(),

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,6 +42,190 @@ func verifyEntries(t *testing.T, c *Corpus, n int) {
 			t.Fatalf("doc-%d not matchable after recovery (got %v)", i, ms)
 		}
 	}
+}
+
+// TestStoreGroupCommitFailureAccounting is the partial-group-commit
+// regression: an Add whose fsync fails must be rolled out of the WAL file,
+// so the acknowledged-add accounting and the boot-time replay count agree
+// exactly — a record the caller was told failed must never replay.
+func TestStoreGroupCommitFailureAccounting(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(ccd.DefaultConfig, 2)
+	store, err := OpenStore(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c, 3)
+
+	// Inject a disk failure on the next group commit. The record's bytes hit
+	// the file before the fsync, so without the rollback they would replay.
+	store.wal.syncHook = func() error { return errors.New("injected: disk full") }
+	err = c.Add("doomed", testFP(99))
+	if !errors.Is(err, ErrPersist) {
+		t.Fatalf("failed group commit returned %v, want ErrPersist", err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("unacknowledged add visible: Len %d, want 3", c.Len())
+	}
+
+	// The log recovers: the failed record is gone and new appends land at
+	// the durable offset.
+	store.wal.syncHook = nil
+	if err := c.Add("after", testFP(4)); err != nil {
+		t.Fatal(err)
+	}
+	acked := int64(4) // 3 + "after"; "doomed" was refused
+	if got := store.pendingAdds.Load(); got != acked {
+		t.Fatalf("pendingAdds %d, want %d", got, acked)
+	}
+
+	// Crash (no Close, no Snapshot) and reboot: the replay count must match
+	// the acknowledged adds, and the refused record must not resurface.
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	info := s2.Info()
+	if int64(info.ReplayedRecords) != acked {
+		t.Fatalf("replayed %d records, want %d (accounting disagrees with WAL)", info.ReplayedRecords, acked)
+	}
+	if info.TornTailCut {
+		t.Fatal("rollback left a torn tail for replay to cut")
+	}
+	if c2.Len() != 4 {
+		t.Fatalf("rebooted corpus has %d entries, want 4", c2.Len())
+	}
+	for _, m := range c2.Match(testFP(99)) {
+		if m.ID == "doomed" {
+			t.Fatal("record from failed group commit replayed on boot")
+		}
+	}
+}
+
+// TestWALRollbackOnSyncFailure pins the wal-level contract: a failed fsync
+// truncates back to the durable prefix, later appends succeed at the right
+// offset, and replay sees exactly the acknowledged records.
+func TestWALRollbackOnSyncFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.appendRecord("a", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+	okSize, err := w.size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.syncHook = func() error { return errors.New("injected") }
+	if err := w.appendRecord("b", testFP(2)); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	if got, _ := w.size(); got != okSize {
+		t.Fatalf("file size %d after rollback, want %d", got, okSize)
+	}
+	w.syncHook = nil
+	if err := w.appendRecord("c", testFP(3)); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	records, _, torn, err := replayWAL(path, func(id string, fp ccd.Fingerprint) { ids = append(ids, id) })
+	if err != nil || torn {
+		t.Fatalf("replay: records=%d torn=%v err=%v", records, torn, err)
+	}
+	if records != 2 || ids[0] != "a" || ids[1] != "c" {
+		t.Fatalf("replayed %v, want [a c]", ids)
+	}
+}
+
+// TestWALWriteFailurePoisonsAndRecovers: a failed record write (short write
+// leaving garbage in the file) must never truncate the log in place — an
+// in-flight group commit could lose acknowledged records — but poison it,
+// so the NEXT append cuts exactly the garbage beyond the last complete
+// record and the log carries on with no torn tail.
+func TestWALWriteFailurePoisonsAndRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.appendRecord("a", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.writeHook = func() error {
+		_, _ = w.f.Write([]byte{0xde, 0xad}) // the short write's garbage
+		return errors.New("injected: device error")
+	}
+	if err := w.appendRecord("b", testFP(2)); err == nil {
+		t.Fatal("append with failing write succeeded")
+	}
+	w.writeHook = nil
+	if err := w.appendRecord("c", testFP(3)); err != nil {
+		t.Fatalf("append after write-failure recovery: %v", err)
+	}
+	var ids []string
+	records, _, torn, err := replayWAL(path, func(id string, fp ccd.Fingerprint) { ids = append(ids, id) })
+	if err != nil || torn {
+		t.Fatalf("replay: records=%d torn=%v err=%v", records, torn, err)
+	}
+	if records != 2 || ids[0] != "a" || ids[1] != "c" {
+		t.Fatalf("replayed %v, want [a c]", ids)
+	}
+}
+
+// TestStoreReplaySupersededRecords: with duplicate-id supersede, only the
+// final WAL record per id replays — and a crash in the snapshot-rename /
+// WAL-truncate window must not roll an id back to a stale fingerprint.
+func TestStoreReplaySupersededRecords(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(ccd.DefaultConfig, 2)
+	store, err := OpenStore(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, final := testFP(1), testFP(2)
+	if err := c.Add("doc", old); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("doc", final); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len %d after re-ingest, want 1", c.Len())
+	}
+	// Crash-window simulation: snapshot to a buffer and install it as
+	// corpus.snap WITHOUT truncating the WAL — exactly the state a crash
+	// between the rename and the truncate leaves behind.
+	var snap bytes.Buffer
+	if err := c.WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), snap.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	s2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	info := s2.Info()
+	if info.ReplaySuperseded != 1 || info.ReplaySkippedDuplicates != 1 || info.ReplayedRecords != 0 {
+		t.Fatalf("replay accounting %+v, want 1 superseded, 1 dupe, 0 applied", info)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("rebooted Len %d, want 1", c2.Len())
+	}
+	if got := c2.entryMultiset()["doc\x00"+string(final)]; got != 1 {
+		t.Fatalf("final fingerprint indexed %d times, want 1 (stale record won replay)", got)
+	}
+	_ = store
 }
 
 // TestStoreWALReplayAfterCrash is the acceptance-criteria test: every

@@ -30,7 +30,7 @@ var ErrPersist = errors.New("corpus persistence failed")
 // one — and reports the byte offset of the last intact record so the tail
 // can be cut before new appends.
 type wal struct {
-	mu   sync.Mutex // guards writes to f and writeSeq
+	mu   sync.Mutex // guards writes to f, writeSeq and writtenBytes
 	f    *os.File
 	path string
 
@@ -40,7 +40,31 @@ type wal struct {
 	// N concurrent appends coalesce into ~2 fsyncs instead of N.
 	syncMu   sync.Mutex
 	writeSeq int64 // records written (mu)
-	syncSeq  int64 // records known durable (syncMu)
+	syncSeq  int64 // records known durable (written under syncMu+mu, read under either)
+
+	// Byte offsets mirroring the sequence counters: writtenBytes is the file
+	// length after the last append (mu), syncedBytes the length of the
+	// durable prefix (written under syncMu+mu, read under either). A failed
+	// fsync rolls the file back to syncedBytes — a record whose append
+	// returned an error must NEVER replay on boot, or the caller's
+	// accounting (the bulk ingest response, pendingAdds) and the replay
+	// count disagree.
+	writtenBytes int64
+	syncedBytes  int64
+
+	// failed marks a write error that may have left garbage bytes beyond
+	// writtenBytes (a short write). While set, the file needs a truncate to
+	// writtenBytes before the next append; the flag — never a truncate —
+	// is all the write-failure path touches, because truncating to the
+	// durable prefix under mu alone could cut records of a group whose
+	// fsync is in flight under syncMu and let them be acknowledged anyway.
+	failed bool // guarded by mu
+
+	// syncHook / writeHook, when set, inject faults into the fsync and the
+	// record write (tests of the group-commit failure paths). writeHook runs
+	// after its garbage reaches the file, simulating a short write.
+	syncHook  func() error
+	writeHook func() error
 }
 
 // openWAL opens (creating if needed) the log for appending.
@@ -49,7 +73,12 @@ func openWAL(path string) (*wal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &wal{f: f, path: path}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, writtenBytes: st.Size(), syncedBytes: st.Size()}, nil
 }
 
 // encodeWALRecord renders one entry in the on-disk record layout. Pure, so
@@ -68,16 +97,34 @@ func encodeWALRecord(id string, fp ccd.Fingerprint) []byte {
 }
 
 // appendRecord journals one entry and returns once it is on stable storage.
+// On a write or fsync failure the log is rolled back to its durable prefix,
+// so an errored append leaves no record behind for replay — and concurrent
+// appenders whose records were cut by the rollback get an error of their
+// own instead of a false acknowledgement.
 func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
 	rec := encodeWALRecord(id, fp)
 
 	w.mu.Lock()
-	if _, err := w.f.Write(rec); err != nil {
+	if w.failed {
+		// An earlier append died mid-write and may have left garbage beyond
+		// the last complete record. writtenBytes counts only fully-written
+		// records and is never below any concurrent syncer's covered
+		// snapshot, so cutting to it cannot remove a record that could
+		// still be acknowledged.
+		if err := w.f.Truncate(w.writtenBytes); err != nil {
+			w.mu.Unlock()
+			return fmt.Errorf("wal: poisoned by earlier write failure: %w", err)
+		}
+		w.failed = false
+	}
+	if err := w.write(rec); err != nil {
+		w.failed = true
 		w.mu.Unlock()
 		return err
 	}
 	w.writeSeq++
 	seq := w.writeSeq
+	w.writtenBytes += int64(len(rec))
 	w.mu.Unlock()
 
 	w.syncMu.Lock()
@@ -86,24 +133,89 @@ func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
 		return nil // a concurrent appender's fsync already covered us
 	}
 	w.mu.Lock()
+	if w.failed {
+		// Same garbage cut, from the sync side (safe here too: we hold
+		// syncMu, so no fsync is in flight).
+		if err := w.f.Truncate(w.writtenBytes); err == nil {
+			w.failed = false
+		}
+	}
 	covered := w.writeSeq // every record written before the Sync below
+	coveredBytes := w.writtenBytes
+	poisoned := w.failed
 	w.mu.Unlock()
-	if err := w.f.Sync(); err != nil {
+	if poisoned {
+		return fmt.Errorf("wal: log poisoned by an earlier write failure")
+	}
+	if err := w.sync(); err != nil {
+		// The group's records are not durable. Cut them so boot-time replay
+		// agrees exactly with what was acknowledged; every appender in the
+		// group observes covered < seq below (or its own sync error) and
+		// reports failure.
+		w.mu.Lock()
+		w.rollbackLocked()
+		w.mu.Unlock()
 		return err
 	}
+	w.mu.Lock()
 	w.syncSeq = covered
+	w.syncedBytes = coveredBytes
+	w.mu.Unlock()
+	if seq > covered {
+		// A rollback between our write and our sync attempt cut this record.
+		return fmt.Errorf("wal: record lost in failed group commit")
+	}
 	return nil
 }
 
+// rollbackLocked truncates the log to its durable prefix after a failed
+// fsync. Callers hold BOTH w.syncMu and w.mu: the sync lock guarantees no
+// other fsync is in flight whose covered records the truncate could cut.
+func (w *wal) rollbackLocked() {
+	if err := w.f.Truncate(w.syncedBytes); err != nil {
+		return // file unusable; subsequent appends keep failing, replay cuts the tail
+	}
+	w.writtenBytes = w.syncedBytes
+	w.writeSeq = w.syncSeq
+	w.failed = false
+}
+
+// sync flushes the file to stable storage (or the injected test hook).
+func (w *wal) sync() error {
+	if w.syncHook != nil {
+		return w.syncHook()
+	}
+	return w.f.Sync()
+}
+
+// write appends one record (or fails through the injected test hook).
+func (w *wal) write(rec []byte) error {
+	if w.writeHook != nil {
+		if err := w.writeHook(); err != nil {
+			return err
+		}
+	}
+	_, err := w.f.Write(rec)
+	return err
+}
+
 // reset truncates the log after a successful snapshot: everything it held is
-// now covered by the snapshot file.
+// now covered by the snapshot file. Lock order matches appendRecord (syncMu
+// before mu).
 func (w *wal) reset() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.writeSeq, w.syncSeq = 0, 0
+	w.writtenBytes, w.syncedBytes = 0, 0
+	return nil
 }
 
 // size returns the current log length in bytes.
