@@ -154,14 +154,20 @@ type Summary struct {
 
 // Summary computes the current cluster statistics.
 func (s *Set) Summary() Summary {
+	// Same treatment as Clusters: snapshot the forest under the lock, count
+	// outside it, so a /metrics scrape never stalls the ingest path's
+	// Union/Add for an O(n) histogram pass.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	sum := Summary{Docs: len(s.names), Sizes: make(map[int]int)}
-	for n := range s.parent {
-		if s.parent[n] != int32(n) {
+	parent := append([]int32(nil), s.parent...)
+	size := append([]int32(nil), s.size...)
+	s.mu.Unlock()
+
+	sum := Summary{Docs: len(parent), Sizes: make(map[int]int)}
+	for n := range parent {
+		if parent[n] != int32(n) {
 			continue
 		}
-		sz := int(s.size[n])
+		sz := int(size[n])
 		sum.Sizes[sz]++
 		if sz >= 2 {
 			sum.Clusters++
@@ -192,27 +198,45 @@ type Cluster struct {
 // whether the member lists are materialized (the NDJSON export wants them;
 // the /v1/clusters summary does not).
 func (s *Set) Clusters(minSize int, withMembers bool) []Cluster {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if minSize < 1 {
 		minSize = 1
 	}
+	// Snapshot the forest under the lock, materialize outside it: the
+	// member-list export walks every member string of every document, and
+	// holding s.mu for that would stall the ingest path's Union/Add calls
+	// for the whole export on a large corpus. Sharing s.names is safe — the
+	// prefix below len(names) is append-only and its elements immutable —
+	// while parent and size are copied because find compresses paths and a
+	// concurrent Union rewrites both.
+	s.mu.Lock()
+	names := s.names
+	parent := append([]int32(nil), s.parent...)
+	size := append([]int32(nil), s.size...)
+	s.mu.Unlock()
+
+	find := func(n int32) int32 {
+		for parent[n] != n {
+			parent[n] = parent[parent[n]] // halving
+			n = parent[n]
+		}
+		return n
+	}
 	groups := make(map[int32]*Cluster)
-	for n := range s.names {
-		root := s.find(int32(n))
-		if int(s.size[root]) < minSize {
+	for n := range names {
+		root := find(int32(n))
+		if int(size[root]) < minSize {
 			continue
 		}
 		g, ok := groups[root]
 		if !ok {
-			g = &Cluster{Rep: s.names[n], Size: int(s.size[root])}
+			g = &Cluster{Rep: names[n], Size: int(size[root])}
 			groups[root] = g
 		}
-		if s.names[n] < g.Rep {
-			g.Rep = s.names[n]
+		if names[n] < g.Rep {
+			g.Rep = names[n]
 		}
 		if withMembers {
-			g.Members = append(g.Members, s.names[n])
+			g.Members = append(g.Members, names[n])
 		}
 	}
 	out := make([]Cluster, 0, len(groups))

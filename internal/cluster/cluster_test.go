@@ -206,3 +206,50 @@ func TestConcurrentUnions(t *testing.T) {
 		t.Fatalf("concurrent partition differs from batch CC")
 	}
 }
+
+// TestClustersDuringIngest: materializing the member-list export while
+// unions land must neither race (the forest is snapshotted, not walked live
+// under the ingest lock) nor return an internally inconsistent view — every
+// snapshot's member lists exactly cover the documents it saw.
+func TestClustersDuringIngest(t *testing.T) {
+	nodes, edges := randomEdges(7, 300, 500)
+	want := batchComponents(nodes, edges)
+
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, n := range nodes {
+			s.Add(n)
+		}
+		for _, e := range edges {
+			s.Union(e[0], e[1])
+		}
+	}()
+	for i := 0; ; i++ {
+		cs := s.Clusters(1, true)
+		members := 0
+		for _, c := range cs {
+			if len(c.Members) != c.Size {
+				t.Fatalf("snapshot %d: cluster %q has %d members, size %d", i, c.Rep, len(c.Members), c.Size)
+			}
+			if c.Rep != c.Members[0] {
+				t.Fatalf("snapshot %d: rep %q is not the smallest member %q", i, c.Rep, c.Members[0])
+			}
+			members += c.Size
+		}
+		// Docs only grows, so a snapshot can never hold more members than a
+		// later summary reports documents.
+		if sum := s.Summary(); members > sum.Docs {
+			t.Fatalf("snapshot %d: %d members across clusters, beyond %d docs", i, members, sum.Docs)
+		}
+		select {
+		case <-done:
+			if got := s.Clusters(1, true); !reflect.DeepEqual(got, want) {
+				t.Fatal("final partition differs from batch CC")
+			}
+			return
+		default:
+		}
+	}
+}

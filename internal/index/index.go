@@ -129,6 +129,16 @@ type IDLister interface {
 	IDs() []string
 }
 
+// SourceOnlyMatcher marks backends whose queries need the document source:
+// a fingerprint-only query silently matches nothing (SmartEmbed embeds
+// compiled source). The corpus self-join enumerates (id, fingerprint)
+// pairs, so it rejects such backends up front — completing against one
+// would report an all-singleton distribution indistinguishable from a
+// genuinely clone-free corpus.
+type SourceOnlyMatcher interface {
+	RequiresSourceQueries()
+}
+
 // EntryRemover is implemented by backends that can rebuild themselves
 // without a set of document ids. The service uses it when a re-ingested id
 // supersedes an earlier copy living in an older generation-segment: the

@@ -55,6 +55,11 @@ func (b *smartEmbedBackend) Epsilon() float64 {
 	return smartEmbedDefaultEpsilon
 }
 
+// RequiresSourceQueries marks the backend SourceOnlyMatcher: queries carry
+// an embedding derived from compiled source, so a fingerprint-only query
+// matches nothing.
+func (b *smartEmbedBackend) RequiresSourceQueries() {}
+
 func (b *smartEmbedBackend) Add(doc Doc) error {
 	if doc.Source == "" {
 		return fmt.Errorf("%w: smartembed needs source", ErrDocUnsupported)

@@ -250,22 +250,25 @@ func (c *Corpus) publish(sh *shard, upTo uint64) {
 	sh.pendMu.Unlock()
 	drained := uint64(len(batch)) // the watermark advances by drained docs, deduped or not
 
-	// Last write wins inside the batch itself: an id re-enqueued before its
-	// first copy published is collapsed here, before anything indexes.
+	// For ids enqueued more than once in this batch, the LAST copy the
+	// segment accepts wins — not blindly the last copy, which the backend
+	// may refuse (e.g. an FP-only doc on smartembed) even when an earlier
+	// copy was indexable. Sequential ingest of the same docs indexes the
+	// earlier copy and skips the refused one; the batch path must agree, or
+	// the id silently drops out of the corpus.
+	var dupCopies map[string][]index.Doc
 	if len(batch) > 1 {
-		last := make(map[string]int, len(batch))
-		for i, d := range batch {
-			last[d.ID] = i
+		count := make(map[string]int, len(batch))
+		for _, d := range batch {
+			count[d.ID]++
 		}
-		if len(last) < len(batch) {
-			dedup := make([]index.Doc, 0, len(last))
-			for i, d := range batch {
-				if last[d.ID] == i {
-					dedup = append(dedup, d)
+		if len(count) < len(batch) {
+			dupCopies = make(map[string][]index.Doc)
+			for _, d := range batch {
+				if count[d.ID] > 1 {
+					dupCopies[d.ID] = append(dupCopies[d.ID], d)
 				}
 			}
-			c.supersedes.Add(int64(len(batch) - len(dedup)))
-			batch = dedup
 		}
 	}
 
@@ -275,16 +278,42 @@ func (c *Corpus) publish(sh *shard, upTo uint64) {
 	if sh.ids == nil {
 		sh.ids = make(map[string]struct{})
 	}
-	for _, d := range batch {
+	addOne := func(d index.Doc) bool {
 		if err := seg.Add(d); err != nil {
 			c.skips.Add(1)
-			continue
+			return false
 		}
 		indexed++
 		if _, dup := sh.ids[d.ID]; dup {
 			stale[d.ID] = struct{}{}
 		} else {
 			sh.ids[d.ID] = struct{}{}
+		}
+		return true
+	}
+	for _, d := range batch {
+		copies, dup := dupCopies[d.ID]
+		if !dup {
+			addOne(d)
+			continue
+		}
+		if copies == nil {
+			continue // already resolved at the id's first position
+		}
+		dupCopies[d.ID] = nil
+		won := false
+		for i := len(copies) - 1; i >= 0; i-- {
+			if won {
+				// Every copy before the winner collapses under it and counts
+				// as a supersede — even one the backend would have refused,
+				// since acceptability is only observable by indexing (which
+				// is exactly what the collapse avoids). Content matches
+				// sequential ingest; this counter corner intentionally
+				// doesn't.
+				c.supersedes.Add(1)
+				continue
+			}
+			won = addOne(copies[i])
 		}
 	}
 	c.adds.Add(int64(indexed))

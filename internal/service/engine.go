@@ -372,11 +372,21 @@ func (e *Engine) corpusAddDoc(doc index.Doc) error {
 		// union-find. Best-effort and additive — the /v1/study corpus mode
 		// recomputes exactly.
 		e.clusters.Add(doc.ID)
-		if ms, _, err := e.corpus.MatchDocTopK(context.Background(), doc, onlineClusterK); err == nil {
+		// +1: the freshly published doc takes one slot with its self-match.
+		// Trim back after the self-filter — on an exact-clone plateau the
+		// doc's own ID can tie-break out of the k+1 slots, leaving k+1
+		// non-self matches.
+		if ms, _, err := e.corpus.MatchDocTopK(context.Background(), doc, onlineClusterK+1); err == nil {
+			edges := 0
 			for _, m := range ms {
-				if m.ID != doc.ID {
-					e.clusters.Union(doc.ID, m.ID)
+				if m.ID == doc.ID {
+					continue
 				}
+				if edges == onlineClusterK {
+					break
+				}
+				edges++
+				e.clusters.Union(doc.ID, m.ID)
 			}
 		}
 	}
@@ -414,10 +424,10 @@ func (e *Engine) RunCloneStudy(ctx context.Context, backend string, limit, topN 
 	}
 	e.ctr.studiesStarted.Add(1)
 	if err := j.Run(ctx); err != nil {
-		e.ctr.observeStudy(j.Stats(), false)
+		e.ctr.observeStudy(j.Stats(), err)
 		return nil, err
 	}
-	e.ctr.observeStudy(j.Stats(), true)
+	e.ctr.observeStudy(j.Stats(), nil)
 	return j.Report(topN), nil
 }
 

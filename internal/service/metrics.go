@@ -33,6 +33,7 @@ type counters struct {
 	studiesStarted   atomic.Int64
 	studiesCompleted atomic.Int64
 	studiesCancelled atomic.Int64
+	studiesFailed    atomic.Int64
 	studyDocs        atomic.Int64
 	studyQueried     atomic.Int64
 	studyCandidates  atomic.Int64
@@ -40,14 +41,22 @@ type counters struct {
 	studyCutoffs     atomic.Int64
 	studyMatches     atomic.Int64
 	studyUnions      atomic.Int64
+	studyErrors      atomic.Int64
 }
 
-// observeStudy folds a finished (or cancelled) self-join's funnel in.
-func (c *counters) observeStudy(st SelfJoinStats, completed bool) {
-	if completed {
+// observeStudy folds a finished self-join's funnel in, classifying the
+// outcome by err: nil is a completion, a context error a client
+// cancellation, anything else a failure. Conflating the last two would send
+// an operator chasing a phantom client cancel instead of the backend error
+// that actually aborted the study.
+func (c *counters) observeStudy(st SelfJoinStats, err error) {
+	switch {
+	case err == nil:
 		c.studiesCompleted.Add(1)
-	} else {
+	case isCancellation(err):
 		c.studiesCancelled.Add(1)
+	default:
+		c.studiesFailed.Add(1)
 	}
 	c.studyDocs.Add(st.Docs)
 	c.studyQueried.Add(st.Queried)
@@ -56,6 +65,7 @@ func (c *counters) observeStudy(st SelfJoinStats, completed bool) {
 	c.studyCutoffs.Add(st.CutoffSkipped)
 	c.studyMatches.Add(st.Matches)
 	c.studyUnions.Add(st.Unions)
+	c.studyErrors.Add(st.Errors)
 }
 
 // observeMatch folds one match call's stats and latency into the counters.
@@ -221,6 +231,7 @@ type StudyFunnel struct {
 	Started       int64 `json:"started"`
 	Completed     int64 `json:"completed"`
 	Cancelled     int64 `json:"cancelled"`
+	Failed        int64 `json:"failed"`
 	Docs          int64 `json:"docs"`
 	Queried       int64 `json:"queried"`
 	Candidates    int64 `json:"candidates"`
@@ -228,6 +239,7 @@ type StudyFunnel struct {
 	CutoffSkipped int64 `json:"cutoff_skipped"`
 	Matches       int64 `json:"matches"`
 	Unions        int64 `json:"unions"`
+	Errors        int64 `json:"errors"`
 }
 
 // BackendSnapshot is the /metrics view of one loaded backend's corpus.
@@ -281,6 +293,7 @@ func (e *Engine) Metrics() Snapshot {
 			Started:       e.ctr.studiesStarted.Load(),
 			Completed:     e.ctr.studiesCompleted.Load(),
 			Cancelled:     e.ctr.studiesCancelled.Load(),
+			Failed:        e.ctr.studiesFailed.Load(),
 			Docs:          e.ctr.studyDocs.Load(),
 			Queried:       e.ctr.studyQueried.Load(),
 			Candidates:    e.ctr.studyCandidates.Load(),
@@ -288,6 +301,7 @@ func (e *Engine) Metrics() Snapshot {
 			CutoffSkipped: e.ctr.studyCutoffs.Load(),
 			Matches:       e.ctr.studyMatches.Load(),
 			Unions:        e.ctr.studyUnions.Load(),
+			Errors:        e.ctr.studyErrors.Load(),
 		},
 		ParseCache:       e.graphs.Stats(),
 		ReportCache:      e.reports.Stats(),

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,19 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/index"
 )
+
+// ErrSelfJoinRunning is returned by SelfJoin.Run when the join is already
+// executing: overlapping runs would process the same segments twice
+// concurrently, move the (shard, segment) checkpoint backwards and
+// double-count the funnel. Resume only after the active run has returned.
+var ErrSelfJoinRunning = errors.New("service: self-join already running")
+
+// isCancellation is the one place that decides whether an error means "the
+// client cut the work" (a pause, for the self-join) rather than a real
+// failure; recordQueryFailure and the study-outcome metrics must agree on it.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // SelfJoin is the corpus-wide clone study planner: it enumerates every
 // document of the serving corpus and finds its clones by running each one
@@ -42,9 +56,11 @@ type SelfJoin struct {
 
 	mu      sync.Mutex
 	stats   SelfJoinStats
-	shard   int // checkpoint: next shard
-	segment int // checkpoint: next segment within that shard
+	shard   int   // checkpoint: next shard
+	segment int   // checkpoint: next segment within that shard
+	segErr  error // first non-cancellation query failure of the running segment
 	started bool
+	running bool // a Run call is active (rejects overlapping runs)
 	done    bool
 }
 
@@ -69,6 +85,7 @@ type SelfJoinStats struct {
 	// Lifecycle.
 	Resumes   int64 `json:"resumes,omitempty"`
 	Cancelled int64 `json:"cancelled,omitempty"` // queries cut by ctx
+	Errors    int64 `json:"errors,omitempty"`    // queries that failed for a non-cancellation reason
 }
 
 // add folds one query's outcome in. Callers hold j.mu.
@@ -103,6 +120,9 @@ func NewSelfJoin(source, target *Corpus, limit int) (*SelfJoin, error) {
 			}
 			return ctx.Err()
 		},
+	}
+	if _, ok := target.newSegment().(index.SourceOnlyMatcher); ok {
+		return nil, fmt.Errorf("service: self-join target backend %q cannot match the enumerated fingerprint-only queries (it needs document source)", target.Backend())
 	}
 	total := 0
 	j.plan = make([][]index.Backend, len(source.shards))
@@ -143,6 +163,8 @@ func (j *SelfJoin) Checkpoint() (shard, segment int, done bool) {
 // the last completed segment (the unfinished segment re-runs — edge
 // derivation is deterministic and union-find idempotent, so the partial
 // work is absorbed, with the funnel counters recording the extra queries).
+// At most one Run may be active at a time: an overlapping call returns
+// ErrSelfJoinRunning instead of racing the checkpoint.
 func (j *SelfJoin) Run(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -152,12 +174,22 @@ func (j *SelfJoin) Run(ctx context.Context) error {
 		j.mu.Unlock()
 		return nil
 	}
+	if j.running {
+		j.mu.Unlock()
+		return ErrSelfJoinRunning
+	}
+	j.running = true
 	if j.started {
 		j.stats.Resumes++
 	}
 	j.started = true
 	shard, segment := j.shard, j.segment
 	j.mu.Unlock()
+	defer func() {
+		j.mu.Lock()
+		j.running = false
+		j.mu.Unlock()
+	}()
 
 	for ; shard < len(j.plan); shard, segment = shard+1, 0 {
 		for ; segment < len(j.plan[shard]); segment++ {
@@ -187,19 +219,28 @@ func (j *SelfJoin) runSegment(ctx context.Context, seg index.Backend) error {
 	for _, e := range entries {
 		j.set.Add(e.ID)
 	}
-	return j.par(ctx, len(entries), func(i int) {
+	// The query document is itself in the target corpus and occupies one
+	// TopK slot with its self-match, so ask the backend for one more than
+	// the edge cap and trim after the self-filter — otherwise the effective
+	// cap is limit-1 and limit=1 finds no clones at all.
+	k := j.limit
+	if k > 0 {
+		k++
+	}
+	err := j.par(ctx, len(entries), func(i int) {
 		e := entries[i]
-		ms, st, err := j.target.MatchDocTopK(ctx, index.Doc{ID: e.ID, FP: e.FP}, j.limit)
+		ms, st, err := j.target.MatchDocTopK(ctx, index.Doc{ID: e.ID, FP: e.FP}, k)
 		if err != nil {
-			j.mu.Lock()
-			j.stats.Cancelled++
-			j.mu.Unlock()
+			j.recordQueryFailure(e.ID, err)
 			return
 		}
 		var matches, unions int64
 		for _, m := range ms {
 			if m.ID == e.ID {
 				continue
+			}
+			if j.limit > 0 && matches >= int64(j.limit) {
+				break // self tie-broken out of the k+1 slots: keep the cap exact
 			}
 			matches++
 			if j.set.Union(e.ID, m.ID) {
@@ -210,6 +251,34 @@ func (j *SelfJoin) runSegment(ctx context.Context, seg index.Backend) error {
 		j.stats.add(st, matches, unions)
 		j.mu.Unlock()
 	})
+	j.mu.Lock()
+	segErr := j.segErr
+	j.segErr = nil
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Failing the segment keeps the checkpoint behind it, so a retry re-runs
+	// the whole segment and no document's edges are lost.
+	return segErr
+}
+
+// recordQueryFailure classifies one failed per-document query. Context
+// cancellation is a pause — the unfinished segment re-runs on resume, so the
+// query is merely counted. Anything else is a real failure: silently
+// counting it as a cancellation would drop the document's edges and bias
+// the study, so it is tallied apart and fails the segment via segErr.
+func (j *SelfJoin) recordQueryFailure(id string, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if isCancellation(err) {
+		j.stats.Cancelled++
+		return
+	}
+	j.stats.Errors++
+	if j.segErr == nil {
+		j.segErr = fmt.Errorf("service: self-join query %q: %w", id, err)
+	}
 }
 
 // CloneReport is the outcome of a corpus-wide clone study: the clone

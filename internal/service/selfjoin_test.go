@@ -2,12 +2,15 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/ccd"
+	"repro/internal/index"
 )
 
 // clusteredFingerprints builds a corpus with a known ground-truth partition:
@@ -156,13 +159,101 @@ func TestSelfJoinCancelAndResume(t *testing.T) {
 	}
 }
 
+// TestSelfJoinRejectsOverlappingRun: only one Run may drive a join at a
+// time — an overlapping call (e.g. an embedder resuming a study that is
+// still executing) returns ErrSelfJoinRunning instead of re-running the same
+// segments concurrently and racing the checkpoint.
+func TestSelfJoinRejectsOverlappingRun(t *testing.T) {
+	entries, _ := clusteredFingerprints(21, 10, 4)
+	c := seedCorpus(t, 2, entries)
+	j, err := NewSelfJoin(c, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := j.par
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	j.par = func(ctx context.Context, n int, fn func(int)) error {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return inner(ctx, n, fn)
+	}
+	done := make(chan error, 1)
+	go func() { done <- j.Run(context.Background()) }()
+	<-entered
+	if err := j.Run(context.Background()); !errors.Is(err, ErrSelfJoinRunning) {
+		t.Fatalf("overlapping Run returned %v, want ErrSelfJoinRunning", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The guard clears with the run: a finished join accepts Run again (as a
+	// no-op) and reports no spurious resume.
+	if err := j.Run(context.Background()); err != nil {
+		t.Fatalf("Run after completion: %v", err)
+	}
+	if st := j.Stats(); st.Resumes != 0 || st.Errors != 0 {
+		t.Fatalf("stats %+v, want no resumes or errors", st)
+	}
+}
+
+// TestSelfJoinQueryErrorFailsSegment: a per-document query failure that is
+// NOT a context cancellation must surface from Run (keeping the checkpoint
+// behind the segment) and be counted apart from Cancelled — not silently
+// absorbed as if the query had been cut by ctx.
+func TestSelfJoinQueryErrorFailsSegment(t *testing.T) {
+	entries, _ := clusteredFingerprints(27, 8, 4)
+	c := seedCorpus(t, 2, entries)
+	j, err := NewSelfJoin(c, c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancellations are pauses, tallied but never fatal.
+	j.recordQueryFailure("doc-x", context.Canceled)
+	j.recordQueryFailure("doc-y", fmt.Errorf("wrapped: %w", context.DeadlineExceeded))
+	if st := j.Stats(); st.Cancelled != 2 || st.Errors != 0 {
+		t.Fatalf("stats %+v, want 2 cancelled / 0 errors", st)
+	}
+
+	// A real backend failure fails the run at the segment boundary.
+	inner := j.par
+	boom := errors.New("backend exploded")
+	j.par = func(ctx context.Context, n int, fn func(int)) error {
+		j.recordQueryFailure("doc-z", boom)
+		return nil
+	}
+	if err := j.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run returned %v, want wrapped %v", err, boom)
+	}
+	if st := j.Stats(); st.Errors != 1 {
+		t.Fatalf("stats %+v, want 1 error", st)
+	}
+	if shard, segment, done := j.Checkpoint(); shard != 0 || segment != 0 || done {
+		t.Fatalf("checkpoint advanced past failed segment: shard=%d segment=%d done=%v", shard, segment, done)
+	}
+
+	// Retrying after the fault clears re-runs the segment and completes.
+	j.par = inner
+	if err := j.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, done := j.Checkpoint(); !done {
+		t.Fatal("retried join not done")
+	}
+}
+
 // TestEngineCloneStudyMatchesOfflineJoin is the shared-implementation
 // equivalence at the service layer: the engine's pooled, sharded study and
 // the offline single-shard join produce the identical cluster-size
 // distribution at the same η/ε — for the exact join and for a capped one.
 func TestEngineCloneStudyMatchesOfflineJoin(t *testing.T) {
 	entries, _ := clusteredFingerprints(13, 40, 6)
-	for _, limit := range []int{0, 3} {
+	for _, limit := range []int{0, 1, 3} {
 		offlineCorpus := seedCorpus(t, 1, entries)
 		offline, err := NewSelfJoin(offlineCorpus, offlineCorpus, limit)
 		if err != nil {
@@ -196,6 +287,59 @@ func TestEngineCloneStudyMatchesOfflineJoin(t *testing.T) {
 		if m.SelfJoin.Completed != 1 || m.SelfJoin.Docs != int64(len(entries)) {
 			t.Fatalf("limit=%d: study funnel %+v", limit, m.SelfJoin)
 		}
+		if limit > 0 {
+			// The cap is on clone edges, not TopK slots: the query doc's
+			// self-match must not eat the budget (limit=1 once found NO
+			// clones because self always took the single slot).
+			if onRep.Stats.Matches == 0 || onRep.Summary.Clustered == 0 {
+				t.Fatalf("limit=%d: no clones found on a clustered corpus: %+v", limit, onRep.Stats)
+			}
+		}
+	}
+}
+
+// TestCloneStudyRejectsSourceOnlyBackend: a corpus study against smartembed
+// must fail up front — its queries need document source, the enumeration
+// carries only fingerprints, and every query would silently match nothing,
+// reporting an all-singleton distribution indistinguishable from a genuinely
+// clone-free corpus.
+func TestCloneStudyRejectsSourceOnlyBackend(t *testing.T) {
+	e := New(Options{Workers: 2, Shards: 2, Backends: []string{index.BackendSmartEmbed}})
+	if err := e.CorpusAdd("c1", reentrantSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.NewCloneStudy(index.BackendSmartEmbed, 0); err == nil {
+		t.Fatal("clone study against a source-only backend accepted")
+	}
+	if _, err := e.RunCloneStudy(context.Background(), index.BackendSmartEmbed, 0, 5); err == nil {
+		t.Fatal("RunCloneStudy against a source-only backend succeeded")
+	}
+	// The ccd study on the same engine still runs.
+	if _, err := e.RunCloneStudy(context.Background(), "", 0, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObserveStudyClassifiesOutcome: the study funnel distinguishes a
+// client cancellation from a real failure — conflating them sends an
+// operator chasing a phantom cancel instead of the backend error.
+func TestObserveStudyClassifiesOutcome(t *testing.T) {
+	var c counters
+	c.observeStudy(SelfJoinStats{}, nil)
+	c.observeStudy(SelfJoinStats{}, context.Canceled)
+	c.observeStudy(SelfJoinStats{}, fmt.Errorf("wrapped: %w", context.DeadlineExceeded))
+	c.observeStudy(SelfJoinStats{Errors: 2}, errors.New("backend exploded"))
+	if got := c.studiesCompleted.Load(); got != 1 {
+		t.Fatalf("completed %d, want 1", got)
+	}
+	if got := c.studiesCancelled.Load(); got != 2 {
+		t.Fatalf("cancelled %d, want 2", got)
+	}
+	if got := c.studiesFailed.Load(); got != 1 {
+		t.Fatalf("failed %d, want 1", got)
+	}
+	if got := c.studyErrors.Load(); got != 2 {
+		t.Fatalf("query errors %d, want 2", got)
 	}
 }
 

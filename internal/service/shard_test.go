@@ -335,6 +335,53 @@ func TestDuplicateAddSupersedes(t *testing.T) {
 	}
 }
 
+// TestBatchDuplicateKeepsLastAcceptedCopy: when one publish batch holds two
+// copies of an id and the backend refuses the later one (smartembed cannot
+// index a fingerprint-only doc), the earlier indexable copy must win — the
+// same outcome sequential ingest of the two Adds produces — instead of the
+// blind last-write-wins dedup dropping the indexable copy and losing the id.
+func TestBatchDuplicateKeepsLastAcceptedCopy(t *testing.T) {
+	se, err := NewBackendCorpus(index.BackendSmartEmbed, index.Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.addDocsLocal([]index.Doc{
+		{ID: "x", Source: reentrantSrc},
+		{ID: "x", FP: testFP(1)}, // refused: smartembed needs source
+		{ID: "y", Source: reentrantSrc},
+	})
+	if se.Len() != 2 {
+		t.Fatalf("Len %d, want 2 (indexable copy of x dropped)", se.Len())
+	}
+	if se.Skips() != 1 || se.Supersedes() != 0 {
+		t.Fatalf("skips=%d supersedes=%d, want 1/0 (refused copy is a skip, not a supersede)", se.Skips(), se.Supersedes())
+	}
+	ms, _, err := se.MatchDocTopK(context.Background(), index.Doc{Source: reentrantSrc}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, m := range ms {
+		if m.ID == "x" {
+			hits++
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("x matched %d times, want 1", hits)
+	}
+
+	// When the later copy IS indexable, last write still wins in one batch.
+	c := NewCorpus(ccd.DefaultConfig, 1)
+	fp1, fp2 := testFP(1), testFP(2)
+	c.addDocsLocal([]index.Doc{{ID: "x", FP: fp1}, {ID: "x", FP: fp2}})
+	if c.Len() != 1 || c.Supersedes() != 1 {
+		t.Fatalf("len=%d supersedes=%d, want 1/1", c.Len(), c.Supersedes())
+	}
+	if got := c.entryMultiset()["x\x00"+string(fp2)]; got != 1 {
+		t.Fatalf("last indexable copy kept %d times, want 1", got)
+	}
+}
+
 // writeLegacySnapshot encodes entries in the pre-shard (version 1) envelope:
 // a flat framed list of ccd corpus snapshots, all under one config.
 func writeLegacySnapshot(t *testing.T, cfg ccd.Config, segments [][]ccd.Entry) []byte {

@@ -142,6 +142,164 @@ func TestWALRollbackOnSyncFailure(t *testing.T) {
 	}
 }
 
+// TestWALCutAppenderNotFalselyAcknowledged pins sequence-number retirement:
+// when a rollback cuts a concurrent appender's record, a LATER successful
+// group commit pushing syncSeq past that appender's seq must not let it
+// return nil. With seq reuse (writeSeq reset to syncSeq on rollback) the
+// fresh record takes over the cut seq, the stalled appender passes the
+// syncSeq fast-path and reports success for a record that is not in the log
+// — silent loss of an acked write on replay.
+func TestWALCutAppenderNotFalselyAcknowledged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.appendRecord("a", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Appender A: record written, acknowledgement pending — exactly the
+	// state of a goroutine that has left writeRecord but not yet entered the
+	// group-commit section.
+	seqA, err := w.writeRecord(encodeWALRecord("stalled", testFP(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Appender B joins the group and its fsync fails: the rollback cuts both
+	// B's record and A's.
+	w.syncHook = func() error { return errors.New("injected: disk full") }
+	if err := w.appendRecord("b", testFP(3)); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	w.syncHook = nil
+
+	// Appender C lands after the rollback and commits durably, pushing
+	// syncSeq past A's sequence number.
+	if err := w.appendRecord("c", testFP(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A resumes: it must learn its record is gone, not be acknowledged on
+	// the strength of C's fsync.
+	errA := w.awaitDurable(seqA)
+	w.release(seqA)
+	if errA == nil {
+		t.Fatal("appender cut by a rollback was acknowledged")
+	}
+
+	var ids []string
+	records, _, torn, err := replayWAL(path, func(id string, fp ccd.Fingerprint) { ids = append(ids, id) })
+	if err != nil || torn {
+		t.Fatalf("replay: records=%d torn=%v err=%v", records, torn, err)
+	}
+	if records != 2 || ids[0] != "a" || ids[1] != "c" {
+		t.Fatalf("replayed %v, want [a c]", ids)
+	}
+}
+
+// TestWALGarbageCutFailureSyncsAnyway: when an appender with a complete
+// record finds the log poisoned by another's short write and cannot truncate
+// the garbage, it must fsync and acknowledge anyway — its record is intact
+// below writtenBytes, and boot replay's CRC check cuts the trailing garbage.
+// Returning an error instead would falsely fail an append whose record a
+// later group commit then makes durable and replayable.
+func TestWALGarbageCutFailureSyncsAnyway(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.appendRecord("a", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Appender A has written its record but not yet reached the group
+	// commit; then another appender's short write poisons the log.
+	seqA, err := w.writeRecord(encodeWALRecord("stalled", testFP(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.writeHook = func() error {
+		_, _ = w.f.Write([]byte{0xde, 0xad})
+		return errors.New("injected: device error")
+	}
+	if err := w.appendRecord("garbage-maker", testFP(3)); err == nil {
+		t.Fatal("append with failing write succeeded")
+	}
+	w.writeHook = nil
+
+	// A's garbage cut fails, but its record must still be acknowledged.
+	w.truncHook = func() error { return errors.New("injected: truncate refused") }
+	errA := w.awaitDurable(seqA)
+	w.release(seqA)
+	if errA != nil {
+		t.Fatalf("appender with intact record failed on garbage-cut failure: %v", errA)
+	}
+	w.truncHook = nil
+
+	// The next append cuts the garbage and lands cleanly.
+	if err := w.appendRecord("c", testFP(4)); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	records, _, torn, err := replayWAL(path, func(id string, fp ccd.Fingerprint) { ids = append(ids, id) })
+	if err != nil || torn {
+		t.Fatalf("replay: records=%d torn=%v err=%v", records, torn, err)
+	}
+	if records != 3 || ids[0] != "a" || ids[1] != "stalled" || ids[2] != "c" {
+		t.Fatalf("replayed %v, want [a stalled c]", ids)
+	}
+}
+
+// TestWALRollbackTruncateFailureBlocksNewAppends: when a failed group
+// commit's rollback cannot truncate the condemned records away, their bytes
+// are still in the O_APPEND file — so new records must not land behind them
+// until a retried truncate succeeds, or a later fsync would make the
+// refused records durable and replayable.
+func TestWALRollbackTruncateFailureBlocksNewAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	w, err := openWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if err := w.appendRecord("a", testFP(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	w.syncHook = func() error { return errors.New("injected: disk full") }
+	w.truncHook = func() error { return errors.New("injected: truncate refused") }
+	if err := w.appendRecord("doomed", testFP(2)); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	w.syncHook = nil
+
+	// While the rollback is pending, appends fail rather than landing after
+	// the condemned bytes.
+	if err := w.appendRecord("blocked", testFP(3)); err == nil {
+		t.Fatal("append landed behind un-truncated condemned records")
+	}
+
+	// Once the truncate works again, the retry cuts the condemned records
+	// and the log carries on.
+	w.truncHook = nil
+	if err := w.appendRecord("c", testFP(4)); err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	records, _, torn, err := replayWAL(path, func(id string, fp ccd.Fingerprint) { ids = append(ids, id) })
+	if err != nil || torn {
+		t.Fatalf("replay: records=%d torn=%v err=%v", records, torn, err)
+	}
+	if records != 2 || ids[0] != "a" || ids[1] != "c" {
+		t.Fatalf("replayed %v, want [a c]", ids)
+	}
+}
+
 // TestWALWriteFailurePoisonsAndRecovers: a failed record write (short write
 // leaving garbage in the file) must never truncate the log in place — an
 // in-flight group commit could lose acknowledged records — but poison it,

@@ -39,8 +39,8 @@ type wal struct {
 	// and usually finds its record already covered (syncSeq ≥ its seq), so
 	// N concurrent appends coalesce into ~2 fsyncs instead of N.
 	syncMu   sync.Mutex
-	writeSeq int64 // records written (mu)
-	syncSeq  int64 // records known durable (written under syncMu+mu, read under either)
+	writeSeq int64 // monotonic append counter; never reused, even across rollbacks (mu)
+	syncSeq  int64 // highest seq known durable (written under syncMu+mu, read under either)
 
 	// Byte offsets mirroring the sequence counters: writtenBytes is the file
 	// length after the last append (mu), syncedBytes the length of the
@@ -52,6 +52,26 @@ type wal struct {
 	writtenBytes int64
 	syncedBytes  int64
 
+	// cuts records the seq ranges condemned by failed-fsync rollbacks.
+	// Because sequence numbers are never reused, membership in a cut range
+	// is a permanent verdict: an appender waiting on syncMu distinguishes
+	// "my record is durable" (syncSeq ≥ seq AND seq not cut) from "my record
+	// was cut and syncSeq moved past it on the strength of someone else's
+	// bytes". pending holds the seq of every appender between write and
+	// acknowledgement; a range retires as soon as no pending seq can still
+	// fall inside it (every future append gets a larger seq than its hi), so
+	// cuts stays empty except in the wake of an fsync failure. Both guarded
+	// by mu.
+	cuts    []seqRange
+	pending map[int64]struct{}
+
+	// rollbackNeeded marks a rollback whose truncate failed: the condemned
+	// records' bytes are still in the file, and because the log is opened
+	// O_APPEND, new records must not land after them (a later fsync would
+	// make already-refused records durable and replayable). writeRecord
+	// retries the truncate before appending anything. Guarded by mu.
+	rollbackNeeded bool
+
 	// failed marks a write error that may have left garbage bytes beyond
 	// writtenBytes (a short write). While set, the file needs a truncate to
 	// writtenBytes before the next append; the flag — never a truncate —
@@ -60,11 +80,13 @@ type wal struct {
 	// fsync is in flight under syncMu and let them be acknowledged anyway.
 	failed bool // guarded by mu
 
-	// syncHook / writeHook, when set, inject faults into the fsync and the
-	// record write (tests of the group-commit failure paths). writeHook runs
-	// after its garbage reaches the file, simulating a short write.
+	// syncHook / writeHook / truncHook, when set, inject faults into the
+	// fsync, the record write and the rollback/garbage truncates (tests of
+	// the group-commit failure paths). writeHook runs after its garbage
+	// reaches the file, simulating a short write.
 	syncHook  func() error
 	writeHook func() error
+	truncHook func() error
 }
 
 // openWAL opens (creating if needed) the log for appending.
@@ -96,62 +118,107 @@ func encodeWALRecord(id string, fp ccd.Fingerprint) []byte {
 	return append(rec, payload...)
 }
 
+// seqRange is a half-open-below interval (lo, hi] of sequence numbers
+// removed from the log by a failed-group-commit rollback.
+type seqRange struct{ lo, hi int64 }
+
 // appendRecord journals one entry and returns once it is on stable storage.
 // On a write or fsync failure the log is rolled back to its durable prefix,
 // so an errored append leaves no record behind for replay — and concurrent
 // appenders whose records were cut by the rollback get an error of their
 // own instead of a false acknowledgement.
 func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
-	rec := encodeWALRecord(id, fp)
+	seq, err := w.writeRecord(encodeWALRecord(id, fp))
+	if err != nil {
+		return err
+	}
+	defer w.release(seq)
+	return w.awaitDurable(seq)
+}
 
+// writeRecord appends one encoded record and registers the caller as a
+// pending appender, returning the record's sequence number. The caller must
+// follow up with awaitDurable(seq) and then release(), in that order.
+func (w *wal) writeRecord(rec []byte) (int64, error) {
 	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.rollbackNeeded {
+		// A failed group commit could not truncate its condemned records
+		// away. Their seqs are already in cuts, so no appender can be
+		// acknowledged for them — but their bytes must leave the file before
+		// anything new lands behind them. Safe under mu alone: while
+		// rollbackNeeded is set no fsync can be in flight (every path to
+		// sync() first clears this flag here or errors out).
+		if err := w.truncate(w.syncedBytes); err != nil {
+			return 0, fmt.Errorf("wal: pending rollback of a failed group commit: %w", err)
+		}
+		w.writtenBytes = w.syncedBytes
+		w.rollbackNeeded = false
+		w.failed = false
+	}
 	if w.failed {
 		// An earlier append died mid-write and may have left garbage beyond
 		// the last complete record. writtenBytes counts only fully-written
 		// records and is never below any concurrent syncer's covered
 		// snapshot, so cutting to it cannot remove a record that could
 		// still be acknowledged.
-		if err := w.f.Truncate(w.writtenBytes); err != nil {
-			w.mu.Unlock()
-			return fmt.Errorf("wal: poisoned by earlier write failure: %w", err)
+		if err := w.truncate(w.writtenBytes); err != nil {
+			return 0, fmt.Errorf("wal: poisoned by earlier write failure: %w", err)
 		}
 		w.failed = false
 	}
 	if err := w.write(rec); err != nil {
 		w.failed = true
-		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	w.writeSeq++
-	seq := w.writeSeq
 	w.writtenBytes += int64(len(rec))
-	w.mu.Unlock()
+	if w.pending == nil {
+		w.pending = make(map[int64]struct{})
+	}
+	w.pending[w.writeSeq] = struct{}{}
+	return w.writeSeq, nil
+}
 
+// awaitDurable returns once the record holding seq is on stable storage,
+// either because a concurrent appender's group fsync covered it or because
+// this call performed the fsync itself. It returns an error when a rollback
+// cut the record from the log.
+func (w *wal) awaitDurable(seq int64) error {
 	w.syncMu.Lock()
 	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.cutLocked(seq) {
+		// A rollback between our write and now removed this record. Its seq
+		// was never reassigned, so syncSeq having moved past it can only
+		// reflect other appenders' records — not ours.
+		w.mu.Unlock()
+		return fmt.Errorf("wal: record lost in failed group commit")
+	}
 	if w.syncSeq >= seq {
+		w.mu.Unlock()
 		return nil // a concurrent appender's fsync already covered us
 	}
-	w.mu.Lock()
 	if w.failed {
-		// Same garbage cut, from the sync side (safe here too: we hold
-		// syncMu, so no fsync is in flight).
-		if err := w.f.Truncate(w.writtenBytes); err == nil {
+		// Same garbage cut as in writeRecord, from the sync side (safe here
+		// too: we hold syncMu, so no fsync is in flight). If the truncate
+		// fails, sync anyway: every record below writtenBytes is complete,
+		// and boot replay's CRC check cuts the trailing garbage. Erroring
+		// out here instead would falsely fail this appender while leaving
+		// its intact record for a later group commit to make durable and
+		// replayable — an errored append must never replay.
+		if err := w.truncate(w.writtenBytes); err == nil {
 			w.failed = false
 		}
 	}
 	covered := w.writeSeq // every record written before the Sync below
 	coveredBytes := w.writtenBytes
-	poisoned := w.failed
 	w.mu.Unlock()
-	if poisoned {
-		return fmt.Errorf("wal: log poisoned by an earlier write failure")
-	}
 	if err := w.sync(); err != nil {
 		// The group's records are not durable. Cut them so boot-time replay
 		// agrees exactly with what was acknowledged; every appender in the
-		// group observes covered < seq below (or its own sync error) and
-		// reports failure.
+		// group finds its seq in the recorded cut range above (or returns
+		// its own sync error here) and reports failure.
 		w.mu.Lock()
 		w.rollbackLocked()
 		w.mu.Unlock()
@@ -161,22 +228,69 @@ func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
 	w.syncSeq = covered
 	w.syncedBytes = coveredBytes
 	w.mu.Unlock()
-	if seq > covered {
-		// A rollback between our write and our sync attempt cut this record.
-		return fmt.Errorf("wal: record lost in failed group commit")
-	}
 	return nil
+}
+
+// release retires the appender holding seq and drops every cut range no
+// pending appender can query anymore — ranges are recorded with ascending
+// hi, and a future append always gets a seq above every recorded hi, so the
+// prefix below the smallest pending seq is dead. This keeps cuts from
+// accumulating for the life of the process when pending never drains (a
+// server under sustained concurrent ingest with intermittent fsync
+// failures).
+func (w *wal) release(seq int64) {
+	w.mu.Lock()
+	delete(w.pending, seq)
+	if len(w.cuts) > 0 {
+		if len(w.pending) == 0 {
+			w.cuts = nil
+		} else {
+			min := int64(-1)
+			for s := range w.pending {
+				if min < 0 || s < min {
+					min = s
+				}
+			}
+			i := 0
+			for i < len(w.cuts) && w.cuts[i].hi < min {
+				i++
+			}
+			w.cuts = w.cuts[i:]
+		}
+	}
+	w.mu.Unlock()
+}
+
+// cutLocked reports whether seq was removed by a failed-group-commit
+// rollback. Callers hold w.mu.
+func (w *wal) cutLocked(seq int64) bool {
+	for _, r := range w.cuts {
+		if seq > r.lo && seq <= r.hi {
+			return true
+		}
+	}
+	return false
 }
 
 // rollbackLocked truncates the log to its durable prefix after a failed
 // fsync. Callers hold BOTH w.syncMu and w.mu: the sync lock guarantees no
 // other fsync is in flight whose covered records the truncate could cut.
+// The cut records' sequence numbers are retired, never reused — the range is
+// recorded so pending appenders detect the loss, and writeSeq keeps counting
+// upward, so a later group commit cannot push syncSeq over a cut seq and
+// falsely acknowledge it.
 func (w *wal) rollbackLocked() {
-	if err := w.f.Truncate(w.syncedBytes); err != nil {
-		return // file unusable; subsequent appends keep failing, replay cuts the tail
+	// Condemn the seqs first: whether the truncate lands now or is retried
+	// by the next writeRecord, these records will never be acknowledged, so
+	// every waiting appender must report failure.
+	if w.writeSeq > w.syncSeq {
+		w.cuts = append(w.cuts, seqRange{lo: w.syncSeq, hi: w.writeSeq})
+	}
+	if err := w.truncate(w.syncedBytes); err != nil {
+		w.rollbackNeeded = true // bytes still present; cut before the next append
+		return
 	}
 	w.writtenBytes = w.syncedBytes
-	w.writeSeq = w.syncSeq
 	w.failed = false
 }
 
@@ -186,6 +300,18 @@ func (w *wal) sync() error {
 		return w.syncHook()
 	}
 	return w.f.Sync()
+}
+
+// truncate cuts the file to n bytes (or fails through the injected test
+// hook). reset's full truncate bypasses the hook on purpose: it is not part
+// of the append/rollback failure surface under test.
+func (w *wal) truncate(n int64) error {
+	if w.truncHook != nil {
+		if err := w.truncHook(); err != nil {
+			return err
+		}
+	}
+	return w.f.Truncate(n)
 }
 
 // write appends one record (or fails through the injected test hook).
@@ -215,6 +341,12 @@ func (w *wal) reset() error {
 	}
 	w.writeSeq, w.syncSeq = 0, 0
 	w.writtenBytes, w.syncedBytes = 0, 0
+	// Sequence numbers restart, so stale cut ranges must not survive to
+	// falsely condemn them, and the truncate above completed any pending
+	// rollback. Safe: reset only runs under the store's exclusive lock,
+	// with no appender pending.
+	w.cuts = nil
+	w.rollbackNeeded = false
 	return nil
 }
 
