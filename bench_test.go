@@ -28,6 +28,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/solidity"
 	"repro/internal/ssdeep"
+	"repro/internal/trace"
 )
 
 // --- Table 1: CCC vs 8 tools ---------------------------------------------------
@@ -654,6 +655,38 @@ func BenchmarkMatchTopK10k(b *testing.B) {
 			total += len(ms)
 		}
 		b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+	})
+}
+
+// BenchmarkTracedMatch10k measures request-tracing overhead on the headline
+// read path: the same top-10 query on the 10k-doc corpus with no trace in
+// the context (the spans are nil-safe no-ops) versus a live trace recording
+// the full span tree. The acceptance ceiling is 5% ns/op overhead for the
+// traced sub-benchmark over untraced.
+func BenchmarkTracedMatch10k(b *testing.B) {
+	c, fps := matchBenchCorpus(b)
+	query := func(ctx context.Context, i int) {
+		ms, _, err := c.MatchDocTopK(ctx, index.Doc{FP: fps[i%len(fps)]}, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			query(context.Background(), i)
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := trace.New("")
+			root := tr.StartRoot("bench.match")
+			query(trace.ContextWithSpan(context.Background(), root), i)
+			root.End()
+			tr.Finish()
+		}
 	})
 }
 

@@ -43,8 +43,20 @@
 //	GET  /v1/study/{id}
 //	GET  /v1/clusters         live clone-cluster view (?top=N largest)
 //	GET  /v1/clusters/export  NDJSON, one cluster per line (?min=N size floor)
-//	GET  /healthz
-//	GET  /metrics
+//	GET  /healthz             liveness (?ready=1 folds in readiness)
+//	GET  /readyz              readiness: 503 during WAL replay / rollback-pending
+//	GET  /metrics             JSON; ?format=prometheus or Accept: text/plain
+//	                          switches to Prometheus text exposition
+//	GET  /debug/traces        recent + slowest + errored request traces
+//	GET  /debug/traces/{id}   one trace's full span tree
+//
+// Every request is traced: spans cover queueing, fingerprinting, per-shard
+// scatter-gather and WAL fsync waits. Clients may supply X-Request-Id or a
+// W3C traceparent; the id is echoed back as X-Trace-Id and stamped into
+// error payloads and request logs. -debug-addr starts a private listener
+// with net/http/pprof plus the same trace/metrics endpoints; it comes up
+// before the corpus restore, so a long WAL replay is observable (and
+// /readyz correctly reports 503 until serving starts).
 //
 // With -clusters (default on) every ingested document is matched against
 // the ccd corpus and its clone edges folded into an incremental union-find,
@@ -56,14 +68,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +87,48 @@ import (
 	"repro/internal/service"
 	"repro/internal/service/api"
 )
+
+// newLogger builds the process logger from -log-format/-log-level.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// bootDebugHandler serves the -debug-addr listener until the API server
+// exists: pprof is live (a stuck WAL replay can be profiled) and /readyz
+// honestly reports not-ready. Swapped for the full handler once serving.
+func bootDebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	notReady := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status": "unavailable", "ready": false, "phase": "restoring",
+		})
+	}
+	mux.HandleFunc("GET /readyz", notReady)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "ok", "phase": "restoring"})
+	})
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8070", "listen address")
@@ -85,11 +142,41 @@ func main() {
 	corpusDir := flag.String("corpus-dir", "", "directory for the durable corpus (empty = in-memory only)")
 	snapInterval := flag.Duration("snapshot-interval", 0, "periodic snapshot interval with -corpus-dir (0 = on demand/shutdown only)")
 	clusters := flag.Bool("clusters", true, "maintain the live clone-cluster view as ingest lands (/v1/clusters)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request lines log at debug)")
+	debugAddr := flag.String("debug-addr", "", "private listener for pprof + trace/metrics endpoints (empty = disabled)")
+	traceBuffer := flag.Int("trace-buffer", 0, "completed traces retained for /debug/traces (0 = default)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
+	}
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		die(err)
+	}
+	slog.SetDefault(logger)
+
+	// The debug listener comes up before the (possibly long) corpus restore:
+	// its handler is swapped atomically once the API server exists.
+	var debugHandler atomic.Value // http.Handler
+	debugHandler.Store(bootDebugHandler())
+	if *debugAddr != "" {
+		dsrv := &http.Server{
+			Addr: *debugAddr,
+			Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				debugHandler.Load().(http.Handler).ServeHTTP(w, r)
+			}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		logger.Info("debug listener up", "addr", *debugAddr)
 	}
 
 	var extraBackends []string
@@ -113,7 +200,10 @@ func main() {
 		TrackClusters: *clusters,
 	})
 
-	var opts []api.Option
+	opts := []api.Option{api.WithLogger(logger)}
+	if *traceBuffer > 0 {
+		opts = append(opts, api.WithTraceBuffer(*traceBuffer, 0))
+	}
 	var store *service.Store
 	stopAutoSnapshot := func() {}
 	if *corpusDir != "" {
@@ -123,11 +213,13 @@ func main() {
 			die(err)
 		}
 		info := store.Info()
-		log.Printf("serve: corpus restored from %s: %d from snapshot, %d WAL records replayed (torn tail cut: %v)",
-			*corpusDir, info.RestoredEntries, info.ReplayedRecords, info.TornTailCut)
+		logger.Info("corpus restored", "dir", *corpusDir,
+			"snapshot_entries", info.RestoredEntries,
+			"wal_replayed", info.ReplayedRecords,
+			"torn_tail_cut", info.TornTailCut)
 		if *snapInterval > 0 {
 			stopAutoSnapshot = store.StartAutoSnapshot(*snapInterval, func(err error) {
-				log.Printf("serve: auto snapshot: %v", err)
+				logger.Warn("auto snapshot failed", "err", err)
 			})
 			defer stopAutoSnapshot() // idempotent; safety net for error exits
 		}
@@ -136,9 +228,14 @@ func main() {
 		die(errors.New("-snapshot-interval requires -corpus-dir"))
 	}
 
+	server := api.NewServer(engine, opts...)
+	// Restore is done: the debug listener graduates from the boot handler to
+	// the full pprof + traces + metrics surface, and /readyz flips honest.
+	debugHandler.Store(server.DebugHandler())
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           api.NewServer(engine, opts...).Handler(),
+		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -147,8 +244,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("serve: listening on %s (workers=%d, shards=%d, backends=%v, corpus=%d entries)",
-		*addr, engine.Workers(), engine.Corpus().Shards(), engine.Backends(), engine.Corpus().Len())
+	logger.Info("listening", "addr", *addr,
+		"workers", engine.Workers(),
+		"shards", engine.Corpus().Shards(),
+		"backends", engine.Backends(),
+		"corpus_entries", engine.Corpus().Len())
 
 	select {
 	case err := <-errCh:
@@ -156,7 +256,7 @@ func main() {
 			die(err)
 		}
 	case <-ctx.Done():
-		log.Print("serve: shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -167,12 +267,12 @@ func main() {
 			// fire between the snapshot and the WAL close.
 			stopAutoSnapshot()
 			if info, err := store.Snapshot(); err != nil {
-				log.Printf("serve: final snapshot: %v", err)
+				logger.Error("final snapshot failed", "err", err)
 			} else {
-				log.Printf("serve: final snapshot: %d entries, %d bytes", info.Entries, info.Bytes)
+				logger.Info("final snapshot", "entries", info.Entries, "bytes", info.Bytes)
 			}
 			if err := store.Close(); err != nil {
-				log.Printf("serve: close store: %v", err)
+				logger.Error("close store failed", "err", err)
 			}
 		}
 	}

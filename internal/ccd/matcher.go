@@ -3,6 +3,7 @@ package ccd
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/ngram"
 )
@@ -103,6 +104,13 @@ type MatchStats struct {
 	// edit distance proved they could not enter the current top K, so the
 	// expensive exact score was never finished.
 	CutoffSkipped int
+
+	// FilterNs and ScoreNs split the wall time between the n-gram
+	// pre-filter and the verification loop, so a slow query's trace shows
+	// which stage ate the budget. Timing-only: they never enter response
+	// payloads (explain output copies the count fields).
+	FilterNs int64
+	ScoreNs  int64
 }
 
 // Add accumulates other into s.
@@ -111,6 +119,8 @@ func (s *MatchStats) Add(other MatchStats) {
 	s.FilterPruned += other.FilterPruned
 	s.Scored += other.Scored
 	s.CutoffSkipped += other.CutoffSkipped
+	s.FilterNs += other.FilterNs
+	s.ScoreNs += other.ScoreNs
 }
 
 // MatchTopK returns the k best matches (score descending, ties by id) whose
@@ -162,7 +172,10 @@ func (c *Corpus) MatchTopKInto(fp Fingerprint, col *TopK) MatchStats {
 // prepared query — across all of them. Returns this corpus's stats.
 func (c *Corpus) MatchPreparedInto(q *PreparedQuery, col *TopK) MatchStats {
 	var stats MatchStats
+	start := time.Now()
 	cands, qst := c.index.QueryGrams(q.grams, c.cfg.Eta)
+	scoreStart := time.Now()
+	stats.FilterNs = scoreStart.Sub(start).Nanoseconds()
 	stats.Candidates = len(cands)
 	stats.FilterPruned = qst.Pruned
 	for _, cand := range cands {
@@ -175,6 +188,7 @@ func (c *Corpus) MatchPreparedInto(q *PreparedQuery, col *TopK) MatchStats {
 		stats.Scored++
 		col.Offer(Match{ID: entry.ID, Score: score})
 	}
+	stats.ScoreNs = time.Since(scoreStart).Nanoseconds()
 	return stats
 }
 

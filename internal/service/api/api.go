@@ -10,9 +10,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/ccc"
@@ -20,6 +20,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/pipeline"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies (contracts are small; 8 MiB leaves
@@ -37,13 +38,13 @@ type Server struct {
 	jobs   *jobStore
 	start  time.Time
 
-	// per-endpoint request counters, reported by /metrics.
-	reqAnalyze     atomic.Int64
-	reqFingerprint atomic.Int64
-	reqCorpus      atomic.Int64
-	reqMatch       atomic.Int64
-	reqStudy       atomic.Int64
-	reqClusters    atomic.Int64
+	// mux is built once in NewServer so the endpoints map is complete
+	// before the first request — reads are lock-free after that.
+	mux       *http.ServeMux
+	endpoints map[string]*endpointStats
+	recorder  *trace.Recorder
+	logger    *slog.Logger // nil disables request logging
+	ready     func() bool  // readiness probe; defaults to the store's state
 }
 
 // Option configures a Server.
@@ -55,35 +56,78 @@ func WithStore(store *service.Store) Option {
 	return func(s *Server) { s.store = store }
 }
 
+// WithLogger enables per-request structured logging (errors at Warn,
+// everything else at Debug), each line carrying the request's trace id.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithReadiness overrides the /readyz probe. Without it, readiness follows
+// the store (not ready during boot replay or after a rollback-pending fsync
+// failure), or is always true when persistence is disabled.
+func WithReadiness(ready func() bool) Option {
+	return func(s *Server) { s.ready = ready }
+}
+
+// WithTraceBuffer sizes the completed-trace ring served at /debug/traces
+// (recent capacity n, slowest-N retention slow). Zeroes keep the defaults.
+func WithTraceBuffer(n, slow int) Option {
+	return func(s *Server) { s.recorder = trace.NewRecorder(n, slow) }
+}
+
 // NewServer returns a server around engine.
 func NewServer(engine *service.Engine, opts ...Option) *Server {
-	s := &Server{engine: engine, jobs: newJobStore(), start: time.Now()}
+	s := &Server{
+		engine:    engine,
+		jobs:      newJobStore(),
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.recorder == nil {
+		s.recorder = trace.NewRecorder(0, 0)
+	}
+	if s.ready == nil {
+		if st := s.store; st != nil {
+			s.ready = st.Ready
+		} else {
+			s.ready = func() bool { return true }
+		}
+	}
+
+	mux := http.NewServeMux()
+	s.traced(mux, "POST /v1/analyze", s.handleAnalyze)
+	s.traced(mux, "POST /v1/fingerprint", s.handleFingerprint)
+	s.traced(mux, "POST /v1/corpus", s.handleCorpusAdd)
+	s.traced(mux, "GET /v1/corpus", s.handleCorpusInfo)
+	s.traced(mux, "POST /v1/corpus/bulk", s.handleCorpusBulk)
+	s.traced(mux, "POST /v1/corpus/snapshot", s.handleCorpusSnapshot)
+	s.traced(mux, "GET /v1/corpus/export", s.handleCorpusExport)
+	s.traced(mux, "POST /v1/match", s.handleMatch)
+	s.traced(mux, "POST /v1/study", s.handleStudyStart)
+	s.traced(mux, "GET /v1/study", s.handleStudyList)
+	s.traced(mux, "GET /v1/study/{id}", s.handleStudyGet)
+	s.traced(mux, "GET /v1/clusters", s.handleClusters)
+	s.traced(mux, "GET /v1/clusters/export", s.handleClustersExport)
+	// Observability endpoints are counted but untraced: a scrape must not
+	// churn the trace ring it is reading.
+	s.counted(mux, "GET /healthz", s.handleHealthz)
+	s.counted(mux, "GET /readyz", s.handleReadyz)
+	s.counted(mux, "GET /metrics", s.handleMetrics)
+	s.counted(mux, "GET /debug/traces", s.handleDebugTraces)
+	s.counted(mux, "GET /debug/traces/{id}", s.handleDebugTraceGet)
+	s.mux = mux
 	return s
 }
 
 // Handler returns the routed HTTP handler.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("POST /v1/fingerprint", s.handleFingerprint)
-	mux.HandleFunc("POST /v1/corpus", s.handleCorpusAdd)
-	mux.HandleFunc("GET /v1/corpus", s.handleCorpusInfo)
-	mux.HandleFunc("POST /v1/corpus/bulk", s.handleCorpusBulk)
-	mux.HandleFunc("POST /v1/corpus/snapshot", s.handleCorpusSnapshot)
-	mux.HandleFunc("GET /v1/corpus/export", s.handleCorpusExport)
-	mux.HandleFunc("POST /v1/match", s.handleMatch)
-	mux.HandleFunc("POST /v1/study", s.handleStudyStart)
-	mux.HandleFunc("GET /v1/study", s.handleStudyList)
-	mux.HandleFunc("GET /v1/study/{id}", s.handleStudyGet)
-	mux.HandleFunc("GET /v1/clusters", s.handleClusters)
-	mux.HandleFunc("GET /v1/clusters/export", s.handleClustersExport)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
-}
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Recorder exposes the completed-trace ring (the debug listener and tests
+// read it).
+func (s *Server) Recorder() *trace.Recorder { return s.recorder }
 
 // --- request/response shapes --------------------------------------------------
 
@@ -203,12 +247,14 @@ type StudyRequest struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// TraceID correlates the failure with its trace at /debug/traces/{id}
+	// and the server logs; present on traced routes.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // --- handlers -----------------------------------------------------------------
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	s.reqAnalyze.Add(1)
 	var req AnalyzeRequest
 	if !decode(w, r, &req) {
 		return
@@ -248,7 +294,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
-	s.reqFingerprint.Add(1)
 	var req AnalyzeRequest
 	if !decode(w, r, &req) {
 		return
@@ -275,7 +320,6 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
-	s.reqCorpus.Add(1)
 	var req CorpusAddRequest
 	if !decode(w, r, &req) {
 		return
@@ -295,7 +339,7 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 		entries[i] = service.CorpusEntry{ID: e.ID, Source: e.Source}
 	}
 	issues := 0
-	for _, err := range s.engine.CorpusAddBatch(entries) {
+	for _, err := range s.engine.CorpusAddBatchCtx(r.Context(), entries) {
 		if errors.Is(err, service.ErrPersist) {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -312,7 +356,6 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
-	s.reqCorpus.Add(1)
 	cfg := s.engine.Corpus().Config()
 	backends := map[string]any{}
 	for _, name := range s.engine.Backends() {
@@ -341,7 +384,6 @@ func (s *Server) handleCorpusInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
-	s.reqMatch.Add(1)
 	var req MatchRequest
 	if !decode(w, r, &req) {
 		return
@@ -482,7 +524,6 @@ func writeBackendError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleStudyStart(w http.ResponseWriter, r *http.Request) {
-	s.reqStudy.Add(1)
 	var req StudyRequest
 	if !decode(w, r, &req) {
 		return
@@ -576,12 +617,10 @@ func (s *Server) startCorpusStudy(w http.ResponseWriter, req StudyRequest) {
 }
 
 func (s *Server) handleStudyList(w http.ResponseWriter, r *http.Request) {
-	s.reqStudy.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
 }
 
 func (s *Server) handleStudyGet(w http.ResponseWriter, r *http.Request) {
-	s.reqStudy.Add(1)
 	job, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job")
@@ -591,39 +630,65 @@ func (s *Server) handleStudyGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// ?ready=1 folds the readiness dimension into the liveness probe for
+	// load balancers that only support one health URL.
+	if v := r.URL.Query().Get("ready"); v == "1" || strings.EqualFold(v, "true") {
+		s.handleReadyz(w, r)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"uptime": time.Since(s.start).Round(time.Millisecond).String(),
 	})
 }
 
-// MetricsResponse is the /metrics payload: engine load, cache hit rates and
-// per-endpoint request counts.
+// handleReadyz reports readiness: 200 when the serving corpus is durable and
+// caught up, 503 while the WAL boot replay is still running or a failed
+// group commit left a rollback pending.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready()
+	status := http.StatusOK
+	state := "ok"
+	if !ready {
+		status = http.StatusServiceUnavailable
+		state = "unavailable"
+	}
+	writeJSON(w, status, map[string]any{
+		"status": state,
+		"ready":  ready,
+		"uptime": time.Since(s.start).Round(time.Millisecond).String(),
+	})
+}
+
+// MetricsResponse is the /metrics JSON payload: engine load, cache hit rates
+// and per-endpoint request stats.
 type MetricsResponse struct {
 	service.Snapshot
-	Requests map[string]int64 `json:"requests"`
+	// Endpoints maps route patterns ("POST /v1/match") to request counts,
+	// status-class splits and latency summaries.
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
 	// HitRates flattens per-cache hit rates for dashboards.
-	HitRates map[string]float64 `json:"cache_hit_rates"`
-	Uptime   string             `json:"uptime"`
+	HitRates map[string]float64  `json:"cache_hit_rates"`
+	Traces   trace.RecorderStats `json:"traces"`
+	Uptime   string              `json:"uptime"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.engine.Metrics()
+	if wantsPrometheus(r.URL.Query().Get("format"), r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", prometheusContentType)
+		_ = s.writePrometheus(w, snap, time.Since(s.start).Seconds())
+		return
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
-		Snapshot: snap,
-		Requests: map[string]int64{
-			"analyze":     s.reqAnalyze.Load(),
-			"fingerprint": s.reqFingerprint.Load(),
-			"corpus":      s.reqCorpus.Load(),
-			"match":       s.reqMatch.Load(),
-			"study":       s.reqStudy.Load(),
-			"clusters":    s.reqClusters.Load(),
-		},
+		Snapshot:  snap,
+		Endpoints: s.endpointMetrics(),
 		HitRates: map[string]float64{
 			"parse":       snap.ParseCache.HitRate(),
 			"report":      snap.ReportCache.HitRate(),
 			"fingerprint": snap.FingerprintCache.HitRate(),
 		},
+		Traces: s.recorder.Stats(),
 		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
 	})
 }
@@ -653,5 +718,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+	resp := errorResponse{Error: msg}
+	// Traced routes hand their handlers a *traceWriter; recover the trace
+	// from it so every error payload carries its trace id and the trace
+	// itself is marked errored (and thus retained by the recorder).
+	if tw, ok := w.(*traceWriter); ok && tw.trace != nil {
+		resp.TraceID = tw.trace.ID()
+		tw.trace.SetError(fmt.Sprintf("%d: %s", status, msg))
+	}
+	writeJSON(w, status, resp)
 }

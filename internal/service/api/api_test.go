@@ -330,9 +330,16 @@ func TestMetricsReportCacheHits(t *testing.T) {
 	if r := rates["report"].(float64); r < 0.66 || r > 0.67 {
 		t.Errorf("report hit rate %v, want ~0.667", r)
 	}
-	reqs := m["requests"].(map[string]any)
-	if reqs["analyze"].(float64) != 3 {
-		t.Errorf("analyze request count %v", reqs["analyze"])
+	eps := m["endpoints"].(map[string]any)
+	analyze := eps["POST /v1/analyze"].(map[string]any)
+	if analyze["count"].(float64) != 3 {
+		t.Errorf("analyze request count %v", analyze["count"])
+	}
+	if analyze["by_class"].(map[string]any)["2xx"].(float64) != 3 {
+		t.Errorf("analyze 2xx count %v", analyze["by_class"])
+	}
+	if lat := analyze["latency"].(map[string]any); lat["count"].(float64) != 3 {
+		t.Errorf("analyze latency count %v", lat["count"])
 	}
 	if m["workers"].(float64) != 4 {
 		t.Errorf("workers %v", m["workers"])

@@ -26,7 +26,6 @@ type ClustersResponse struct {
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	s.reqClusters.Add(1)
 	set := s.engine.Clusters()
 	if set == nil {
 		writeJSON(w, http.StatusOK, ClustersResponse{Enabled: false})
@@ -58,7 +57,6 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 // paper's distribution tables. ?min=N keeps only clusters of at least N
 // members (default 2; min=1 includes singletons).
 func (s *Server) handleClustersExport(w http.ResponseWriter, r *http.Request) {
-	s.reqClusters.Add(1)
 	set := s.engine.Clusters()
 	if set == nil {
 		writeError(w, http.StatusConflict, "cluster tracking not enabled (start serve with -clusters)")

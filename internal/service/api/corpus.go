@@ -62,7 +62,6 @@ type BulkResponse struct {
 // committed chunk reports exactly the entries that were journaled, never
 // the whole chunk, so the response and a boot-time WAL replay agree.
 func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
-	s.reqCorpus.Add(1)
 	var resp BulkResponse
 	malformed := func(line int, msg string) {
 		resp.Malformed++
@@ -72,7 +71,7 @@ func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 	}
 	flush := func(chunk []service.CorpusEntry) error {
 		var persistErr error
-		for _, err := range s.engine.CorpusAddBatch(chunk) {
+		for _, err := range s.engine.CorpusAddBatchCtx(r.Context(), chunk) {
 			switch {
 			case err == nil:
 				resp.Added++
@@ -156,7 +155,6 @@ type SnapshotResponse struct {
 // handleCorpusSnapshot persists the corpus and truncates the WAL. Requires
 // the server to run with persistence enabled (-corpus-dir).
 func (s *Server) handleCorpusSnapshot(w http.ResponseWriter, r *http.Request) {
-	s.reqCorpus.Add(1)
 	if s.store == nil {
 		writeError(w, http.StatusConflict, "persistence not enabled (start serve with -corpus-dir)")
 		return
@@ -178,7 +176,6 @@ func (s *Server) handleCorpusSnapshot(w http.ResponseWriter, r *http.Request) {
 // result feeds straight back into -corpus-dir (as corpus.snap) or another
 // instance's restore. Works with or without persistence enabled.
 func (s *Server) handleCorpusExport(w http.ResponseWriter, r *http.Request) {
-	s.reqCorpus.Add(1)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="corpus.snap"`)
 	w.Header().Set("X-Corpus-Snapshot-Version", fmt.Sprint(service.CorpusSnapshotVersion))

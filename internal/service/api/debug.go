@@ -1,0 +1,59 @@
+package api
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/trace"
+)
+
+// TracesResponse is the GET /debug/traces listing: summaries of the retained
+// traces (slowest first, then the recent/errored rings) plus the recorder's
+// retention counters.
+type TracesResponse struct {
+	Traces   []trace.Summary     `json:"traces"`
+	Recorder trace.RecorderStats `json:"recorder"`
+}
+
+// handleDebugTraces lists the retained traces.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.recorder.Traces()
+	out := TracesResponse{
+		Traces:   make([]trace.Summary, 0, len(traces)),
+		Recorder: s.recorder.Stats(),
+	}
+	for _, tr := range traces {
+		out.Traces = append(out.Traces, tr.Summary())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebugTraceGet returns one retained trace's full span tree.
+func (s *Server) handleDebugTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.recorder.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace not found (evicted or never recorded)")
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.View())
+}
+
+// DebugHandler returns the handler for the private debug listener
+// (-debug-addr): the pprof surface plus the same trace endpoints the main
+// API serves. Kept off the public mux so profiling is never exposed on the
+// serving port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTraceGet)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return mux
+}

@@ -140,18 +140,42 @@ func runGoldenCase(t *testing.T, ts *httptest.Server, name, method, path string,
 }
 
 // canonicalize renders status + body as stable, indented JSON (object keys
-// sorted by encoding/json's map ordering) so fixtures diff cleanly.
+// sorted by encoding/json's map ordering) so fixtures diff cleanly. Randomly
+// generated trace ids are masked to a placeholder: the fixtures pin that the
+// field is present, not its value.
 func canonicalize(t *testing.T, status int, raw []byte) []byte {
 	t.Helper()
 	var body any
 	if err := json.Unmarshal(raw, &body); err != nil {
 		t.Fatalf("response is not JSON: %v\n%s", err, raw)
 	}
+	maskTraceIDs(body)
 	out, err := json.MarshalIndent(map[string]any{"status": status, "body": body}, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
 	return append(out, '\n')
+}
+
+// maskTraceIDs replaces every "trace_id" string value in a decoded JSON
+// tree with a fixed placeholder.
+func maskTraceIDs(v any) {
+	switch n := v.(type) {
+	case map[string]any:
+		for k, child := range n {
+			if k == "trace_id" {
+				if _, ok := child.(string); ok {
+					n[k] = "TRACE_ID"
+					continue
+				}
+			}
+			maskTraceIDs(child)
+		}
+	case []any:
+		for _, child := range n {
+			maskTraceIDs(child)
+		}
+	}
 }
 
 // TestMatchLimitAndBatch covers the top-K wire behavior beyond the golden

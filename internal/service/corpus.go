@@ -14,9 +14,11 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ccd"
 	"repro/internal/index"
+	"repro/internal/trace"
 )
 
 // Corpus is a sharded, backend-pluggable similarity corpus with lock-free
@@ -87,10 +89,13 @@ type shard struct {
 
 	gen atomic.Pointer[generation]
 
-	// Per-shard read statistics.
+	// Per-shard read statistics. scanNs accumulates the wall time this
+	// shard's scatter-gather leg spent scanning segments, so a hot or
+	// oversized shard shows up as the fan-out's straggler in /metrics.
 	matches    atomic.Int64
 	candidates atomic.Int64
 	scored     atomic.Int64
+	scanNs     atomic.Int64
 }
 
 // generation is one immutable published state of a shard. Readers load it
@@ -170,8 +175,15 @@ func (c *Corpus) Add(id string, fp ccd.Fingerprint) error {
 // not journaled (the ccd backend — the only one a store attaches to — does
 // not index it).
 func (c *Corpus) AddDoc(doc index.Doc) error {
+	return c.AddDocCtx(context.Background(), doc)
+}
+
+// AddDocCtx is AddDoc carrying a request context, so a traced ingest's WAL
+// append and fsync wait land in the request's span tree. Cancellation is not
+// observed: an add that reached the WAL is journaled and must publish.
+func (c *Corpus) AddDocCtx(ctx context.Context, doc index.Doc) error {
 	if c.store != nil {
-		return c.store.add(doc.ID, doc.FP)
+		return c.store.add(ctx, doc.ID, doc.FP)
 	}
 	c.addDocsLocal([]index.Doc{doc})
 	return nil
@@ -433,9 +445,21 @@ func (c *Corpus) MatchDocTopK(ctx context.Context, doc index.Doc, k int) ([]ccd.
 	}
 	results := make([]shardResult, len(c.shards))
 	scan := func(i int) {
+		_, sp := trace.Start(ctx, "shard.scan")
+		sp.AnnotateInt("shard", int64(i))
+		start := time.Now()
 		sh := c.shards[i]
 		g := sh.gen.Load()
 		res := &results[i]
+		defer func() {
+			sh.scanNs.Add(time.Since(start).Nanoseconds())
+			sp.AnnotateInt("segments", int64(len(g.segments)))
+			sp.AnnotateInt("candidates", int64(res.stats.Candidates))
+			sp.AnnotateInt("scored", int64(res.stats.Scored))
+			sp.AnnotateInt("filter_ns", res.stats.FilterNs)
+			sp.AnnotateInt("score_ns", res.stats.ScoreNs)
+			sp.End()
+		}()
 		for _, seg := range g.segments {
 			if ctx.Err() != nil {
 				return
@@ -462,14 +486,19 @@ func (c *Corpus) MatchDocTopK(ctx context.Context, doc index.Doc, k int) ([]ccd.
 		wg.Wait()
 	}
 
+	_, merge := trace.Start(ctx, "match.merge")
 	var stats ccd.MatchStats
+	offered := 0
 	col := ccd.NewTopK(k, 0) // per-segment collectors already applied ε
 	for i := range results {
 		stats.Add(results[i].stats)
 		for _, m := range results[i].ms {
 			col.Offer(m)
+			offered++
 		}
 	}
+	merge.AnnotateInt("offered", int64(offered))
+	merge.End()
 	// Partial work (candidates, pruning) is real even when the query is
 	// cancelled; only completed queries count as matches, mirroring the
 	// per-shard counters (which the cancellation early-return also skips).
@@ -526,7 +555,9 @@ func (c *Corpus) Funnel() CorpusFunnel {
 	}
 }
 
-// ShardSnapshot is a point-in-time view of one shard for /metrics.
+// ShardSnapshot is a point-in-time view of one shard for /metrics. ScanUs
+// is the cumulative wall time this shard's scatter-gather legs spent
+// scanning — divergence across shards marks the fan-out's straggler.
 type ShardSnapshot struct {
 	Size       int    `json:"size"`
 	Segments   int    `json:"segments"`
@@ -534,6 +565,7 @@ type ShardSnapshot struct {
 	Matches    int64  `json:"matches"`
 	Candidates int64  `json:"candidates"`
 	Scored     int64  `json:"scored"`
+	ScanUs     int64  `json:"scan_us"`
 }
 
 // ShardStats reports per-shard sizes and read activity.
@@ -548,6 +580,7 @@ func (c *Corpus) ShardStats() []ShardSnapshot {
 			Matches:    sh.matches.Load(),
 			Candidates: sh.candidates.Load(),
 			Scored:     sh.scored.Load(),
+			ScanUs:     sh.scanNs.Load() / 1e3,
 		}
 	}
 	return out

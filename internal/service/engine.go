@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cpg"
 	"repro/internal/index"
+	"repro/internal/trace"
 )
 
 // DefaultCacheEntries bounds each cache layer when Options does not override
@@ -182,9 +183,12 @@ func (e *Engine) DoCtx(ctx context.Context, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return err // already cancelled: never race the semaphore
 	}
+	_, wait := trace.Start(ctx, "queue.wait")
 	select {
 	case e.sem <- struct{}{}:
+		wait.End()
 	case <-ctx.Done():
+		wait.End()
 		return ctx.Err()
 	}
 	e.ctr.taskStart()
@@ -337,8 +341,16 @@ func (e *Engine) CorpusFor(backend string) (*Corpus, error) {
 // persistence failure (errors.Is ErrPersist) means the entry was NOT
 // indexed.
 func (e *Engine) CorpusAdd(id, src string) error {
+	return e.CorpusAddCtx(context.Background(), id, src)
+}
+
+// CorpusAddCtx is CorpusAdd carrying a request context: a traced ingest
+// decomposes into fingerprint, per-backend insert and WAL fsync-wait spans.
+func (e *Engine) CorpusAddCtx(ctx context.Context, id, src string) error {
+	_, fsp := trace.Start(ctx, "match.fingerprint")
 	fp, ferr := e.Fingerprint(src)
-	if err := e.corpusAddDoc(index.Doc{ID: id, Source: src, FP: fp}); err != nil {
+	fsp.End()
+	if err := e.corpusAddDoc(ctx, index.Doc{ID: id, Source: src, FP: fp}); err != nil {
 		return err
 	}
 	return ferr
@@ -348,15 +360,22 @@ func (e *Engine) CorpusAdd(id, src string) error {
 // parsing entirely (bulk ingest of pre-fingerprinted corpora). Backends that
 // need source (SmartEmbed) count it as a skip.
 func (e *Engine) CorpusAddFingerprint(id string, fp ccd.Fingerprint) error {
-	return e.corpusAddDoc(index.Doc{ID: id, FP: fp})
+	return e.corpusAddDoc(context.Background(), index.Doc{ID: id, FP: fp})
+}
+
+// CorpusAddFingerprintCtx is CorpusAddFingerprint carrying a request context.
+func (e *Engine) CorpusAddFingerprintCtx(ctx context.Context, id string, fp ccd.Fingerprint) error {
+	return e.corpusAddDoc(ctx, index.Doc{ID: id, FP: fp})
 }
 
 // corpusAddDoc fans one document out to every loaded backend corpus. The
 // durable ccd corpus goes first: if its journaled add fails the document is
 // nowhere; per-backend skips of the in-memory corpora are absorbed (they are
 // counted on the corpus).
-func (e *Engine) corpusAddDoc(doc index.Doc) error {
-	if err := e.corpus.AddDoc(doc); err != nil {
+func (e *Engine) corpusAddDoc(ctx context.Context, doc index.Doc) error {
+	ctx, sp := trace.Start(ctx, "corpus.add")
+	defer sp.End()
+	if err := e.corpus.AddDocCtx(ctx, doc); err != nil {
 		return err
 	}
 	for name, c := range e.corpora {
@@ -375,8 +394,9 @@ func (e *Engine) corpusAddDoc(doc index.Doc) error {
 		// +1: the freshly published doc takes one slot with its self-match.
 		// Trim back after the self-filter — on an exact-clone plateau the
 		// doc's own ID can tie-break out of the k+1 slots, leaving k+1
-		// non-self matches.
-		if ms, _, err := e.corpus.MatchDocTopK(context.Background(), doc, onlineClusterK+1); err == nil {
+		// non-self matches. WithoutCancel: the trace rides along, but a
+		// disconnecting client cannot skip the cluster link of a journaled add.
+		if ms, _, err := e.corpus.MatchDocTopK(context.WithoutCancel(ctx), doc, onlineClusterK+1); err == nil {
 			edges := 0
 			for _, m := range ms {
 				if m.ID == doc.ID {
@@ -450,7 +470,10 @@ func (e *Engine) MatchTopK(src string, k int) ([]ccd.Match, error) {
 // returned when a partial fingerprint exists), backend-routing failures, or
 // ctx cancellation.
 func (e *Engine) MatchSource(ctx context.Context, backend, src string, k int) ([]ccd.Match, ccd.MatchStats, error) {
+	_, fsp := trace.Start(ctx, "match.fingerprint")
 	fp, ferr := e.Fingerprint(src)
+	fsp.AnnotateInt("source_bytes", int64(len(src)))
+	fsp.End()
 	if ferr != nil && len(fp) == 0 {
 		return nil, ccd.MatchStats{}, ferr
 	}
@@ -470,8 +493,15 @@ func (e *Engine) MatchDoc(ctx context.Context, backend string, doc index.Doc, k 
 	if err != nil {
 		return nil, ccd.MatchStats{}, err
 	}
+	ctx, sp := trace.Start(ctx, "match")
+	if backend != "" {
+		sp.Annotate("backend", backend)
+	}
 	start := time.Now()
 	ms, stats, err := c.MatchDocTopK(ctx, doc, k)
+	sp.AnnotateInt("candidates", int64(stats.Candidates))
+	sp.AnnotateInt("scored", int64(stats.Scored))
+	sp.End()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -523,12 +553,19 @@ type CorpusEntry struct {
 // pool. The i-th error reports the i-th entry's parse status (persistence
 // failures satisfy errors.Is ErrPersist and mean the entry was dropped).
 func (e *Engine) CorpusAddBatch(entries []CorpusEntry) []error {
+	return e.CorpusAddBatchCtx(context.Background(), entries)
+}
+
+// CorpusAddBatchCtx is CorpusAddBatch carrying a request context; each
+// entry's fingerprint/insert/fsync spans land in the request's trace (up to
+// the trace's span cap). The context does not cancel journaled work.
+func (e *Engine) CorpusAddBatchCtx(ctx context.Context, entries []CorpusEntry) []error {
 	errs := make([]error, len(entries))
 	e.Map(len(entries), func(i int) {
 		if entries[i].Fingerprint != "" {
-			errs[i] = e.CorpusAddFingerprint(entries[i].ID, entries[i].Fingerprint)
+			errs[i] = e.CorpusAddFingerprintCtx(ctx, entries[i].ID, entries[i].Fingerprint)
 		} else {
-			errs[i] = e.CorpusAdd(entries[i].ID, entries[i].Source)
+			errs[i] = e.CorpusAddCtx(ctx, entries[i].ID, entries[i].Source)
 		}
 	})
 	return errs

@@ -1,13 +1,12 @@
 package service
 
 import (
-	"math"
-	"math/bits"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ccd"
 	"repro/internal/cluster"
+	"repro/internal/trace"
 )
 
 // counters aggregates the engine's atomic operation counts.
@@ -26,7 +25,7 @@ type counters struct {
 	matchScored        atomic.Int64
 	matchCutoffSkipped atomic.Int64
 
-	matchLatency latencyHist
+	matchLatency trace.Hist
 
 	// Corpus-wide clone studies (the /v1/study corpus mode): cumulative
 	// per-phase funnel across every self-join this engine ran.
@@ -75,7 +74,7 @@ func (c *counters) observeMatch(st ccd.MatchStats, elapsed time.Duration) {
 	c.matchFilterPruned.Add(int64(st.FilterPruned))
 	c.matchScored.Add(int64(st.Scored))
 	c.matchCutoffSkipped.Add(int64(st.CutoffSkipped))
-	c.matchLatency.observe(elapsed)
+	c.matchLatency.ObserveDuration(elapsed)
 }
 
 // taskStart accounts one task entering a worker slot and keeps the
@@ -93,75 +92,61 @@ func (c *counters) taskStart() {
 
 func (c *counters) taskDone() { c.busy.Add(-1) }
 
-// latencyHist is a lock-free log₂-bucketed latency histogram: bucket i
-// counts observations in [2^i, 2^(i+1)) microseconds, with the last bucket
-// absorbing everything slower (~4 s and up).
-type latencyHist struct {
-	buckets [histBuckets]atomic.Int64
-	count   atomic.Int64
-	sumNs   atomic.Int64
-}
-
-const histBuckets = 23
-
-func (h *latencyHist) observe(d time.Duration) {
-	us := d.Microseconds()
-	b := 0
-	if us > 0 {
-		b = min(bits.Len64(uint64(us))-1, histBuckets-1)
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(d.Nanoseconds())
-}
-
-// quantile returns the upper bound (µs) of the bucket holding the q-th
-// observation — an estimate with factor-of-two resolution, which is all a
-// dashboard histogram needs.
-func (h *latencyHist) quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	// Ceiling rank: the q-quantile of n samples is the ⌈q·n⌉-th smallest, so
-	// p99 of a handful of observations still lands on the slowest one.
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
-		if seen >= rank {
-			return float64(uint64(1) << (i + 1)) // bucket upper bound in µs
-		}
-	}
-	return float64(uint64(1) << histBuckets)
-}
-
-// LatencyStats is the JSON view of a latency histogram.
+// LatencyStats is the JSON view of a latency histogram (µs observations).
+// Quantiles landing in the overflow bucket report MaxUs, the true observed
+// maximum — a stalled server's p99 is minutes, not the bucket ceiling.
+// Buckets carries the raw log₂ counts for the Prometheus exposition; the
+// JSON view keeps the summary fields only.
 type LatencyStats struct {
 	Count    int64   `json:"count"`
 	MeanUs   float64 `json:"mean_us"`
 	P50Us    float64 `json:"p50_us"`
 	P90Us    float64 `json:"p90_us"`
 	P99Us    float64 `json:"p99_us"`
+	MaxUs    int64   `json:"max_us"`
 	TotalSec float64 `json:"total_sec"`
+
+	Buckets [trace.HistBuckets]int64 `json:"-"`
 }
 
-func (h *latencyHist) stats() LatencyStats {
-	s := LatencyStats{
-		Count: h.count.Load(),
-		P50Us: h.quantile(0.50),
-		P90Us: h.quantile(0.90),
-		P99Us: h.quantile(0.99),
+// latencyStats summarizes a microseconds histogram for JSON and Prometheus.
+func latencyStats(h *trace.Hist) LatencyStats {
+	s := h.Snapshot()
+	return LatencyStats{
+		Count:    s.Count,
+		MeanUs:   s.Mean(),
+		P50Us:    s.Quantile(0.50),
+		P90Us:    s.Quantile(0.90),
+		P99Us:    s.Quantile(0.99),
+		MaxUs:    s.Max,
+		TotalSec: float64(s.Sum) / 1e6,
+		Buckets:  s.Buckets,
 	}
-	ns := h.sumNs.Load()
-	if s.Count > 0 {
-		s.MeanUs = float64(ns) / float64(s.Count) / 1e3
+}
+
+// SizeStats is the JSON view of a unitless size histogram (group-commit
+// batch sizes, ...). Same log₂ layout as LatencyStats, raw units.
+type SizeStats struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+
+	Buckets [trace.HistBuckets]int64 `json:"-"`
+}
+
+// sizeStats summarizes a size histogram for JSON and Prometheus.
+func sizeStats(h *trace.Hist) SizeStats {
+	s := h.Snapshot()
+	return SizeStats{
+		Count:   s.Count,
+		Mean:    s.Mean(),
+		P50:     s.Quantile(0.50),
+		P99:     s.Quantile(0.99),
+		Max:     s.Max,
+		Buckets: s.Buckets,
 	}
-	s.TotalSec = float64(ns) / 1e9
-	return s
 }
 
 // Snapshot is a point-in-time view of an Engine's load and cache
@@ -209,6 +194,10 @@ type Snapshot struct {
 
 	// MatchLatency is the /v1/match service-time histogram summary.
 	MatchLatency LatencyStats `json:"match_latency"`
+
+	// Durability reports the WAL/snapshot instrumentation (present only when
+	// the ccd corpus has a store attached).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 
 	// SelfJoin is the cumulative per-phase funnel of the corpus-wide clone
 	// studies this engine ran (the /v1/study corpus mode).
@@ -288,7 +277,7 @@ func (e *Engine) Metrics() Snapshot {
 		MatchFilterPruned:  e.ctr.matchFilterPruned.Load(),
 		MatchScored:        e.ctr.matchScored.Load(),
 		MatchCutoffSkipped: e.ctr.matchCutoffSkipped.Load(),
-		MatchLatency:       e.ctr.matchLatency.stats(),
+		MatchLatency:       latencyStats(&e.ctr.matchLatency),
 		SelfJoin: StudyFunnel{
 			Started:       e.ctr.studiesStarted.Load(),
 			Completed:     e.ctr.studiesCompleted.Load(),
@@ -310,6 +299,10 @@ func (e *Engine) Metrics() Snapshot {
 	if e.clusters != nil {
 		sum := e.clusters.Summary()
 		s.Clusters = &sum
+	}
+	if st := e.corpus.store; st != nil {
+		d := st.Durability()
+		s.Durability = &d
 	}
 	if e.workers > 0 {
 		s.Saturation = float64(s.BusyWorkers) / float64(e.workers)

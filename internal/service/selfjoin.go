@@ -9,6 +9,7 @@ import (
 	"repro/internal/ccd"
 	"repro/internal/cluster"
 	"repro/internal/index"
+	"repro/internal/trace"
 )
 
 // ErrSelfJoinRunning is returned by SelfJoin.Run when the join is already
@@ -210,7 +211,10 @@ func (j *SelfJoin) Run(ctx context.Context) error {
 
 // runSegment self-joins every document of one enumeration segment.
 func (j *SelfJoin) runSegment(ctx context.Context, seg index.Backend) error {
+	ctx, sp := trace.Start(ctx, "selfjoin.segment")
+	defer sp.End()
 	entries := seg.(index.EntryLister).Entries()
+	sp.AnnotateInt("docs", int64(len(entries)))
 	j.mu.Lock()
 	j.stats.Docs += int64(len(entries))
 	j.mu.Unlock()

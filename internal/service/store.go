@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/ccd"
 	"repro/internal/index"
+	"repro/internal/trace"
 )
 
 // Snapshot and WAL file names inside a store directory.
@@ -39,14 +41,17 @@ type Store struct {
 	// it exclusively so the saved corpus and the truncated WAL agree.
 	mu sync.RWMutex
 
-	restored       int          // entries restored from the snapshot at boot
-	replayed       int          // WAL records applied at boot
-	replayDupes    int          // WAL records skipped as already in the snapshot
-	replayOutdated int          // WAL records superseded by a later record for the same id
-	tornTail       bool         // whether boot found (and cut) a torn WAL tail
-	pendingAdds    atomic.Int64 // adds journaled since the last snapshot
-	snapshots      atomic.Int64 // successful snapshots taken
-	lastSnapshot   atomic.Int64 // unix nanos of the last successful snapshot
+	restored       int           // entries restored from the snapshot at boot
+	replayed       int           // WAL records applied at boot
+	replayDupes    int           // WAL records skipped as already in the snapshot
+	replayOutdated int           // WAL records superseded by a later record for the same id
+	tornTail       bool          // whether boot found (and cut) a torn WAL tail
+	restoreDur     time.Duration // boot-time snapshot restore + WAL replay wall time
+	pendingAdds    atomic.Int64  // adds journaled since the last snapshot
+	snapshots      atomic.Int64  // successful snapshots taken
+	lastSnapshot   atomic.Int64  // unix nanos of the last successful snapshot
+
+	snapWriteHist trace.Hist // µs per successful Snapshot call
 }
 
 // OpenStore attaches durable storage in dir to c (which must be empty: the
@@ -66,6 +71,7 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 		return nil, fmt.Errorf("service: create store dir: %w", err)
 	}
 	s := &Store{dir: dir, corpus: c}
+	bootStart := time.Now()
 
 	snapPath := filepath.Join(dir, SnapshotFile)
 	if f, err := os.Open(snapPath); err == nil {
@@ -132,15 +138,23 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 	if s.wal, err = openWAL(walPath); err != nil {
 		return nil, fmt.Errorf("service: open WAL: %w", err)
 	}
+	s.restoreDur = time.Since(bootStart)
 	c.store = s
 	return s, nil
 }
 
+// Ready reports whether the store can take traffic: boot replay is complete
+// (an open *Store implies it) and no failed-group-commit rollback is waiting
+// for its truncate. A load balancer should not route to a not-ready node.
+func (s *Store) Ready() bool {
+	return s.wal != nil && !s.wal.rollbackPending()
+}
+
 // add journals the entry, then makes it visible. Called by Corpus.Add.
-func (s *Store) add(id string, fp ccd.Fingerprint) error {
+func (s *Store) add(ctx context.Context, id string, fp ccd.Fingerprint) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if err := s.wal.appendRecord(id, fp); err != nil {
+	if err := s.wal.appendRecord(ctx, id, fp); err != nil {
 		return fmt.Errorf("%w: wal append: %v", ErrPersist, err)
 	}
 	s.corpus.addLocal(id, fp)
@@ -197,6 +211,7 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	s.pendingAdds.Store(0)
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())
+	s.snapWriteHist.ObserveDuration(time.Since(start))
 	return SnapshotInfo{
 		Path:    final,
 		Bytes:   st.Size(),
@@ -291,4 +306,39 @@ func (s *Store) Info() StoreInfo {
 		info.WALBytes = n
 	}
 	return info
+}
+
+// DurabilityStats is the /metrics view of the store's WAL and snapshot
+// instrumentation.
+type DurabilityStats struct {
+	// FsyncLatency is the per-fsync latency histogram of the WAL group
+	// commit; GroupCommitBatch the records each fsync made durable (the
+	// coalescing factor under concurrent ingest).
+	FsyncLatency     LatencyStats `json:"fsync_latency"`
+	GroupCommitBatch SizeStats    `json:"group_commit_batch"`
+
+	// Rollbacks counts failed-group-commit rollbacks; CondemnedRecords the
+	// appended records those rollbacks cut from the log.
+	Rollbacks        int64 `json:"rollbacks"`
+	CondemnedRecords int64 `json:"condemned_records"`
+
+	// SnapshotWrite times successful Store.Snapshot calls; RestoreUs is the
+	// boot-time snapshot restore + WAL replay wall time.
+	SnapshotWrite LatencyStats `json:"snapshot_write"`
+	RestoreUs     int64        `json:"restore_us"`
+
+	Ready bool `json:"ready"`
+}
+
+// Durability reports the store's WAL/snapshot instrumentation.
+func (s *Store) Durability() DurabilityStats {
+	return DurabilityStats{
+		FsyncLatency:     latencyStats(&s.wal.fsyncHist),
+		GroupCommitBatch: sizeStats(&s.wal.batchHist),
+		Rollbacks:        s.wal.rollbacks.Load(),
+		CondemnedRecords: s.wal.condemned.Load(),
+		SnapshotWrite:    latencyStats(&s.snapWriteHist),
+		RestoreUs:        s.restoreDur.Microseconds(),
+		Ready:            s.Ready(),
+	}
 }

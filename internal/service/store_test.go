@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -114,7 +115,7 @@ func TestWALRollbackOnSyncFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.close()
-	if err := w.appendRecord("a", testFP(1)); err != nil {
+	if err := w.appendRecord(context.Background(), "a", testFP(1)); err != nil {
 		t.Fatal(err)
 	}
 	okSize, err := w.size()
@@ -122,14 +123,14 @@ func TestWALRollbackOnSyncFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.syncHook = func() error { return errors.New("injected") }
-	if err := w.appendRecord("b", testFP(2)); err == nil {
+	if err := w.appendRecord(context.Background(), "b", testFP(2)); err == nil {
 		t.Fatal("append with failing fsync succeeded")
 	}
 	if got, _ := w.size(); got != okSize {
 		t.Fatalf("file size %d after rollback, want %d", got, okSize)
 	}
 	w.syncHook = nil
-	if err := w.appendRecord("c", testFP(3)); err != nil {
+	if err := w.appendRecord(context.Background(), "c", testFP(3)); err != nil {
 		t.Fatal(err)
 	}
 	var ids []string
@@ -156,7 +157,7 @@ func TestWALCutAppenderNotFalselyAcknowledged(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.close()
-	if err := w.appendRecord("a", testFP(1)); err != nil {
+	if err := w.appendRecord(context.Background(), "a", testFP(1)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -171,14 +172,14 @@ func TestWALCutAppenderNotFalselyAcknowledged(t *testing.T) {
 	// Appender B joins the group and its fsync fails: the rollback cuts both
 	// B's record and A's.
 	w.syncHook = func() error { return errors.New("injected: disk full") }
-	if err := w.appendRecord("b", testFP(3)); err == nil {
+	if err := w.appendRecord(context.Background(), "b", testFP(3)); err == nil {
 		t.Fatal("append with failing fsync succeeded")
 	}
 	w.syncHook = nil
 
 	// Appender C lands after the rollback and commits durably, pushing
 	// syncSeq past A's sequence number.
-	if err := w.appendRecord("c", testFP(4)); err != nil {
+	if err := w.appendRecord(context.Background(), "c", testFP(4)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -213,7 +214,7 @@ func TestWALGarbageCutFailureSyncsAnyway(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.close()
-	if err := w.appendRecord("a", testFP(1)); err != nil {
+	if err := w.appendRecord(context.Background(), "a", testFP(1)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -227,7 +228,7 @@ func TestWALGarbageCutFailureSyncsAnyway(t *testing.T) {
 		_, _ = w.f.Write([]byte{0xde, 0xad})
 		return errors.New("injected: device error")
 	}
-	if err := w.appendRecord("garbage-maker", testFP(3)); err == nil {
+	if err := w.appendRecord(context.Background(), "garbage-maker", testFP(3)); err == nil {
 		t.Fatal("append with failing write succeeded")
 	}
 	w.writeHook = nil
@@ -242,7 +243,7 @@ func TestWALGarbageCutFailureSyncsAnyway(t *testing.T) {
 	w.truncHook = nil
 
 	// The next append cuts the garbage and lands cleanly.
-	if err := w.appendRecord("c", testFP(4)); err != nil {
+	if err := w.appendRecord(context.Background(), "c", testFP(4)); err != nil {
 		t.Fatal(err)
 	}
 	var ids []string
@@ -267,27 +268,27 @@ func TestWALRollbackTruncateFailureBlocksNewAppends(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.close()
-	if err := w.appendRecord("a", testFP(1)); err != nil {
+	if err := w.appendRecord(context.Background(), "a", testFP(1)); err != nil {
 		t.Fatal(err)
 	}
 
 	w.syncHook = func() error { return errors.New("injected: disk full") }
 	w.truncHook = func() error { return errors.New("injected: truncate refused") }
-	if err := w.appendRecord("doomed", testFP(2)); err == nil {
+	if err := w.appendRecord(context.Background(), "doomed", testFP(2)); err == nil {
 		t.Fatal("append with failing fsync succeeded")
 	}
 	w.syncHook = nil
 
 	// While the rollback is pending, appends fail rather than landing after
 	// the condemned bytes.
-	if err := w.appendRecord("blocked", testFP(3)); err == nil {
+	if err := w.appendRecord(context.Background(), "blocked", testFP(3)); err == nil {
 		t.Fatal("append landed behind un-truncated condemned records")
 	}
 
 	// Once the truncate works again, the retry cuts the condemned records
 	// and the log carries on.
 	w.truncHook = nil
-	if err := w.appendRecord("c", testFP(4)); err != nil {
+	if err := w.appendRecord(context.Background(), "c", testFP(4)); err != nil {
 		t.Fatal(err)
 	}
 	var ids []string
@@ -312,18 +313,18 @@ func TestWALWriteFailurePoisonsAndRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.close()
-	if err := w.appendRecord("a", testFP(1)); err != nil {
+	if err := w.appendRecord(context.Background(), "a", testFP(1)); err != nil {
 		t.Fatal(err)
 	}
 	w.writeHook = func() error {
 		_, _ = w.f.Write([]byte{0xde, 0xad}) // the short write's garbage
 		return errors.New("injected: device error")
 	}
-	if err := w.appendRecord("b", testFP(2)); err == nil {
+	if err := w.appendRecord(context.Background(), "b", testFP(2)); err == nil {
 		t.Fatal("append with failing write succeeded")
 	}
 	w.writeHook = nil
-	if err := w.appendRecord("c", testFP(3)); err != nil {
+	if err := w.appendRecord(context.Background(), "c", testFP(3)); err != nil {
 		t.Fatalf("append after write-failure recovery: %v", err)
 	}
 	var ids []string

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,8 +10,11 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/ccd"
+	"repro/internal/trace"
 )
 
 // ErrPersist marks durability failures: an Add that could not be journaled
@@ -87,6 +91,14 @@ type wal struct {
 	syncHook  func() error
 	writeHook func() error
 	truncHook func() error
+
+	// Durability instrumentation: fsync latency, records made durable per
+	// fsync (the group-commit coalescing factor), and the failure-path
+	// counters (rollbacks performed, records condemned by them).
+	fsyncHist trace.Hist // µs per fsync actually performed
+	batchHist trace.Hist // records covered per successful fsync
+	rollbacks atomic.Int64
+	condemned atomic.Int64
 }
 
 // openWAL opens (creating if needed) the log for appending.
@@ -127,13 +139,19 @@ type seqRange struct{ lo, hi int64 }
 // so an errored append leaves no record behind for replay — and concurrent
 // appenders whose records were cut by the rollback get an error of their
 // own instead of a false acknowledgement.
-func (w *wal) appendRecord(id string, fp ccd.Fingerprint) error {
+func (w *wal) appendRecord(ctx context.Context, id string, fp ccd.Fingerprint) error {
+	ctx, sp := trace.Start(ctx, "wal.append")
+	defer sp.End()
 	seq, err := w.writeRecord(encodeWALRecord(id, fp))
 	if err != nil {
 		return err
 	}
 	defer w.release(seq)
-	return w.awaitDurable(seq)
+	_, wait := trace.Start(ctx, "wal.fsync_wait")
+	wait.AnnotateInt("seq", seq)
+	err = w.awaitDurable(seq)
+	wait.End()
+	return err
 }
 
 // writeRecord appends one encoded record and registers the caller as a
@@ -213,8 +231,12 @@ func (w *wal) awaitDurable(seq int64) error {
 	}
 	covered := w.writeSeq // every record written before the Sync below
 	coveredBytes := w.writtenBytes
+	batch := covered - w.syncSeq // records this fsync makes durable
 	w.mu.Unlock()
-	if err := w.sync(); err != nil {
+	fsyncStart := time.Now()
+	err := w.sync()
+	w.fsyncHist.ObserveDuration(time.Since(fsyncStart))
+	if err != nil {
 		// The group's records are not durable. Cut them so boot-time replay
 		// agrees exactly with what was acknowledged; every appender in the
 		// group finds its seq in the recorded cut range above (or returns
@@ -224,6 +246,7 @@ func (w *wal) awaitDurable(seq int64) error {
 		w.mu.Unlock()
 		return err
 	}
+	w.batchHist.Observe(batch)
 	w.mu.Lock()
 	w.syncSeq = covered
 	w.syncedBytes = coveredBytes
@@ -283,8 +306,10 @@ func (w *wal) rollbackLocked() {
 	// Condemn the seqs first: whether the truncate lands now or is retried
 	// by the next writeRecord, these records will never be acknowledged, so
 	// every waiting appender must report failure.
+	w.rollbacks.Add(1)
 	if w.writeSeq > w.syncSeq {
 		w.cuts = append(w.cuts, seqRange{lo: w.syncSeq, hi: w.writeSeq})
+		w.condemned.Add(w.writeSeq - w.syncSeq)
 	}
 	if err := w.truncate(w.syncedBytes); err != nil {
 		w.rollbackNeeded = true // bytes still present; cut before the next append
@@ -348,6 +373,15 @@ func (w *wal) reset() error {
 	w.cuts = nil
 	w.rollbackNeeded = false
 	return nil
+}
+
+// rollbackPending reports whether a failed-fsync rollback's truncate is
+// still outstanding — condemned bytes sit in the file and the next append
+// must cut them first. A node in this state is not ready for traffic.
+func (w *wal) rollbackPending() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rollbackNeeded
 }
 
 // size returns the current log length in bytes.

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the bucket count of a Hist: bucket i covers [2^i, 2^(i+1))
+// in the caller's unit, the last bucket absorbing everything larger.
+const HistBuckets = 23
+
+// Hist is a lock-free log₂-bucketed histogram of non-negative int64
+// observations (latencies in µs, batch sizes in records, ...). Unlike a
+// plain bucket array it tracks the true observed maximum in a separate
+// atomic, so quantiles that land in the overflow bucket report the real
+// extreme instead of the bucket's capped upper bound — p99 of a server
+// stalled for minutes is minutes, not 2^23 µs.
+type Hist struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe folds one value in. Negative values clamp to 0.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := 0
+	if v > 0 {
+		b = min(bits.Len64(uint64(v))-1, HistBuckets-1)
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration folds a duration in as microseconds.
+func (h *Hist) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a point-in-time copy of the histogram. Buckets are read
+// individually, so a snapshot taken under concurrent writers is a slightly
+// torn but monotone view — fine for dashboards, never for invariants.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// HistSnapshot is a copied histogram state; quantiles computed from it are
+// internally consistent.
+type HistSnapshot struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	Sum     int64
+	Max     int64
+}
+
+// Quantile returns an upper-bound estimate of the q-th quantile with
+// factor-of-two resolution. A rank that lands in the overflow bucket
+// returns the true observed maximum — the overflow bucket is open-ended.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	// Ceiling rank: the q-quantile of n samples is the ⌈q·n⌉-th smallest, so
+	// p99 of a handful of observations still lands on the slowest one.
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < HistBuckets; i++ {
+		seen += s.Buckets[i]
+		if seen >= rank {
+			if i == HistBuckets-1 {
+				return float64(s.Max)
+			}
+			return float64(BucketUpper(i))
+		}
+	}
+	return float64(s.Max)
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// BucketUpper returns bucket i's exclusive upper bound (2^(i+1)). The last
+// bucket is open-ended; callers rendering it (Prometheus exposition) should
+// emit +Inf.
+func BucketUpper(i int) int64 { return 1 << (i + 1) }

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder retains completed traces for GET /debug/traces with tail-based
+// retention: a fixed-size lock-free ring of the most recent traces, a
+// separate ring of errored traces (so a burst of successes cannot evict the
+// request that failed), and the slowest-N traces seen since boot (the
+// slow-query log proper). Record is wait-free on the two rings; the slow
+// tier takes a short mutex over an N-element array.
+type Recorder struct {
+	recent  ring
+	errored ring
+
+	slowN    int
+	slowMu   sync.Mutex
+	slow     []*Trace // unordered; linear min-scan on insert (slowN is small)
+	recorded atomic.Int64
+	errors   atomic.Int64
+}
+
+// ring is a fixed-capacity lock-free overwrite buffer of traces.
+type ring struct {
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Trace]
+}
+
+func (r *ring) add(t *Trace) {
+	i := r.seq.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(t)
+}
+
+func (r *ring) all() []*Trace {
+	out := make([]*Trace, 0, len(r.slots))
+	for i := range r.slots {
+		if t := r.slots[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DefaultRecorderCapacity and DefaultSlowKept size a Recorder when the
+// caller does not.
+const (
+	DefaultRecorderCapacity = 256
+	DefaultSlowKept         = 32
+)
+
+// NewRecorder returns a recorder keeping the most recent `capacity` traces,
+// the most recent `capacity` errored traces, and the slowest `slowN` traces
+// since boot. Non-positive arguments select the defaults.
+func NewRecorder(capacity, slowN int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	if slowN <= 0 {
+		slowN = DefaultSlowKept
+	}
+	r := &Recorder{slowN: slowN}
+	r.recent.slots = make([]atomic.Pointer[Trace], capacity)
+	r.errored.slots = make([]atomic.Pointer[Trace], capacity)
+	return r
+}
+
+// Record retains a finished trace. The trace must not start further spans
+// after this call (Finish enforces that).
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.recorded.Add(1)
+	r.recent.add(t)
+	if t.Err() != "" {
+		r.errors.Add(1)
+		r.errored.add(t)
+	}
+	r.noteSlow(t)
+}
+
+func (r *Recorder) noteSlow(t *Trace) {
+	d := t.Duration()
+	r.slowMu.Lock()
+	defer r.slowMu.Unlock()
+	if len(r.slow) < r.slowN {
+		r.slow = append(r.slow, t)
+		return
+	}
+	minI := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].Duration() < r.slow[minI].Duration() {
+			minI = i
+		}
+	}
+	if d > r.slow[minI].Duration() {
+		r.slow[minI] = t
+	}
+}
+
+// Traces returns the union of every retention tier, deduplicated, slowest
+// first (the slow-query-log reading order).
+func (r *Recorder) Traces() []*Trace {
+	seen := make(map[*Trace]struct{})
+	var out []*Trace
+	add := func(ts []*Trace) {
+		for _, t := range ts {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	add(r.recent.all())
+	add(r.errored.all())
+	r.slowMu.Lock()
+	slow := append([]*Trace(nil), r.slow...)
+	r.slowMu.Unlock()
+	add(slow)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Duration() != out[j].Duration() {
+			return out[i].Duration() > out[j].Duration()
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+// Get returns the retained trace with the given id.
+func (r *Recorder) Get(id string) (*Trace, bool) {
+	for _, t := range r.Traces() {
+		if t.ID() == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Stats summarizes the recorder for /metrics.
+type RecorderStats struct {
+	Recorded int64 `json:"recorded"`
+	Errored  int64 `json:"errored"`
+	Capacity int   `json:"capacity"`
+	SlowKept int   `json:"slow_kept"`
+}
+
+// Stats reports cumulative record counts and the configured retention.
+func (r *Recorder) Stats() RecorderStats {
+	return RecorderStats{
+		Recorded: r.recorded.Load(),
+		Errored:  r.errors.Load(),
+		Capacity: len(r.recent.slots),
+		SlowKept: r.slowN,
+	}
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeShape(t *testing.T) {
+	tr := New("")
+	if len(tr.ID()) != 32 {
+		t.Fatalf("generated id %q, want 32 hex chars", tr.ID())
+	}
+	root := tr.StartRoot("http")
+	ctx := ContextWithSpan(context.Background(), root)
+
+	ctx2, child := Start(ctx, "engine")
+	child.AnnotateInt("k", 10)
+	_, grand := Start(ctx2, "shard")
+	grand.End()
+	child.End()
+	root.End()
+	tr.Finish()
+
+	v := tr.View()
+	if len(v.Spans) != 3 {
+		t.Fatalf("spans: %d, want 3", len(v.Spans))
+	}
+	if v.Spans[0].Parent != -1 || v.Spans[0].Name != "http" {
+		t.Errorf("root span: %+v", v.Spans[0])
+	}
+	if v.Spans[1].Parent != 0 || v.Spans[2].Parent != 1 {
+		t.Errorf("parent links: %d, %d (want 0, 1)", v.Spans[1].Parent, v.Spans[2].Parent)
+	}
+	if v.Spans[1].Attrs[0] != (Attr{Key: "k", Val: "10"}) {
+		t.Errorf("annotation: %+v", v.Spans[1].Attrs)
+	}
+	for i, sv := range v.Spans {
+		if sv.DurationUs <= 0 {
+			t.Errorf("span %d duration %v, want > 0", i, sv.DurationUs)
+		}
+		if sv.DurationUs > v.DurationUs {
+			t.Errorf("span %d (%v µs) outlives its trace (%v µs)", i, sv.DurationUs, v.DurationUs)
+		}
+	}
+}
+
+func TestUntracedContextIsNilSafe(t *testing.T) {
+	ctx, sp := Start(context.Background(), "anything")
+	if sp != nil {
+		t.Fatal("Start on an untraced context returned a live span")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("untraced context carries a span")
+	}
+	// All nil-receiver methods must be no-ops, not panics.
+	sp.End()
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("n", 1)
+	if sp.Trace() != nil {
+		t.Fatal("nil span has a trace")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New("cap")
+	root := tr.StartRoot("root")
+	ctx := ContextWithSpan(context.Background(), root)
+	for i := 0; i < MaxSpans+10; i++ {
+		_, sp := Start(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	tr.Finish()
+	v := tr.View()
+	if len(v.Spans) != MaxSpans {
+		t.Errorf("spans: %d, want cap %d", len(v.Spans), MaxSpans)
+	}
+	if v.DroppedSpans != 11 {
+		t.Errorf("dropped: %d, want 11", v.DroppedSpans)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	if got := ParseTraceparent("00-" + id + "-00f067aa0ba902b7-01"); got != id {
+		t.Errorf("valid traceparent: got %q", got)
+	}
+	for _, bad := range []string{
+		"",
+		"00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // short
+	} {
+		if got := ParseTraceparent(bad); got != "" {
+			t.Errorf("ParseTraceparent(%q) = %q, want \"\"", bad, got)
+		}
+	}
+}
+
+func TestHistOverflowQuantileReportsObservedMax(t *testing.T) {
+	var h Hist
+	// 9 fast observations and one multi-minute stall: p99 (ceiling rank 10)
+	// lands in the overflow bucket and must report the true max, not 2^23 µs.
+	for i := 0; i < 9; i++ {
+		h.Observe(100)
+	}
+	stall := int64(5 * time.Minute / time.Microsecond) // 3e8 µs >> 2^23
+	h.Observe(stall)
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != float64(stall) {
+		t.Errorf("p99 = %v, want observed max %d", got, stall)
+	}
+	if got := s.Quantile(1.0); got != float64(stall) {
+		t.Errorf("p100 = %v, want observed max %d", got, stall)
+	}
+	if s.Max != stall {
+		t.Errorf("max = %d, want %d", s.Max, stall)
+	}
+	if got := s.Quantile(0.50); got != 128 {
+		t.Errorf("p50 = %v, want bucket upper bound 128", got)
+	}
+}
+
+func TestHistBucketPlacement(t *testing.T) {
+	var h Hist
+	h.Observe(0)       // bucket 0
+	h.Observe(1)       // bucket 0
+	h.Observe(2)       // bucket 1
+	h.Observe(3)       // bucket 1
+	h.Observe(1 << 40) // overflow bucket
+	s := h.Snapshot()
+	if s.Buckets[0] != 2 || s.Buckets[1] != 2 || s.Buckets[HistBuckets-1] != 1 {
+		t.Errorf("buckets: %v", s.Buckets)
+	}
+	if s.Count != 5 {
+		t.Errorf("count: %d", s.Count)
+	}
+}
+
+// finished returns a finished trace with one root span and roughly the
+// given duration recorded (durations are synthesized by direct Finish
+// ordering, not sleeps).
+func finished(id string, err string) *Trace {
+	tr := New(id)
+	tr.StartRoot("r").End()
+	tr.SetError(err)
+	tr.Finish()
+	return tr
+}
+
+func TestRecorderRetention(t *testing.T) {
+	r := NewRecorder(4, 2)
+	var errored *Trace
+	for i := 0; i < 32; i++ {
+		msg := ""
+		if i == 3 {
+			msg = "boom"
+		}
+		tr := finished(fmt.Sprintf("t-%02d", i), msg)
+		if msg != "" {
+			errored = tr
+		}
+		r.Record(tr)
+	}
+	ts := r.Traces()
+	// 4 recent + the errored trace + ≤2 slow stragglers; never more than the
+	// sum of the tiers.
+	if len(ts) > 4+4+2 {
+		t.Fatalf("retained %d traces, tiers allow at most 10", len(ts))
+	}
+	if _, ok := r.Get(errored.ID()); !ok {
+		t.Error("errored trace evicted despite error retention tier")
+	}
+	if _, ok := r.Get("t-31"); !ok {
+		t.Error("most recent trace missing")
+	}
+	if _, ok := r.Get("no-such"); ok {
+		t.Error("Get invented a trace")
+	}
+	st := r.Stats()
+	if st.Recorded != 32 || st.Errored != 1 || st.Capacity != 4 || st.SlowKept != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestRecorderKeepsSlowest(t *testing.T) {
+	r := NewRecorder(2, 3)
+	slow := New("slow")
+	slow.StartRoot("r").End()
+	slow.Finish()
+	slow.durNs = int64(10 * time.Second) // synthesized: a 10s stall
+	r.Record(slow)
+	for i := 0; i < 100; i++ {
+		r.Record(finished(fmt.Sprintf("fast-%d", i), ""))
+	}
+	if _, ok := r.Get("slow"); !ok {
+		t.Error("slowest trace evicted by fast traffic")
+	}
+	if got := r.Traces(); got[0].ID() != "slow" {
+		t.Errorf("listing head %q, want the slowest trace first", got[0].ID())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				err := ""
+				if i%7 == 0 {
+					err = "err"
+				}
+				r.Record(finished(fmt.Sprintf("w%d-%d", w, i), err))
+			}
+		}(w)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ts := r.Traces()
+			if len(ts) > 8+8+4 {
+				t.Errorf("retained %d traces, exceeds tier capacity", len(ts))
+				return
+			}
+			for _, tr := range ts {
+				_ = tr.View() // must never tear under -race
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New("conc")
+	root := tr.StartRoot("root")
+	ctx := ContextWithSpan(context.Background(), root)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := Start(ctx, "shard")
+			sp.AnnotateInt("shard", int64(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	tr.Finish()
+	if n := len(tr.View().Spans); n != 17 {
+		t.Errorf("spans: %d, want 17", n)
+	}
+}
