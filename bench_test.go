@@ -10,9 +10,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"math/rand"
 	"repro/internal/ccc"
@@ -23,9 +25,11 @@ import (
 	"repro/internal/editdist"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/loadgen"
 	"repro/internal/pipeline"
 	"repro/internal/query"
 	"repro/internal/service"
+	"repro/internal/service/api"
 	"repro/internal/solidity"
 	"repro/internal/ssdeep"
 	"repro/internal/trace"
@@ -904,6 +908,86 @@ func BenchmarkCorpusMatchParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			eng.MatchFingerprint(fp)
+		}
+	})
+}
+
+// BenchmarkServeLoad drives the full HTTP serving path through the same
+// loadgen engine operators use, so the capacity numbers CI gates on and the
+// numbers a drill against a live instance reports come from identical code.
+// "uncontended" is a closed-loop capacity probe; "overload-2x" offers an
+// open-loop Poisson stream at twice the measured capacity and reports the
+// p99 of *accepted* requests — the number the admission queue exists to
+// protect. CI fails if accepted p99 regresses more than 3x against the
+// committed BENCH_pr.json baseline.
+func BenchmarkServeLoad(b *testing.B) {
+	startServer := func(b *testing.B) *httptest.Server {
+		b.Helper()
+		s := api.NewServer(service.New(service.Options{
+			Workers: 4, Shards: 4,
+			Admission: service.AdmissionConfig{MaxQueue: 8},
+		}))
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(ts.Close)
+		return ts
+	}
+	mix := loadgen.Mix{Analyze: 1, Match: 7, Ingest: 1, Bulk: 1}
+
+	b.Run("uncontended", func(b *testing.B) {
+		ts := startServer(b)
+		for i := 0; i < b.N; i++ {
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				BaseURL:     ts.URL,
+				Mix:         mix,
+				Concurrency: 4,
+				Requests:    300,
+				Seed:        1,
+				Client:      ts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Accepted.Count == 0 {
+				b.Fatal("closed loop completed zero accepted requests")
+			}
+			b.ReportMetric(float64(rep.Accepted.P50Us)/1e3, "p50-ms")
+			b.ReportMetric(float64(rep.Accepted.P99Us)/1e3, "p99-ms")
+			b.ReportMetric(rep.Throughput, "req/s")
+		}
+	})
+
+	b.Run("overload-2x", func(b *testing.B) {
+		ts := startServer(b)
+		for i := 0; i < b.N; i++ {
+			probe, err := loadgen.Run(context.Background(), loadgen.Config{
+				BaseURL:     ts.URL,
+				Mix:         mix,
+				Concurrency: 4,
+				Requests:    150,
+				Seed:        1,
+				Client:      ts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				BaseURL:     ts.URL,
+				Mix:         mix,
+				Concurrency: 64,
+				Rate:        2 * probe.Throughput,
+				Duration:    2 * time.Second,
+				Seed:        2,
+				Client:      ts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Accepted.Count == 0 {
+				b.Fatal("overload run accepted nothing")
+			}
+			b.ReportMetric(float64(rep.Accepted.P99Us)/1e3, "p99-ms")
+			b.ReportMetric(float64(rep.Shed), "shed")
+			b.ReportMetric(float64(rep.Accepted.Count), "accepted")
 		}
 	})
 }

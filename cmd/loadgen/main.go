@@ -1,0 +1,142 @@
+// Command loadgen drives synthetic mixed traffic at a running serve
+// instance and reports client-side latency quantiles next to the server's
+// own /metrics view. It is the operator-facing face of internal/loadgen —
+// the same engine that gates CI via BenchmarkServeLoad — so a capacity
+// number measured by hand and one quoted by CI come from identical code.
+//
+// Closed loop (capacity probe): N workers issue requests back to back, so
+// offered load adapts to what the server sustains.
+//
+//	loadgen -url http://localhost:8070 -requests 2000 -concurrency 16
+//
+// Open loop (overload drill): requests arrive on a Poisson process at a
+// fixed rate whether or not earlier ones finished — push the rate past
+// capacity and watch the admission queue shed while accepted p99 holds.
+//
+//	loadgen -url http://localhost:8070 -rate 500 -duration 30s -mix match=8,ingest=2
+//
+// Exit status is 0 even when requests were shed — shedding under overload
+// is the server working as designed. Use -min-accepted to fail a drill that
+// accepted less than the expected fraction.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8070", "base URL of the serve instance")
+	mixFlag := flag.String("mix", "analyze=1,match=7,ingest=1,bulk=1", "request mix as kind=weight terms")
+	concurrency := flag.Int("concurrency", 8, "client workers (closed loop) / max in-flight (open loop)")
+	requests := flag.Int("requests", 1000, "total requests in the closed loop")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+	duration := flag.Duration("duration", 10*time.Second, "open-loop run time (with -rate)")
+	limit := flag.Int("limit", 10, "top-K passed on match requests (0 = all)")
+	bulkBatch := flag.Int("bulk-batch", 16, "entries per bulk ingest request")
+	apiKey := flag.String("api-key", "", "X-API-Key header (the server's rate-limit client key)")
+	seed := flag.Int64("seed", 1, "workload seed (reproducible runs)")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
+	minAccepted := flag.Float64("min-accepted", 0, "exit 1 if the accepted fraction falls below this (0-1)")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		die(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:     *url,
+		Mix:         mix,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Rate:        *rate,
+		Duration:    *duration,
+		MatchLimit:  *limit,
+		BulkBatch:   *bulkBatch,
+		APIKey:      *apiKey,
+		Seed:        *seed,
+	})
+	if err != nil {
+		die(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			die(err)
+		}
+	} else {
+		printReport(rep)
+	}
+
+	if *minAccepted > 0 && rep.Requests > 0 {
+		frac := float64(rep.Accepted.Count) / float64(rep.Requests)
+		if frac < *minAccepted {
+			fmt.Fprintf(os.Stderr, "loadgen: accepted fraction %.3f below -min-accepted %.3f\n", frac, *minAccepted)
+			os.Exit(1)
+		}
+	}
+}
+
+func printReport(rep *loadgen.Report) {
+	fmt.Printf("requests     %d in %.2fs (%.1f req/s)\n", rep.Requests, rep.ElapsedSec, rep.Throughput)
+	statuses := make([]int, 0, len(rep.ByStatus))
+	for code := range rep.ByStatus {
+		statuses = append(statuses, code)
+	}
+	sort.Ints(statuses)
+	for _, code := range statuses {
+		fmt.Printf("  status %d  %d\n", code, rep.ByStatus[code])
+	}
+	if rep.NetErrors > 0 {
+		fmt.Printf("  net errors %d\n", rep.NetErrors)
+	}
+	if rep.Dropped > 0 {
+		fmt.Printf("  dropped    %d (open-loop arrivals over the in-flight cap)\n", rep.Dropped)
+	}
+	if rep.Shed > 0 {
+		fmt.Printf("shed         %d (429: admission or rate limit)\n", rep.Shed)
+	}
+	printQ := func(name string, q loadgen.Quantiles) {
+		if q.Count == 0 {
+			return
+		}
+		fmt.Printf("%-12s n=%-6d p50=%s p99=%s p999=%s max=%s\n",
+			name, q.Count, us(q.P50Us), us(q.P99Us), us(q.P999Us), us(q.MaxUs))
+	}
+	printQ("all", rep.All)
+	printQ("accepted", rep.Accepted)
+	kinds := make([]string, 0, len(rep.ByKind))
+	for kind := range rep.ByKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		printQ("  "+kind, rep.ByKind[kind])
+	}
+	if sv := rep.Server; sv != nil {
+		fmt.Printf("server       match_p99=%s matches=%d admitted=%d shed=%d ratelimited=%d yields=%d\n",
+			us(int64(sv.MatchP99Us)), sv.MatchCount, sv.Admitted, sv.Shed, sv.RateLimited, sv.BackgroundYield)
+	}
+}
+
+// us renders microseconds human-readably.
+func us(v int64) string {
+	return (time.Duration(v) * time.Microsecond).Round(10 * time.Microsecond).String()
+}

@@ -5,6 +5,7 @@
 //	serve -addr :8070 -workers 8 -cache 4096
 //	serve -corpus-dir ./data -snapshot-interval 5m     # durable corpus
 //	serve -shards 8 -backend ccd,ssdeep,smartembed     # scatter-gather width + extra matchers
+//	serve -admission-queue 64 -rate-limit 50 -rate-burst 100   # overload controls
 //
 // The serving corpus is hash-partitioned into -shards generation-shards
 // (default GOMAXPROCS): each /v1/match scatter-gathers across all shards in
@@ -57,6 +58,21 @@
 // with net/http/pprof plus the same trace/metrics endpoints; it comes up
 // before the corpus restore, so a long WAL replay is observable (and
 // /readyz correctly reports 503 until serving starts).
+//
+// Overload behavior: the heavy POST routes sit behind a bounded admission
+// queue of -admission-queue requests beyond the worker pool; once it is full,
+// requests are shed immediately with 429 and a Retry-After computed from the
+// live queue depth and match p99 — accepted requests keep a bounded latency
+// instead of everyone queueing into timeout. -rate-limit adds a per-client
+// token bucket (keyed by X-API-Key, else remote address) in front of all /v1
+// routes; observability endpoints are exempt. Background work — self-join
+// study segments, bulk-ingest batches — runs at background priority and
+// yields worker slots to waiting interactive requests. With -corpus-dir,
+// -bp-fsync-p99 arms durability backpressure: when the rolling WAL fsync p99
+// crosses the threshold, ingest acknowledgements slow by the excess (capped
+// at -bp-max-delay) so write bursts degrade smoothly before the admission
+// queue sheds. See docs/operations.md for the runbook and docs/tuning.md for
+// how to size the knobs.
 //
 // With -clusters (default on) every ingested document is matched against
 // the ccd corpus and its clone edges folded into an incremental union-find,
@@ -146,6 +162,11 @@ func main() {
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error (per-request lines log at debug)")
 	debugAddr := flag.String("debug-addr", "", "private listener for pprof + trace/metrics endpoints (empty = disabled)")
 	traceBuffer := flag.Int("trace-buffer", 0, "completed traces retained for /debug/traces (0 = default)")
+	admissionQueue := flag.Int("admission-queue", 64, "admitted requests allowed to wait beyond the worker pool before shedding with 429 (0 = never shed)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in requests/second on /v1 routes (0 = disabled; clients keyed by X-API-Key, else remote address)")
+	rateBurst := flag.Int("rate-burst", 32, "per-client burst size with -rate-limit")
+	bpFsyncP99 := flag.Duration("bp-fsync-p99", 50*time.Millisecond, "rolling WAL fsync p99 above which ingest acks slow down (0 = disabled; needs -corpus-dir)")
+	bpMaxDelay := flag.Duration("bp-max-delay", service.DefaultBackpressureMaxDelay, "cap on the per-ack delay injected by durability backpressure")
 	flag.Parse()
 
 	die := func(err error) {
@@ -198,9 +219,13 @@ func main() {
 		Backends:      extraBackends,
 		CCD:           ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
 		TrackClusters: *clusters,
+		Admission:     service.AdmissionConfig{MaxQueue: *admissionQueue},
 	})
 
 	opts := []api.Option{api.WithLogger(logger)}
+	if *rateLimit > 0 {
+		opts = append(opts, api.WithRateLimit(*rateLimit, *rateBurst))
+	}
 	if *traceBuffer > 0 {
 		opts = append(opts, api.WithTraceBuffer(*traceBuffer, 0))
 	}
@@ -222,6 +247,12 @@ func main() {
 				logger.Warn("auto snapshot failed", "err", err)
 			})
 			defer stopAutoSnapshot() // idempotent; safety net for error exits
+		}
+		if *bpFsyncP99 > 0 {
+			store.SetBackpressure(service.BackpressureConfig{
+				FsyncP99: *bpFsyncP99,
+				MaxDelay: *bpMaxDelay,
+			})
 		}
 		opts = append(opts, api.WithStore(store))
 	} else if *snapInterval > 0 {

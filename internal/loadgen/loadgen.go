@@ -1,0 +1,479 @@
+// Package loadgen generates synthetic mixed traffic against a running serve
+// instance and reports client-side latency quantiles next to the server's
+// own view. It drives the CI load gate (BenchmarkServeLoad) and the
+// cmd/loadgen operator tool, so capacity numbers quoted in docs/tuning.md
+// come from one code path.
+//
+// Two arrival models are supported. The closed loop (Rate == 0) runs
+// Concurrency workers back to back — offered load adapts to service rate,
+// which measures capacity. The open loop (Rate > 0) fires requests on a
+// Poisson arrival process regardless of completions — offered load is held
+// constant, which is how real overload arrives and what the admission queue
+// is built for.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request kinds in a synthetic mix.
+const (
+	KindAnalyze = "analyze"
+	KindMatch   = "match"
+	KindIngest  = "ingest"
+	KindBulk    = "bulk"
+)
+
+// Mix weights the request kinds. Zero-valued kinds are absent; an all-zero
+// Mix defaults to DefaultMix.
+type Mix struct {
+	Analyze int `json:"analyze"`
+	Match   int `json:"match"`
+	Ingest  int `json:"ingest"`
+	Bulk    int `json:"bulk"`
+}
+
+// DefaultMix approximates a serving workload: match-dominated with a steady
+// ingest trickle.
+var DefaultMix = Mix{Analyze: 1, Match: 7, Ingest: 1, Bulk: 1}
+
+func (m Mix) total() int { return m.Analyze + m.Match + m.Ingest + m.Bulk }
+
+// pick maps a uniform draw in [0, total) to a kind.
+func (m Mix) pick(r int) string {
+	if r < m.Analyze {
+		return KindAnalyze
+	}
+	r -= m.Analyze
+	if r < m.Match {
+		return KindMatch
+	}
+	r -= m.Match
+	if r < m.Ingest {
+		return KindIngest
+	}
+	return KindBulk
+}
+
+// ParseMix reads the CLI form "match=7,analyze=1,ingest=1,bulk=1".
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Mix{}, fmt.Errorf("bad mix term %q (want kind=weight)", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 0 {
+			return Mix{}, fmt.Errorf("bad mix weight %q", val)
+		}
+		switch strings.TrimSpace(kind) {
+		case KindAnalyze:
+			m.Analyze = w
+		case KindMatch:
+			m.Match = w
+		case KindIngest:
+			m.Ingest = w
+		case KindBulk:
+			m.Bulk = w
+		default:
+			return Mix{}, fmt.Errorf("unknown mix kind %q", kind)
+		}
+	}
+	if m.total() == 0 {
+		return Mix{}, fmt.Errorf("empty mix")
+	}
+	return m, nil
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the serve instance, e.g. "http://localhost:8070".
+	BaseURL string
+	// Mix weights the request kinds (zero value: DefaultMix).
+	Mix Mix
+	// Concurrency is the client (worker) count. Closed loop: the number of
+	// back-to-back request loops. Open loop: the cap on in-flight requests —
+	// arrivals beyond it are counted as dropped rather than queued, keeping
+	// the generator itself from becoming the bottleneck being measured.
+	Concurrency int
+	// Requests is the closed-loop total across all workers (ignored when
+	// Rate > 0).
+	Requests int
+	// Rate switches to the open loop: mean arrivals per second on a Poisson
+	// process, for Duration.
+	Rate     float64
+	Duration time.Duration
+	// MatchLimit is the top-K passed on match requests (0 = all).
+	MatchLimit int
+	// BulkBatch is entries per bulk request (0 = 16).
+	BulkBatch int
+	// APIKey, when set, is sent as X-API-Key (the rate-limit client key).
+	APIKey string
+	// Seed makes the workload reproducible (0 = 1).
+	Seed int64
+	// Client overrides the HTTP client (tests inject the httptest client).
+	Client *http.Client
+}
+
+// Quantiles summarizes one latency population, exact (sorted samples, ceil
+// rank), not bucketed — the load gate asserts 2-3x ratios that log₂ buckets
+// cannot resolve.
+type Quantiles struct {
+	Count  int   `json:"count"`
+	MeanUs int64 `json:"mean_us"`
+	P50Us  int64 `json:"p50_us"`
+	P90Us  int64 `json:"p90_us"`
+	P99Us  int64 `json:"p99_us"`
+	P999Us int64 `json:"p999_us"`
+	MaxUs  int64 `json:"max_us"`
+}
+
+func summarize(ds []time.Duration) Quantiles {
+	if len(ds) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	at := func(q float64) int64 {
+		rank := int(float64(len(sorted))*q + 0.9999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(sorted) {
+			rank = len(sorted)
+		}
+		return sorted[rank-1].Microseconds()
+	}
+	return Quantiles{
+		Count:  len(sorted),
+		MeanUs: (sum / time.Duration(len(sorted))).Microseconds(),
+		P50Us:  at(0.50),
+		P90Us:  at(0.90),
+		P99Us:  at(0.99),
+		P999Us: at(0.999),
+		MaxUs:  sorted[len(sorted)-1].Microseconds(),
+	}
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	Requests   int           `json:"requests"`
+	Elapsed    time.Duration `json:"-"`
+	ElapsedSec float64       `json:"elapsed_sec"`
+	// Throughput is completed requests (any status) per second.
+	Throughput float64 `json:"throughput_rps"`
+	// ByStatus counts responses per HTTP status; NetErrors counts requests
+	// that failed below HTTP (refused connections, timeouts). Dropped counts
+	// open-loop arrivals skipped because Concurrency in-flight requests
+	// already existed.
+	ByStatus  map[int]int `json:"by_status"`
+	NetErrors int         `json:"net_errors"`
+	Dropped   int         `json:"dropped,omitempty"`
+	// Shed counts 429s — admission or rate-limit refusals.
+	Shed int `json:"shed"`
+	// All summarizes every completed request; Accepted only the 2xx ones —
+	// the population whose p99 the overload contract pins.
+	All      Quantiles `json:"all"`
+	Accepted Quantiles `json:"accepted"`
+	// ByKind splits accepted-latency summaries per request kind.
+	ByKind map[string]Quantiles `json:"by_kind"`
+	// Server is the server's own view, scraped from /metrics after the run
+	// (nil when the scrape failed).
+	Server *ServerView `json:"server,omitempty"`
+}
+
+// ServerView is the slice of /metrics the generator reports next to its
+// client-side numbers: the two should agree on shape, and their disagreement
+// (queue wait, network) is itself a signal.
+type ServerView struct {
+	MatchP99Us      float64 `json:"match_p99_us"`
+	MatchCount      int64   `json:"match_count"`
+	Admitted        int64   `json:"admitted"`
+	Shed            int64   `json:"shed"`
+	RateLimited     int64   `json:"requests_ratelimited"`
+	BackgroundYield int64   `json:"background_yields"`
+}
+
+// Run drives the configured load against cfg.BaseURL and reports.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.BulkBatch <= 0 {
+		cfg.BulkBatch = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 60 * time.Second}
+	}
+	if cfg.Rate > 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: open loop (rate %.1f) needs a duration", cfg.Rate)
+	}
+	if cfg.Rate <= 0 && cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: closed loop needs a request count")
+	}
+
+	g := &generator{cfg: cfg}
+	start := time.Now()
+	var err error
+	if cfg.Rate > 0 {
+		err = g.runOpen(ctx)
+	} else {
+		err = g.runClosed(ctx)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := g.report(time.Since(start))
+	rep.Server = scrape(ctx, cfg)
+	return rep, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	kind   string
+	status int // 0 = network error
+	dur    time.Duration
+}
+
+type generator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	samples []sample
+	dropped int
+}
+
+func (g *generator) record(s sample) {
+	g.mu.Lock()
+	g.samples = append(g.samples, s)
+	g.mu.Unlock()
+}
+
+// runClosed: Concurrency workers share a global request budget.
+func (g *generator) runClosed(ctx context.Context) error {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < g.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.cfg.Seed + int64(w)*7919))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= g.cfg.Requests || ctx.Err() != nil {
+					return
+				}
+				g.record(g.issue(ctx, rng, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// runOpen: Poisson arrivals at cfg.Rate for cfg.Duration; each arrival takes
+// an in-flight slot or is dropped.
+func (g *generator) runOpen(ctx context.Context) error {
+	arrivals := rand.New(rand.NewSource(g.cfg.Seed))
+	slots := make(chan struct{}, g.cfg.Concurrency)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(g.cfg.Duration)
+	i := 0
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		// Exponential inter-arrival → Poisson process.
+		wait := time.Duration(arrivals.ExpFloat64() / g.cfg.Rate * float64(time.Second))
+		time.Sleep(wait)
+		select {
+		case slots <- struct{}{}:
+		default:
+			g.mu.Lock()
+			g.dropped++
+			g.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		i++
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			rng := rand.New(rand.NewSource(g.cfg.Seed + int64(i)*7919))
+			g.record(g.issue(ctx, rng, i))
+		}(i)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// issue sends one request of a mix-drawn kind and times it.
+func (g *generator) issue(ctx context.Context, rng *rand.Rand, i int) sample {
+	kind := g.cfg.Mix.pick(rng.Intn(g.cfg.Mix.total()))
+	var (
+		path string
+		body any
+	)
+	switch kind {
+	case KindAnalyze:
+		path = "/v1/analyze"
+		body = map[string]any{"source": synthSource(rng, i)}
+	case KindMatch:
+		path = "/v1/match"
+		body = map[string]any{"source": synthSource(rng, i), "limit": g.cfg.MatchLimit}
+	case KindIngest:
+		path = "/v1/corpus"
+		body = map[string]any{"entries": []map[string]string{
+			{"id": fmt.Sprintf("load-%d", i), "source": synthSource(rng, i)},
+		}}
+	case KindBulk:
+		path = "/v1/corpus/bulk"
+		var sb strings.Builder
+		for j := 0; j < g.cfg.BulkBatch; j++ {
+			line, _ := json.Marshal(map[string]string{
+				"id":     fmt.Sprintf("bulk-%d-%d", i, j),
+				"source": synthSource(rng, i*g.cfg.BulkBatch+j),
+			})
+			sb.Write(line)
+			sb.WriteByte('\n')
+		}
+		return g.send(ctx, kind, path, "application/x-ndjson", strings.NewReader(sb.String()))
+	}
+	buf, _ := json.Marshal(body)
+	return g.send(ctx, kind, path, "application/json", bytes.NewReader(buf))
+}
+
+func (g *generator) send(ctx context.Context, kind, path, contentType string, body io.Reader) sample {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.BaseURL+path, body)
+	if err != nil {
+		return sample{kind: kind}
+	}
+	req.Header.Set("Content-Type", contentType)
+	if g.cfg.APIKey != "" {
+		req.Header.Set("X-API-Key", g.cfg.APIKey)
+	}
+	start := time.Now()
+	resp, err := g.cfg.Client.Do(req)
+	d := time.Since(start)
+	if err != nil {
+		return sample{kind: kind, dur: d}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{kind: kind, status: resp.StatusCode, dur: d}
+}
+
+// synthSource emits a unique small contract: realistic parse work, no cache
+// hits across requests.
+func synthSource(rng *rand.Rand, i int) string {
+	return fmt.Sprintf(`contract Load%d_%d {
+	uint total;
+	mapping(address => uint) balances;
+	function pay%d(uint amount) public {
+		balances[msg.sender] = balances[msg.sender] + amount;
+		total = total + %d;
+	}
+}`, i, rng.Intn(1<<20), i%97, i%13)
+}
+
+func (g *generator) report(elapsed time.Duration) *Report {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := &Report{
+		Requests:   len(g.samples),
+		Elapsed:    elapsed,
+		ElapsedSec: elapsed.Seconds(),
+		ByStatus:   make(map[int]int),
+		ByKind:     make(map[string]Quantiles),
+		Dropped:    g.dropped,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(len(g.samples)) / elapsed.Seconds()
+	}
+	var all, accepted []time.Duration
+	perKind := make(map[string][]time.Duration)
+	for _, s := range g.samples {
+		if s.status == 0 {
+			rep.NetErrors++
+			continue
+		}
+		rep.ByStatus[s.status]++
+		all = append(all, s.dur)
+		if s.status == http.StatusTooManyRequests {
+			rep.Shed++
+		}
+		if s.status >= 200 && s.status < 300 {
+			accepted = append(accepted, s.dur)
+			perKind[s.kind] = append(perKind[s.kind], s.dur)
+		}
+	}
+	rep.All = summarize(all)
+	rep.Accepted = summarize(accepted)
+	for kind, ds := range perKind {
+		rep.ByKind[kind] = summarize(ds)
+	}
+	return rep
+}
+
+// scrape pulls the server-side counters that mirror the client view.
+// Best-effort: a missing or foreign /metrics yields nil, not an error.
+func scrape(ctx context.Context, cfg Config) *ServerView {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var m struct {
+		MatchLatency struct {
+			Count int64   `json:"count"`
+			P99Us float64 `json:"p99_us"`
+		} `json:"match_latency"`
+		Admission struct {
+			Admitted         int64 `json:"admitted"`
+			Shed             int64 `json:"shed"`
+			BackgroundYields int64 `json:"background_yields"`
+		} `json:"admission"`
+		RateLimited int64 `json:"requests_ratelimited"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil
+	}
+	return &ServerView{
+		MatchP99Us:      m.MatchLatency.P99Us,
+		MatchCount:      m.MatchLatency.Count,
+		Admitted:        m.Admission.Admitted,
+		Shed:            m.Admission.Shed,
+		RateLimited:     m.RateLimited,
+		BackgroundYield: m.Admission.BackgroundYields,
+	}
+}

@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/service/api"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := api.NewServer(service.New(service.Options{
+		Workers: 4, Shards: 2,
+		Admission: service.AdmissionConfig{MaxQueue: 8},
+	}))
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClosedLoopReport(t *testing.T) {
+	ts := testServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Concurrency: 4,
+		Requests:    60,
+		Seed:        7,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60 {
+		t.Fatalf("reported %d requests, want 60", rep.Requests)
+	}
+	if rep.NetErrors != 0 {
+		t.Fatalf("%d network errors against a live server", rep.NetErrors)
+	}
+	if rep.ByStatus[http.StatusOK] == 0 {
+		t.Fatalf("no 200s: %v", rep.ByStatus)
+	}
+	if rep.Accepted.Count == 0 || rep.All.Count != 60 {
+		t.Fatalf("summaries: all=%d accepted=%d", rep.All.Count, rep.Accepted.Count)
+	}
+	// Quantiles must be exact and monotone.
+	q := rep.Accepted
+	if !(q.P50Us <= q.P90Us && q.P90Us <= q.P99Us && q.P99Us <= q.P999Us && q.P999Us <= q.MaxUs) {
+		t.Errorf("non-monotone quantiles: %+v", q)
+	}
+	// The default mix is match-heavy; over 60 draws every kind appears.
+	for _, kind := range []string{KindAnalyze, KindMatch, KindIngest, KindBulk} {
+		if rep.ByKind[kind].Count == 0 {
+			t.Errorf("mix never drew %s over 60 requests", kind)
+		}
+	}
+	if rep.Server == nil {
+		t.Fatal("server-side scrape missing")
+	}
+	if rep.Server.MatchCount == 0 {
+		t.Error("server reports zero matches after a match-heavy run")
+	}
+	if rep.Server.Admitted == 0 {
+		t.Error("server reports zero admitted requests")
+	}
+}
+
+func TestOpenLoopRunsForDuration(t *testing.T) {
+	ts := testServer(t)
+	rep, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Mix:         Mix{Match: 1},
+		Concurrency: 8,
+		Rate:        200,
+		Duration:    300 * time.Millisecond,
+		Seed:        3,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("open loop issued nothing")
+	}
+	// 200/s for 0.3s ≈ 60 arrivals; allow wide scheduling slack but pin the
+	// order of magnitude so a broken arrival clock fails loudly.
+	if rep.Requests+rep.Dropped < 20 {
+		t.Errorf("open loop issued %d (+%d dropped), want ≈60", rep.Requests, rep.Dropped)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Rate: 10}); err == nil {
+		t.Error("open loop without duration accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
+		t.Error("closed loop without request count accepted")
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("match=7, analyze=1,ingest=2,bulk=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{Analyze: 1, Match: 7, Ingest: 2}) {
+		t.Fatalf("parsed %+v", m)
+	}
+	for _, bad := range []string{"", "match", "match=x", "nope=1", "match=-1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSummarizeExactQuantiles(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 1000; i++ {
+		ds = append(ds, time.Duration(i)*time.Microsecond)
+	}
+	q := summarize(ds)
+	if q.P50Us != 500 || q.P99Us != 990 || q.P999Us != 999 || q.MaxUs != 1000 {
+		t.Fatalf("exact quantiles off: %+v", q)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ccc"
@@ -45,6 +46,11 @@ type Server struct {
 	recorder  *trace.Recorder
 	logger    *slog.Logger // nil disables request logging
 	ready     func() bool  // readiness probe; defaults to the store's state
+
+	// limiter is the per-client token-bucket (nil without WithRateLimit);
+	// rateLimited counts requests it refused.
+	limiter     *rateLimiter
+	rateLimited atomic.Int64
 }
 
 // Option configures a Server.
@@ -67,6 +73,18 @@ func WithLogger(l *slog.Logger) Option {
 // failure), or is always true when persistence is disabled.
 func WithReadiness(ready func() bool) Option {
 	return func(s *Server) { s.ready = ready }
+}
+
+// WithRateLimit enables per-client token-bucket rate limiting on the /v1
+// routes: each client (X-API-Key header, else remote address) accrues rps
+// requests per second up to burst. Observability endpoints are exempt — a
+// scrape or probe must work exactly when the limiter is busiest.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Server) {
+		if rps > 0 {
+			s.limiter = newRateLimiter(rps, burst)
+		}
+	}
 }
 
 // WithTraceBuffer sizes the completed-trace ring served at /debug/traces
@@ -97,20 +115,25 @@ func NewServer(engine *service.Engine, opts ...Option) *Server {
 		}
 	}
 
+	// /v1 routes sit behind the per-client rate limiter; the heavy POST
+	// routes additionally pass the engine's bounded admission queue, and
+	// ingest routes are guarded on store readiness. Order per request:
+	// rate limit (cheapest, per-client fairness) → admission (global
+	// overload) → writability → handler.
 	mux := http.NewServeMux()
-	s.traced(mux, "POST /v1/analyze", s.handleAnalyze)
-	s.traced(mux, "POST /v1/fingerprint", s.handleFingerprint)
-	s.traced(mux, "POST /v1/corpus", s.handleCorpusAdd)
-	s.traced(mux, "GET /v1/corpus", s.handleCorpusInfo)
-	s.traced(mux, "POST /v1/corpus/bulk", s.handleCorpusBulk)
-	s.traced(mux, "POST /v1/corpus/snapshot", s.handleCorpusSnapshot)
-	s.traced(mux, "GET /v1/corpus/export", s.handleCorpusExport)
-	s.traced(mux, "POST /v1/match", s.handleMatch)
-	s.traced(mux, "POST /v1/study", s.handleStudyStart)
-	s.traced(mux, "GET /v1/study", s.handleStudyList)
-	s.traced(mux, "GET /v1/study/{id}", s.handleStudyGet)
-	s.traced(mux, "GET /v1/clusters", s.handleClusters)
-	s.traced(mux, "GET /v1/clusters/export", s.handleClustersExport)
+	s.traced(mux, "POST /v1/analyze", s.limited(s.admitted(s.handleAnalyze)))
+	s.traced(mux, "POST /v1/fingerprint", s.limited(s.admitted(s.handleFingerprint)))
+	s.traced(mux, "POST /v1/corpus", s.limited(s.admitted(s.writable(s.handleCorpusAdd))))
+	s.traced(mux, "GET /v1/corpus", s.limited(s.handleCorpusInfo))
+	s.traced(mux, "POST /v1/corpus/bulk", s.limited(s.admitted(s.writable(s.handleCorpusBulk))))
+	s.traced(mux, "POST /v1/corpus/snapshot", s.limited(s.writable(s.handleCorpusSnapshot)))
+	s.traced(mux, "GET /v1/corpus/export", s.limited(s.handleCorpusExport))
+	s.traced(mux, "POST /v1/match", s.limited(s.admitted(s.handleMatch)))
+	s.traced(mux, "POST /v1/study", s.limited(s.handleStudyStart))
+	s.traced(mux, "GET /v1/study", s.limited(s.handleStudyList))
+	s.traced(mux, "GET /v1/study/{id}", s.limited(s.handleStudyGet))
+	s.traced(mux, "GET /v1/clusters", s.limited(s.handleClusters))
+	s.traced(mux, "GET /v1/clusters/export", s.limited(s.handleClustersExport))
 	// Observability endpoints are counted but untraced: a scrape must not
 	// churn the trace ring it is reading.
 	s.counted(mux, "GET /healthz", s.handleHealthz)
@@ -250,6 +273,9 @@ type errorResponse struct {
 	// TraceID correlates the failure with its trace at /debug/traces/{id}
 	// and the server logs; present on traced routes.
 	TraceID string `json:"trace_id,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on shed (429) and
+	// not-writable (503) responses, for clients that only read bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // --- handlers -----------------------------------------------------------------
@@ -670,7 +696,10 @@ type MetricsResponse struct {
 	// HitRates flattens per-cache hit rates for dashboards.
 	HitRates map[string]float64  `json:"cache_hit_rates"`
 	Traces   trace.RecorderStats `json:"traces"`
-	Uptime   string              `json:"uptime"`
+	// RateLimited counts requests refused by the per-client token-bucket
+	// limiter (0 when rate limiting is disabled).
+	RateLimited int64  `json:"requests_ratelimited"`
+	Uptime      string `json:"uptime"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -688,8 +717,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"report":      snap.ReportCache.HitRate(),
 			"fingerprint": snap.FingerprintCache.HitRate(),
 		},
-		Traces: s.recorder.Stats(),
-		Uptime: time.Since(s.start).Round(time.Millisecond).String(),
+		Traces:      s.recorder.Stats(),
+		RateLimited: s.rateLimited.Load(),
+		Uptime:      time.Since(s.start).Round(time.Millisecond).String(),
 	})
 }
 
@@ -718,7 +748,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	resp := errorResponse{Error: msg}
+	writeErrorRetry(w, status, msg, 0)
+}
+
+func writeErrorRetry(w http.ResponseWriter, status int, msg string, retryAfterSeconds int) {
+	resp := errorResponse{Error: msg, RetryAfterSeconds: retryAfterSeconds}
 	// Traced routes hand their handlers a *traceWriter; recover the trace
 	// from it so every error payload carries its trace id and the trace
 	// itself is marked errored (and thus retained by the recorder).

@@ -1,0 +1,111 @@
+package api
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// docsMetricsPath reaches the operator-facing metrics reference from this
+// package; the test is the contract that keeps the table in that file and
+// the live exposition identical.
+const docsMetricsPath = "../../../docs/metrics.md"
+
+// docTableRow matches one metric row of the reference table:
+// | `ccd_name` | type | meaning |
+var docTableRow = regexp.MustCompile("^\\|\\s*`(ccd_[a-z0-9_]+)`\\s*\\|\\s*(counter|gauge|histogram)\\s*\\|")
+
+// TestMetricsDocCoversExposition diffs docs/metrics.md against a live
+// Prometheus scrape in both directions: every exposed family must be
+// documented with the right type, and every documented family must still be
+// exposed. The server is assembled with a store, admission control and a
+// rate limiter so the conditional families (durability, overload) render.
+func TestMetricsDocCoversExposition(t *testing.T) {
+	engine := service.New(service.Options{
+		Workers: 2, Shards: 2,
+		Admission: service.AdmissionConfig{MaxQueue: 4},
+	})
+	store, err := service.OpenStore(t.TempDir(), engine.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	ts := httptest.NewServer(NewServer(engine,
+		WithStore(store), WithRateLimit(1000, 1000)).Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Exposed families, from the # TYPE preamble each family must emit.
+	exposed := map[string]string{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			exposed[fields[2]] = fields[3]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(exposed) == 0 {
+		t.Fatal("scrape produced no # TYPE lines")
+	}
+
+	// Documented families, from the reference tables.
+	doc, err := os.ReadFile(docsMetricsPath)
+	if err != nil {
+		t.Fatalf("metrics reference missing: %v", err)
+	}
+	documented := map[string]string{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if m := docTableRow.FindStringSubmatch(line); m != nil {
+			if _, dup := documented[m[1]]; dup {
+				t.Errorf("%s documented twice in %s", m[1], docsMetricsPath)
+			}
+			documented[m[1]] = m[2]
+		}
+	}
+
+	for name, typ := range exposed {
+		docTyp, ok := documented[name]
+		if !ok {
+			t.Errorf("exposed family %s (%s) is missing from %s", name, typ, docsMetricsPath)
+			continue
+		}
+		if docTyp != typ {
+			t.Errorf("%s documented as %s but exposed as %s", name, docTyp, typ)
+		}
+	}
+	for name := range documented {
+		if _, ok := exposed[name]; !ok {
+			t.Errorf("documented family %s is no longer exposed", name)
+		}
+	}
+}
+
+// TestDocsCrossLinksResolve pins the relative links between README and the
+// docs tree from this package's vantage point (CI also runs a repo-wide
+// markdown link check; this keeps `go test` self-sufficient).
+func TestDocsCrossLinksResolve(t *testing.T) {
+	for _, p := range []string{
+		"../../../README.md",
+		"../../../docs/metrics.md",
+		"../../../docs/operations.md",
+		"../../../docs/tuning.md",
+	} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("doc missing: %v", err)
+		}
+	}
+}

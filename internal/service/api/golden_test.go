@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/service"
 )
 
 // Golden-file tests pin the HTTP response shapes: any field rename, type
@@ -87,6 +89,30 @@ func TestGoldenBackendNotLoaded(t *testing.T) {
 		"/v1/match?backend=ssdeep", map[string]any{"source": benignSrc})
 	runGoldenCase(t, ts, "clusters_disabled", http.MethodGet, "/v1/clusters", nil)
 	runGoldenCase(t, ts, "clusters_export_disabled", http.MethodGet, "/v1/clusters/export", nil)
+}
+
+// TestGoldenOverloadShapes pins the deterministic overload response shapes:
+// the rate-limited 429 (retry hint = the limiter's fixed refill interval)
+// and the not-ready ingest 503. Admission-shed 429s share the same error
+// shape but depend on concurrent timing; TestShedResponseShape covers them.
+func TestGoldenOverloadShapes(t *testing.T) {
+	limited := NewServer(service.New(service.Options{Workers: 2, Shards: 2}),
+		WithRateLimit(0.01, 1)) // burst 1, then a deterministic 100s refill
+	lts := httptest.NewServer(limited.Handler())
+	t.Cleanup(lts.Close)
+	if resp, err := http.Get(lts.URL + "/v1/corpus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close() // burn the only token
+	}
+	runGoldenCase(t, lts, "ratelimited", http.MethodGet, "/v1/corpus", nil)
+
+	notReady := NewServer(service.New(service.Options{Workers: 2, Shards: 2}),
+		WithReadiness(func() bool { return false }))
+	nts := httptest.NewServer(notReady.Handler())
+	t.Cleanup(nts.Close)
+	runGoldenCase(t, nts, "ingest_not_ready", http.MethodPost, "/v1/corpus",
+		map[string]any{"entries": []map[string]string{{"id": "x", "source": benignSrc}}})
 }
 
 // runGoldenCase issues one request and compares (status, body) against the

@@ -22,9 +22,12 @@ const (
 type JobStatus string
 
 const (
+	// JobRunning marks a study still computing; keep polling.
 	JobRunning JobStatus = "running"
-	JobDone    JobStatus = "done"
-	JobFailed  JobStatus = "failed"
+	// JobDone marks a study whose full report is attached.
+	JobDone JobStatus = "done"
+	// JobFailed marks a study aborted by an error (carried in the payload).
+	JobFailed JobStatus = "failed"
 )
 
 // StudySummary is the JSON-able condensate a polling client receives. For

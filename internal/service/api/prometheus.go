@@ -73,8 +73,13 @@ func (p *promWriter) metric(name, labels string, v float64) {
 
 // counter and gauge emit a single-sample family with its preamble.
 func (p *promWriter) counter(name, help string, v int64) {
+	p.counterf(name, help, float64(v))
+}
+
+// counterf is counter for fractional totals (cumulative seconds).
+func (p *promWriter) counterf(name, help string, v float64) {
 	p.header(name, help, "counter")
-	p.metric(name, "", float64(v))
+	p.metric(name, "", v)
 }
 
 func (p *promWriter) gauge(name, help string, v float64) {
@@ -145,6 +150,16 @@ func (s *Server) writePrometheus(w io.Writer, snap service.Snapshot, uptimeSec f
 	p.gauge("ccd_saturation", "busy_workers / workers.", snap.Saturation)
 	p.counter("ccd_tasks_executed_total", "Units of work executed by the pool.", snap.TasksExecuted)
 
+	// Admission control and priority scheduling.
+	adm := snap.Admission
+	p.gauge("ccd_admission_capacity", "In-flight request bound (0 = admission control disabled).", float64(adm.Capacity))
+	p.gauge("ccd_admission_inflight", "Admitted requests currently in flight.", float64(adm.Inflight))
+	p.gauge("ccd_admission_interactive_waiting", "Interactive tasks waiting for a worker slot.", float64(adm.InteractiveWaiting))
+	p.counter("ccd_requests_admitted_total", "Requests admitted past the bounded queue.", adm.Admitted)
+	p.counter("ccd_requests_shed_total", "Requests shed with 429 by admission control.", adm.Shed)
+	p.counter("ccd_background_yields_total", "Background tasks that parked for waiting interactive work.", adm.BackgroundYields)
+	p.counter("ccd_requests_ratelimited_total", "Requests refused by the per-client rate limiter.", s.rateLimited.Load())
+
 	// Operations.
 	p.counter("ccd_analyses_total", "Analyze requests served.", snap.Analyses)
 	p.counter("ccd_fingerprints_total", "Fingerprint computations.", snap.Fingerprints)
@@ -184,6 +199,14 @@ func (s *Server) writePrometheus(w io.Writer, snap service.Snapshot, uptimeSec f
 		p.counter("ccd_wal_condemned_records_total", "Appended records condemned by rollbacks.", d.CondemnedRecords)
 		p.latencyHistogram("ccd_snapshot_write_seconds", "Snapshot write duration.", "", d.SnapshotWrite)
 		p.gauge("ccd_restore_seconds", "Boot-time snapshot restore + WAL replay wall time.", float64(d.RestoreUs)/1e6)
+		p.gauge("ccd_wal_fsync_recent_p99_seconds", "Rolling-window fsync p99 (the backpressure signal; recovers, unlike the cumulative histogram).", float64(d.RecentFsyncP99Us)/1e6)
+		p.counter("ccd_ingest_backpressure_delays_total", "Ingest acks slowed by durability backpressure.", d.BackpressureDelays)
+		p.counterf("ccd_ingest_backpressure_delay_seconds_total", "Total ack delay injected by backpressure.", float64(d.BackpressureDelayUs)/1e6)
+		engaged := 0.0
+		if d.BackpressureEngaged {
+			engaged = 1
+		}
+		p.gauge("ccd_ingest_backpressure_engaged", "1 while a freshly arriving ingest ack would be slowed.", engaged)
 		ready := 0.0
 		if d.Ready {
 			ready = 1

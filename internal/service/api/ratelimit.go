@@ -1,0 +1,165 @@
+package api
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// maxRateLimitClients caps the per-client bucket map. Beyond it the oldest
+// stale buckets are evicted — an eviction refills the returning client to a
+// full burst, which errs toward admitting, never toward a lockout.
+const maxRateLimitClients = 4096
+
+// rateLimiter is a token-bucket limiter keyed by client: each key accrues
+// rps tokens per second up to burst, and a request needs one token. The
+// zero-size map grows on demand; see maxRateLimitClients.
+type rateLimiter struct {
+	rps   float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rps float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rps:     rps,
+		burst:   float64(burst),
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow consumes one token from key's bucket if available. now is a
+// parameter, not time.Now(), so tests can drive refill deterministically.
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[key]
+	if !ok {
+		if len(l.buckets) >= maxRateLimitClients {
+			l.evictStale(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rps)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictStale drops buckets idle long enough to have refilled completely —
+// forgetting them loses no information, a returning client starts at full
+// burst either way. Called with l.mu held, only on the map-full slow path.
+func (l *rateLimiter) evictStale(now time.Time) {
+	full := time.Duration(l.burst / l.rps * float64(time.Second))
+	if full < time.Second {
+		full = time.Second
+	}
+	for key, b := range l.buckets {
+		if now.Sub(b.last) >= full {
+			delete(l.buckets, key)
+		}
+	}
+	// Pathological case: thousands of distinct clients inside one refill
+	// window. Drop arbitrary buckets rather than grow without bound.
+	for key := range l.buckets {
+		if len(l.buckets) < maxRateLimitClients {
+			break
+		}
+		delete(l.buckets, key)
+	}
+}
+
+// retryAfter is how long a drained client should wait for its next token.
+func (l *rateLimiter) retryAfter() time.Duration {
+	d := time.Duration(float64(time.Second) / l.rps)
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// clientKey identifies the caller for rate limiting: the X-API-Key header
+// when present (one logical client behind many addresses), otherwise the
+// remote address without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// limited wraps a handler behind the per-client rate limiter (a no-op when
+// the server was built without WithRateLimit).
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.limiter != nil && !s.limiter.allow(clientKey(r), time.Now()) {
+			s.rateLimited.Add(1)
+			writeOverloaded(w, http.StatusTooManyRequests, s.limiter.retryAfter(),
+				"rate limit exceeded for this client")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// admitted wraps a heavy handler behind the engine's bounded admission
+// queue: over capacity, the request is shed with 429 and a Retry-After
+// computed from the live queue depth and match p99.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.engine.AdmitRequest()
+		if err != nil {
+			writeOverloaded(w, http.StatusTooManyRequests, s.engine.RetryAfter(), err.Error())
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// writable guards ingest routes on readiness: while the store is replaying
+// or holding a pending rollback, writes are refused with 503 + Retry-After
+// instead of piling onto a log that cannot accept them.
+func (s *Server) writable(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.ready() {
+			writeOverloaded(w, http.StatusServiceUnavailable, time.Second,
+				"store is not ready for writes (boot replay or rollback pending)")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// writeOverloaded emits a shed/backoff response: the Retry-After header in
+// whole seconds (RFC 9110 delay-seconds) plus the same hint in the JSON body.
+func writeOverloaded(w http.ResponseWriter, status int, retryAfter time.Duration, msg string) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeErrorRetry(w, status, msg, secs)
+}

@@ -403,15 +403,21 @@ func (c *Corpus) Generation() uint64 {
 	return g
 }
 
-// Publishes and Compactions report writer-side activity since boot.
-func (c *Corpus) Publishes() int64   { return c.publishes.Load() }
+// Publishes reports generation publishes since boot.
+func (c *Corpus) Publishes() int64 { return c.publishes.Load() }
+
+// Compactions reports segment compactions since boot.
 func (c *Corpus) Compactions() int64 { return c.compactions.Load() }
 
-// Adds and Skips report ingest accounting: documents indexed vs refused by
-// the backend (index.ErrDocUnsupported). Supersedes counts earlier copies
-// replaced by a re-ingested id (duplicate Adds never double-count).
-func (c *Corpus) Adds() int64       { return c.adds.Load() }
-func (c *Corpus) Skips() int64      { return c.skips.Load() }
+// Adds reports documents indexed since boot (duplicate Adds never
+// double-count; see Supersedes).
+func (c *Corpus) Adds() int64 { return c.adds.Load() }
+
+// Skips reports documents refused by the backend
+// (index.ErrDocUnsupported).
+func (c *Corpus) Skips() int64 { return c.skips.Load() }
+
+// Supersedes counts earlier copies replaced by a re-ingested id.
 func (c *Corpus) Supersedes() int64 { return c.supersedes.Load() }
 
 // Match returns every clone of fp at the backend's admission threshold, best

@@ -55,6 +55,9 @@ type Options struct {
 	// and each ingest contributes its top onlineClusterK edges — while the
 	// /v1/study corpus mode recomputes the exact distribution on demand.
 	TrackClusters bool
+	// Admission bounds the request queue in front of the worker pool; the
+	// zero value disables load shedding (see AdmissionConfig).
+	Admission AdmissionConfig
 }
 
 // onlineClusterK caps the clone edges one ingest contributes to the live
@@ -82,6 +85,7 @@ var (
 type Engine struct {
 	workers int
 	sem     chan struct{}
+	adm     admission
 	ctr     counters
 
 	graphs  *lru[graphEntry]
@@ -129,6 +133,9 @@ func New(opts Options) *Engine {
 		reports: newLRU[reportEntry](opts.CacheEntries),
 		prints:  newLRU[fpEntry](opts.CacheEntries),
 		corpus:  NewCorpus(opts.CCD, opts.Shards),
+	}
+	if q := opts.Admission.MaxQueue; q > 0 {
+		e.adm.capacity = workers + q
 	}
 	e.corpora = map[string]*Corpus{index.BackendCCD: e.corpus}
 	for _, name := range opts.Backends {
@@ -179,17 +186,40 @@ func (e *Engine) Do(fn func()) {
 // occupying the queue. Once fn starts it runs to completion; cancellation
 // mid-task is the task's own business (the match paths check ctx between
 // segments).
+//
+// Scheduling honors the context's Class: a ClassBackground task (self-join
+// segments, bulk ingest batches) first yields while any interactive task is
+// waiting for a slot, so interactive latency under a running study stays
+// close to the uncontended baseline.
 func (e *Engine) DoCtx(ctx context.Context, fn func()) error {
 	if err := ctx.Err(); err != nil {
 		return err // already cancelled: never race the semaphore
 	}
 	_, wait := trace.Start(ctx, "queue.wait")
-	select {
-	case e.sem <- struct{}{}:
-		wait.End()
-	case <-ctx.Done():
-		wait.End()
-		return ctx.Err()
+	if ClassOf(ctx) == ClassBackground {
+		wait.Annotate("class", "background")
+		if err := e.yieldToInteractive(ctx); err != nil {
+			wait.End()
+			return err
+		}
+		select {
+		case e.sem <- struct{}{}:
+			wait.End()
+		case <-ctx.Done():
+			wait.End()
+			return ctx.Err()
+		}
+	} else {
+		e.ctr.interactiveWaiting.Add(1)
+		select {
+		case e.sem <- struct{}{}:
+			e.ctr.interactiveWaiting.Add(-1)
+			wait.End()
+		case <-ctx.Done():
+			e.ctr.interactiveWaiting.Add(-1)
+			wait.End()
+			return ctx.Err()
+		}
 	}
 	e.ctr.taskStart()
 	defer func() {
@@ -418,9 +448,10 @@ func (e *Engine) corpusAddDoc(ctx context.Context, doc index.Doc) error {
 // NewCloneStudy plans a corpus-wide clone self-join: documents enumerate
 // from the durable ccd corpus and clone queries run against the named
 // backend's serving corpus (empty = ccd itself). The join fans out through
-// the engine's worker pool, so a running study competes fairly with
-// interactive traffic; it is context-cancellable and resumable (see
-// SelfJoin.Run).
+// the engine's worker pool at ClassBackground — every per-document query
+// yields to waiting interactive traffic, and the join's (shard, segment)
+// checkpoints make the resulting pauses free. It is context-cancellable and
+// resumable (see SelfJoin.Run).
 func (e *Engine) NewCloneStudy(backend string, limit int) (*SelfJoin, error) {
 	target, err := e.CorpusFor(backend)
 	if err != nil {
@@ -430,7 +461,9 @@ func (e *Engine) NewCloneStudy(backend string, limit int) (*SelfJoin, error) {
 	if err != nil {
 		return nil, err
 	}
-	j.par = e.MapCtx
+	j.par = func(ctx context.Context, n int, fn func(int)) error {
+		return e.MapCtx(WithClass(ctx, ClassBackground), n, fn)
+	}
 	return j, nil
 }
 

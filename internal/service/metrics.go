@@ -19,6 +19,15 @@ type counters struct {
 	busy         atomic.Int64
 	peakBusy     atomic.Int64
 
+	// Admission control and priority scheduling: in-flight admitted
+	// requests, admission decisions, interactive tasks blocked on a worker
+	// slot, and background tasks that parked behind them.
+	inflight           atomic.Int64
+	admitted           atomic.Int64
+	shed               atomic.Int64
+	interactiveWaiting atomic.Int64
+	yields             atomic.Int64
+
 	// Match read-path pruning: how far candidates got before being cut.
 	matchCandidates    atomic.Int64
 	matchFilterPruned  atomic.Int64
@@ -162,6 +171,9 @@ type Snapshot struct {
 	// TasksExecuted counts every unit of work that went through the pool.
 	TasksExecuted int64 `json:"tasks_executed"`
 
+	// Admission reports the bounded request queue and priority gate.
+	Admission AdmissionSnapshot `json:"admission"`
+
 	// Operation counts.
 	Analyses     int64 `json:"analyses"`
 	Fingerprints int64 `json:"fingerprints"`
@@ -257,10 +269,19 @@ func (e *Engine) Metrics() Snapshot {
 		}
 	}
 	s := Snapshot{
-		Workers:            e.workers,
-		BusyWorkers:        e.ctr.busy.Load(),
-		PeakBusyWorkers:    e.ctr.peakBusy.Load(),
-		TasksExecuted:      e.ctr.tasks.Load(),
+		Workers:         e.workers,
+		BusyWorkers:     e.ctr.busy.Load(),
+		PeakBusyWorkers: e.ctr.peakBusy.Load(),
+		TasksExecuted:   e.ctr.tasks.Load(),
+		Admission: AdmissionSnapshot{
+			Enabled:            e.adm.capacity > 0,
+			Capacity:           e.adm.capacity,
+			Inflight:           e.ctr.inflight.Load(),
+			InteractiveWaiting: e.ctr.interactiveWaiting.Load(),
+			Admitted:           e.ctr.admitted.Load(),
+			Shed:               e.ctr.shed.Load(),
+			BackgroundYields:   e.ctr.yields.Load(),
+		},
 		Analyses:           e.ctr.analyses.Load(),
 		Fingerprints:       e.ctr.fingerprints.Load(),
 		Matches:            e.ctr.matches.Load(),

@@ -52,6 +52,74 @@ type Store struct {
 	lastSnapshot   atomic.Int64  // unix nanos of the last successful snapshot
 
 	snapWriteHist trace.Hist // µs per successful Snapshot call
+
+	// Backpressure from durability into ingest acks: config (swapped
+	// atomically so tests and admins can retune live) plus the delay
+	// accounting.
+	bp        atomic.Pointer[BackpressureConfig]
+	bpDelays  atomic.Int64 // acks that were slowed
+	bpDelayUs atomic.Int64 // total injected delay
+}
+
+// BackpressureConfig slows ingest acknowledgements when WAL fsyncs degrade:
+// once the rolling-window fsync p99 crosses FsyncP99, every durable Add
+// sleeps for the excess (capped at MaxDelay) before acknowledging. Write
+// bursts then degrade smoothly — clients are paced at the disk's actual
+// speed — instead of piling work onto a drowning log until the admission
+// queue cliffs into 429s.
+type BackpressureConfig struct {
+	// FsyncP99 is the rolling-window fsync p99 above which acks slow.
+	// 0 disables backpressure.
+	FsyncP99 time.Duration
+	// MaxDelay caps the per-ack delay (0 selects DefaultBackpressureMaxDelay).
+	MaxDelay time.Duration
+}
+
+// DefaultBackpressureMaxDelay caps one ingest ack's injected delay when
+// BackpressureConfig.MaxDelay is unset.
+const DefaultBackpressureMaxDelay = 100 * time.Millisecond
+
+// SetBackpressure installs (or, with a zero config, removes) the ingest
+// backpressure policy. Safe to call while the store is serving traffic.
+func (s *Store) SetBackpressure(cfg BackpressureConfig) {
+	if cfg.FsyncP99 <= 0 {
+		s.bp.Store(nil)
+		return
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultBackpressureMaxDelay
+	}
+	s.bp.Store(&cfg)
+}
+
+// backpressureDelay slows one acknowledged add when the rolling fsync p99
+// is over the configured threshold. The record is already durable and
+// visible — the delay only paces the client — so a cancelled ctx simply
+// skips the wait.
+func (s *Store) backpressureDelay(ctx context.Context) {
+	cfg := s.bp.Load()
+	if cfg == nil {
+		return
+	}
+	p99 := s.wal.recentFsyncP99()
+	if p99 <= cfg.FsyncP99 {
+		return
+	}
+	delay := p99 - cfg.FsyncP99
+	if delay > cfg.MaxDelay {
+		delay = cfg.MaxDelay
+	}
+	_, sp := trace.Start(ctx, "ingest.backpressure")
+	sp.AnnotateInt("delay_us", delay.Microseconds())
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	sp.End()
+	s.bpDelays.Add(1)
+	s.bpDelayUs.Add(delay.Microseconds())
 }
 
 // OpenStore attaches durable storage in dir to c (which must be empty: the
@@ -150,15 +218,23 @@ func (s *Store) Ready() bool {
 	return s.wal != nil && !s.wal.rollbackPending()
 }
 
-// add journals the entry, then makes it visible. Called by Corpus.Add.
+// add journals the entry, then makes it visible. Called by Corpus.Add. The
+// backpressure delay runs after the shared lock is released: slowing an ack
+// must never hold up a Snapshot waiting for the exclusive lock.
 func (s *Store) add(ctx context.Context, id string, fp ccd.Fingerprint) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if err := s.wal.appendRecord(ctx, id, fp); err != nil {
-		return fmt.Errorf("%w: wal append: %v", ErrPersist, err)
+	if err := func() error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if err := s.wal.appendRecord(ctx, id, fp); err != nil {
+			return fmt.Errorf("%w: wal append: %v", ErrPersist, err)
+		}
+		s.corpus.addLocal(id, fp)
+		s.pendingAdds.Add(1)
+		return nil
+	}(); err != nil {
+		return err
 	}
-	s.corpus.addLocal(id, fp)
-	s.pendingAdds.Add(1)
+	s.backpressureDelay(ctx)
 	return nil
 }
 
@@ -327,18 +403,36 @@ type DurabilityStats struct {
 	SnapshotWrite LatencyStats `json:"snapshot_write"`
 	RestoreUs     int64        `json:"restore_us"`
 
+	// BackpressureDelays counts ingest acks slowed because the rolling
+	// fsync p99 crossed the configured threshold; BackpressureDelayUs is
+	// the total delay injected. BackpressureEngaged reports whether a
+	// freshly arriving ack would be slowed right now, and RecentFsyncP99Us
+	// is the rolling-window (last fsyncs, not lifetime) p99 the policy
+	// reads — unlike FsyncLatency it recovers when the disk does.
+	BackpressureDelays  int64 `json:"backpressure_delays"`
+	BackpressureDelayUs int64 `json:"backpressure_delay_us"`
+	BackpressureEngaged bool  `json:"backpressure_engaged"`
+	RecentFsyncP99Us    int64 `json:"recent_fsync_p99_us"`
+
 	Ready bool `json:"ready"`
 }
 
 // Durability reports the store's WAL/snapshot instrumentation.
 func (s *Store) Durability() DurabilityStats {
-	return DurabilityStats{
-		FsyncLatency:     latencyStats(&s.wal.fsyncHist),
-		GroupCommitBatch: sizeStats(&s.wal.batchHist),
-		Rollbacks:        s.wal.rollbacks.Load(),
-		CondemnedRecords: s.wal.condemned.Load(),
-		SnapshotWrite:    latencyStats(&s.snapWriteHist),
-		RestoreUs:        s.restoreDur.Microseconds(),
-		Ready:            s.Ready(),
+	d := DurabilityStats{
+		FsyncLatency:        latencyStats(&s.wal.fsyncHist),
+		GroupCommitBatch:    sizeStats(&s.wal.batchHist),
+		Rollbacks:           s.wal.rollbacks.Load(),
+		CondemnedRecords:    s.wal.condemned.Load(),
+		SnapshotWrite:       latencyStats(&s.snapWriteHist),
+		RestoreUs:           s.restoreDur.Microseconds(),
+		BackpressureDelays:  s.bpDelays.Load(),
+		BackpressureDelayUs: s.bpDelayUs.Load(),
+		RecentFsyncP99Us:    s.wal.recentFsyncP99().Microseconds(),
+		Ready:               s.Ready(),
 	}
+	if cfg := s.bp.Load(); cfg != nil {
+		d.BackpressureEngaged = s.wal.recentFsyncP99() > cfg.FsyncP99
+	}
+	return d
 }

@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +101,56 @@ type wal struct {
 	batchHist trace.Hist // records covered per successful fsync
 	rollbacks atomic.Int64
 	condemned atomic.Int64
+
+	// Recent-fsync window for the ingest backpressure signal. The
+	// cumulative fsyncHist can only ever grow, so its p99 never recovers
+	// from a past stall; backpressure must engage AND release, which needs
+	// a windowed view. Slots hold µs+1 (0 = empty), recentIdx counts
+	// observations ever made.
+	recentFsync [recentFsyncWindow]atomic.Int64
+	recentIdx   atomic.Int64
+}
+
+// recentFsyncWindow sizes the rolling fsync-latency window behind the
+// backpressure signal: large enough to ride out one outlier, small enough
+// that recovery is visible within ~a second of healthy group commits.
+const recentFsyncWindow = 64
+
+// observeFsync folds one performed fsync into both the cumulative histogram
+// and the rolling window.
+func (w *wal) observeFsync(d time.Duration) {
+	w.fsyncHist.ObserveDuration(d)
+	i := w.recentIdx.Add(1) - 1
+	w.recentFsync[i%recentFsyncWindow].Store(d.Microseconds() + 1)
+}
+
+// recentFsyncP99 returns the p99 fsync latency over the rolling window
+// (0 when no fsync has happened yet). This is the backpressure signal: it
+// rises within one window of a slow disk and falls again once group
+// commits recover, unlike the cumulative histogram's monotone quantiles.
+func (w *wal) recentFsyncP99() time.Duration {
+	n := w.recentIdx.Load()
+	if n == 0 {
+		return 0
+	}
+	if n > recentFsyncWindow {
+		n = recentFsyncWindow
+	}
+	vals := make([]int64, 0, n)
+	for i := int64(0); i < n; i++ {
+		if v := w.recentFsync[i].Load(); v > 0 {
+			vals = append(vals, v-1)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+	rank := int(math.Ceil(0.99 * float64(len(vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return time.Duration(vals[rank-1]) * time.Microsecond
 }
 
 // openWAL opens (creating if needed) the log for appending.
@@ -235,7 +287,7 @@ func (w *wal) awaitDurable(seq int64) error {
 	w.mu.Unlock()
 	fsyncStart := time.Now()
 	err := w.sync()
-	w.fsyncHist.ObserveDuration(time.Since(fsyncStart))
+	w.observeFsync(time.Since(fsyncStart))
 	if err != nil {
 		// The group's records are not durable. Cut them so boot-time replay
 		// agrees exactly with what was acknowledged; every appender in the
