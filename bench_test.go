@@ -643,9 +643,21 @@ func matchBenchCorpus(b *testing.B) (*service.Corpus, []ccd.Fingerprint) {
 // — the seed `Match` behavior) against the top-K planner at k=10, whose heap
 // bound feeds back into the bounded edit distance. The acceptance floor is a
 // 3x ns/op ratio between the fullscan and top10 sub-benchmarks.
+//
+// The whole query rotation runs once before any timer starts: the first
+// match over a freshly restored corpus pays one-time costs (posting-block
+// touch-in, scratch pool fills) that previously landed in iteration 0 of
+// whichever sub-benchmark ran first and skewed the 1M/10k floor comparison.
 func BenchmarkMatchTopK10k(b *testing.B) {
 	c, fps := matchBenchCorpus(b)
+	for _, fp := range fps { // warm outside any timed region
+		if ms, _ := c.MatchTopK(fp, 10); len(ms) == 0 {
+			b.Fatal("warm-up query matched nothing")
+		}
+	}
 	b.Run("fullscan", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
 		total := 0
 		for i := 0; i < b.N; i++ {
 			total += len(c.Match(fps[i%len(fps)]))
@@ -653,6 +665,8 @@ func BenchmarkMatchTopK10k(b *testing.B) {
 		b.ReportMetric(float64(total)/float64(b.N), "matches/query")
 	})
 	b.Run("top10", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
 		total := 0
 		for i := 0; i < b.N; i++ {
 			ms, _ := c.MatchTopK(fps[i%len(fps)], 10)
@@ -660,6 +674,89 @@ func BenchmarkMatchTopK10k(b *testing.B) {
 		}
 		b.ReportMetric(float64(total)/float64(b.N), "matches/query")
 	})
+}
+
+// bench1M is the shared million-document fixture: one ccd corpus built on
+// the heap, the same corpus reopened zero-copy over its own snapshot bytes,
+// and a query rotation drawn from the corpus (worst case: every query has
+// strong candidates). Built once per process — the build itself is several
+// seconds of Add calls and is exactly what BenchmarkCorpusPersistence10k
+// already characterizes at smaller scale.
+var bench1M struct {
+	once    sync.Once
+	heap    *ccd.Corpus
+	mapped  *ccd.Corpus
+	queries []ccd.Fingerprint
+}
+
+func fixture1M() (*ccd.Corpus, *ccd.Corpus, []ccd.Fingerprint) {
+	bench1M.once.Do(func() {
+		const docs = 1_000_000
+		entries := selfJoinFixture(docs)
+		c := ccd.NewCorpus(ccd.DefaultConfig)
+		for _, e := range entries {
+			c.Add(e.ID, e.FP)
+		}
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			panic(err)
+		}
+		seg, err := ccd.OpenSegmentBytes(buf.Bytes(), nil)
+		if err != nil {
+			panic(err)
+		}
+		step := docs / 16
+		queries := make([]ccd.Fingerprint, 0, 16)
+		for i := 0; i < 16; i++ {
+			queries = append(queries, entries[i*step].FP)
+		}
+		bench1M.heap, bench1M.mapped, bench1M.queries = c, seg, queries
+	})
+	return bench1M.heap, bench1M.mapped, bench1M.queries
+}
+
+// BenchmarkMatchTopK1M is the million-document headline: steady-state top-10
+// clone matching over block-compressed postings, on the heap-built corpus and
+// on the same corpus reopened zero-copy from its snapshot bytes (the mmap'd
+// segment layout). Both paths run through the pooled MatchBuffer and both
+// assert zero allocations per match before the timed loop — the assertion is
+// the CI gate, the reported allocs/op is the receipt. The CI floor compares
+// this ns/op against BenchmarkMatchTopK10k/top10: 100x the documents must
+// cost well under 100x the latency (block skipping + the k=10 cutoff bound).
+func BenchmarkMatchTopK1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M fixture build is not short-mode work")
+	}
+	heap, mapped, queries := fixture1M()
+	run := func(name string, c *ccd.Corpus) {
+		b.Run(name, func(b *testing.B) {
+			var mb ccd.MatchBuffer
+			for _, q := range queries { // warm the full rotation, untimed
+				if ms, _ := c.MatchTopKBuf(q, 10, &mb); len(ms) == 0 {
+					b.Fatal("warm-up query matched nothing")
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(100, func() {
+				c.MatchTopKBuf(queries[i%len(queries)], 10, &mb)
+				i++
+			})
+			if allocs != 0 {
+				b.Fatalf("steady-state k=10 match allocates: %v allocs/op, want 0", allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			total := 0
+			for j := 0; j < b.N; j++ {
+				ms, _ := c.MatchTopKBuf(queries[j%len(queries)], 10, &mb)
+				total += len(ms)
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "matches/query")
+		})
+	}
+	run("top10", heap)
+	run("top10-mapped", mapped)
+	b.ReportMetric(float64(heap.Len()), "docs")
 }
 
 // BenchmarkTracedMatch10k measures request-tracing overhead on the headline

@@ -100,6 +100,7 @@ import (
 
 	"repro/internal/ccd"
 	"repro/internal/index"
+	"repro/internal/ngram"
 	"repro/internal/service"
 	"repro/internal/service/api"
 )
@@ -167,11 +168,17 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 32, "per-client burst size with -rate-limit")
 	bpFsyncP99 := flag.Duration("bp-fsync-p99", 50*time.Millisecond, "rolling WAL fsync p99 above which ingest acks slow down (0 = disabled; needs -corpus-dir)")
 	bpMaxDelay := flag.Duration("bp-max-delay", service.DefaultBackpressureMaxDelay, "cap on the per-ack delay injected by durability backpressure")
+	mmapSegments := flag.Bool("mmap", true, "memory-map snapshot segments on restore and after snapshots (zero-copy boot; false = decode to heap)")
+	postingBlock := flag.Int("posting-block", ngram.DefaultBlockSize(), "posting-list block size in doc ids (compression/skip granularity, 1-65536)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *postingBlock != ngram.DefaultBlockSize() {
+		ngram.SetDefaultBlockSize(*postingBlock) // clamps to [1, 65536]
 	}
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -233,7 +240,8 @@ func main() {
 	stopAutoSnapshot := func() {}
 	if *corpusDir != "" {
 		var err error
-		store, err = service.OpenStore(*corpusDir, engine.Corpus())
+		store, err = service.OpenStoreWith(*corpusDir, engine.Corpus(),
+			service.StoreOptions{NoMapSegments: !*mmapSegments})
 		if err != nil {
 			die(err)
 		}
@@ -241,7 +249,8 @@ func main() {
 		logger.Info("corpus restored", "dir", *corpusDir,
 			"snapshot_entries", info.RestoredEntries,
 			"wal_replayed", info.ReplayedRecords,
-			"torn_tail_cut", info.TornTailCut)
+			"torn_tail_cut", info.TornTailCut,
+			"mapped_segments", info.MappedSegments)
 		if *snapInterval > 0 {
 			stopAutoSnapshot = store.StartAutoSnapshot(*snapInterval, func(err error) {
 				logger.Warn("auto snapshot failed", "err", err)

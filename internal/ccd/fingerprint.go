@@ -1,8 +1,6 @@
 package ccd
 
 import (
-	"strings"
-
 	"repro/internal/editdist"
 	"repro/internal/ssdeep"
 )
@@ -61,31 +59,57 @@ const MinSubLen = 6
 // implementation). Order-independent matching compares these individually
 // (Section 5.5).
 func (f Fingerprint) Subs() []string {
-	var out []string
-	for _, chunk := range strings.FieldsFunc(string(f), func(r rune) bool {
-		return r == rune(FuncSep) || r == rune(ContractSep)
-	}) {
-		if chunk != "" {
-			out = append(out, chunk)
+	return appendSubs(nil, f)
+}
+
+// appendSubs appends f's non-empty sub-fingerprints to dst — a byte-scan
+// split (separators are single ASCII bytes, so no rune decoding) whose only
+// allocation with a reused dst is amortized slice growth. The appended
+// strings alias f.
+func appendSubs(dst []string, f Fingerprint) []string {
+	s := string(f)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == FuncSep || s[i] == ContractSep {
+			if i > start {
+				dst = append(dst, s[start:i])
+			}
+			start = i + 1
 		}
 	}
-	return out
+	if len(s) > start {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }
 
 // matchSubs returns the sub-fingerprints used for similarity scoring:
 // chunks of at least MinSubLen, or all chunks when none is long enough.
 func (f Fingerprint) matchSubs() []string {
-	all := f.Subs()
-	var long []string
-	for _, s := range all {
-		if len(s) >= MinSubLen {
-			long = append(long, s)
+	return appendMatchSubs(nil, f)
+}
+
+// appendMatchSubs is the scratch-friendly matchSubs: long chunks first, with
+// a second scan picking up everything only when no chunk reaches MinSubLen.
+func appendMatchSubs(dst []string, f Fingerprint) []string {
+	s := string(f)
+	base := len(dst)
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == FuncSep || s[i] == ContractSep {
+			if i-start >= MinSubLen {
+				dst = append(dst, s[start:i])
+			}
+			start = i + 1
 		}
 	}
-	if len(long) == 0 {
-		return all
+	if len(s)-start >= MinSubLen {
+		dst = append(dst, s[start:])
 	}
-	return long
+	if len(dst) == base {
+		return appendSubs(dst, f)
+	}
+	return dst
 }
 
 // --- similarity ---------------------------------------------------------------
@@ -135,12 +159,14 @@ func Similarity(f1, f2 Fingerprint) float64 {
 // comparisons use bounded edit distance, and matching aborts once the
 // remaining sub-fingerprints cannot lift the mean above threshold.
 func SimilarityAtLeast(f1, f2 Fingerprint, threshold float64) (float64, bool) {
-	return similarityAtLeast(f1.matchSubs(), f1, f2.matchSubs(), f2, threshold)
+	var ed editdist.Scratch
+	return similarityAtLeast(f1.matchSubs(), f1, f2.matchSubs(), f2, threshold, &ed)
 }
 
-// similarityAtLeast is SimilarityAtLeast over pre-split sub-fingerprints,
-// letting the matcher derive the query's subs once instead of per candidate.
-func similarityAtLeast(subs1 []string, f1 Fingerprint, subs2 []string, f2 Fingerprint, threshold float64) (float64, bool) {
+// similarityAtLeast is SimilarityAtLeast over pre-split sub-fingerprints and
+// caller-owned edit-distance scratch, letting the matcher derive the query's
+// subs once and reuse one pair of DP rows across every candidate.
+func similarityAtLeast(subs1 []string, f1 Fingerprint, subs2 []string, f2 Fingerprint, threshold float64, ed *editdist.Scratch) (float64, bool) {
 	if len(subs1) > len(subs2) || (len(subs1) == len(subs2) && f1 > f2) {
 		subs1, subs2 = subs2, subs1
 	}
@@ -161,7 +187,7 @@ func similarityAtLeast(subs1 []string, f1 Fingerprint, subs2 []string, f2 Finger
 		minNeeded := threshold*n - total - remaining*100 - 1e-9*n
 		best := 0.0
 		for _, s2 := range subs2 {
-			d, ok := editdist.SimilarityAtLeast(s1, s2, max(best, minNeeded))
+			d, ok := ed.SimilarityAtLeast(s1, s2, max(best, minNeeded))
 			// A failed bounded search reports a capped distance whose
 			// similarity overestimates the truth — only exact (ok) scores
 			// may raise best.

@@ -3,8 +3,10 @@ package ccd
 import (
 	"fmt"
 	"slices"
+	"sync"
 	"time"
 
+	"repro/internal/editdist"
 	"repro/internal/ngram"
 )
 
@@ -46,6 +48,14 @@ type Corpus struct {
 	cfg     Config
 	index   *ngram.Index
 	entries []Entry
+
+	// mapRef pins the memory mapping (or other byte owner) a zero-copy
+	// corpus reads its posting lists from; holding it here keeps the
+	// mapping's finalizer from unmapping pages the index still references.
+	mapRef any
+	// sealed marks a corpus opened zero-copy from segment bytes: immutable,
+	// Add panics (segments are write-once; compaction builds new corpora).
+	sealed bool
 }
 
 // NewCorpus returns an empty corpus using cfg.
@@ -62,11 +72,19 @@ func (c *Corpus) Config() Config { return c.cfg }
 // Len returns the number of indexed entries.
 func (c *Corpus) Len() int { return len(c.entries) }
 
-// Add indexes a fingerprint under an id.
+// Add indexes a fingerprint under an id. Panics on a corpus opened zero-copy
+// from segment bytes — segments are write-once.
 func (c *Corpus) Add(id string, fp Fingerprint) {
+	if c.sealed {
+		panic("ccd: Add on a sealed (zero-copy) corpus; segments are write-once")
+	}
 	c.index.Add(id, string(fp))
 	c.entries = append(c.entries, Entry{ID: id, FP: fp})
 }
+
+// Mapped reports whether this corpus reads its index zero-copy out of
+// caller-owned bytes (typically a memory-mapped segment file).
+func (c *Corpus) Mapped() bool { return c.sealed }
 
 // AddSource fingerprints src and indexes it; parse errors are returned but
 // the (partial) fingerprint is still indexed.
@@ -135,9 +153,51 @@ func (c *Corpus) MatchTopK(fp Fingerprint, k int) []Match {
 
 // MatchTopKStats is MatchTopK plus the per-stage pruning counts.
 func (c *Corpus) MatchTopKStats(fp Fingerprint, k int) ([]Match, MatchStats) {
-	col := NewTopK(k, c.cfg.Epsilon)
-	stats := c.MatchTopKInto(fp, col)
-	return col.Results(), stats
+	mb := GetMatchBuffer()
+	defer mb.Release()
+	ms, stats := c.MatchTopKBuf(fp, k, mb)
+	if len(ms) == 0 {
+		return nil, stats
+	}
+	return slices.Clone(ms), stats
+}
+
+// MatchBuffer bundles every piece of scratch one match needs — the n-gram
+// retrieval buffers, the query/candidate sub-fingerprint slices, the
+// edit-distance DP rows, the top-K heap, and the result slice. A zero
+// MatchBuffer is ready to use; a warm one makes the steady-state MatchTopKBuf
+// path allocation-free. Not safe for concurrent use — pool per goroutine via
+// GetMatchBuffer/Release.
+type MatchBuffer struct {
+	ng    ngram.Scratch
+	grams []string
+	qsubs []string
+	csubs []string
+	ed    editdist.Scratch
+	col   TopK
+	out   []Match
+}
+
+var matchBufPool = sync.Pool{New: func() any { return new(MatchBuffer) }}
+
+// GetMatchBuffer hands out a pooled match buffer; pair with Release.
+func GetMatchBuffer() *MatchBuffer { return matchBufPool.Get().(*MatchBuffer) }
+
+// Release returns the buffer to the pool. The results of the buffer's last
+// MatchTopKBuf alias its memory and must not be used afterwards.
+func (mb *MatchBuffer) Release() { matchBufPool.Put(mb) }
+
+// MatchTopKBuf is MatchTopK through caller-owned scratch: with a warm buffer
+// the whole match — pre-filter, scoring, top-K collection — performs zero
+// heap allocations. The returned slice aliases mb and is valid until mb's
+// next use (or Release).
+func (c *Corpus) MatchTopKBuf(fp Fingerprint, k int, mb *MatchBuffer) ([]Match, MatchStats) {
+	mb.grams = ngram.AppendGrams(mb.grams[:0], string(fp), c.cfg.N)
+	mb.qsubs = appendMatchSubs(mb.qsubs[:0], fp)
+	col := mb.col.Reset(k, c.cfg.Epsilon)
+	stats := c.matchInto(mb.grams, mb.qsubs, fp, col, mb)
+	mb.out = col.AppendResults(mb.out[:0])
+	return mb.out, stats
 }
 
 // PreparedQuery is one query fingerprint with its derived forms — distinct
@@ -169,18 +229,37 @@ func (c *Corpus) MatchTopKInto(fp Fingerprint, col *TopK) MatchStats {
 // MatchPreparedInto streams this corpus's candidates for a prepared query
 // into an external collector, so callers holding several corpora (the
 // service's generation segments) can share one top-K bound — and one
-// prepared query — across all of them. Returns this corpus's stats.
+// prepared query — across all of them. Returns this corpus's stats. Scratch
+// comes from the pool; callers owning a MatchBuffer for the whole query (the
+// service's shard scans) use MatchPreparedBuf instead.
 func (c *Corpus) MatchPreparedInto(q *PreparedQuery, col *TopK) MatchStats {
+	mb := GetMatchBuffer()
+	defer mb.Release()
+	return c.matchInto(q.grams, q.subs, q.FP, col, mb)
+}
+
+// MatchPreparedBuf is MatchPreparedInto with caller-owned scratch. The
+// collector is caller-owned too (mb.col is not touched), so one buffer plus
+// one collector can stream any number of segments.
+func (c *Corpus) MatchPreparedBuf(q *PreparedQuery, col *TopK, mb *MatchBuffer) MatchStats {
+	return c.matchInto(q.grams, q.subs, q.FP, col, mb)
+}
+
+// matchInto runs the match pipeline — n-gram pre-filter, per-candidate
+// Algorithm-1 verification against the collector's admission bound — with
+// every buffer drawn from mb.
+func (c *Corpus) matchInto(grams, qsubs []string, fp Fingerprint, col *TopK, mb *MatchBuffer) MatchStats {
 	var stats MatchStats
 	start := time.Now()
-	cands, qst := c.index.QueryGrams(q.grams, c.cfg.Eta)
+	cands, qst := c.index.QueryGramsScratch(grams, c.cfg.Eta, &mb.ng)
 	scoreStart := time.Now()
 	stats.FilterNs = scoreStart.Sub(start).Nanoseconds()
 	stats.Candidates = len(cands)
 	stats.FilterPruned = qst.Pruned
 	for _, cand := range cands {
 		entry := c.entries[cand.Doc]
-		score, ok := similarityAtLeast(q.subs, q.FP, entry.FP.matchSubs(), entry.FP, col.Bound())
+		mb.csubs = appendMatchSubs(mb.csubs[:0], entry.FP)
+		score, ok := similarityAtLeast(qsubs, fp, mb.csubs, entry.FP, col.Bound(), &mb.ed)
 		if !ok {
 			stats.CutoffSkipped++
 			continue

@@ -1,6 +1,7 @@
 package ccd
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -37,27 +38,47 @@ func TestPropertySharedBoundPartitionEquivalence(t *testing.T) {
 		whole.Add(id, fp)
 		parts[i%len(parts)].Add(id, fp)
 	}
-	for _, src := range srcs[:6] {
-		q, _ := FingerprintSource(src)
-		for k := 0; k <= 8; k++ {
-			want := whole.MatchTopK(q, k)
+	// Run the scatter-gather twice: over the freshly built partitions and
+	// over the same partitions reopened as zero-copy segments — the sharded
+	// merge must be exact over the mapped read path too.
+	segParts := make([]*Corpus, len(parts))
+	for i, p := range parts {
+		var blob bytes.Buffer
+		if err := p.Save(&blob); err != nil {
+			t.Fatalf("part %d: save: %v", i, err)
+		}
+		seg, err := OpenSegmentBytes(blob.Bytes(), nil)
+		if err != nil {
+			t.Fatalf("part %d: open segment: %v", i, err)
+		}
+		segParts[i] = seg
+	}
+	for _, form := range []struct {
+		name  string
+		parts []*Corpus
+	}{{"heap", parts}, {"segment", segParts}} {
+		for _, src := range srcs[:6] {
+			q, _ := FingerprintSource(src)
+			for _, k := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 100} {
+				want := whole.MatchTopK(q, k)
 
-			shared := NewAtomicBound(0)
-			final := NewTopK(k, 0)
-			for _, p := range parts {
-				col := NewTopK(k, DefaultConfig.Epsilon).Share(shared)
-				p.MatchTopKInto(q, col)
-				for _, m := range col.Results() {
-					final.Offer(m)
+				shared := NewAtomicBound(0)
+				final := NewTopK(k, 0)
+				for _, p := range form.parts {
+					col := NewTopK(k, DefaultConfig.Epsilon).Share(shared)
+					p.MatchTopKInto(q, col)
+					for _, m := range col.Results() {
+						final.Offer(m)
+					}
 				}
-			}
-			got := final.Results()
-			if len(got) != len(want) {
-				t.Fatalf("k=%d: %d matches, want %d", k, len(got), len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("k=%d match %d: %+v, want %+v", k, i, got[i], want[i])
+				got := final.Results()
+				if len(got) != len(want) {
+					t.Fatalf("%s k=%d: %d matches, want %d", form.name, k, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s k=%d match %d: %+v, want %+v", form.name, k, i, got[i], want[i])
+					}
 				}
 			}
 		}
@@ -225,6 +246,18 @@ func TestPropertyMatchTopKAgreesWithMatch(t *testing.T) {
 			}
 			_ = corpus.AddSource(fmt.Sprintf("doc-%d-%d", trial, d), src)
 		}
+		// The same corpus reopened as a zero-copy segment must agree match
+		// for match: the block-compressed mapped read path is equivalence-
+		// pinned against the freshly built in-heap index.
+		var blob bytes.Buffer
+		if err := corpus.Save(&blob); err != nil {
+			t.Fatalf("trial %d: save: %v", trial, err)
+		}
+		seg, err := OpenSegmentBytes(blob.Bytes(), nil)
+		if err != nil {
+			t.Fatalf("trial %d: open segment: %v", trial, err)
+		}
+		var mb MatchBuffer
 		for q := 0; q < 10; q++ {
 			fp, _ := FingerprintSource(srcs[rng.Intn(len(srcs))])
 			want := corpus.Match(fp)
@@ -233,7 +266,10 @@ func TestPropertyMatchTopKAgreesWithMatch(t *testing.T) {
 			if !matchesEqual(all, want) {
 				t.Fatalf("trial %d: MatchTopK(0) != sorted Match:\n got %v\nwant %v", trial, all, want)
 			}
-			for _, k := range []int{1, 3, len(want), len(want) + 5} {
+			// The k sweep covers the tentpole's pinned points — 1, 10, 100,
+			// and unbounded (k=0 above; len(want)+5 exceeds every match set
+			// here, exercising the ∞ case through a finite k too).
+			for _, k := range []int{1, 3, 10, 100, len(want), len(want) + 5} {
 				if k == 0 {
 					continue
 				}
@@ -241,6 +277,14 @@ func TestPropertyMatchTopKAgreesWithMatch(t *testing.T) {
 				expect := want[:min(k, len(want))]
 				if !matchesEqual(got, expect) {
 					t.Fatalf("trial %d k=%d:\n got %v\nwant %v", trial, k, got, expect)
+				}
+				fromSeg := seg.MatchTopK(fp, k)
+				if !matchesEqual(fromSeg, expect) {
+					t.Fatalf("trial %d k=%d: segment diverged:\n got %v\nwant %v", trial, k, fromSeg, expect)
+				}
+				buffered, _ := corpus.MatchTopKBuf(fp, k, &mb)
+				if !matchesEqual(buffered, expect) {
+					t.Fatalf("trial %d k=%d: MatchTopKBuf diverged:\n got %v\nwant %v", trial, k, buffered, expect)
 				}
 			}
 		}

@@ -2,6 +2,9 @@ package ccd
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -172,4 +175,182 @@ func TestSnapshotCorrupted(t *testing.T) {
 	if _, err := Load(bytes.NewReader(mut)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Errorf("future version: err=%v", err)
 	}
+}
+
+// segmentBytes saves c and returns the raw v2 snapshot bytes.
+func segmentBytes(t *testing.T, c *Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// fixCRC recomputes the CRC-32 trailer after a deliberate header mutation, so
+// tests reach the structural validators behind the checksum gate.
+func fixCRC(b []byte) {
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.ChecksumIEEE(b[:len(b)-4]))
+}
+
+// TestSegmentOpenMatchesLoad: the zero-copy segment open and the streaming
+// Load must be observably identical — same entries, same config, same match
+// results — and the segment must be sealed (write-once).
+func TestSegmentOpenMatchesLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		orig := randomCorpus(rng, DefaultConfig, 1+rng.Intn(40))
+		data := segmentBytes(t, orig)
+		seg, err := OpenSegmentBytes(data, nil)
+		if err != nil {
+			t.Fatalf("trial %d: open: %v", trial, err)
+		}
+		if !seg.Mapped() {
+			t.Fatalf("trial %d: segment not marked mapped", trial)
+		}
+		if seg.Len() != orig.Len() || seg.Config() != orig.Config() {
+			t.Fatalf("trial %d: len/config drifted", trial)
+		}
+		we, he := orig.Entries(), seg.Entries()
+		for i := range we {
+			if we[i] != he[i] {
+				t.Fatalf("trial %d entry %d: %+v != %+v", trial, i, he[i], we[i])
+			}
+		}
+		for q := 0; q < 6; q++ {
+			fp := randomFingerprint(rng)
+			want := orig.MatchTopK(fp, 5)
+			have := seg.MatchTopK(fp, 5)
+			if !matchesEqual(want, have) {
+				t.Fatalf("trial %d query %d: %v != %v", trial, q, have, want)
+			}
+		}
+	}
+}
+
+func TestSegmentOpenSealed(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	seg, err := OpenSegmentBytes(segmentBytes(t, randomCorpus(rng, DefaultConfig, 5)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a sealed segment did not panic")
+		}
+	}()
+	seg.Add("late", Fingerprint("abcdefgh"))
+}
+
+// TestSegmentOpenTruncated: every prefix of a valid segment file must be
+// rejected with a clean error — truncation models a crash mid-write or a
+// short mmap.
+func TestSegmentOpenTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	full := segmentBytes(t, randomCorpus(rng, DefaultConfig, 20))
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := OpenSegmentBytes(full[:cut:cut], nil); err == nil {
+			t.Fatalf("truncation at %d of %d: no error", cut, len(full))
+		}
+	}
+}
+
+// TestSegmentOpenBitFlips: a single flipped bit anywhere in the file —
+// header, entry payload, posting block, skip table, or the CRC trailer
+// itself — must fail the open. The whole-body checksum makes this exhaustive
+// sweep tractable: no flip can sneak past it.
+func TestSegmentOpenBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	full := segmentBytes(t, randomCorpus(rng, DefaultConfig, 20))
+	for pos := 0; pos < len(full); pos++ {
+		mut := bytes.Clone(full)
+		mut[pos] ^= 0x40
+		if got, err := OpenSegmentBytes(mut, nil); err == nil {
+			t.Fatalf("bit flip at %d of %d: opened %d entries without error", pos, len(full), got.Len())
+		}
+	}
+}
+
+// TestSegmentOpenOverdeclaredCounts: headers that promise more than the file
+// holds (entry count, index section length) must produce clean errors, never
+// a panic or an out-of-bounds read — even with a valid CRC over the mutated
+// bytes.
+func TestSegmentOpenOverdeclaredCounts(t *testing.T) {
+	c := NewCorpus(DefaultConfig)
+	for i := 0; i < 5; i++ {
+		c.Add(string(rune('a'+i)), Fingerprint(strings.Repeat("qwertyasdf", 4)))
+	}
+	full := segmentBytes(t, c)
+
+	// Locate the entry-count varint: magic, version, N, Eta, Epsilon.
+	off := len(snapshotMagic)
+	for _, skip := range []int{1, 1, 8, 8} { // version, N varints are 1 byte here
+		off += skip
+	}
+	if full[off] != 5 {
+		t.Fatalf("fixture drifted: entry count byte at %d is %d, want 5", off, full[off])
+	}
+	over := bytes.Clone(full)
+	over[off] = 120 // declare 120 entries, file holds 5
+	fixCRC(over)
+	if _, err := OpenSegmentBytes(over, nil); err == nil {
+		t.Fatal("over-declared entry count: no error")
+	}
+
+	// Over-declare the index section length: walk to it, then bump it past
+	// the bytes that remain.
+	walk := full[off:]
+	count, w := binary.Uvarint(walk)
+	walk = walk[w:]
+	for i := uint64(0); i < 2*count; i++ { // id and fp per entry
+		n, w := binary.Uvarint(walk)
+		walk = walk[w+int(n):]
+	}
+	walk = walk[1:] // index flag
+	idxOff := len(full) - len(walk)
+	size, w := binary.Uvarint(walk)
+	if int(size)+w+4 != len(walk) {
+		t.Fatalf("fixture drifted: index length %d does not fill the file", size)
+	}
+	over = bytes.Clone(full[:idxOff])
+	over = binary.AppendUvarint(over, size+1000)
+	over = append(over, walk[w:]...)
+	fixCRC(over)
+	if _, err := OpenSegmentBytes(over, nil); err == nil {
+		t.Fatal("over-declared index length: no error")
+	}
+}
+
+// TestSegmentOpenLegacyFallback: a hand-built version-1 snapshot (flag 0 —
+// rebuild on load) opens through the heap fallback and stays mutable.
+func TestSegmentOpenLegacyFallback(t *testing.T) {
+	var body []byte
+	body = append(body, snapshotMagic...)
+	body = binary.AppendUvarint(body, 1) // legacy version
+	body = binary.AppendUvarint(body, 3) // N
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(0.5))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(70))
+	body = binary.AppendUvarint(body, 1) // one entry
+	body = binary.AppendUvarint(body, uint64(len("doc-a")))
+	body = append(body, "doc-a"...)
+	fp := "QxRtYuIoPAbCdEfGh"
+	body = binary.AppendUvarint(body, uint64(len(fp)))
+	body = append(body, fp...)
+	body = append(body, 0) // flag 0: rebuild index on load
+	body = binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+
+	seg, err := OpenSegmentBytes(body, nil)
+	if err != nil {
+		t.Fatalf("legacy fallback: %v", err)
+	}
+	if seg.Mapped() {
+		t.Fatal("legacy snapshot came back sealed")
+	}
+	if seg.Len() != 1 {
+		t.Fatalf("len %d, want 1", seg.Len())
+	}
+	if ms := seg.Match(Fingerprint(fp)); len(ms) != 1 || ms[0].ID != "doc-a" {
+		t.Fatalf("legacy corpus does not match itself: %v", ms)
+	}
+	seg.Add("more", Fingerprint("ZxCvBnMAsDfGhJkL")) // must not panic
 }

@@ -1,7 +1,6 @@
 package ccd
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -48,16 +47,30 @@ func (b *AtomicBound) Raise(s float64) {
 // feeds into the bounded edit distance — the expensive exact similarity runs
 // only on candidates that can still make the cut. k ≤ 0 disables the bound
 // (collect everything at ε or better).
+//
+// The heap is hand-rolled over []Match rather than container/heap: the
+// standard interface moves elements through `any`, which boxes every Match
+// onto the heap — visible allocations on a path that must do none.
 type TopK struct {
 	k      int
 	eps    float64
-	h      matchHeap
+	h      []Match
 	shared *AtomicBound // optional cross-partition bound (Share)
 }
 
 // NewTopK returns a collector for the k best matches scoring at least eps.
 func NewTopK(k int, eps float64) *TopK {
 	return &TopK{k: k, eps: eps}
+}
+
+// Reset re-arms the collector for a new query, dropping any held matches and
+// detaching the shared bound while keeping the heap's backing array — pooled
+// collectors match repeatedly without reallocating.
+func (t *TopK) Reset(k int, eps float64) *TopK {
+	t.k, t.eps = k, eps
+	t.h = t.h[:0]
+	t.shared = nil
+	return t
 }
 
 // Share attaches a cross-partition admission bound: Bound() reads it, and
@@ -100,7 +113,7 @@ func (t *TopK) Offer(m Match) {
 		return
 	}
 	if t.k <= 0 || len(t.h) < t.k {
-		heap.Push(&t.h, m)
+		t.push(m)
 		t.publishBound()
 		return
 	}
@@ -108,7 +121,7 @@ func (t *TopK) Offer(m Match) {
 		return
 	}
 	t.h[0] = m
-	heap.Fix(&t.h, 0)
+	t.siftDown(0)
 	t.publishBound()
 }
 
@@ -125,14 +138,73 @@ func (t *TopK) Len() int { return len(t.h) }
 // Results drains the collection, best first (score descending, ties by id
 // ascending). The collector is empty afterwards.
 func (t *TopK) Results() []Match {
-	if len(t.h) == 0 {
-		return nil
+	return t.AppendResults(nil)
+}
+
+// AppendResults drains the collection into dst, best first — the
+// allocation-free form of Results for callers that reuse a result buffer.
+// The collector is empty afterwards.
+func (t *TopK) AppendResults(dst []Match) []Match {
+	n := len(t.h)
+	if n == 0 {
+		return dst
 	}
-	out := make([]Match, len(t.h))
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(&t.h).(Match)
+	base := len(dst)
+	dst = append(dst, t.h...) // grow by n; every slot is overwritten below
+	for i := n - 1; i >= 0; i-- {
+		// Pop the worst remaining match and place it from the back.
+		dst[base+i] = t.h[0]
+		last := len(t.h) - 1
+		t.h[0] = t.h[last]
+		t.h = t.h[:last]
+		if last > 0 {
+			t.siftDown(0)
+		}
 	}
-	return out
+	return dst
+}
+
+// push appends m and sifts it up (worst-first ordering).
+func (t *TopK) push(m Match) {
+	t.h = append(t.h, m)
+	i := len(t.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !matchWorse(t.h[i], t.h[parent]) {
+			break
+		}
+		t.h[i], t.h[parent] = t.h[parent], t.h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property below node i.
+func (t *TopK) siftDown(i int) {
+	n := len(t.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		worst := l
+		if r := l + 1; r < n && matchWorse(t.h[r], t.h[l]) {
+			worst = r
+		}
+		if !matchWorse(t.h[worst], t.h[i]) {
+			return
+		}
+		t.h[i], t.h[worst] = t.h[worst], t.h[i]
+		i = worst
+	}
+}
+
+// matchWorse reports whether a ranks strictly worse than b (the heap's
+// root-first ordering: score ascending, ties by id descending).
+func matchWorse(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
 }
 
 // worseOrEqual reports whether a ranks no better than b (score descending,
@@ -142,25 +214,6 @@ func worseOrEqual(a, b Match) bool {
 		return a.Score < b.Score
 	}
 	return a.ID >= b.ID
-}
-
-// matchHeap is a worst-first heap: the minimum-ranked match is at the root.
-type matchHeap []Match
-
-func (h matchHeap) Len() int      { return len(h) }
-func (h matchHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h matchHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score < h[j].Score
-	}
-	return h[i].ID > h[j].ID
-}
-func (h *matchHeap) Push(x any) { *h = append(*h, x.(Match)) }
-func (h *matchHeap) Pop() any {
-	old := *h
-	m := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return m
 }
 
 // SortMatches orders matches best-first (score descending, ties by id

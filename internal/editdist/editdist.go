@@ -4,9 +4,32 @@
 //	δ(s1,s2) = (max(len(s1),len(s2)) − d(s1,s2)) / max(len(s1),len(s2)) · 100
 package editdist
 
+// Scratch holds the two rolling DP rows so repeated distance computations
+// (one per candidate pair in a corpus match) reuse one allocation. A zero
+// Scratch is ready to use; methods grow the rows on demand. Not safe for
+// concurrent use.
+type Scratch struct {
+	prev, cur []int
+}
+
+// rows returns the two DP rows, each with at least n entries.
+func (s *Scratch) rows(n int) ([]int, []int) {
+	if cap(s.prev) < n {
+		s.prev = make([]int, n)
+		s.cur = make([]int, n)
+	}
+	return s.prev[:n], s.cur[:n]
+}
+
 // Distance returns the Levenshtein edit distance between a and b using two
 // rolling rows (O(min(len)) space).
 func Distance(a, b string) int {
+	var s Scratch
+	return s.Distance(a, b)
+}
+
+// Distance is the scratch-reusing form of the package-level Distance.
+func (s *Scratch) Distance(a, b string) int {
 	if a == b {
 		return 0
 	}
@@ -16,8 +39,7 @@ func Distance(a, b string) int {
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	prev, cur := s.rows(len(b) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -47,6 +69,13 @@ func Distance(a, b string) int {
 // maxDist+1 otherwise. Early exit keeps corpus matching fast when most
 // candidate pairs are far apart.
 func DistanceBounded(a, b string, maxDist int) int {
+	var s Scratch
+	return s.DistanceBounded(a, b, maxDist)
+}
+
+// DistanceBounded is the scratch-reusing form of the package-level
+// DistanceBounded.
+func (s *Scratch) DistanceBounded(a, b string, maxDist int) int {
 	if maxDist < 0 {
 		return 0
 	}
@@ -63,8 +92,7 @@ func DistanceBounded(a, b string, maxDist int) int {
 	if len(b) == 0 {
 		return len(a)
 	}
-	prev := make([]int, len(b)+1)
-	cur := make([]int, len(b)+1)
+	prev, cur := s.rows(len(b) + 1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -114,13 +142,20 @@ func Similarity(a, b string) float64 {
 // SimilarityAtLeast reports whether δ(a,b) ≥ threshold, using the bounded
 // distance for early exit.
 func SimilarityAtLeast(a, b string, threshold float64) (float64, bool) {
+	var s Scratch
+	return s.SimilarityAtLeast(a, b, threshold)
+}
+
+// SimilarityAtLeast is the scratch-reusing form of the package-level
+// SimilarityAtLeast.
+func (s *Scratch) SimilarityAtLeast(a, b string, threshold float64) (float64, bool) {
 	ml := max(len(a), len(b))
 	if ml == 0 {
 		return 100, threshold <= 100
 	}
 	// δ ≥ t  ⇔  d ≤ ml·(100−t)/100
 	maxDist := int(float64(ml) * (100 - threshold) / 100)
-	d := DistanceBounded(a, b, maxDist)
+	d := s.DistanceBounded(a, b, maxDist)
 	if d > maxDist {
 		return float64(ml-d) / float64(ml) * 100, false
 	}

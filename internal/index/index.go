@@ -150,6 +150,23 @@ type EntryRemover interface {
 	WithoutIDs(dead map[string]struct{}) (Backend, int)
 }
 
+// SegmentOpener is implemented by backends whose snapshot format doubles as
+// a runtime segment: OpenSegment replaces the backend's (empty) state with an
+// immutable view reading zero-copy out of data — typically a memory-mapped
+// snapshot file — instead of decoding it to the heap. ref is retained for the
+// segment's lifetime to pin data's owner (the mapping holder). Only the ccd
+// backend implements it today.
+type SegmentOpener interface {
+	OpenSegment(data []byte, ref any) error
+}
+
+// MappedReporter is implemented by backends that can report whether their
+// index currently reads zero-copy out of caller-owned bytes. The service
+// surfaces the count of mapped segments in its stats.
+type MappedReporter interface {
+	MappedSegment() bool
+}
+
 // entryIDs collects the document ids of a backend's entry slice — the
 // shared body of the IDLister implementations.
 func entryIDs[E any](entries []E, id func(E) string) []string {

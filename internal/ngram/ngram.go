@@ -5,23 +5,28 @@
 // least a fraction η of the query's distinct n-grams — the cheap candidate
 // filter in front of the expensive edit-distance similarity.
 //
-// Retrieval is document-at-a-time over sorted posting lists. A query needing
+// Retrieval is document-at-a-time over sorted, block-compressed posting
+// lists (see postings.go for the block/skip layout). A query needing
 // t = ⌈η·|Q|⌉ shared grams first merge-counts the |Q|−t+1 shortest posting
 // lists — by the pigeonhole principle every qualifying document appears in at
 // least one of them — and then walks the remaining lists longest-last,
 // abandoning any candidate whose count plus the lists still unread can no
-// longer reach t. The pruning is exact: the surviving candidate set and its
-// containment scores are identical to a full scan.
+// longer reach t. The merge decodes a block at a time and the candidate walk
+// seeks whole blocks via the skip table. The pruning is exact: the surviving
+// candidate set and its containment scores are identical to a full scan.
 package ngram
 
 import "sort"
 
-// Index is an inverted index from n-gram to a sorted posting list of
-// document numbers.
+// Index is an inverted index from n-gram to a block-compressed posting list
+// of document numbers.
 type Index struct {
-	n        int
-	postings map[string][]uint32
-	docs     []doc
+	n         int
+	blockSize int
+	postings  map[string]*postings
+	docs      []doc // nil for docless indexes (FromBytes embeddings)
+	docCount  int
+	sealed    bool // opened zero-copy: postings alias caller bytes, Add panics
 }
 
 type doc struct {
@@ -29,19 +34,48 @@ type doc struct {
 	ngrams int // number of distinct n-grams
 }
 
-// New returns an index over n-grams of size n (n ≥ 1).
+// New returns an index over n-grams of size n (n ≥ 1) using the current
+// DefaultBlockSize.
 func New(n int) *Index {
+	return NewWithBlock(n, DefaultBlockSize())
+}
+
+// NewWithBlock returns an index over n-grams of size n with an explicit
+// posting-block size (clamped to [1, 65536]).
+func NewWithBlock(n, blockSize int) *Index {
 	if n < 1 {
 		n = 1
 	}
-	return &Index{n: n, postings: make(map[string][]uint32)}
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	if blockSize > 1<<16 {
+		blockSize = 1 << 16
+	}
+	return &Index{n: n, blockSize: blockSize, postings: make(map[string]*postings)}
 }
 
 // N returns the configured n-gram size.
 func (ix *Index) N() int { return ix.n }
 
+// BlockSize returns the posting-block size this index was built with.
+func (ix *Index) BlockSize() int { return ix.blockSize }
+
 // Len returns the number of indexed documents.
-func (ix *Index) Len() int { return len(ix.docs) }
+func (ix *Index) Len() int { return ix.docCount }
+
+// Docless reports whether the index carries no document-id table (an
+// embedded index whose owner resolves ids itself); Query then leaves
+// Candidate.ID empty.
+func (ix *Index) Docless() bool { return ix.docs == nil && ix.docCount > 0 }
+
+// docID resolves a doc number to its id ("" for docless indexes).
+func (ix *Index) docID(d uint32) string {
+	if int(d) < len(ix.docs) {
+		return ix.docs[d].id
+	}
+	return ""
+}
 
 // Grams returns the distinct n-grams of s (strings shorter than n yield the
 // whole string as a single gram).
@@ -49,35 +83,61 @@ func (ix *Index) Grams(s string) []string {
 	return Grams(s, ix.n)
 }
 
-// Grams returns the distinct character n-grams of s.
+// Grams returns the distinct character n-grams of s, sorted.
 func Grams(s string, n int) []string {
+	return AppendGrams(nil, s, n)
+}
+
+// AppendGrams appends the distinct character n-grams of s to dst (sorted) —
+// the scratch-friendly form of Grams: with a reused dst the only allocation
+// is amortized slice growth. Deduplication is sort-and-compact, so no map is
+// built; retrieval treats the grams as a set, so order carries no meaning.
+func AppendGrams(dst []string, s string, n int) []string {
 	if len(s) == 0 {
-		return nil
+		return dst
 	}
 	if len(s) <= n {
-		return []string{s}
+		return append(dst, s)
 	}
-	seen := make(map[string]bool, len(s))
-	out := make([]string, 0, len(s)-n+1)
+	base := len(dst)
 	for i := 0; i+n <= len(s); i++ {
-		g := s[i : i+n]
-		if !seen[g] {
-			seen[g] = true
-			out = append(out, g)
+		dst = append(dst, s[i:i+n])
+	}
+	win := dst[base:]
+	sort.Strings(win)
+	w := 1
+	for i := 1; i < len(win); i++ {
+		if win[i] != win[i-1] {
+			win[w] = win[i]
+			w++
 		}
 	}
-	return out
+	return dst[:base+w]
 }
 
 // Add indexes the string under the given id and returns the internal doc
 // number. Doc numbers increase monotonically, so every posting list stays
-// sorted by construction.
+// sorted by construction. Panics on an index opened zero-copy from snapshot
+// bytes (those are immutable segments).
 func (ix *Index) Add(id, s string) int {
-	num := uint32(len(ix.docs))
+	if ix.sealed {
+		panic("ngram: Add on a sealed (zero-copy) index; segments are write-once")
+	}
+	num := uint32(ix.docCount)
 	grams := ix.Grams(s)
-	ix.docs = append(ix.docs, doc{id: id, ngrams: len(grams)})
+	if ix.docs != nil || ix.docCount == 0 {
+		// Docless indexes (loaded corpus embeddings) stay docless: their
+		// owner resolves ids by doc number, which needs no table here.
+		ix.docs = append(ix.docs, doc{id: id, ngrams: len(grams)})
+	}
+	ix.docCount++
 	for _, g := range grams {
-		ix.postings[g] = append(ix.postings[g], num)
+		p := ix.postings[g]
+		if p == nil {
+			p = &postings{}
+			ix.postings[g] = p
+		}
+		p.add(num, ix.blockSize)
 	}
 	return int(num)
 }
@@ -122,6 +182,27 @@ func (ix *Index) QueryStats(s string, eta float64) ([]Candidate, Stats) {
 // querying several indexes with one query (the service's generation
 // segments) derive the grams once and reuse them.
 func (ix *Index) QueryGrams(grams []string, eta float64) ([]Candidate, Stats) {
+	var sc Scratch
+	return ix.QueryGramsScratch(grams, eta, &sc)
+}
+
+// Scratch holds the reusable buffers of one retrieval: the selected posting
+// lists, one cursor and decode buffer per list, the candidate accumulator
+// and the result slice. A zero Scratch is ready to use; reusing one across
+// queries makes the steady-state retrieval allocation-free.
+type Scratch struct {
+	lists   []*postings
+	cursors []cursor
+	slab    []uint32
+	cands   []counted
+	out     []Candidate
+	byLen   listsByLen
+	byRank  candidatesByRank
+}
+
+// QueryGramsScratch is QueryGrams with caller-provided scratch. The returned
+// candidates alias sc and are valid until its next use.
+func (ix *Index) QueryGramsScratch(grams []string, eta float64, sc *Scratch) ([]Candidate, Stats) {
 	var st Stats
 	if len(grams) == 0 {
 		return nil, st
@@ -136,40 +217,56 @@ func (ix *Index) QueryGrams(grams []string, eta float64) ([]Candidate, Stats) {
 	}
 	t = max(t, 1)
 
-	lists := make([][]uint32, 0, len(grams))
+	sc.lists = sc.lists[:0]
 	for _, g := range grams {
-		if p := ix.postings[g]; len(p) > 0 {
-			lists = append(lists, p)
+		if p := ix.postings[g]; p != nil && p.count > 0 {
+			sc.lists = append(sc.lists, p)
 		}
 	}
-	st.Lists = len(lists)
-	if len(lists) < t {
+	st.Lists = len(sc.lists)
+	if len(sc.lists) < t {
 		return nil, st // even full membership cannot reach the threshold
 	}
-	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	sc.byLen.s = sc.lists
+	sort.Sort(&sc.byLen)
+
+	nl := len(sc.lists)
+	bs := ix.blockSize
+	if cap(sc.slab) < nl*bs {
+		sc.slab = make([]uint32, nl*bs)
+	}
+	slab := sc.slab[:cap(sc.slab)]
+	if cap(sc.cursors) < nl {
+		sc.cursors = make([]cursor, nl)
+	}
+	sc.cursors = sc.cursors[:nl]
+	for i, p := range sc.lists {
+		sc.cursors[i].init(p, slab[i*bs:(i+1)*bs], bs)
+	}
 
 	// Phase 1 — pigeonhole prefix: any document with ≥ t shared grams
 	// appears in at least one of the |lists|−t+1 shortest lists. Merge them
-	// document-at-a-time into (doc, count) runs, in doc order.
-	prefix := len(lists) - t + 1
-	cands := mergeCount(lists[:prefix])
-	st.Candidates = len(cands)
+	// document-at-a-time into (doc, count) runs, in doc order, decoding the
+	// compressed lists a block at a time.
+	prefix := nl - t + 1
+	sc.cands = mergeCountInto(sc.cursors[:prefix], sc.cands[:0])
+	st.Candidates = len(sc.cands)
 
 	// Phase 2 — walk the remaining (longer) lists shortest-first, merging
 	// each against the surviving candidates. After list j there are
 	// remaining = |lists|−j−1 unread lists; a candidate counting c can reach
 	// at most c+remaining, so anything below t−remaining is abandoned.
-	for j := prefix; j < len(lists); j++ {
-		post := lists[j]
-		remaining := len(lists) - j - 1
+	// Candidates arrive in doc order, so each list's cursor only moves
+	// forward — seekGE hops whole blocks via the skip table.
+	cands := sc.cands
+	for j := prefix; j < nl; j++ {
+		cur := &sc.cursors[j]
+		remaining := nl - j - 1
 		live := cands[:0]
-		pi := 0
 		for _, c := range cands {
-			// Gallop forward: candidates and postings are both doc-sorted.
-			pi += gallop(post[pi:], c.doc)
-			if pi < len(post) && post[pi] == c.doc {
+			cur.seekGE(c.doc)
+			if cur.valid && cur.cur == c.doc {
 				c.count++
-				pi++
 			}
 			if c.count+remaining < t {
 				st.Pruned++
@@ -180,27 +277,23 @@ func (ix *Index) QueryGrams(grams []string, eta float64) ([]Candidate, Stats) {
 		cands = live
 	}
 
-	out := make([]Candidate, 0, len(cands))
+	sc.out = sc.out[:0]
 	for _, c := range cands {
 		if c.count >= t {
-			out = append(out, Candidate{
-				ID:          ix.docs[c.doc].id,
+			sc.out = append(sc.out, Candidate{
+				ID:          ix.docID(c.doc),
 				Doc:         int(c.doc),
 				Containment: float64(c.count) / float64(len(grams)),
 			})
 		}
 	}
-	st.Kept = len(out)
-	if len(out) == 0 {
+	st.Kept = len(sc.out)
+	if len(sc.out) == 0 {
 		return nil, st
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Containment != out[j].Containment {
-			return out[i].Containment > out[j].Containment
-		}
-		return out[i].Doc < out[j].Doc
-	})
-	return out, st
+	sc.byRank.s = sc.out
+	sort.Sort(&sc.byRank)
+	return sc.out, st
 }
 
 // counted is one candidate document with its shared-gram count so far.
@@ -209,64 +302,61 @@ type counted struct {
 	count int
 }
 
-// mergeCount merges sorted posting lists into (doc, count) pairs in doc
-// order — the document-at-a-time counting step. Lists are consumed with a
-// cursor each; every round the minimum unconsumed doc is emitted with the
-// number of lists it appears in.
-func mergeCount(lists [][]uint32) []counted {
-	switch len(lists) {
+// mergeCountInto merges the cursors' posting lists into (doc, count) pairs in
+// doc order — the document-at-a-time counting step. Every round the minimum
+// unconsumed doc is emitted with the number of lists it appears in.
+func mergeCountInto(cursors []cursor, out []counted) []counted {
+	switch len(cursors) {
 	case 0:
-		return nil
+		return out
 	case 1:
-		out := make([]counted, len(lists[0]))
-		for i, d := range lists[0] {
-			out[i] = counted{doc: d, count: 1}
+		c := &cursors[0]
+		for c.valid {
+			out = append(out, counted{doc: c.cur, count: 1})
+			c.next()
 		}
 		return out
 	}
-	cursors := make([]int, len(lists))
-	total := 0
-	for _, l := range lists {
-		total += len(l)
-	}
-	out := make([]counted, 0, total)
 	for {
 		minDoc := uint32(0)
 		found := false
-		for i, l := range lists {
-			if cursors[i] < len(l) {
-				if d := l[cursors[i]]; !found || d < minDoc {
-					minDoc, found = d, true
-				}
+		for i := range cursors {
+			c := &cursors[i]
+			if c.valid && (!found || c.cur < minDoc) {
+				minDoc, found = c.cur, true
 			}
 		}
 		if !found {
 			return out
 		}
 		count := 0
-		for i, l := range lists {
-			if cursors[i] < len(l) && l[cursors[i]] == minDoc {
+		for i := range cursors {
+			c := &cursors[i]
+			if c.valid && c.cur == minDoc {
 				count++
-				cursors[i]++
+				c.next()
 			}
 		}
 		out = append(out, counted{doc: minDoc, count: count})
 	}
 }
 
-// gallop returns the number of leading elements of post strictly below doc,
-// doubling the probe step before finishing with a binary search — O(log d)
-// for a cursor advance of d, so intersecting a short candidate set against a
-// long posting list never degrades to a linear walk.
-func gallop(post []uint32, doc uint32) int {
-	if len(post) == 0 || post[0] >= doc {
-		return 0
+// listsByLen sorts posting lists shortest-first (a pre-built sort.Interface,
+// so the hot path avoids the closure allocation of sort.Slice).
+type listsByLen struct{ s []*postings }
+
+func (l *listsByLen) Len() int           { return len(l.s) }
+func (l *listsByLen) Swap(i, j int)      { l.s[i], l.s[j] = l.s[j], l.s[i] }
+func (l *listsByLen) Less(i, j int) bool { return l.s[i].count < l.s[j].count }
+
+// candidatesByRank sorts candidates containment-descending, doc ascending.
+type candidatesByRank struct{ s []Candidate }
+
+func (l *candidatesByRank) Len() int      { return len(l.s) }
+func (l *candidatesByRank) Swap(i, j int) { l.s[i], l.s[j] = l.s[j], l.s[i] }
+func (l *candidatesByRank) Less(i, j int) bool {
+	if l.s[i].Containment != l.s[j].Containment {
+		return l.s[i].Containment > l.s[j].Containment
 	}
-	hi := 1
-	for hi < len(post) && post[hi] < doc {
-		hi *= 2
-	}
-	lo := hi / 2
-	hi = min(hi, len(post))
-	return lo + sort.Search(hi-lo, func(i int) bool { return post[lo+i] >= doc })
+	return l.s[i].Doc < l.s[j].Doc
 }

@@ -1,6 +1,7 @@
 package ngram
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -97,9 +98,11 @@ func TestQuerySelfRetrieval(t *testing.T) {
 	}
 }
 
-// referenceQuery is the seed's term-at-a-time scan: count every posting of
-// every query gram into a map, keep docs reaching η·|Q|. The pruned
-// document-at-a-time Query must reproduce it exactly.
+// referenceQuery is the seed's term-at-a-time scan: decompress every posting
+// list of every query gram into plain sorted []uint32 (the uncompressed
+// representation the seed stored directly), count postings into a map, keep
+// docs reaching η·|Q|. The pruned document-at-a-time Query over the
+// block-compressed lists must reproduce it exactly.
 func referenceQuery(ix *Index, s string, eta float64) []Candidate {
 	grams := ix.Grams(s)
 	if len(grams) == 0 {
@@ -107,7 +110,11 @@ func referenceQuery(ix *Index, s string, eta float64) []Candidate {
 	}
 	counts := make(map[uint32]int)
 	for _, g := range grams {
-		for _, d := range ix.postings[g] {
+		p := ix.postings[g]
+		if p == nil {
+			continue
+		}
+		for _, d := range p.appendAll(nil, ix.blockSize) {
 			counts[d]++
 		}
 	}
@@ -116,7 +123,7 @@ func referenceQuery(ix *Index, s string, eta float64) []Candidate {
 	for d, c := range counts {
 		if float64(c) >= need {
 			out = append(out, Candidate{
-				ID:          ix.docs[d].id,
+				ID:          ix.docID(d),
 				Doc:         int(d),
 				Containment: float64(c) / float64(len(grams)),
 			})
@@ -131,9 +138,14 @@ func referenceQuery(ix *Index, s string, eta float64) []Candidate {
 	return out
 }
 
-// TestQueryMatchesReferenceScan: the posting-list merge with η pruning is an
-// exact optimization — same candidates, same containments, same order as the
-// full scan, across random corpora and thresholds.
+// TestQueryMatchesReferenceScan: block-compressed retrieval with η pruning is
+// an exact optimization — same candidates, same containments, same order as
+// the uncompressed full scan, across random corpora, thresholds, posting
+// block sizes (1 = every id its own block, up to larger-than-any-list), and
+// every representation of the same index: freshly built, Save/Load
+// round-tripped, and opened zero-copy over the encoded bytes (the mmap'd
+// segment form). One reused Scratch serves all queries, so scratch reuse is
+// pinned to be invisible too.
 func TestQueryMatchesReferenceScan(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	alphabet := "abcdefgh" // small alphabet forces heavy gram sharing
@@ -144,12 +156,28 @@ func TestQueryMatchesReferenceScan(t *testing.T) {
 		}
 		return string(b)
 	}
+	blockSizes := []int{1, 3, 7, 128}
+	var sc Scratch
 	for trial := 0; trial < 50; trial++ {
-		ix := New(3)
+		ix := NewWithBlock(3, blockSizes[trial%len(blockSizes)])
 		docs := 1 + rng.Intn(40)
 		for d := 0; d < docs; d++ {
 			ix.Add(fmt.Sprintf("doc-%d", d), randStr(1+rng.Intn(60)))
 		}
+
+		var enc bytes.Buffer
+		if err := ix.Save(&enc); err != nil {
+			t.Fatalf("trial %d: save: %v", trial, err)
+		}
+		loaded, err := Load(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: load: %v", trial, err)
+		}
+		mapped, err := FromBytes(enc.Bytes())
+		if err != nil {
+			t.Fatalf("trial %d: from bytes: %v", trial, err)
+		}
+
 		for q := 0; q < 10; q++ {
 			query := randStr(1 + rng.Intn(60))
 			eta := float64(rng.Intn(11)) / 10
@@ -160,6 +188,14 @@ func TestQueryMatchesReferenceScan(t *testing.T) {
 			}
 			if st.Kept != len(got) {
 				t.Fatalf("stats kept=%d, returned %d", st.Kept, len(got))
+			}
+			for name, form := range map[string]*Index{"loaded": loaded, "zero-copy": mapped} {
+				have, _ := form.QueryGramsScratch(form.Grams(query), eta, &sc)
+				// The scratch results alias sc; clone before the next query.
+				if !reflect.DeepEqual(append([]Candidate(nil), have...), want) {
+					t.Fatalf("trial %d eta=%.1f query=%q [%s form]:\n got %v\nwant %v",
+						trial, eta, query, name, have, want)
+				}
 			}
 		}
 	}

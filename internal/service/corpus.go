@@ -48,6 +48,7 @@ type Corpus struct {
 
 	publishes   atomic.Int64
 	compactions atomic.Int64
+	remaps      atomic.Int64
 
 	// Ingest accounting: adds that were indexed, skips the backend refused
 	// (index.ErrDocUnsupported — e.g. fingerprint-only docs offered to
@@ -358,8 +359,15 @@ func (c *Corpus) publish(sh *shard, upTo uint64) {
 	}
 	// Logarithmic compaction: merge the tail while the newest segment has
 	// reached at least half its predecessor, keeping sizes strictly
-	// geometric and the segment count O(log n).
+	// geometric and the segment count O(log n). Mapped segments are a
+	// compaction floor: merging one would rebuild it on the heap and drop
+	// the zero-copy mapping, so deltas above a mapped segment only merge
+	// among themselves — the next snapshot remap is what collapses the
+	// whole shard back onto a single mapping.
 	for len(segs) >= 2 && 2*segs[len(segs)-1].Len() >= segs[len(segs)-2].Len() {
+		if mr, ok := segs[len(segs)-2].(index.MappedReporter); ok && mr.MappedSegment() {
+			break
+		}
 		merged, err := segs[len(segs)-2].Merge(segs[len(segs)-1])
 		if err != nil {
 			break // same-kind merges cannot fail; keep segments unmerged
@@ -850,10 +858,25 @@ func (c *Corpus) readLegacySnapshot(br *bufio.Reader) error {
 	return c.installSnapshot(index.Config{CCD: probe.Config()}, [][][]byte{encoded})
 }
 
+// segmentOpener materializes one backend segment from its snapshot bytes.
+// heapOpener decodes to the heap; mappedOpener (segment.go) opens zero-copy
+// over a memory mapping when the backend supports it.
+type segmentOpener func(seg index.Backend, data []byte) error
+
+// heapOpener is the default segment opener: a full streaming decode.
+func heapOpener(seg index.Backend, data []byte) error {
+	return seg.Restore(bytes.NewReader(data))
+}
+
 // installSnapshot decodes the framed segments (in parallel) under cfg and
 // installs them: directly when the on-disk and in-memory shard counts match,
 // re-partitioned otherwise.
 func (c *Corpus) installSnapshot(cfg index.Config, perShard [][][]byte) error {
+	return c.installSnapshotWith(cfg, perShard, heapOpener)
+}
+
+// installSnapshotWith is installSnapshot with an explicit segment opener.
+func (c *Corpus) installSnapshotWith(cfg index.Config, perShard [][][]byte, open segmentOpener) error {
 	if cfg.CCD.N == 0 {
 		cfg.CCD = ccd.DefaultConfig
 	}
@@ -875,7 +898,7 @@ func (c *Corpus) installSnapshot(cfg index.Config, perShard [][][]byte) error {
 			go func(i, j int) {
 				defer wg.Done()
 				seg := c.newSegment()
-				if err := seg.Restore(bytes.NewReader(perShard[i][j])); err != nil {
+				if err := open(seg, perShard[i][j]); err != nil {
 					errs[i][j] = err
 					return
 				}

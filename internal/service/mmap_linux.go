@@ -1,0 +1,56 @@
+//go:build linux
+
+package service
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mapping owns one read-only memory mapping. Segments opened over it keep a
+// reference (ccd pins it through the corpus's lifetime); once the last
+// reference dies, the finalizer returns the address space.
+type mapping struct {
+	data []byte
+}
+
+func (m *mapping) unmap() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+}
+
+// mapFile maps path read-only and returns the bytes plus a reference the
+// caller must keep alive for as long as the bytes are in use (the mapping is
+// unmapped by a finalizer when the reference is collected). An empty file
+// yields nil bytes and no mapping. The fallback build (mmap_other.go) reads
+// the file into the heap instead.
+func mapFile(path string) ([]byte, any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil, nil
+	}
+	if st.Size() > int64(1)<<40 {
+		return nil, nil, fmt.Errorf("service: mmap %s: %d bytes exceeds limit", path, st.Size())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: mmap %s: %w", path, err)
+	}
+	m := &mapping{data: data}
+	runtime.SetFinalizer(m, (*mapping).unmap)
+	// Hand out a capacity-clamped view: no append through any subslice can
+	// ever write into (or past) the PROT_READ pages.
+	return data[:len(data):len(data)], m, nil
+}

@@ -1,0 +1,20 @@
+//go:build !linux
+
+package service
+
+import "os"
+
+// mapFile on non-linux platforms reads the file into the heap: callers get
+// the same zero-copy open over the returned bytes, just without the page
+// cache sharing. No reference is needed to keep heap bytes alive, so ref is
+// nil.
+func mapFile(path string) ([]byte, any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil, nil
+	}
+	return data[:len(data):len(data)], nil, nil
+}

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/index"
+)
+
+// This file is the zero-copy boot path: instead of streaming a snapshot
+// through ReadSnapshot (which decodes every posting list to the heap), the
+// snapshot file is memory-mapped and each backend segment opens directly over
+// its framed byte range. For the ccd backend that makes restore a validation
+// pass — posting lists are queried in place out of the page cache — so a
+// million-document corpus boots in the time it takes to checksum the file,
+// and cold pages are only faulted in when queries touch them.
+
+// mappedOpener opens segments zero-copy over data owned by ref when the
+// backend supports it (index.SegmentOpener), falling back to a heap decode.
+func mappedOpener(ref any) segmentOpener {
+	return func(seg index.Backend, data []byte) error {
+		if so, ok := seg.(index.SegmentOpener); ok {
+			return so.OpenSegment(data, ref)
+		}
+		return seg.Restore(bytes.NewReader(data))
+	}
+}
+
+// snapCursor walks a snapshot envelope held fully in memory. take hands out
+// 3-index subslices, so no downstream append can write into a read-only
+// mapping.
+type snapCursor struct {
+	b   []byte
+	err error
+}
+
+func (r *snapCursor) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, w := binary.Uvarint(r.b)
+	if w <= 0 {
+		r.err = fmt.Errorf("service: snapshot: read %s: bad uvarint", what)
+		return 0
+	}
+	r.b = r.b[w:]
+	return v
+}
+
+func (r *snapCursor) take(n uint64, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.err = fmt.Errorf("service: snapshot: read %s: need %d bytes, have %d", what, n, len(r.b))
+		return nil
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *snapCursor) float(what string) float64 {
+	b := r.take(8, what)
+	if r.err != nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+// parseSnapshotEnvelope splits a version-2 snapshot held in data into its
+// backend name, configuration and per-shard framed segment byte ranges. The
+// returned slices alias data. Version-1 envelopes and other formats return
+// an error; the caller decides whether to fall back to the streaming reader.
+func parseSnapshotEnvelope(data []byte) (backend string, cfg index.Config, perShard [][][]byte, err error) {
+	if len(data) < len(corpusSnapshotMagic)+1 {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: %d bytes is too short", len(data))
+	}
+	if string(data[:len(corpusSnapshotMagic)]) != corpusSnapshotMagic {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: bad magic %q", data[:len(corpusSnapshotMagic)])
+	}
+	r := &snapCursor{b: data[len(corpusSnapshotMagic):]}
+	version := r.uvarint("version")
+	if r.err != nil {
+		return "", cfg, nil, r.err
+	}
+	if version != CorpusSnapshotVersion {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: version %d has no zero-copy layout", version)
+	}
+	nameLen := r.uvarint("backend name length")
+	if r.err == nil && nameLen > 256 {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: implausible backend name length %d", nameLen)
+	}
+	backend = string(r.take(nameLen, "backend name"))
+	cfg.CCD.N = int(r.uvarint("config N"))
+	cfg.CCD.Eta = r.float("config Eta")
+	cfg.CCD.Epsilon = r.float("config Epsilon")
+	cfg.Epsilon = r.float("backend Epsilon")
+	shardCount := r.uvarint("shard count")
+	if r.err != nil {
+		return "", cfg, nil, r.err
+	}
+	if shardCount == 0 || shardCount > maxSnapshotShards {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: implausible shard count %d", shardCount)
+	}
+	perShard = make([][][]byte, shardCount)
+	for i := range perShard {
+		segCount := r.uvarint("segment count")
+		if r.err == nil && segCount > 1<<16 {
+			return "", cfg, nil, fmt.Errorf("service: snapshot: shard %d implausible segment count %d", i, segCount)
+		}
+		perShard[i] = make([][]byte, segCount)
+		for j := range perShard[i] {
+			size := r.uvarint("segment length")
+			if r.err == nil && size > maxSegmentBytes {
+				return "", cfg, nil, fmt.Errorf("service: snapshot: shard %d segment %d length %d exceeds limit", i, j, size)
+			}
+			perShard[i][j] = r.take(size, "segment")
+		}
+		if r.err != nil {
+			return "", cfg, nil, r.err
+		}
+	}
+	if len(r.b) != 0 {
+		return "", cfg, nil, fmt.Errorf("service: snapshot: %d trailing bytes", len(r.b))
+	}
+	return backend, cfg, perShard, nil
+}
+
+// OpenSnapshotFile restores a snapshot file into this (empty) corpus through
+// the zero-copy path: the file is memory-mapped (heap-read on platforms
+// without mmap support) and version-2 segments open directly over the mapped
+// bytes — for the ccd backend, restore then costs a validation pass instead
+// of an index rebuild. Version-1 snapshots fall back to the streaming
+// ReadSnapshot. The mapping stays referenced for as long as any segment
+// reads from it.
+func (c *Corpus) OpenSnapshotFile(path string) error {
+	data, ref, err := mapFile(path)
+	if err != nil {
+		return err
+	}
+	backend, cfg, perShard, perr := parseSnapshotEnvelope(data)
+	if perr != nil {
+		// Not a v2 envelope (or corrupt): let the streaming reader decide —
+		// it accepts version 1 and produces precise errors otherwise.
+		return c.ReadSnapshot(bytes.NewReader(data))
+	}
+	if backend != c.backend {
+		return fmt.Errorf("service: snapshot holds backend %q, corpus runs %q", backend, c.backend)
+	}
+	if c.Len() != 0 {
+		return fmt.Errorf("service: restore into non-empty corpus (%d entries)", c.Len())
+	}
+	return c.installSnapshotWith(cfg, perShard, mappedOpener(ref))
+}
+
+// remapSnapshot atomically swaps the corpus's published generations for
+// zero-copy segments opened over the just-written snapshot at path. The
+// corpus content must equal the snapshot's (the caller quiesces ingest around
+// Snapshot; Store.Snapshot calls this right after writing the file), which is
+// verified per shard by size before any pointer swings. On any mismatch the
+// corpus is left untouched.
+func (c *Corpus) remapSnapshot(path string) error {
+	data, ref, err := mapFile(path)
+	if err != nil {
+		return err
+	}
+	backend, cfg, perShard, err := parseSnapshotEnvelope(data)
+	if err != nil {
+		return err
+	}
+	if backend != c.backend {
+		return fmt.Errorf("service: remap: snapshot holds backend %q, corpus runs %q", backend, c.backend)
+	}
+	if cfg != c.cfg {
+		return fmt.Errorf("service: remap: snapshot config %+v differs from corpus %+v", cfg, c.cfg)
+	}
+	if len(perShard) != len(c.shards) {
+		return fmt.Errorf("service: remap: snapshot has %d shards, corpus %d", len(perShard), len(c.shards))
+	}
+	open := mappedOpener(ref)
+	install := make([][]index.Backend, len(c.shards))
+	for i := range perShard {
+		segs := make([]index.Backend, 0, len(perShard[i]))
+		for j := range perShard[i] {
+			seg := c.newSegment()
+			if err := open(seg, perShard[i][j]); err != nil {
+				return fmt.Errorf("service: remap: shard %d segment %d: %w", i, j, err)
+			}
+			if seg.Len() > 0 {
+				segs = append(segs, seg)
+			}
+		}
+		slices.SortStableFunc(segs, func(a, b index.Backend) int { return b.Len() - a.Len() })
+		install[i] = segs
+	}
+	// Verify every shard before swinging any pointer.
+	for i, sh := range c.shards {
+		size := 0
+		for _, s := range install[i] {
+			size += s.Len()
+		}
+		if got := sh.gen.Load().size; got != size {
+			return fmt.Errorf("service: remap: shard %d holds %d docs, snapshot %d", i, got, size)
+		}
+	}
+	for i, sh := range c.shards {
+		size := 0
+		for _, s := range install[i] {
+			size += s.Len()
+		}
+		sh.pubMu.Lock()
+		old := sh.gen.Load()
+		sh.gen.Store(&generation{segments: install[i], size: size, seq: old.seq + 1})
+		sh.pubMu.Unlock()
+	}
+	c.remaps.Add(1)
+	return nil
+}
+
+// MappedSegments counts published segments currently reading zero-copy out
+// of a mapped snapshot (diagnostics; surfaces in /metrics via store stats).
+func (c *Corpus) MappedSegments() int {
+	n := 0
+	for _, sh := range c.shards {
+		for _, seg := range sh.gen.Load().segments {
+			if mr, ok := seg.(index.MappedReporter); ok && mr.MappedSegment() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Remaps reports how many times the corpus swapped its generations onto a
+// freshly written snapshot mapping.
+func (c *Corpus) Remaps() int64 { return c.remaps.Load() }

@@ -35,6 +35,12 @@ type Store struct {
 	dir    string
 	corpus *Corpus
 	wal    *wal
+	opts   StoreOptions
+
+	// remapFailures counts post-snapshot remap attempts that failed (the
+	// heap generations keep serving; mapping is an optimization, not
+	// correctness).
+	remapFailures atomic.Int64
 
 	// mu orders Adds against Snapshot: Adds hold it shared (WAL append plus
 	// in-memory insert happen atomically w.r.t. snapshots), Snapshot holds
@@ -122,10 +128,25 @@ func (s *Store) backpressureDelay(ctx context.Context) {
 	s.bpDelayUs.Add(delay.Microseconds())
 }
 
+// StoreOptions tunes how a store boots and maintains its corpus.
+type StoreOptions struct {
+	// NoMapSegments disables the zero-copy snapshot path: boot decodes the
+	// snapshot to the heap (ReadSnapshot) and no post-snapshot remap runs.
+	// The default (false) memory-maps the snapshot file and opens segments
+	// in place, making restore a validation pass.
+	NoMapSegments bool
+}
+
 // OpenStore attaches durable storage in dir to c (which must be empty: the
 // store's contents become the corpus's initial state). The directory is
-// created if needed.
+// created if needed. Snapshot segments are memory-mapped by default; use
+// OpenStoreWith to opt out.
 func OpenStore(dir string, c *Corpus) (*Store, error) {
+	return OpenStoreWith(dir, c, StoreOptions{})
+}
+
+// OpenStoreWith is OpenStore with explicit options.
+func OpenStoreWith(dir string, c *Corpus, opts StoreOptions) (*Store, error) {
 	if c.store != nil {
 		return nil, fmt.Errorf("service: corpus already has a store attached")
 	}
@@ -138,13 +159,22 @@ func OpenStore(dir string, c *Corpus) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: create store dir: %w", err)
 	}
-	s := &Store{dir: dir, corpus: c}
+	s := &Store{dir: dir, corpus: c, opts: opts}
 	bootStart := time.Now()
 
 	snapPath := filepath.Join(dir, SnapshotFile)
-	if f, err := os.Open(snapPath); err == nil {
-		restoreErr := c.ReadSnapshot(f)
-		f.Close()
+	if _, err := os.Stat(snapPath); err == nil {
+		var restoreErr error
+		if opts.NoMapSegments {
+			f, err := os.Open(snapPath)
+			if err != nil {
+				return nil, err
+			}
+			restoreErr = c.ReadSnapshot(f)
+			f.Close()
+		} else {
+			restoreErr = c.OpenSnapshotFile(snapPath)
+		}
 		if restoreErr != nil {
 			return nil, fmt.Errorf("service: restore %s: %w", snapPath, restoreErr)
 		}
@@ -284,6 +314,15 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	if err := s.wal.reset(); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("snapshot saved but WAL truncate failed (replay will be redundant, not lossy): %w", err)
 	}
+	// Best-effort: swap the published generations onto zero-copy segments
+	// over the file just written — compaction back onto the mapping. Ingest
+	// is still quiescent (we hold s.mu), so the corpus equals the snapshot.
+	// On failure the heap generations keep serving unchanged.
+	if !s.opts.NoMapSegments {
+		if err := s.corpus.remapSnapshot(final); err != nil {
+			s.remapFailures.Add(1)
+		}
+	}
 	s.pendingAdds.Store(0)
 	s.snapshots.Add(1)
 	s.lastSnapshot.Store(time.Now().UnixNano())
@@ -361,6 +400,13 @@ type StoreInfo struct {
 	Snapshots        int64  `json:"snapshots"`
 	LastSnapshot     string `json:"last_snapshot,omitempty"`
 	WALBytes         int64  `json:"wal_bytes"`
+	// MappedSegments counts published segments reading zero-copy out of the
+	// snapshot mapping; SegmentRemaps how many post-snapshot remaps swung
+	// the generations onto a fresh mapping; RemapFailures the best-effort
+	// attempts that failed (heap segments kept serving).
+	MappedSegments int   `json:"mapped_segments,omitempty"`
+	SegmentRemaps  int64 `json:"segment_remaps,omitempty"`
+	RemapFailures  int64 `json:"remap_failures,omitempty"`
 }
 
 // Info reports the store's boot and runtime statistics.
@@ -374,6 +420,9 @@ func (s *Store) Info() StoreInfo {
 		TornTailCut:             s.tornTail,
 		PendingAdds:             s.pendingAdds.Load(),
 		Snapshots:               s.snapshots.Load(),
+		MappedSegments:          s.corpus.MappedSegments(),
+		SegmentRemaps:           s.corpus.Remaps(),
+		RemapFailures:           s.remapFailures.Load(),
 	}
 	if ns := s.lastSnapshot.Load(); ns != 0 {
 		info.LastSnapshot = time.Unix(0, ns).UTC().Format(time.RFC3339)
