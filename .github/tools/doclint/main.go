@@ -34,6 +34,7 @@ var auditedPackages = []string{
 	"internal/cluster",
 	"internal/index",
 	"internal/loadgen",
+	"internal/remote",
 	"internal/service",
 	"internal/service/api",
 	"internal/trace",

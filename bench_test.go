@@ -28,6 +28,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/pipeline"
 	"repro/internal/query"
+	"repro/internal/remote"
 	"repro/internal/service"
 	"repro/internal/service/api"
 	"repro/internal/solidity"
@@ -1009,6 +1010,80 @@ func BenchmarkCorpusMatchParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkDistributedMatch is the headline distributed-serving benchmark: a
+// router fanning top-10 queries out over eight partition-pinned in-process
+// shard servers, in fully sequential waves so every wave after the first
+// receives the bound the earlier waves established. "bound-ship" is the
+// production path; "no-bound" sends bound-free requests, which is what a
+// naive scatter-gather would do. The scored/op gap between them is what
+// admission-bound shipping buys — CI gates on no-bound scoring at least 2x
+// the candidates bound-ship does.
+func BenchmarkDistributedMatch(b *testing.B) {
+	const parts = 8
+	entries, snapshot := persistFixture(b)
+	_ = entries
+
+	// Recover the fingerprints from the shared snapshot instead of re-parsing
+	// 10k sources.
+	seed := service.New(service.Options{})
+	if err := seed.Corpus().ReadSnapshot(bytes.NewReader(snapshot)); err != nil {
+		b.Fatal(err)
+	}
+	var all []ccd.Entry
+	for i := 0; i < seed.Corpus().Shards(); i++ {
+		es, ok := seed.Corpus().ShardEntries(i)
+		if !ok {
+			b.Fatal("ccd corpus cannot enumerate entries")
+		}
+		all = append(all, es...)
+	}
+
+	ring := remote.NewRing(parts)
+	engines := make([]*service.Engine, parts)
+	targets := make([]string, parts)
+	for i := range engines {
+		engines[i] = service.New(service.Options{Workers: 2, Shards: 2})
+		ts := httptest.NewServer(api.NewServer(engines[i], api.WithPartition(i, parts)).Handler())
+		b.Cleanup(ts.Close)
+		targets[i] = ts.URL
+	}
+	for _, e := range all {
+		if err := engines[ring.Owner(e.ID)].CorpusAddFingerprint(e.ID, e.FP); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([]ccd.Fingerprint, 0, 16)
+	for _, e := range all[:16] {
+		queries = append(queries, e.FP)
+	}
+
+	run := func(b *testing.B, noBound bool) {
+		router := remote.NewRouter(remote.Config{
+			Targets:     targets,
+			Waves:       parts, // fully sequential: maximum bound tightening
+			NoBoundShip: noBound,
+		})
+		var scored, skipped int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := router.Match(context.Background(), string(queries[i%len(queries)]), 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Matches) == 0 {
+				b.Fatal("no matches")
+			}
+			scored += int64(res.Stats.Scored)
+			skipped += int64(res.Stats.CutoffSkipped)
+		}
+		b.ReportMetric(float64(scored)/float64(b.N), "scored/op")
+		b.ReportMetric(float64(skipped)/float64(b.N), "cutoff-skipped/op")
+		b.ReportMetric(float64(router.Stats().BoundShipSavings)/float64(b.N), "bound-savings/op")
+	}
+	b.Run("bound-ship", func(b *testing.B) { run(b, false) })
+	b.Run("no-bound", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkServeLoad drives the full HTTP serving path through the same
 // loadgen engine operators use, so the capacity numbers CI gates on and the
 // numbers a drill against a live instance reports come from identical code.
@@ -1085,6 +1160,63 @@ func BenchmarkServeLoad(b *testing.B) {
 			b.ReportMetric(float64(rep.Accepted.P99Us)/1e3, "p99-ms")
 			b.ReportMetric(float64(rep.Shed), "shed")
 			b.ReportMetric(float64(rep.Accepted.Count), "accepted")
+		}
+	})
+
+	// The same overload drill through a router over two partition-pinned
+	// shard nodes, driven via loadgen's multi-target mode (the -targets flag
+	// of cmd/loadgen). Shard admission pressure must surface through the
+	// router as 429s the generator counts as shed, not as 502s.
+	b.Run("router-overload-2x", func(b *testing.B) {
+		const parts = 2
+		targets := make([]string, parts)
+		for i := range targets {
+			s := api.NewServer(service.New(service.Options{
+				Workers: 2, Shards: 2,
+				Admission: service.AdmissionConfig{MaxQueue: 4},
+			}), api.WithPartition(i, parts))
+			ts := httptest.NewServer(s.Handler())
+			b.Cleanup(ts.Close)
+			targets[i] = ts.URL
+		}
+		router := remote.NewRouter(remote.Config{Targets: targets})
+		rts := httptest.NewServer(api.NewServer(service.New(service.Options{
+			Workers:   4,
+			Admission: service.AdmissionConfig{MaxQueue: 8},
+		}), api.WithRouter(router)).Handler())
+		b.Cleanup(rts.Close)
+
+		for i := 0; i < b.N; i++ {
+			probe, err := loadgen.Run(context.Background(), loadgen.Config{
+				Targets:     []string{rts.URL},
+				Mix:         mix,
+				Concurrency: 4,
+				Requests:    150,
+				Seed:        1,
+				Client:      rts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				Targets:     []string{rts.URL},
+				Mix:         mix,
+				Concurrency: 64,
+				Rate:        2 * probe.Throughput,
+				Duration:    2 * time.Second,
+				Seed:        2,
+				Client:      rts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Accepted.Count == 0 {
+				b.Fatal("router overload run accepted nothing")
+			}
+			b.ReportMetric(float64(rep.Accepted.P99Us)/1e3, "p99-ms")
+			b.ReportMetric(float64(rep.Shed), "shed")
+			b.ReportMetric(float64(rep.Accepted.Count), "accepted")
+			b.ReportMetric(float64(rep.ByStatus[502]), "bad-gateway")
 		}
 	})
 }

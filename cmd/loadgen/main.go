@@ -28,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/loadgen"
@@ -35,6 +36,7 @@ import (
 
 func main() {
 	url := flag.String("url", "http://localhost:8070", "base URL of the serve instance")
+	targets := flag.String("targets", "", "comma-separated base URLs to spread load over round-robin (overrides -url; first target is scraped for the server view)")
 	mixFlag := flag.String("mix", "analyze=1,match=7,ingest=1,bulk=1", "request mix as kind=weight terms")
 	concurrency := flag.Int("concurrency", 8, "client workers (closed loop) / max in-flight (open loop)")
 	requests := flag.Int("requests", 1000, "total requests in the closed loop")
@@ -59,8 +61,17 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var targetList []string
+	if *targets != "" {
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+	}
 	rep, err := loadgen.Run(ctx, loadgen.Config{
 		BaseURL:     *url,
+		Targets:     targetList,
 		Mix:         mix,
 		Concurrency: *concurrency,
 		Requests:    *requests,

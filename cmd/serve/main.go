@@ -7,6 +7,20 @@
 //	serve -shards 8 -backend ccd,ssdeep,smartembed     # scatter-gather width + extra matchers
 //	serve -admission-queue 64 -rate-limit 50 -rate-burst 100   # overload controls
 //
+// Multi-node topology (-role): the in-process scatter-gather generalizes to
+// remote shard nodes. A shard owns one consistent-hash partition of the id
+// space and refuses entries routed elsewhere; a router owns no corpus and
+// fans /v1/match (and corpus-mode studies) out over its shards in waves,
+// shipping the current admission bound with every request so remote shards
+// prune exactly like local ones. See docs/operations.md "Multi-node
+// topology" for the runbook.
+//
+//	serve -role shard -partition 0/2 -corpus-dir ./p0 -addr :8071
+//	serve -role shard -partition 1/2 -corpus-dir ./p1 -addr :8072
+//	serve -role router -shards http://h1:8071,http://h2:8072 -addr :8070
+//	serve -role replica -partition 0/2 -corpus-dir ./r0 \
+//	      -bootstrap-from http://h1:8071 -addr :8073   # snapshot + WAL tail
+//
 // The serving corpus is hash-partitioned into -shards generation-shards
 // (default GOMAXPROCS): each /v1/match scatter-gathers across all shards in
 // parallel under one shared admission bound, so query latency drops roughly
@@ -93,6 +107,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -101,6 +117,7 @@ import (
 	"repro/internal/ccd"
 	"repro/internal/index"
 	"repro/internal/ngram"
+	"repro/internal/remote"
 	"repro/internal/service"
 	"repro/internal/service/api"
 )
@@ -151,7 +168,14 @@ func main() {
 	addr := flag.String("addr", ":8070", "listen address")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cache := flag.Int("cache", 0, "entries per cache layer (0 = default, <0 disables)")
-	shards := flag.Int("shards", 0, "generation-shards per corpus / scatter-gather width (0 = GOMAXPROCS)")
+	shardsFlag := flag.String("shards", "", "generation-shards per corpus / scatter-gather width (empty or 0 = GOMAXPROCS); with -role router: comma-separated shard base URLs")
+	role := flag.String("role", "single", "node role: single (everything in-process), shard (owns one -partition), router (fans /v1/match over -shards URLs), replica (shard that bootstraps from -bootstrap-from and keeps tailing its WAL)")
+	partition := flag.String("partition", "", "this node's hash partition as i/N (with -role shard|replica)")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs aligned with the -shards list (with -role router; empty slots allowed)")
+	hedgeP99 := flag.Duration("hedge-p99", 0, "per-shard rolling p99 above which the router hedges reads to the shard's replica (0 = no hedging)")
+	waves := flag.Int("waves", 0, "router fanout waves: later waves ship the bound tightened by earlier ones (0 = default)")
+	noBoundShip := flag.Bool("no-bound-ship", false, "router: do not ship the admission bound to shards (for measuring what bound shipping saves)")
+	bootstrapFrom := flag.String("bootstrap-from", "", "peer base URL to bootstrap the corpus from: snapshot download + WAL tail replay (with -role shard|replica; requires -corpus-dir)")
 	backends := flag.String("backend", "ccd", "comma-separated similarity backends to load (ccd always on; e.g. ccd,ssdeep,smartembed)")
 	n := flag.Int("ccd-n", ccd.DefaultConfig.N, "CCD n-gram size")
 	eta := flag.Float64("ccd-eta", ccd.DefaultConfig.Eta, "CCD n-gram containment threshold")
@@ -179,6 +203,42 @@ func main() {
 
 	if *postingBlock != ngram.DefaultBlockSize() {
 		ngram.SetDefaultBlockSize(*postingBlock) // clamps to [1, 65536]
+	}
+
+	// -shards is overloaded: an integer (local scatter-gather width) in every
+	// role except router, where it lists the remote shard base URLs.
+	shardCount := 0
+	var shardURLs []string
+	switch *role {
+	case "router":
+		shardURLs = splitList(*shardsFlag)
+		if len(shardURLs) == 0 {
+			die(errors.New("-role router needs -shards with at least one shard base URL"))
+		}
+	case "single", "shard", "replica":
+		if *shardsFlag != "" {
+			n, err := strconv.Atoi(*shardsFlag)
+			if err != nil || n < 0 {
+				die(fmt.Errorf("bad -shards %q (want a non-negative shard count)", *shardsFlag))
+			}
+			shardCount = n
+		}
+	default:
+		die(fmt.Errorf("bad -role %q (want single, shard, router or replica)", *role))
+	}
+	partIdx, partTotal := -1, 0
+	if *partition != "" {
+		if *role != "shard" && *role != "replica" {
+			die(errors.New("-partition only applies to -role shard|replica"))
+		}
+		if n, err := fmt.Sscanf(*partition, "%d/%d", &partIdx, &partTotal); err != nil || n != 2 || partIdx < 0 || partTotal < 1 || partIdx >= partTotal {
+			die(fmt.Errorf("bad -partition %q (want i/N with 0 <= i < N)", *partition))
+		}
+	} else if *role == "shard" || *role == "replica" {
+		die(fmt.Errorf("-role %s needs -partition i/N", *role))
+	}
+	if *bootstrapFrom != "" && *corpusDir == "" {
+		die(errors.New("-bootstrap-from requires -corpus-dir (the snapshot lands there)"))
 	}
 
 	logger, err := newLogger(*logFormat, *logLevel)
@@ -222,7 +282,7 @@ func main() {
 	engine := service.New(service.Options{
 		Workers:       *workers,
 		CacheEntries:  *cache,
-		Shards:        *shards,
+		Shards:        shardCount,
 		Backends:      extraBackends,
 		CCD:           ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
 		TrackClusters: *clusters,
@@ -230,15 +290,38 @@ func main() {
 	})
 
 	opts := []api.Option{api.WithLogger(logger)}
+	var router *remote.Router
+	if *role == "router" {
+		router = remote.NewRouter(remote.Config{
+			Targets:     shardURLs,
+			Replicas:    splitList(*replicas),
+			Waves:       *waves,
+			HedgeP99:    *hedgeP99,
+			NoBoundShip: *noBoundShip,
+			Epsilon:     *eps,
+		})
+		opts = append(opts, api.WithRouter(router))
+	}
+	if partTotal > 0 {
+		opts = append(opts, api.WithPartition(partIdx, partTotal))
+	}
 	if *rateLimit > 0 {
 		opts = append(opts, api.WithRateLimit(*rateLimit, *rateBurst))
 	}
 	if *traceBuffer > 0 {
 		opts = append(opts, api.WithTraceBuffer(*traceBuffer, 0))
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var store *service.Store
 	stopAutoSnapshot := func() {}
 	if *corpusDir != "" {
+		if *bootstrapFrom != "" {
+			if err := bootstrapSnapshot(ctx, *corpusDir, *bootstrapFrom, logger); err != nil {
+				die(fmt.Errorf("bootstrap from %s: %w", *bootstrapFrom, err))
+			}
+		}
 		var err error
 		store, err = service.OpenStoreWith(*corpusDir, engine.Corpus(),
 			service.StoreOptions{NoMapSegments: !*mmapSegments})
@@ -268,6 +351,22 @@ func main() {
 		die(errors.New("-snapshot-interval requires -corpus-dir"))
 	}
 
+	// A bootstrapped node catches up on the peer's WAL tail before taking
+	// traffic; a replica keeps tailing afterwards so it converges on its
+	// primary within about a second of every primary commit.
+	if *bootstrapFrom != "" {
+		peer := remote.NewClient(10 * time.Minute)
+		walNext, err := applyWALTail(ctx, engine, peer, *bootstrapFrom, 0)
+		if err != nil {
+			die(fmt.Errorf("bootstrap WAL tail from %s: %w", *bootstrapFrom, err))
+		}
+		logger.Info("bootstrap complete", "from", *bootstrapFrom,
+			"corpus_entries", engine.Corpus().Len(), "wal_next", walNext)
+		if *role == "replica" {
+			go tailReplicaWAL(ctx, engine, peer, *bootstrapFrom, walNext, logger)
+		}
+	}
+
 	server := api.NewServer(engine, opts...)
 	// Restore is done: the debug listener graduates from the boot handler to
 	// the full pprof + traces + metrics surface, and /readyz flips honest.
@@ -279,16 +378,20 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr,
+	logAttrs := []any{"addr", *addr, "role", *role,
 		"workers", engine.Workers(),
 		"shards", engine.Corpus().Shards(),
 		"backends", engine.Backends(),
-		"corpus_entries", engine.Corpus().Len())
+		"corpus_entries", engine.Corpus().Len()}
+	if router != nil {
+		logAttrs = append(logAttrs, "remote_shards", len(shardURLs))
+	}
+	if partTotal > 0 {
+		logAttrs = append(logAttrs, "partition", fmt.Sprintf("%d/%d", partIdx, partTotal))
+	}
+	logger.Info("listening", logAttrs...)
 
 	select {
 	case err := <-errCh:
@@ -316,4 +419,172 @@ func main() {
 			}
 		}
 	}
+}
+
+// splitList splits a comma-separated flag into trimmed terms. Empty terms
+// are kept in place (the -replicas list aligns by position with -shards);
+// an all-empty list returns nil.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, len(parts))
+	any := false
+	for i, p := range parts {
+		out[i] = strings.TrimSpace(p)
+		if out[i] != "" {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// bootstrapSnapshot downloads the peer's binary corpus export into
+// dir/corpus.snap when the directory holds no prior state, so the subsequent
+// OpenStore restores the peer's corpus instead of starting empty. A
+// directory that already has a snapshot or WAL is left alone: the node
+// resumes from its own state and only replays the peer's WAL tail.
+func bootstrapSnapshot(ctx context.Context, dir, from string, logger *slog.Logger) error {
+	snapPath := filepath.Join(dir, service.SnapshotFile)
+	for _, p := range []string{snapPath, filepath.Join(dir, service.WALFile)} {
+		if _, err := os.Stat(p); err == nil {
+			logger.Info("bootstrap: local state present, skipping snapshot fetch", "path", p)
+			return nil
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "bootstrap-*.snap")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	n, err := remote.NewClient(10*time.Minute).FetchSnapshot(ctx, from, tmp)
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), snapPath); err != nil {
+		return err
+	}
+	logger.Info("bootstrap: snapshot fetched", "from", from, "bytes", n)
+	return nil
+}
+
+// walApplyBatch bounds one engine batch during WAL tail replay.
+const walApplyBatch = 256
+
+// applyWALTail streams the peer's WAL from position pos and applies the
+// records through the engine — which journals them into the local WAL, so a
+// bootstrapped node is durable in its own right. Returns the next stream
+// position. Replay is idempotent: the corpus supersedes duplicate ids, so
+// overlap with the bootstrapped snapshot is harmless.
+func applyWALTail(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int) (int, error) {
+	batch := make([]service.CorpusEntry, 0, walApplyBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		for _, err := range engine.CorpusAddBatchCtx(ctx, batch) {
+			if err != nil && errors.Is(err, service.ErrPersist) {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	next, err := peer.StreamWAL(ctx, from, pos, func(rec remote.WALRecord) error {
+		batch = append(batch, service.CorpusEntry{ID: rec.ID, Fingerprint: ccd.Fingerprint(rec.Fingerprint)})
+		if len(batch) >= walApplyBatch {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return next, err
+	}
+	return next, flush()
+}
+
+// replicaTailInterval paces the replica's WAL polling loop.
+const replicaTailInterval = time.Second
+
+// tailReplicaWAL keeps a replica converging on its primary: poll the WAL
+// stream, apply new records, and on 410 Gone (the primary snapshotted and
+// truncated its log past our position) fall back to a full paginated-export
+// re-sync — supersede-on-duplicate makes the re-apply idempotent.
+func tailReplicaWAL(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int, logger *slog.Logger) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(replicaTailInterval):
+		}
+		next, err := applyWALTail(ctx, engine, peer, from, pos)
+		switch {
+		case err == nil:
+			pos = next
+		case isGone(err):
+			logger.Warn("replica tail: primary truncated its WAL; re-syncing via export", "from", from)
+			if err := resyncExport(ctx, engine, peer, from); err != nil {
+				logger.Warn("replica re-sync failed", "err", err)
+				continue
+			}
+			pos = 0
+		default:
+			if ctx.Err() != nil {
+				return
+			}
+			logger.Warn("replica tail failed", "err", err)
+		}
+	}
+}
+
+// isGone reports whether err is the shard's 410 ErrWALTruncated answer.
+func isGone(err error) bool {
+	var se *remote.StatusError
+	return errors.As(err, &se) && se.Status == http.StatusGone
+}
+
+// resyncExport re-applies the primary's full corpus via the cursor-paginated
+// NDJSON export. Duplicate (id, fingerprint) pairs supersede in place, so
+// the replica converges without wiping local state.
+func resyncExport(ctx context.Context, engine *service.Engine, peer *remote.Client, from string) error {
+	batch := make([]service.CorpusEntry, 0, walApplyBatch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		for _, err := range engine.CorpusAddBatchCtx(ctx, batch) {
+			if err != nil && errors.Is(err, service.ErrPersist) {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	if err := peer.ExportEntries(ctx, from, func(e remote.ExportEntry) error {
+		batch = append(batch, service.CorpusEntry{ID: e.ID, Fingerprint: ccd.Fingerprint(e.Fingerprint)})
+		if len(batch) >= walApplyBatch {
+			return flush()
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return flush()
 }

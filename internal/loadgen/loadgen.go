@@ -105,6 +105,10 @@ func ParseMix(s string) (Mix, error) {
 type Config struct {
 	// BaseURL is the serve instance, e.g. "http://localhost:8070".
 	BaseURL string
+	// Targets, when non-empty, spreads requests round-robin across several
+	// instances (e.g. a router plus its shards, or N routers); BaseURL is
+	// ignored for requests but Targets[0] is scraped for the server view.
+	Targets []string
 	// Mix weights the request kinds (zero value: DefaultMix).
 	Mix Mix
 	// Concurrency is the client (worker) count. Closed loop: the number of
@@ -264,9 +268,20 @@ type sample struct {
 type generator struct {
 	cfg Config
 
+	// rr round-robins requests over cfg.Targets when set.
+	rr atomic.Int64
+
 	mu      sync.Mutex
 	samples []sample
 	dropped int
+}
+
+// base picks the next target: BaseURL, or round-robin over Targets.
+func (g *generator) base() string {
+	if len(g.cfg.Targets) == 0 {
+		return g.cfg.BaseURL
+	}
+	return g.cfg.Targets[int(g.rr.Add(1)-1)%len(g.cfg.Targets)]
 }
 
 func (g *generator) record(s sample) {
@@ -367,7 +382,7 @@ func (g *generator) issue(ctx context.Context, rng *rand.Rand, i int) sample {
 }
 
 func (g *generator) send(ctx context.Context, kind, path, contentType string, body io.Reader) sample {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.cfg.BaseURL+path, body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base()+path, body)
 	if err != nil {
 		return sample{kind: kind}
 	}
@@ -441,7 +456,11 @@ func (g *generator) report(elapsed time.Duration) *Report {
 // scrape pulls the server-side counters that mirror the client view.
 // Best-effort: a missing or foreign /metrics yields nil, not an error.
 func scrape(ctx context.Context, cfg Config) *ServerView {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.BaseURL+"/metrics", nil)
+	base := cfg.BaseURL
+	if len(cfg.Targets) > 0 {
+		base = cfg.Targets[0]
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
 	if err != nil {
 		return nil
 	}

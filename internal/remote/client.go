@@ -1,0 +1,269 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Client is the router's transport to shard nodes: plain JSON over HTTP/1.1
+// with keep-alive connection pooling, so steady-state fanout reuses warm
+// TCP connections and a shard request costs one write + one read, no
+// handshake. A Client is safe for concurrent use and shared across every
+// shard the router talks to.
+type Client struct {
+	hc *http.Client
+	// apiKey, when set, is sent as X-API-Key so shard-side rate limiting
+	// sees one logical client per router rather than per source address.
+	apiKey string
+}
+
+// NewClient returns a client with a connection pool sized for scatter-gather
+// fanout. timeout bounds one shard request end to end (0 = no client-side
+// deadline; the per-request context still applies).
+func NewClient(timeout time.Duration) *Client {
+	return &Client{hc: &http.Client{
+		Timeout: timeout,
+		Transport: &http.Transport{
+			// Each wave hits every shard at once; keep enough warm
+			// connections per host that fanout never waits on dials.
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// SetAPIKey sets the X-API-Key header sent with every shard request.
+func (c *Client) SetAPIKey(k string) { c.apiKey = k }
+
+// MatchShard runs one partition-local match on the shard at base
+// (e.g. "http://10.0.0.7:8080"). Non-2xx responses come back as
+// *StatusError with any Retry-After preserved.
+func (c *Client) MatchShard(ctx context.Context, base string, req ShardMatchRequest) (ShardMatchResponse, error) {
+	var resp ShardMatchResponse
+	err := c.postJSON(ctx, base+"/v1/shard/match", req, &resp)
+	return resp, err
+}
+
+// PostJSON posts req as JSON to url and decodes a 2xx response into out —
+// the router's ingest-forwarding primitive. Non-2xx responses come back as
+// *StatusError.
+func (c *Client) PostJSON(ctx context.Context, url string, req, out any) error {
+	return c.postJSON(ctx, url, req, out)
+}
+
+// PostNDJSON posts an NDJSON body to url and decodes a 2xx response into
+// out — bulk-ingest forwarding to the shard that owns a chunk of lines.
+func (c *Client) PostNDJSON(ctx context.Context, url string, body []byte, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	c.decorate(ctx, hreq)
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer drainClose(hresp.Body)
+	if hresp.StatusCode/100 != 2 {
+		return statusError(hresp)
+	}
+	return json.NewDecoder(hresp.Body).Decode(out)
+}
+
+// postJSON posts req as JSON and decodes a 2xx response into out.
+func (c *Client) postJSON(ctx context.Context, url string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	c.decorate(ctx, hreq)
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer drainClose(hresp.Body)
+	if hresp.StatusCode/100 != 2 {
+		return statusError(hresp)
+	}
+	return json.NewDecoder(hresp.Body).Decode(out)
+}
+
+// decorate attaches the propagation headers: the current trace id rides a
+// W3C traceparent when it has the canonical 32-hex shape, and X-Request-Id
+// otherwise, so a request's spans on router and shard share one trace id
+// end to end.
+func (c *Client) decorate(ctx context.Context, hreq *http.Request) {
+	if c.apiKey != "" {
+		hreq.Header.Set("X-API-Key", c.apiKey)
+	}
+	tr := trace.SpanFrom(ctx).Trace()
+	if tr == nil {
+		return
+	}
+	if tp := trace.FormatTraceparent(tr.ID()); tp != "" {
+		hreq.Header.Set("Traceparent", tp)
+	} else {
+		hreq.Header.Set("X-Request-Id", tr.ID())
+	}
+}
+
+// get issues a decorated GET and returns the response, converting non-2xx
+// statuses to *StatusError.
+func (c *Client) get(ctx context.Context, url string) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.decorate(ctx, hreq)
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode/100 != 2 {
+		defer drainClose(hresp.Body)
+		return nil, statusError(hresp)
+	}
+	return hresp, nil
+}
+
+// FetchSnapshot downloads the shard's binary corpus snapshot
+// (GET /v1/corpus/export) into w — the first half of replica bootstrap.
+func (c *Client) FetchSnapshot(ctx context.Context, base string, w io.Writer) (int64, error) {
+	hresp, err := c.get(ctx, base+"/v1/corpus/export")
+	if err != nil {
+		return 0, err
+	}
+	defer drainClose(hresp.Body)
+	return io.Copy(w, hresp.Body)
+}
+
+// StreamWAL replays the shard's WAL tail from record position `from`
+// (GET /v1/wal/stream?from=N), invoking fn per record, and returns the next
+// position to resume from. A 410 comes back as *StatusError{Status: 410}:
+// the shard snapshotted past `from` and the replica must re-bootstrap from
+// a fresh snapshot.
+func (c *Client) StreamWAL(ctx context.Context, base string, from int, fn func(WALRecord) error) (int, error) {
+	hresp, err := c.get(ctx, fmt.Sprintf("%s/v1/wal/stream?from=%d", base, from))
+	if err != nil {
+		return from, err
+	}
+	defer drainClose(hresp.Body)
+	next := from
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec WALRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return next, fmt.Errorf("wal stream: bad record after seq %d: %w", next, err)
+		}
+		if err := fn(rec); err != nil {
+			return next, err
+		}
+		next = rec.Seq + 1
+	}
+	if err := sc.Err(); err != nil {
+		return next, err
+	}
+	return next, nil
+}
+
+// ExportEntries walks the shard's paginated NDJSON corpus export
+// (GET /v1/corpus/export?format=ndjson&cursor=...), invoking fn per entry
+// until the export is exhausted — the router-side corpus study and tooling
+// stream partitions through this without unbounded responses.
+func (c *Client) ExportEntries(ctx context.Context, base string, fn func(ExportEntry) error) error {
+	cursor := ""
+	for {
+		url := base + "/v1/corpus/export?format=ndjson"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		next, err := c.exportPage(ctx, url, fn)
+		if err != nil {
+			return err
+		}
+		if next == "" {
+			return nil
+		}
+		cursor = next
+	}
+}
+
+// exportPage reads one export page, returning the next cursor ("" when the
+// export is complete).
+func (c *Client) exportPage(ctx context.Context, url string, fn func(ExportEntry) error) (string, error) {
+	hresp, err := c.get(ctx, url)
+	if err != nil {
+		return "", err
+	}
+	defer drainClose(hresp.Body)
+	sc := bufio.NewScanner(hresp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e ExportEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return "", fmt.Errorf("corpus export: bad entry: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return "", err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return hresp.Header.Get("X-Next-Cursor"), nil
+}
+
+// statusError converts a non-2xx response into a *StatusError, preserving
+// Retry-After (header first, JSON body's retry_after_seconds as fallback)
+// and the error message when the body is the API's JSON error shape.
+func statusError(hresp *http.Response) error {
+	se := &StatusError{Status: hresp.StatusCode}
+	if v := hresp.Header.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n > 0 {
+			se.RetryAfterSeconds = n
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(hresp.Body, 16<<10))
+	var payload struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if json.Unmarshal(body, &payload) == nil {
+		se.Msg = payload.Error
+		if se.RetryAfterSeconds == 0 {
+			se.RetryAfterSeconds = payload.RetryAfterSeconds
+		}
+	}
+	return se
+}
+
+// drainClose drains and closes a response body so the underlying connection
+// returns to the keep-alive pool instead of being torn down.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	_ = body.Close()
+}

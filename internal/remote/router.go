@@ -1,0 +1,366 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccd"
+	"repro/internal/trace"
+)
+
+// Config wires a Router to its shard fleet.
+type Config struct {
+	// Targets are the shard base URLs; index i owns partition i of
+	// NewRing(len(Targets)).
+	Targets []string
+	// Replicas optionally names a read replica per partition ("" = none;
+	// shorter than Targets = no replica for the tail). Used for failover
+	// and, when HedgeP99 is set, hedged reads.
+	Replicas []string
+	// Waves is how many sequential groups the fanout is split into
+	// (parallel within a group). More waves ship tighter bounds to later
+	// shards at the cost of serialized RTTs; 0 defaults to 2, which prices
+	// one extra RTT for a bound already tightened by half the fleet.
+	Waves int
+	// HedgeP99 enables hedged reads: when a shard's rolling p99 exceeds it,
+	// the request is raced against the partition's replica and the first
+	// success wins. 0 disables hedging.
+	HedgeP99 time.Duration
+	// NoBoundShip disables shipping the admission bound with shard requests
+	// (every request carries bound 0). Exists to measure what shipping
+	// saves; production routers leave it off.
+	NoBoundShip bool
+	// Epsilon is the match floor seeded into the shared bound (the
+	// backend's ε; 0 is safe, merely less pruning on the first wave).
+	Epsilon float64
+	// Client overrides the transport (nil = NewClient(30s)).
+	Client *Client
+}
+
+// Router fans one match query out over remote shard nodes and merges the
+// per-partition top-K responses through the same bounded heap the
+// single-process scatter-gather uses. Between waves it re-reads the shared
+// admission bound, so evidence from the first shards prices the scans on
+// the rest — the network analogue of the in-process AtomicBound.
+//
+// A Router is safe for concurrent use.
+type Router struct {
+	cfg    Config
+	client *Client
+	ring   *Ring
+	lat    []latencyWindow // per-partition rolling latency, hedging signal
+
+	fanouts          atomic.Int64
+	hedged           atomic.Int64
+	partials         atomic.Int64
+	boundShipSavings atomic.Int64
+	shardErrs        []atomic.Int64
+	fanoutHist       trace.Hist
+}
+
+// NewRouter returns a router over cfg.Targets. Panics when no targets are
+// given — a router with nothing to route to is a wiring bug, not a runtime
+// state.
+func NewRouter(cfg Config) *Router {
+	if len(cfg.Targets) == 0 {
+		panic("remote: router needs at least one shard target")
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 2
+	}
+	if cfg.Waves > len(cfg.Targets) {
+		cfg.Waves = len(cfg.Targets)
+	}
+	if cfg.Client == nil {
+		cfg.Client = NewClient(30 * time.Second)
+	}
+	return &Router{
+		cfg:       cfg,
+		client:    cfg.Client,
+		ring:      NewRing(len(cfg.Targets)),
+		lat:       make([]latencyWindow, len(cfg.Targets)),
+		shardErrs: make([]atomic.Int64, len(cfg.Targets)),
+	}
+}
+
+// N returns the partition count.
+func (r *Router) N() int { return len(r.cfg.Targets) }
+
+// Owner returns the partition owning id under the consistent-hash ring —
+// ingest routing uses this to send each document to its shard.
+func (r *Router) Owner(id string) int { return r.ring.Owner(id) }
+
+// Target returns partition i's shard base URL.
+func (r *Router) Target(i int) string { return r.cfg.Targets[i] }
+
+// Replica returns partition i's replica base URL ("" when none).
+func (r *Router) Replica(i int) string {
+	if i < len(r.cfg.Replicas) {
+		return r.cfg.Replicas[i]
+	}
+	return ""
+}
+
+// Client returns the router's shard transport, shared with ingest
+// forwarding and export streaming.
+func (r *Router) Client() *Client { return r.client }
+
+// Result is one routed match: the merged top K (best first), the summed
+// per-shard scan funnel, and whether any partition was unreachable (the
+// results then cover only the shards that answered).
+type Result struct {
+	Matches []ccd.Match
+	Stats   ccd.MatchStats
+	Partial bool
+}
+
+// Match fans the query out over all partitions in waves, shipping the
+// current admission bound with each request, and merges shard responses
+// best-first. A shard that pushes back with 429/503 aborts the query and
+// the *StatusError (Retry-After intact) propagates to the caller; a shard
+// that is unreachable degrades the result to Partial instead. An error is
+// returned only when no partition answered.
+func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, error) {
+	r.fanouts.Add(1)
+	start := time.Now()
+	defer func() { r.fanoutHist.ObserveDuration(time.Since(start)) }()
+
+	ctx, span := trace.Start(ctx, "router.fanout")
+	defer span.End()
+	span.AnnotateInt("shards", int64(r.N()))
+	span.AnnotateInt("waves", int64(r.cfg.Waves))
+
+	bound := ccd.NewAtomicBound(r.cfg.Epsilon)
+	var mu sync.Mutex
+	merged := ccd.NewTopK(k, r.cfg.Epsilon).Share(bound)
+	res := Result{}
+	failed := 0
+	var overload *StatusError
+	var firstErr error
+
+	waves := r.waves()
+	for _, wave := range waves {
+		var wg sync.WaitGroup
+		for _, part := range wave {
+			// Snapshot the bound once per request: this is the value the
+			// shard prunes with, and what the savings counter attributes.
+			shipped := 0.0
+			if !r.cfg.NoBoundShip {
+				shipped = bound.Load()
+			}
+			wg.Add(1)
+			go func(part int, shipped float64) {
+				defer wg.Done()
+				resp, err := r.queryShard(ctx, part, ShardMatchRequest{
+					Fingerprint: fingerprint,
+					K:           k,
+					Bound:       shipped,
+				})
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					r.shardErrs[part].Add(1)
+					var se *StatusError
+					if errors.As(err, &se) && se.Overloaded() && overload == nil {
+						overload = se
+					}
+					if firstErr == nil {
+						firstErr = err
+					}
+					failed++
+					return
+				}
+				for _, m := range toCCDMatches(resp.Matches) {
+					merged.Offer(m)
+				}
+				res.Stats.Candidates += resp.Stats.Candidates
+				res.Stats.FilterPruned += resp.Stats.FilterPruned
+				res.Stats.Scored += resp.Stats.Scored
+				res.Stats.CutoffSkipped += resp.Stats.CutoffSkipped
+				if shipped > 0 {
+					r.boundShipSavings.Add(int64(resp.Stats.CutoffSkipped))
+				}
+			}(part, shipped)
+		}
+		wg.Wait()
+		if overload != nil {
+			// A shard is shedding load: stop fanning out and surface its
+			// backpressure verbatim rather than hammering the rest.
+			return Result{}, overload
+		}
+		if ctx.Err() != nil {
+			return Result{}, ctx.Err()
+		}
+	}
+	if failed == r.N() {
+		return Result{}, firstErr
+	}
+	if failed > 0 {
+		res.Partial = true
+		r.partials.Add(1)
+	}
+	res.Matches = merged.Results()
+	span.AnnotateInt("scored", int64(res.Stats.Scored))
+	span.AnnotateInt("failed", int64(failed))
+	return res, nil
+}
+
+// waves splits the partition indices into cfg.Waves contiguous groups of
+// near-equal size.
+func (r *Router) waves() [][]int {
+	n := r.N()
+	w := r.cfg.Waves
+	out := make([][]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo == hi {
+			continue
+		}
+		wave := make([]int, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			wave = append(wave, p)
+		}
+		out = append(out, wave)
+	}
+	return out
+}
+
+// queryShard runs one partition's request against its primary, hedging to
+// or failing over to the replica when one exists.
+func (r *Router) queryShard(ctx context.Context, part int, req ShardMatchRequest) (ShardMatchResponse, error) {
+	primary := r.cfg.Targets[part]
+	replica := r.Replica(part)
+	if replica != "" && r.cfg.HedgeP99 > 0 && r.lat[part].p99() > r.cfg.HedgeP99 {
+		r.hedged.Add(1)
+		return r.hedge(ctx, part, primary, replica, req)
+	}
+	start := time.Now()
+	resp, err := r.client.MatchShard(ctx, primary, req)
+	if err == nil {
+		r.lat[part].observe(time.Since(start))
+		return resp, nil
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.Overloaded() {
+		// Backpressure is propagated, not failed over: the replica serves
+		// availability, not extra capacity the primary just refused to add.
+		return resp, err
+	}
+	if replica == "" {
+		return resp, err
+	}
+	return r.client.MatchShard(ctx, replica, req)
+}
+
+// hedge races the primary against the replica and returns the first
+// success; the loser's request is cancelled.
+func (r *Router) hedge(ctx context.Context, part int, primary, replica string, req ShardMatchRequest) (ShardMatchResponse, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		resp    ShardMatchResponse
+		err     error
+		primary bool
+	}
+	ch := make(chan outcome, 2)
+	for _, t := range []struct {
+		base    string
+		primary bool
+	}{{primary, true}, {replica, false}} {
+		go func(base string, isPrimary bool) {
+			start := time.Now()
+			resp, err := r.client.MatchShard(hctx, base, req)
+			if err == nil && isPrimary {
+				r.lat[part].observe(time.Since(start))
+			}
+			ch <- outcome{resp, err, isPrimary}
+		}(t.base, t.primary)
+	}
+	var lastErr error
+	for i := 0; i < 2; i++ {
+		o := <-ch
+		if o.err == nil {
+			return o.resp, nil
+		}
+		var se *StatusError
+		if errors.As(o.err, &se) && se.Overloaded() {
+			return ShardMatchResponse{}, o.err
+		}
+		lastErr = o.err
+	}
+	return ShardMatchResponse{}, lastErr
+}
+
+// Stats is a point-in-time view of the router's counters for /metrics.
+type Stats struct {
+	// Fanouts counts routed match queries.
+	Fanouts int64
+	// Hedged counts queries where a slow shard was raced against its
+	// replica.
+	Hedged int64
+	// Partials counts degraded responses (at least one partition down).
+	Partials int64
+	// BoundShipSavings totals candidates remote shards pruned thanks to the
+	// shipped (non-zero) admission bound — scoring work the network tier
+	// avoided outright.
+	BoundShipSavings int64
+	// ShardErrors counts failed requests per partition.
+	ShardErrors []int64
+}
+
+// Stats snapshots the router's counters.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		Fanouts:          r.fanouts.Load(),
+		Hedged:           r.hedged.Load(),
+		Partials:         r.partials.Load(),
+		BoundShipSavings: r.boundShipSavings.Load(),
+		ShardErrors:      make([]int64, len(r.shardErrs)),
+	}
+	for i := range r.shardErrs {
+		s.ShardErrors[i] = r.shardErrs[i].Load()
+	}
+	return s
+}
+
+// FanoutHist exposes the end-to-end fanout latency histogram (µs).
+func (r *Router) FanoutHist() *trace.Hist { return &r.fanoutHist }
+
+// latencyWindow is a per-shard rolling window of recent request latencies;
+// its p99 is the hedging trigger. Small and mutex-guarded — one observe per
+// shard request is nowhere near contention.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples [64]time.Duration
+	n       int // total observed; ring position = n % len
+}
+
+func (w *latencyWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.n%len(w.samples)] = d
+	w.n++
+	w.mu.Unlock()
+}
+
+// p99 returns the window's 99th percentile (0 with no samples yet — a cold
+// shard is never hedged on no evidence).
+func (w *latencyWindow) p99() time.Duration {
+	w.mu.Lock()
+	n := min(w.n, len(w.samples))
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99n), 1-based
+	if idx > n {
+		idx = n
+	}
+	return buf[idx-1]
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ccd"
 	"repro/internal/index"
 	"repro/internal/pipeline"
+	"repro/internal/remote"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -51,6 +52,15 @@ type Server struct {
 	// rateLimited counts requests it refused.
 	limiter     *rateLimiter
 	rateLimited atomic.Int64
+
+	// router puts the server in router mode (WithRouter): match and ingest
+	// fan out to remote shard nodes instead of the local corpus.
+	router *remote.Router
+	// partRing/partIdx pin a shard node to its partition (WithPartition):
+	// ingest refuses entries another partition owns. partRing nil =
+	// unpartitioned.
+	partRing *remote.Ring
+	partIdx  int
 }
 
 // Option configures a Server.
@@ -134,6 +144,12 @@ func NewServer(engine *service.Engine, opts ...Option) *Server {
 	s.traced(mux, "GET /v1/study/{id}", s.limited(s.handleStudyGet))
 	s.traced(mux, "GET /v1/clusters", s.limited(s.handleClusters))
 	s.traced(mux, "GET /v1/clusters/export", s.limited(s.handleClustersExport))
+	// Multi-node plumbing: a shard node answers partition-local matches
+	// (seeded with the router's shipped bound) and streams its WAL tail to
+	// bootstrapping replicas. Routed on every node — harmless without
+	// remote peers, and a single-process deployment can still be tailed.
+	s.traced(mux, "POST /v1/shard/match", s.limited(s.admitted(s.handleShardMatch)))
+	s.traced(mux, "GET /v1/wal/stream", s.limited(s.handleWALStream))
 	// Observability endpoints are counted but untraced: a scrape must not
 	// churn the trace ring it is reading.
 	s.counted(mux, "GET /healthz", s.handleHealthz)
@@ -195,10 +211,13 @@ type CorpusEntry struct {
 	Source string `json:"source"`
 }
 
-// CorpusAddResponse reports a bulk ingest.
+// CorpusAddResponse reports a bulk ingest. Skipped counts entries a
+// partition-pinned shard node refused because the consistent-hash ring
+// assigns them to a different partition.
 type CorpusAddResponse struct {
 	Added      int `json:"added"`
 	ParseIssue int `json:"parse_issues"` // indexed with partial fingerprints
+	Skipped    int `json:"skipped,omitempty"`
 	Size       int `json:"size"`
 }
 
@@ -240,9 +259,13 @@ type MatchExplain struct {
 	CutoffSkipped int    `json:"cutoff_skipped"`
 }
 
-// MatchResponse lists clone candidates, best first.
+// MatchResponse lists clone candidates, best first. Partial is set by a
+// router-mode server when at least one partition was unreachable: the
+// matches cover only the shards that answered (degraded mode, not an
+// error — availability over completeness).
 type MatchResponse struct {
 	Matches []Match       `json:"matches"`
+	Partial bool          `json:"partial,omitempty"`
 	Explain *MatchExplain `json:"explain,omitempty"`
 	Error   string        `json:"error,omitempty"`
 }
@@ -360,6 +383,22 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if s.router != nil {
+		s.routerCorpusAdd(w, r, req)
+		return
+	}
+	skipped := 0
+	if s.partRing != nil {
+		kept := req.Entries[:0]
+		for _, e := range req.Entries {
+			if s.ownsID(e.ID) {
+				kept = append(kept, e)
+			} else {
+				skipped++
+			}
+		}
+		req.Entries = kept
+	}
 	entries := make([]service.CorpusEntry, len(req.Entries))
 	for i, e := range req.Entries {
 		entries[i] = service.CorpusEntry{ID: e.ID, Source: e.Source}
@@ -377,6 +416,7 @@ func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, CorpusAddResponse{
 		Added:      len(entries),
 		ParseIssue: issues,
+		Skipped:    skipped,
 		Size:       s.engine.Corpus().Len(),
 	})
 }
@@ -425,6 +465,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Limit < 0 {
 		writeError(w, http.StatusBadRequest, "\"limit\" must be ≥ 0")
+		return
+	}
+	if s.router != nil {
+		s.routerMatch(w, r, req)
 		return
 	}
 	if _, err := s.engine.CorpusFor(req.Backend); err != nil {
@@ -611,7 +655,13 @@ func (s *Server) startCorpusStudy(w http.ResponseWriter, req StudyRequest) {
 		writeError(w, http.StatusBadRequest, "\"limit\" must be ≥ 0")
 		return
 	}
-	if _, err := s.engine.CorpusFor(req.Backend); err != nil {
+	if s.router != nil {
+		if req.Backend != "" && req.Backend != "ccd" {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("backend %q: router mode serves the default ccd backend", req.Backend))
+			return
+		}
+	} else if _, err := s.engine.CorpusFor(req.Backend); err != nil {
 		writeBackendError(w, err)
 		return
 	}
@@ -631,8 +681,16 @@ func (s *Server) startCorpusStudy(w http.ResponseWriter, req StudyRequest) {
 		// The study's per-document queries fan out through the engine pool
 		// (same slots as interactive traffic) and, like pipeline jobs, run
 		// to completion in the background. Embedders needing cancel/resume
-		// drive service.SelfJoin directly via Engine.NewCloneStudy.
-		rep, err := s.engine.RunCloneStudy(context.Background(), req.Backend, req.Limit, defaultTopClusters)
+		// drive service.SelfJoin directly via Engine.NewCloneStudy. In
+		// router mode the documents stream in from the shard exports and
+		// every query fans back out over the fleet.
+		var rep *service.CloneReport
+		var err error
+		if s.router != nil {
+			rep, err = s.routerCloneStudy(context.Background(), req.Limit, defaultTopClusters)
+		} else {
+			rep, err = s.engine.RunCloneStudy(context.Background(), req.Backend, req.Limit, defaultTopClusters)
+		}
 		if err != nil {
 			s.jobs.finish(job.ID, nil, err)
 			return
@@ -700,6 +758,21 @@ type MetricsResponse struct {
 	// limiter (0 when rate limiting is disabled).
 	RateLimited int64  `json:"requests_ratelimited"`
 	Uptime      string `json:"uptime"`
+	// Remote reports the router's scatter-gather counters; absent on
+	// single-process and shard nodes.
+	Remote *RemoteMetrics `json:"remote,omitempty"`
+}
+
+// RemoteMetrics is the JSON /metrics view of the router's remote fanout:
+// per-shard error counts, hedging and degradation tallies, and the
+// candidates remote shards skipped thanks to the shipped admission bound.
+type RemoteMetrics struct {
+	Fanouts          int64                `json:"fanouts"`
+	HedgedReads      int64                `json:"hedged_reads"`
+	PartialResponses int64                `json:"partial_responses"`
+	BoundShipSavings int64                `json:"bound_ship_savings"`
+	ShardErrors      []int64              `json:"shard_errors"`
+	FanoutLatency    service.LatencyStats `json:"fanout_latency"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -709,7 +782,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_ = s.writePrometheus(w, snap, time.Since(s.start).Seconds())
 		return
 	}
-	writeJSON(w, http.StatusOK, MetricsResponse{
+	resp := MetricsResponse{
 		Snapshot:  snap,
 		Endpoints: s.endpointMetrics(),
 		HitRates: map[string]float64{
@@ -720,7 +793,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Traces:      s.recorder.Stats(),
 		RateLimited: s.rateLimited.Load(),
 		Uptime:      time.Since(s.start).Round(time.Millisecond).String(),
-	})
+	}
+	if s.router != nil {
+		rs := s.router.Stats()
+		resp.Remote = &RemoteMetrics{
+			Fanouts:          rs.Fanouts,
+			HedgedReads:      rs.Hedged,
+			PartialResponses: rs.Partials,
+			BoundShipSavings: rs.BoundShipSavings,
+			ShardErrors:      rs.ShardErrors,
+			FanoutLatency:    latencyStatsOf(s.router.FanoutHist()),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- plumbing -----------------------------------------------------------------

@@ -52,18 +52,34 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// clustersCursor is the resume position of a paginated clusters export: the
+// min-size filter the export started with (pinned so every page filters
+// identically) and the offset into the size-descending cluster list.
+type clustersCursor struct {
+	Min    int `json:"m"`
+	Offset int `json:"o"`
+}
+
 // handleClustersExport streams the live clusters as NDJSON — one cluster
 // per line with its sorted member list, size descending — ready for the
 // paper's distribution tables. ?min=N keeps only clusters of at least N
 // members (default 2; min=1 includes singletons).
+//
+// Without pagination parameters the whole distribution streams in one
+// response (the original behavior). ?limit=N caps a page at N clusters and
+// returns an opaque resume token in X-Next-Cursor (absent on the last
+// page); pass it back as ?cursor= for the next page. Clustering advances
+// under concurrent ingest, so pages are a best-effort walk of the live
+// view, not a point-in-time snapshot.
 func (s *Server) handleClustersExport(w http.ResponseWriter, r *http.Request) {
 	set := s.engine.Clusters()
 	if set == nil {
 		writeError(w, http.StatusConflict, "cluster tracking not enabled (start serve with -clusters)")
 		return
 	}
+	qp := r.URL.Query()
 	minSize := 2
-	if v := r.URL.Query().Get("min"); v != "" {
+	if v := qp.Get("min"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
 			writeError(w, http.StatusBadRequest, "\"min\" must be a positive integer")
@@ -71,10 +87,41 @@ func (s *Server) handleClustersExport(w http.ResponseWriter, r *http.Request) {
 		}
 		minSize = n
 	}
+	limit := 0
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "\"limit\" must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	offset := 0
+	if v := qp.Get("cursor"); v != "" {
+		var cur clustersCursor
+		if err := decodeCursor(v, &cur); err != nil || cur.Offset < 0 || cur.Min < 1 {
+			writeError(w, http.StatusBadRequest, "bad \"cursor\" (tokens come from X-Next-Cursor, opaque)")
+			return
+		}
+		minSize, offset = cur.Min, cur.Offset
+		if limit == 0 {
+			limit = defaultExportPage
+		}
+	}
+
+	clusters := set.Clusters(minSize, true)
+	if offset > len(clusters) {
+		offset = len(clusters)
+	}
+	page := clusters[offset:]
+	if limit > 0 && len(page) > limit {
+		page = page[:limit]
+		w.Header().Set("X-Next-Cursor", encodeCursor(clustersCursor{Min: minSize, Offset: offset + limit}))
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, c := range set.Clusters(minSize, true) {
+	for _, c := range page {
 		if err := enc.Encode(c); err != nil {
 			return // client gone mid-stream
 		}

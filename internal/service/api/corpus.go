@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/ccd"
@@ -46,6 +47,9 @@ type BulkResponse struct {
 	// PersistFailures counts entries whose WAL append failed: they were NOT
 	// acknowledged, are not in the corpus, and will not replay.
 	PersistFailures int `json:"persist_failures,omitempty"`
+	// Skipped counts entries a partition-pinned shard node refused because
+	// the consistent-hash ring assigns them to another partition.
+	Skipped int `json:"skipped,omitempty"`
 	// Errors details the first few malformed lines.
 	Errors []string `json:"errors,omitempty"`
 	Size   int      `json:"size"`
@@ -62,6 +66,10 @@ type BulkResponse struct {
 // committed chunk reports exactly the entries that were journaled, never
 // the whole chunk, so the response and a boot-time WAL replay agree.
 func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
+	if s.router != nil {
+		s.routerBulk(w, r)
+		return
+	}
 	var resp BulkResponse
 	malformed := func(line int, msg string) {
 		resp.Malformed++
@@ -107,6 +115,10 @@ func (s *Server) handleCorpusBulk(w http.ResponseWriter, r *http.Request) {
 		}
 		if e.Source == "" && e.Fingerprint == "" {
 			malformed(line, "missing source or fingerprint")
+			continue
+		}
+		if !s.ownsID(e.ID) {
+			resp.Skipped++
 			continue
 		}
 		chunk = append(chunk, service.CorpusEntry{
@@ -175,7 +187,21 @@ func (s *Server) handleCorpusSnapshot(w http.ResponseWriter, r *http.Request) {
 // handleCorpusExport streams the corpus in the binary snapshot format; the
 // result feeds straight back into -corpus-dir (as corpus.snap) or another
 // instance's restore. Works with or without persistence enabled.
+//
+// ?format=ndjson (or any ?cursor=) selects the paginated NDJSON form
+// instead: pages of {"id", "fingerprint"} lines with an opaque resume token
+// in the X-Next-Cursor response header (absent on the last page), bounded
+// by ?limit= (default 10000). The router streams partition exports through
+// this without unbounded responses. The cursor is positional over the
+// id-sorted shard entries, so pages taken across concurrent ingest are a
+// best-effort enumeration, not a point-in-time snapshot — bit-exact copies
+// use the binary form.
 func (s *Server) handleCorpusExport(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	if qp.Get("format") == "ndjson" || qp.Has("cursor") {
+		s.handleCorpusExportNDJSON(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="corpus.snap"`)
 	w.Header().Set("X-Corpus-Snapshot-Version", fmt.Sprint(service.CorpusSnapshotVersion))
@@ -184,4 +210,68 @@ func (s *Server) handleCorpusExport(w http.ResponseWriter, r *http.Request) {
 		// per-shard CRCs make a truncated download detectable client-side.
 		return
 	}
+}
+
+// exportCursor is the resume position of a paginated NDJSON export: the
+// next generation-shard and the offset into its id-sorted entry list.
+type exportCursor struct {
+	Shard  int `json:"s"`
+	Offset int `json:"o"`
+}
+
+// defaultExportPage bounds one NDJSON export page when ?limit= is absent.
+const defaultExportPage = 10000
+
+// handleCorpusExportNDJSON serves one page of the cursor-paginated export.
+// The page is gathered before any byte is written so the X-Next-Cursor
+// header can precede the body.
+func (s *Server) handleCorpusExportNDJSON(w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	limit := defaultExportPage
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "\"limit\" must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	var cur exportCursor
+	if v := qp.Get("cursor"); v != "" {
+		if err := decodeCursor(v, &cur); err != nil || cur.Shard < 0 || cur.Offset < 0 {
+			writeError(w, http.StatusBadRequest, "bad \"cursor\" (tokens come from X-Next-Cursor, opaque)")
+			return
+		}
+	}
+	corpus := s.engine.Corpus()
+	page := make([]BulkEntry, 0, min(limit, 4096))
+	for cur.Shard < corpus.Shards() && len(page) < limit {
+		entries, ok := corpus.ShardEntries(cur.Shard)
+		if !ok {
+			writeError(w, http.StatusConflict,
+				fmt.Sprintf("backend %q cannot enumerate entries for NDJSON export", corpus.Backend()))
+			return
+		}
+		if cur.Offset >= len(entries) {
+			cur.Shard, cur.Offset = cur.Shard+1, 0
+			continue
+		}
+		take := min(limit-len(page), len(entries)-cur.Offset)
+		for _, e := range entries[cur.Offset : cur.Offset+take] {
+			page = append(page, BulkEntry{ID: e.ID, Fingerprint: string(e.FP)})
+		}
+		cur.Offset += take
+	}
+	if cur.Shard < corpus.Shards() {
+		w.Header().Set("X-Next-Cursor", encodeCursor(cur))
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range page {
+		if err := enc.Encode(e); err != nil {
+			return // client gone mid-stream
+		}
+	}
+	_ = bw.Flush()
 }

@@ -1,0 +1,433 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ccd"
+	"repro/internal/remote"
+	"repro/internal/service"
+)
+
+// cluster is a full in-process multi-node topology: N partition-pinned shard
+// servers plus one router server fanning out over them.
+type testCluster struct {
+	router   *httptest.Server
+	shards   []*httptest.Server
+	shardSrv []*Server
+}
+
+func newTestCluster(t *testing.T, n int, cfg remote.Config) *testCluster {
+	t.Helper()
+	c := &testCluster{}
+	for i := 0; i < n; i++ {
+		engine := service.New(service.Options{Workers: 2, Shards: 2, CCD: ccd.ConservativeConfig})
+		srv := NewServer(engine, WithPartition(i, n))
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		c.shards = append(c.shards, ts)
+		c.shardSrv = append(c.shardSrv, srv)
+		cfg.Targets = append(cfg.Targets, ts.URL)
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = ccd.ConservativeConfig.Epsilon
+	}
+	router := remote.NewRouter(cfg)
+	rsrv := NewServer(service.New(service.Options{Workers: 2, CCD: ccd.ConservativeConfig}), WithRouter(router))
+	c.router = httptest.NewServer(rsrv.Handler())
+	t.Cleanup(c.router.Close)
+	return c
+}
+
+// ingestBulk streams fingerprints through the router's NDJSON bulk route,
+// which groups lines by ring owner and ships each group to its shard.
+func (c *testCluster) ingestBulk(t *testing.T, entries []ccd.Entry) BulkResponse {
+	t.Helper()
+	var sb strings.Builder
+	for _, e := range entries {
+		line, _ := json.Marshal(BulkEntry{ID: e.ID, Fingerprint: string(e.FP)})
+		sb.Write(line)
+		sb.WriteByte('\n')
+	}
+	resp, err := http.Post(c.router.URL+"/v1/corpus/bulk", "application/x-ndjson", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk through router: status %d", resp.StatusCode)
+	}
+	var br BulkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return br
+}
+
+type wireMatch struct {
+	ID    string
+	Score float64
+}
+
+type wireMatchResponse struct {
+	Matches []wireMatch `json:"matches"`
+	Partial bool        `json:"partial"`
+}
+
+func matchFP(t *testing.T, base string, fp ccd.Fingerprint, k int) (wireMatchResponse, *http.Response) {
+	t.Helper()
+	buf, _ := json.Marshal(map[string]any{"fingerprint": string(fp), "limit": k})
+	resp, err := http.Post(base+"/v1/match", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out wireMatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out, resp
+}
+
+// TestDistributedMatchEqualsSingleProcess is the partition-equivalence
+// property test: the router's scatter-gather over partition-pinned shard
+// nodes must return exactly the single-process MatchTopK answer — same ids,
+// same scores, same order — across k sweeps. This is the correctness
+// contract that lets the shipped admission bound prune remotely: the k-th
+// best of any subset never exceeds the global k-th score.
+func TestDistributedMatchEqualsSingleProcess(t *testing.T) {
+	entries := studyFingerprints(11, 600)
+	c := newTestCluster(t, 3, remote.Config{Waves: 2})
+	if br := c.ingestBulk(t, entries); br.Added != len(entries) || br.Skipped != 0 {
+		t.Fatalf("router bulk: added %d skipped %d of %d", br.Added, br.Skipped, len(entries))
+	}
+
+	single, singleSrv := newTestServerOpts(t, service.Options{Workers: 2, Shards: 4, CCD: ccd.ConservativeConfig})
+	for _, e := range entries {
+		if err := singleSrv.engine.CorpusAddFingerprint(e.ID, e.FP); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for qi := 0; qi < 25; qi++ {
+		q := entries[qi*17%len(entries)]
+		for _, k := range []int{1, 2, 3, 5, 10} {
+			want, _ := matchFP(t, single.URL, q.FP, k)
+			got, _ := matchFP(t, c.router.URL, q.FP, k)
+			if got.Partial {
+				t.Fatalf("unexpected partial (q=%s k=%d)", q.ID, k)
+			}
+			if !reflect.DeepEqual(got.Matches, want.Matches) {
+				t.Fatalf("distributed != single-process for q=%s k=%d:\n got %+v\nwant %+v",
+					q.ID, k, got.Matches, want.Matches)
+			}
+		}
+	}
+}
+
+func TestDistributedKillOneShardDegrades(t *testing.T) {
+	entries := studyFingerprints(13, 300)
+	c := newTestCluster(t, 3, remote.Config{})
+	c.ingestBulk(t, entries)
+
+	q := entries[0]
+	before, resp := matchFP(t, c.router.URL, q.FP, 5)
+	if resp.StatusCode != http.StatusOK || before.Partial {
+		t.Fatalf("healthy cluster: status %d partial %v", resp.StatusCode, before.Partial)
+	}
+
+	c.shards[1].Close() // kill one partition
+	after, resp := matchFP(t, c.router.URL, q.FP, 5)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded match: status %d", resp.StatusCode)
+	}
+	if !after.Partial {
+		t.Fatal(`killed shard must surface as "partial": true`)
+	}
+	if len(after.Matches) == 0 {
+		t.Fatal("surviving partitions returned nothing")
+	}
+	for _, m := range after.Matches {
+		if !containsMatch(before.Matches, m) {
+			t.Errorf("degraded answer invented match %+v", m)
+		}
+	}
+}
+
+func containsMatch(ms []wireMatch, m wireMatch) bool {
+	for _, x := range ms {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRouterPropagatesShardRetryAfter pins the overload contract end to end
+// over HTTP: a shard's 429 + Retry-After surfaces verbatim from the router,
+// not as a generic 502.
+func TestRouterPropagatesShardRetryAfter(t *testing.T) {
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "9")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": "shard overloaded"})
+	}))
+	t.Cleanup(busy.Close)
+
+	router := remote.NewRouter(remote.Config{Targets: []string{busy.URL}})
+	rsrv := NewServer(service.New(service.Options{Workers: 2}), WithRouter(router))
+	ts := httptest.NewServer(rsrv.Handler())
+	t.Cleanup(ts.Close)
+
+	_, resp := matchFP(t, ts.URL, "abcdefgh", 1)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("router answered %d, want 429 passed through", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "9" {
+		t.Fatalf("Retry-After = %q, want the shard's own %q", ra, "9")
+	}
+}
+
+func TestShardPartitionFilterSkipsForeignIDs(t *testing.T) {
+	engine := service.New(service.Options{Workers: 2})
+	srv := NewServer(engine, WithPartition(0, 3))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	ring := remote.NewRing(3)
+	var mine, foreign string
+	for i := 0; mine == "" || foreign == ""; i++ {
+		id := fmt.Sprintf("doc-%d", i)
+		if ring.Owner(id) == 0 {
+			mine = id
+		} else if foreign == "" {
+			foreign = id
+		}
+	}
+	resp, m := post(t, ts.URL+"/v1/corpus", map[string]any{"entries": []map[string]string{
+		{"id": mine, "source": benignSrc},
+		{"id": foreign, "source": benignSrc},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	if int(m["added"].(float64)) != 1 || int(m["skipped"].(float64)) != 1 {
+		t.Fatalf("added=%v skipped=%v, want 1/1 (partition filter)", m["added"], m["skipped"])
+	}
+	if engine.Corpus().Len() != 1 {
+		t.Fatalf("corpus len %d, want only the owned doc", engine.Corpus().Len())
+	}
+}
+
+func TestWALStreamEndpoint(t *testing.T) {
+	engine := service.New(service.Options{Workers: 2})
+	store, err := service.OpenStore(t.TempDir(), engine.Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ts := httptest.NewServer(NewServer(engine, WithStore(store)).Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 5; i++ {
+		if err := engine.CorpusAddFingerprint(fmt.Sprintf("w-%d", i), ccd.Fingerprint(strings.Repeat("Ab", 10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func(q string) (*http.Response, []remote.WALRecord) {
+		resp, err := http.Get(ts.URL + "/v1/wal/stream" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var recs []remote.WALRecord
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			var rec remote.WALRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+			}
+			recs = append(recs, rec)
+		}
+		return resp, recs
+	}
+
+	resp, recs := fetch("?from=0")
+	if resp.StatusCode != http.StatusOK || len(recs) != 5 {
+		t.Fatalf("full stream: status %d, %d records", resp.StatusCode, len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Seq != i {
+			t.Fatalf("record %d has seq %d; positions are the sequence numbers", i, rec.Seq)
+		}
+	}
+
+	resp, recs = fetch("?from=3&limit=1")
+	if resp.StatusCode != http.StatusOK || len(recs) != 1 || recs[0].Seq != 3 {
+		t.Fatalf("windowed stream: status %d recs %+v", resp.StatusCode, recs)
+	}
+
+	// Caught up: an empty 200 page, not an error.
+	resp, recs = fetch("?from=5")
+	if resp.StatusCode != http.StatusOK || len(recs) != 0 {
+		t.Fatalf("caught-up stream: status %d, %d records", resp.StatusCode, len(recs))
+	}
+
+	// Past the end of the log: the snapshot must have truncated it — tell
+	// the client to re-bootstrap.
+	resp, _ = fetch("?from=6")
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("past-end stream: status %d, want 410 Gone", resp.StatusCode)
+	}
+}
+
+func TestCorpusExportCursorPagination(t *testing.T) {
+	ts, srv := newTestServerOpts(t, service.Options{Workers: 2, Shards: 4})
+	want := map[string]string{}
+	for i := 0; i < 57; i++ {
+		id := fmt.Sprintf("e-%02d", i)
+		fp := ccd.Fingerprint(strings.Repeat("Zy", 8+i%7))
+		if err := srv.engine.CorpusAddFingerprint(id, fp); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = string(fp)
+	}
+
+	got := map[string]string{}
+	cursor, pages := "", 0
+	for {
+		url := ts.URL + "/v1/corpus/export?format=ndjson&limit=10"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page %d: status %d", pages, resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var e BulkEntry
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatal(err)
+			}
+			if _, dup := got[e.ID]; dup {
+				t.Fatalf("id %q appeared twice across pages", e.ID)
+			}
+			got[e.ID] = e.Fingerprint
+		}
+		cursor = resp.Header.Get("X-Next-Cursor")
+		resp.Body.Close()
+		pages++
+		if cursor == "" {
+			break
+		}
+		if pages > 20 {
+			t.Fatal("cursor never terminated")
+		}
+	}
+	if pages < 6 {
+		t.Fatalf("57 entries at limit=10 walked only %d pages", pages)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("paginated export diverged: got %d entries, want %d", len(got), len(want))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/corpus/export?cursor=not.a.cursor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage cursor: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestClustersExportCursorPagination(t *testing.T) {
+	ts, srv := newTestServerOpts(t, service.Options{Workers: 2, Shards: 2, TrackClusters: true})
+	// Three clone groups of different sizes; identical fingerprints cluster.
+	for g, size := range []int{4, 3, 2} {
+		fp := ccd.Fingerprint(strings.Repeat(fmt.Sprintf("Qw%dEr", g), 6))
+		for m := 0; m < size; m++ {
+			if err := srv.engine.CorpusAddFingerprint(fmt.Sprintf("g%d-m%d", g, m), fp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	full := exportClusterIDs(t, ts.URL+"/v1/clusters/export?min=2")
+	if len(full) < 3 {
+		t.Fatalf("expected at least 3 clusters unpaginated, got %d", len(full))
+	}
+
+	var paged []string
+	cursor, pages := "", 0
+	for {
+		url := ts.URL + "/v1/clusters/export?min=2&limit=1"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := decodeClusterIDs(t, resp)
+		paged = append(paged, ids...)
+		cursor = resp.Header.Get("X-Next-Cursor")
+		pages++
+		if cursor == "" {
+			break
+		}
+		if pages > 10 {
+			t.Fatal("cluster cursor never terminated")
+		}
+	}
+	if pages < 3 {
+		t.Fatalf("limit=1 over %d clusters walked only %d pages", len(full), pages)
+	}
+	if !reflect.DeepEqual(paged, full) {
+		t.Fatalf("paginated clusters %v != streamed %v", paged, full)
+	}
+}
+
+func exportClusterIDs(t *testing.T, url string) []string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decodeClusterIDs(t, resp)
+}
+
+func decodeClusterIDs(t *testing.T, resp *http.Response) []string {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clusters export: status %d", resp.StatusCode)
+	}
+	var ids []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var c struct {
+			Rep string `json:"rep"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.Rep)
+	}
+	return ids
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/remote"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -213,6 +214,25 @@ func (s *Server) writePrometheus(w io.Writer, snap service.Snapshot, uptimeSec f
 		}
 		p.gauge("ccd_ready", "1 when the store is serving and durable, 0 during replay or rollback.", ready)
 	}
+
+	// Remote fanout (router mode). Zero-valued on single-process and shard
+	// nodes — the families render on every role so dashboards and the docs
+	// table keep one schema.
+	var rstats remote.Stats
+	var fanoutLatency service.LatencyStats
+	if s.router != nil {
+		rstats = s.router.Stats()
+		fanoutLatency = latencyStatsOf(s.router.FanoutHist())
+	}
+	p.counter("ccd_remote_fanouts_total", "Match queries fanned out to remote shard nodes.", rstats.Fanouts)
+	p.latencyHistogram("ccd_remote_fanout_seconds", "End-to-end remote fanout latency (all waves, merged).", "", fanoutLatency)
+	p.header("ccd_remote_shard_errors_total", "Failed requests per remote shard.", "counter")
+	for i, n := range rstats.ShardErrors {
+		p.metric("ccd_remote_shard_errors_total", label("shard", strconv.Itoa(i)), float64(n))
+	}
+	p.counter("ccd_remote_hedged_reads_total", "Queries raced against a replica after the shard's rolling p99 crossed the hedge threshold.", rstats.Hedged)
+	p.counter("ccd_remote_partial_responses_total", "Degraded responses missing at least one partition.", rstats.Partials)
+	p.counter("ccd_remote_bound_ship_savings_total", "Candidates remote shards pruned thanks to the shipped admission bound.", rstats.BoundShipSavings)
 
 	// Self-join study funnel.
 	sj := snap.SelfJoin

@@ -1,0 +1,491 @@
+package api
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/ccd"
+	"repro/internal/cluster"
+	"repro/internal/index"
+	"repro/internal/remote"
+	"repro/internal/service"
+)
+
+// WithRouter puts the server in router mode: /v1/match fans out to the
+// given router's shard nodes (merging through the shared admission bound),
+// corpus ingest forwards each entry to the shard owning its id under the
+// consistent-hash ring, and the corpus study streams partition exports
+// through the router. The local engine still fingerprints sources and
+// serves /v1/analyze; its (empty) local corpus is not matched against.
+func WithRouter(r *remote.Router) Option {
+	return func(s *Server) { s.router = r }
+}
+
+// WithPartition pins the server to one partition of an N-way cluster:
+// ingest drops entries whose ring owner is a different partition (counted
+// in the response as skipped), so a misrouted write can never make two
+// shards disagree about ownership. Shard and replica nodes run with this.
+func WithPartition(idx, total int) Option {
+	return func(s *Server) {
+		if total > 0 && idx >= 0 && idx < total {
+			s.partIdx = idx
+			s.partRing = remote.NewRing(total)
+		}
+	}
+}
+
+// ownsID reports whether this node's partition owns id (true when the
+// server is not partition-pinned).
+func (s *Server) ownsID(id string) bool {
+	return s.partRing == nil || s.partRing.Owner(id) == s.partIdx
+}
+
+// --- shard-side handlers ------------------------------------------------------
+
+// handleShardMatch serves POST /v1/shard/match: one partition-local match
+// with the router's shipped admission bound seeding the local scatter-
+// gather, so this shard prunes against evidence other partitions already
+// produced. The response carries the bound the scan ended at — the router
+// folds it back before the next wave.
+func (s *Server) handleShardMatch(w http.ResponseWriter, r *http.Request) {
+	var req remote.ShardMatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Fingerprint == "" {
+		writeError(w, http.StatusBadRequest, "provide \"fingerprint\"")
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "\"k\" must be ≥ 0")
+		return
+	}
+	if req.Bound < 0 {
+		req.Bound = 0
+	}
+	ctx := r.Context()
+	bound := ccd.NewAtomicBound(req.Bound)
+	var ms []ccd.Match
+	var st ccd.MatchStats
+	var err error
+	if derr := s.engine.DoCtx(ctx, func() {
+		doc := index.Doc{FP: ccd.Fingerprint(req.Fingerprint)}
+		ms, st, err = s.engine.Corpus().MatchDocTopKBound(ctx, doc, req.K, bound)
+	}); derr != nil {
+		return // client gone while queued
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			return // cancelled mid-scan
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := remote.ShardMatchResponse{
+		Matches: make([]remote.Match, len(ms)),
+		Bound:   bound.Load(),
+		Stats: remote.ShardMatchStats{
+			Candidates:    st.Candidates,
+			FilterPruned:  st.FilterPruned,
+			Scored:        st.Scored,
+			CutoffSkipped: st.CutoffSkipped,
+		},
+	}
+	for i, m := range ms {
+		resp.Matches[i] = remote.Match{ID: m.ID, Score: m.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errWALPageFull ends a WAL page at the requested limit; the client resumes
+// from the last seq it saw.
+var errWALPageFull = errors.New("wal page full")
+
+// handleWALStream serves GET /v1/wal/stream?from=N[&limit=M]: the shard's
+// WAL tail from record position N as NDJSON, one remote.WALRecord per line.
+// A replica bootstraps by downloading the snapshot export and then tailing
+// this from 0; replay is idempotent (last-record-per-id), so overlap is
+// safe. A position the log no longer covers (a snapshot truncated it)
+// answers 410 Gone — re-bootstrap from a fresh snapshot.
+func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusConflict, "persistence not enabled (start serve with -corpus-dir)")
+		return
+	}
+	qp := r.URL.Query()
+	from := 0
+	if v := qp.Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "\"from\" must be a non-negative integer")
+			return
+		}
+		from = n
+	}
+	limit := 0
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "\"limit\" must be a positive integer")
+			return
+		}
+		limit = n
+	}
+
+	var bw *bufio.Writer
+	var enc *json.Encoder
+	sent := 0
+	_, err := s.store.StreamWAL(from, func(seq int, id string, fp ccd.Fingerprint) error {
+		if limit > 0 && sent >= limit {
+			return errWALPageFull
+		}
+		if bw == nil {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			bw = bufio.NewWriter(w)
+			enc = json.NewEncoder(bw)
+		}
+		sent++
+		return enc.Encode(remote.WALRecord{Seq: seq, ID: id, Fingerprint: string(fp)})
+	})
+	if bw != nil {
+		_ = bw.Flush()
+		return // body started; stream errors (client gone) end it silently
+	}
+	switch {
+	case errors.Is(err, service.ErrWALTruncated):
+		writeError(w, http.StatusGone, err.Error())
+	case err != nil && !errors.Is(err, errWALPageFull):
+		writeError(w, http.StatusInternalServerError, "wal stream: "+err.Error())
+	default:
+		// Caught up: an empty NDJSON page.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+}
+
+// --- router-side handlers -----------------------------------------------------
+
+// writeRemoteError maps a failed shard interaction onto the router's own
+// response: shard backpressure (429/503) propagates verbatim with its
+// Retry-After, anything else is a 502 naming the upstream failure.
+func writeRemoteError(w http.ResponseWriter, err error) {
+	var se *remote.StatusError
+	if errors.As(err, &se) && se.Overloaded() {
+		retry := time.Duration(se.RetryAfterSeconds) * time.Second
+		if retry <= 0 {
+			retry = time.Second
+		}
+		writeOverloaded(w, se.Status, retry, se.Error())
+		return
+	}
+	writeError(w, http.StatusBadGateway, "shard request failed: "+err.Error())
+}
+
+// routerMatch serves /v1/match in router mode: every query fans out over
+// the shard fleet through the router's wave scheduler and merges remotely
+// scanned top-K lists. Sources are fingerprinted locally (CPU work stays on
+// the router's pool); only fingerprints and bounds cross the network.
+func (s *Server) routerMatch(w http.ResponseWriter, r *http.Request, req MatchRequest) {
+	ctx := r.Context()
+	if req.Backend != "" && req.Backend != "ccd" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("backend %q: router mode serves the default ccd backend", req.Backend))
+		return
+	}
+	batch := len(req.Sources) > 0 || len(req.Fingerprints) > 0
+	if batch && (req.Source != "" || req.Fingerprint != "") {
+		writeError(w, http.StatusBadRequest, "mix of single and batch fields: use either \"source\"/\"fingerprint\" or \"sources\"/\"fingerprints\"")
+		return
+	}
+	if !batch {
+		if req.Source == "" && req.Fingerprint == "" {
+			writeError(w, http.StatusBadRequest, "provide \"source\" or \"fingerprint\"")
+			return
+		}
+		fp, ok := s.routerFingerprint(ctx, req.Source, req.Fingerprint)
+		if !ok {
+			return
+		}
+		resp, err := s.routerMatchFP(ctx, req, fp)
+		if err != nil {
+			if ctx.Err() == nil {
+				writeRemoteError(w, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp := MatchBatchResponse{Results: make([]MatchResponse, 0, len(req.Sources)+len(req.Fingerprints))}
+	for _, src := range req.Sources {
+		fp, ok := s.routerFingerprint(ctx, src, "")
+		if !ok {
+			return
+		}
+		one, err := s.routerMatchFP(ctx, req, fp)
+		if err != nil {
+			if ctx.Err() == nil {
+				writeRemoteError(w, err)
+			}
+			return
+		}
+		resp.Results = append(resp.Results, one)
+	}
+	for _, fp := range req.Fingerprints {
+		one, err := s.routerMatchFP(ctx, req, fp)
+		if err != nil {
+			if ctx.Err() == nil {
+				writeRemoteError(w, err)
+			}
+			return
+		}
+		resp.Results = append(resp.Results, one)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routerFingerprint resolves a query to a fingerprint, running source
+// fingerprinting on the engine pool. ok=false means the client is gone.
+func (s *Server) routerFingerprint(ctx context.Context, source, fingerprint string) (string, bool) {
+	if source == "" {
+		return fingerprint, true
+	}
+	var fp ccd.Fingerprint
+	if err := s.engine.DoCtx(ctx, func() {
+		// Parse issues still yield a partial fingerprint, same as the
+		// single-process match path.
+		fp, _ = s.engine.Fingerprint(source)
+	}); err != nil {
+		return "", false
+	}
+	return string(fp), true
+}
+
+// routerMatchFP routes one fingerprint query and shapes the API response.
+func (s *Server) routerMatchFP(ctx context.Context, req MatchRequest, fp string) (MatchResponse, error) {
+	res, err := s.router.Match(ctx, fp, req.Limit)
+	if err != nil {
+		return MatchResponse{}, err
+	}
+	resp := MatchResponse{Matches: make([]Match, len(res.Matches)), Partial: res.Partial}
+	for i, m := range res.Matches {
+		resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+	}
+	if req.Explain {
+		resp.Explain = &MatchExplain{
+			Backend:       "ccd",
+			Shards:        s.router.N(),
+			Limit:         req.Limit,
+			Candidates:    res.Stats.Candidates,
+			FilterPruned:  res.Stats.FilterPruned,
+			Scored:        res.Stats.Scored,
+			CutoffSkipped: res.Stats.CutoffSkipped,
+		}
+	}
+	return resp, nil
+}
+
+// routerCorpusAdd forwards a /v1/corpus ingest to the shard fleet: entries
+// group by ring owner and each group lands on its shard in one request.
+// Shard fingerprinting keeps the router thin — the source text crosses the
+// network once either way, and this way the CPU cost lands on the node
+// that owns the document.
+func (s *Server) routerCorpusAdd(w http.ResponseWriter, r *http.Request, req CorpusAddRequest) {
+	ctx := r.Context()
+	byOwner := make(map[int][]CorpusEntry)
+	for _, e := range req.Entries {
+		owner := s.router.Owner(e.ID)
+		byOwner[owner] = append(byOwner[owner], e)
+	}
+	var total CorpusAddResponse
+	for part := 0; part < s.router.N(); part++ {
+		group, ok := byOwner[part]
+		if !ok {
+			continue
+		}
+		var resp CorpusAddResponse
+		url := s.router.Target(part) + "/v1/corpus"
+		if err := s.router.Client().PostJSON(ctx, url, CorpusAddRequest{Entries: group}, &resp); err != nil {
+			if ctx.Err() == nil {
+				writeRemoteError(w, err)
+			}
+			return
+		}
+		total.Added += resp.Added
+		total.ParseIssue += resp.ParseIssue
+		total.Skipped += resp.Skipped
+		total.Size += resp.Size
+	}
+	writeJSON(w, http.StatusOK, total)
+}
+
+// routerBulk streams a /v1/corpus/bulk NDJSON body through the ring:
+// lines buffer per owning shard and flush in bulkChunk batches, so a huge
+// stream never materializes on the router.
+func (s *Server) routerBulk(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	var resp BulkResponse
+	malformed := func(line int, msg string) {
+		resp.Malformed++
+		if len(resp.Errors) < maxBulkErrors {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("line %d: %s", line, msg))
+		}
+	}
+	chunks := make([][]byte, s.router.N())
+	counts := make([]int, s.router.N())
+	flush := func(part int) error {
+		if counts[part] == 0 {
+			return nil
+		}
+		var shardResp BulkResponse
+		url := s.router.Target(part) + "/v1/corpus/bulk"
+		if err := s.router.Client().PostNDJSON(ctx, url, chunks[part], &shardResp); err != nil {
+			return err
+		}
+		resp.Added += shardResp.Added
+		resp.ParseIssues += shardResp.ParseIssues
+		resp.Malformed += shardResp.Malformed
+		resp.PersistFailures += shardResp.PersistFailures
+		resp.Skipped += shardResp.Skipped
+		resp.Size += shardResp.Size
+		chunks[part] = chunks[part][:0]
+		counts[part] = 0
+		return nil
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), maxBulkLineBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		// Decode just enough to route: the owning shard re-validates.
+		var e BulkEntry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			malformed(line, "bad JSON: "+err.Error())
+			continue
+		}
+		if e.ID == "" {
+			malformed(line, "missing id")
+			continue
+		}
+		part := s.router.Owner(e.ID)
+		chunks[part] = append(chunks[part], raw...)
+		chunks[part] = append(chunks[part], '\n')
+		counts[part]++
+		if counts[part] >= bulkChunk {
+			if err := flush(part); err != nil {
+				if ctx.Err() == nil {
+					writeRemoteError(w, err)
+				}
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read stream at line %d: %s", line+1, err))
+		return
+	}
+	for part := range chunks {
+		if err := flush(part); err != nil {
+			if ctx.Err() == nil {
+				writeRemoteError(w, err)
+			}
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// routerCloneStudy runs the corpus-wide clone study in router mode: each
+// partition's documents stream in through the paginated NDJSON export, and
+// every document's clone query fans back out through the router — the
+// distributed analogue of the self-join planner's per-segment queries. The
+// run is not checkpointed/resumable like the in-process planner; operators
+// needing resume run the study on the shard nodes directly.
+func (s *Server) routerCloneStudy(ctx context.Context, limit, topN int) (*service.CloneReport, error) {
+	cfg := s.engine.Corpus().Config()
+	eps := s.engine.Corpus().Epsilon()
+	rep := &service.CloneReport{
+		Backend: s.engine.Corpus().Backend(),
+		Eta:     cfg.Eta,
+		Epsilon: eps,
+		Limit:   limit,
+	}
+	k := 0
+	if limit > 0 {
+		// One extra slot absorbs the document's self-match.
+		k = limit + 1
+	}
+	set := cluster.New()
+	for part := 0; part < s.router.N(); part++ {
+		rep.Stats.SegmentsTotal++
+		err := s.router.Client().ExportEntries(ctx, s.router.Target(part), func(e remote.ExportEntry) error {
+			rep.Stats.Docs++
+			set.Add(e.ID)
+			res, err := s.router.Match(ctx, e.Fingerprint, k)
+			if err != nil {
+				rep.Stats.Errors++
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return nil // one failed query degrades the study, not ends it
+			}
+			rep.Stats.Queried++
+			rep.Stats.Candidates += int64(res.Stats.Candidates)
+			rep.Stats.FilterPruned += int64(res.Stats.FilterPruned)
+			rep.Stats.Scored += int64(res.Stats.Scored)
+			rep.Stats.CutoffSkipped += int64(res.Stats.CutoffSkipped)
+			for _, m := range res.Matches {
+				if m.ID == e.ID || m.Score < eps {
+					continue
+				}
+				rep.Stats.Matches++
+				if set.Union(e.ID, m.ID) {
+					rep.Stats.Unions++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Stats.SegmentsDone++
+	}
+	rep.Summary = set.Summary()
+	if topN > 0 {
+		top := set.Clusters(2, false)
+		if len(top) > topN {
+			top = top[:topN]
+		}
+		rep.Top = top
+	}
+	return rep, nil
+}
+
+// --- cursor plumbing ----------------------------------------------------------
+
+// encodeCursor packs a cursor struct into an opaque URL-safe token.
+func encodeCursor(v any) string {
+	b, _ := json.Marshal(v)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor unpacks a token produced by encodeCursor.
+func decodeCursor(token string, into any) error {
+	b, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, into)
+}

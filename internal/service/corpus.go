@@ -448,10 +448,22 @@ func (c *Corpus) MatchTopK(fp ccd.Fingerprint, k int) ([]ccd.Match, ccd.MatchSta
 // through one bounded heap. A cancelled ctx stops the scan at the next
 // segment boundary and returns ctx.Err() with no matches.
 func (c *Corpus) MatchDocTopK(ctx context.Context, doc index.Doc, k int) ([]ccd.Match, ccd.MatchStats, error) {
+	return c.MatchDocTopKBound(ctx, doc, k, ccd.NewAtomicBound(0))
+}
+
+// MatchDocTopKBound is MatchDocTopK with a caller-seeded admission bound. A
+// shard node serving a routed query seeds it with the bound shipped by the
+// router, so the local scan prunes against evidence other partitions have
+// already produced — exactly as a local generation-shard prunes against its
+// siblings. The bound only ever rises; seeding 0 recovers MatchDocTopK.
+func (c *Corpus) MatchDocTopKBound(ctx context.Context, doc index.Doc, k int, bound *ccd.AtomicBound) ([]ccd.Match, ccd.MatchStats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	q := &index.Query{Doc: doc, K: k, Ctx: ctx, Bound: ccd.NewAtomicBound(0)}
+	if bound == nil {
+		bound = ccd.NewAtomicBound(0)
+	}
+	q := &index.Query{Doc: doc, K: k, Ctx: ctx, Bound: bound}
 
 	type shardResult struct {
 		ms    []ccd.Match
@@ -1045,6 +1057,30 @@ func dropEmpty(segs []index.Backend) []index.Backend {
 		}
 	}
 	return out
+}
+
+// ShardEntries returns shard i's indexed entries sorted by id, or false
+// when the shard's backend cannot enumerate them. It reads the shard's
+// current immutable generation, so it is safe under concurrent ingest; the
+// sorted order is what gives the paginated NDJSON export a stable cursor.
+func (c *Corpus) ShardEntries(i int) ([]ccd.Entry, bool) {
+	if i < 0 || i >= len(c.shards) {
+		return nil, false
+	}
+	entries, ok := allEntries(c.shards[i].gen.Load().segments)
+	if !ok {
+		return nil, false
+	}
+	slices.SortFunc(entries, func(a, b ccd.Entry) int {
+		if a.ID < b.ID {
+			return -1
+		}
+		if a.ID > b.ID {
+			return 1
+		}
+		return 0
+	})
+	return entries, true
 }
 
 // allEntries flattens the (id, fingerprint) pairs of every segment, or

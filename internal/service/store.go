@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -333,6 +334,53 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 		Entries: s.corpus.Len(),
 		Elapsed: time.Since(start),
 	}, nil
+}
+
+// ErrWALTruncated reports a StreamWAL position past the end of the current
+// WAL: a snapshot truncated the log since the caller's last read, so the
+// requested tail no longer exists and a replica must re-bootstrap from a
+// fresh snapshot before resuming.
+var ErrWALTruncated = errors.New("wal stream position predates the current log (snapshot truncated it; re-bootstrap)")
+
+// StreamWAL replays the on-disk WAL from record position `from` (0-based,
+// counted from the last snapshot — the WAL has no persistent sequence
+// numbers, positions ARE the sequence) into fn and returns the next
+// position to resume from. It holds the store's shared lock, so a snapshot
+// cannot truncate the log mid-stream while concurrent adds proceed; a
+// record being appended concurrently can look like a torn tail, which just
+// ends this page early — the next call picks it up. fn returning an error
+// stops the stream; `from` beyond the log returns ErrWALTruncated.
+func (s *Store) StreamWAL(from int, fn func(seq int, id string, fp ccd.Fingerprint) error) (int, error) {
+	if from < 0 {
+		from = 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	next := from
+	seq := 0
+	var fnErr error
+	records, _, _, err := replayWAL(filepath.Join(s.dir, WALFile), func(id string, fp ccd.Fingerprint) {
+		i := seq
+		seq++
+		if fnErr != nil || i < from {
+			return
+		}
+		if err := fn(i, id, fp); err != nil {
+			fnErr = err
+			return
+		}
+		next = i + 1
+	})
+	if err != nil {
+		return next, err
+	}
+	if fnErr != nil {
+		return next, fnErr
+	}
+	if from > records {
+		return records, ErrWALTruncated
+	}
+	return next, nil
 }
 
 // syncDir fsyncs a directory so a completed rename survives power loss.

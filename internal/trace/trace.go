@@ -296,6 +296,28 @@ func (t *Trace) Summary() Summary {
 	return s
 }
 
+// FormatTraceparent renders a W3C traceparent header value carrying the
+// given trace id with a freshly generated span id and the sampled flag —
+// the outbound half of ParseTraceparent, used when a router node forwards a
+// request to a shard node so both sides land in the same trace. It returns
+// "" unless traceID is exactly 32 lowercase hex characters (ids minted by
+// NewID always are; ids recovered from an X-Request-Id header may not be).
+func FormatTraceparent(traceID string) string {
+	if len(traceID) != 32 {
+		return ""
+	}
+	for i := 0; i < len(traceID); i++ {
+		c := traceID[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return ""
+		}
+	}
+	if traceID == "00000000000000000000000000000000" {
+		return ""
+	}
+	return "00-" + traceID + "-" + NewID()[:16] + "-01"
+}
+
 // ParseTraceparent extracts the trace-id field from a W3C traceparent
 // header value ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>").
 // It returns "" when the value does not look like one.
