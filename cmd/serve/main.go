@@ -356,14 +356,14 @@ func main() {
 	// primary within about a second of every primary commit.
 	if *bootstrapFrom != "" {
 		peer := remote.NewClient(10 * time.Minute)
-		walNext, err := applyWALTail(ctx, engine, peer, *bootstrapFrom, 0)
+		walNext, walEpoch, err := applyWALTail(ctx, engine, peer, *bootstrapFrom, 0, 0)
 		if err != nil {
 			die(fmt.Errorf("bootstrap WAL tail from %s: %w", *bootstrapFrom, err))
 		}
 		logger.Info("bootstrap complete", "from", *bootstrapFrom,
-			"corpus_entries", engine.Corpus().Len(), "wal_next", walNext)
+			"corpus_entries", engine.Corpus().Len(), "wal_next", walNext, "wal_epoch", walEpoch)
 		if *role == "replica" {
-			go tailReplicaWAL(ctx, engine, peer, *bootstrapFrom, walNext, logger)
+			go tailReplicaWAL(ctx, engine, peer, *bootstrapFrom, walNext, walEpoch, logger)
 		}
 	}
 
@@ -488,12 +488,14 @@ func bootstrapSnapshot(ctx context.Context, dir, from string, logger *slog.Logge
 // walApplyBatch bounds one engine batch during WAL tail replay.
 const walApplyBatch = 256
 
-// applyWALTail streams the peer's WAL from position pos and applies the
-// records through the engine — which journals them into the local WAL, so a
-// bootstrapped node is durable in its own right. Returns the next stream
-// position. Replay is idempotent: the corpus supersedes duplicate ids, so
-// overlap with the bootstrapped snapshot is harmless.
-func applyWALTail(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int) (int, error) {
+// applyWALTail streams the peer's WAL from position pos in WAL generation
+// epoch (0 = unknown) and applies the records through the engine — which
+// journals them into the local WAL, so a bootstrapped node is durable in its
+// own right. Returns the next stream position and the generation it belongs
+// to; both must be echoed on the next call so the peer can detect a stale
+// position after it snapshots. Replay is idempotent: the corpus supersedes
+// duplicate ids, so overlap with the bootstrapped snapshot is harmless.
+func applyWALTail(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int, epoch int64) (int, int64, error) {
 	batch := make([]service.CorpusEntry, 0, walApplyBatch)
 	flush := func() error {
 		if len(batch) == 0 {
@@ -507,7 +509,7 @@ func applyWALTail(ctx context.Context, engine *service.Engine, peer *remote.Clie
 		batch = batch[:0]
 		return nil
 	}
-	next, err := peer.StreamWAL(ctx, from, pos, func(rec remote.WALRecord) error {
+	next, nextEpoch, err := peer.StreamWAL(ctx, from, pos, epoch, func(rec remote.WALRecord) error {
 		batch = append(batch, service.CorpusEntry{ID: rec.ID, Fingerprint: ccd.Fingerprint(rec.Fingerprint)})
 		if len(batch) >= walApplyBatch {
 			return flush()
@@ -515,36 +517,39 @@ func applyWALTail(ctx context.Context, engine *service.Engine, peer *remote.Clie
 		return nil
 	})
 	if err != nil {
-		return next, err
+		return next, nextEpoch, err
 	}
-	return next, flush()
+	return next, nextEpoch, flush()
 }
 
 // replicaTailInterval paces the replica's WAL polling loop.
 const replicaTailInterval = time.Second
 
 // tailReplicaWAL keeps a replica converging on its primary: poll the WAL
-// stream, apply new records, and on 410 Gone (the primary snapshotted and
-// truncated its log past our position) fall back to a full paginated-export
-// re-sync — supersede-on-duplicate makes the re-apply idempotent.
-func tailReplicaWAL(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int, logger *slog.Logger) {
+// stream (echoing the position AND the WAL generation it belongs to), apply
+// new records, and on 410 Gone (the primary's generation moved past ours —
+// it snapshotted and truncated its log) fall back to a full paginated-export
+// re-sync — supersede-on-duplicate makes the re-apply idempotent. After a
+// re-sync the position and generation reset; the next poll starts at 0 and
+// adopts the primary's current generation from the response.
+func tailReplicaWAL(ctx context.Context, engine *service.Engine, peer *remote.Client, from string, pos int, epoch int64, logger *slog.Logger) {
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-time.After(replicaTailInterval):
 		}
-		next, err := applyWALTail(ctx, engine, peer, from, pos)
+		next, nextEpoch, err := applyWALTail(ctx, engine, peer, from, pos, epoch)
 		switch {
 		case err == nil:
-			pos = next
+			pos, epoch = next, nextEpoch
 		case isGone(err):
-			logger.Warn("replica tail: primary truncated its WAL; re-syncing via export", "from", from)
+			logger.Warn("replica tail: primary truncated its WAL (generation changed); re-syncing via export", "from", from)
 			if err := resyncExport(ctx, engine, peer, from); err != nil {
 				logger.Warn("replica re-sync failed", "err", err)
 				continue
 			}
-			pos = 0
+			pos, epoch = 0, 0
 		default:
 			if ctx.Err() != nil {
 				return

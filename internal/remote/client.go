@@ -154,18 +154,43 @@ func (c *Client) FetchSnapshot(ctx context.Context, base string, w io.Writer) (i
 	return io.Copy(w, hresp.Body)
 }
 
-// StreamWAL replays the shard's WAL tail from record position `from`
-// (GET /v1/wal/stream?from=N), invoking fn per record, and returns the next
-// position to resume from. A 410 comes back as *StatusError{Status: 410}:
-// the shard snapshotted past `from` and the replica must re-bootstrap from
-// a fresh snapshot.
-func (c *Client) StreamWAL(ctx context.Context, base string, from int, fn func(WALRecord) error) (int, error) {
-	hresp, err := c.get(ctx, fmt.Sprintf("%s/v1/wal/stream?from=%d", base, from))
+// StreamWAL replays the shard's WAL tail from record position `from` in WAL
+// generation `epoch` (0 = unknown, first contact), invoking fn per record,
+// and returns the next position plus the generation it belongs to — callers
+// echo both on the next call, which is what lets the shard detect a stale
+// position after it snapshots and truncates its log. The server pages the
+// stream (X-WAL-More marks a cut page); this walks pages until the tail is
+// drained. A 410 comes back as *StatusError{Status: 410}: the shard's WAL
+// generation moved past the caller's and the replica must re-sync before
+// resuming.
+func (c *Client) StreamWAL(ctx context.Context, base string, from int, epoch int64, fn func(WALRecord) error) (int, int64, error) {
+	next := from
+	for {
+		url := fmt.Sprintf("%s/v1/wal/stream?from=%d", base, next)
+		if epoch != 0 {
+			url += fmt.Sprintf("&epoch=%d", epoch)
+		}
+		more, err := c.walPage(ctx, url, &next, &epoch, fn)
+		if err != nil || !more {
+			return next, epoch, err
+		}
+	}
+}
+
+// walPage fetches one WAL stream page, advancing *next per record and
+// adopting the server's generation into *epoch. It reports whether the
+// server cut the page (more records are ready right now).
+func (c *Client) walPage(ctx context.Context, url string, next *int, epoch *int64, fn func(WALRecord) error) (bool, error) {
+	hresp, err := c.get(ctx, url)
 	if err != nil {
-		return from, err
+		return false, err
 	}
 	defer drainClose(hresp.Body)
-	next := from
+	if v := hresp.Header.Get("X-WAL-Epoch"); v != "" {
+		if e, perr := strconv.ParseInt(v, 10, 64); perr == nil && e > 0 {
+			*epoch = e
+		}
+	}
 	sc := bufio.NewScanner(hresp.Body)
 	sc.Buffer(make([]byte, 64<<10), 4<<20)
 	for sc.Scan() {
@@ -174,17 +199,17 @@ func (c *Client) StreamWAL(ctx context.Context, base string, from int, fn func(W
 		}
 		var rec WALRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return next, fmt.Errorf("wal stream: bad record after seq %d: %w", next, err)
+			return false, fmt.Errorf("wal stream: bad record after seq %d: %w", *next, err)
 		}
 		if err := fn(rec); err != nil {
-			return next, err
+			return false, err
 		}
-		next = rec.Seq + 1
+		*next = rec.Seq + 1
 	}
 	if err := sc.Err(); err != nil {
-		return next, err
+		return false, err
 	}
-	return next, nil
+	return hresp.Header.Get("X-WAL-More") == "1", nil
 }
 
 // ExportEntries walks the shard's paginated NDJSON corpus export

@@ -280,7 +280,7 @@ func (r *Router) hedge(ctx context.Context, part int, primary, replica string, r
 			ch <- outcome{resp, err, isPrimary}
 		}(t.base, t.primary)
 	}
-	var lastErr error
+	var lastErr, overload error
 	for i := 0; i < 2; i++ {
 		o := <-ch
 		if o.err == nil {
@@ -288,9 +288,17 @@ func (r *Router) hedge(ctx context.Context, part int, primary, replica string, r
 		}
 		var se *StatusError
 		if errors.As(o.err, &se) && se.Overloaded() {
-			return ShardMatchResponse{}, o.err
+			// One leg shedding load does not decide the hedge: the other may
+			// still answer — the replica exists to serve availability, same
+			// rationale as queryShard's failover. Only when both legs fail
+			// does the backpressure propagate, Retry-After intact.
+			overload = o.err
+			continue
 		}
 		lastErr = o.err
+	}
+	if overload != nil {
+		return ShardMatchResponse{}, overload
 	}
 	return ShardMatchResponse{}, lastErr
 }

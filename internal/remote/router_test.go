@@ -229,3 +229,58 @@ func TestRouterHedgesSlowShard(t *testing.T) {
 		t.Fatal("replica never queried")
 	}
 }
+
+// overloadedShard answers every request 429 + Retry-After, the shape of a
+// shard shedding load.
+func overloadedShard(t *testing.T, retryAfter string) *httptest.Server {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", retryAfter)
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": "overloaded"})
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHedgeOverloadedLegWaitsForOther pins the hedge's overload contract:
+// the replica exists to serve availability, so a 429 from whichever leg
+// answers first must not abort the hedge while the other leg can still
+// succeed.
+func TestHedgeOverloadedLegWaitsForOther(t *testing.T) {
+	busy := overloadedShard(t, "5")
+	// The healthy replica answers strictly after the 429, so the overloaded
+	// outcome is always the first off the channel.
+	rep := &shardFixture{docs: []Match{{ID: "a", Score: 90}}, delay: 10 * time.Millisecond}
+	r := NewRouter(Config{
+		Targets:  []string{busy.URL},
+		Replicas: []string{startShard(t, rep).URL},
+		HedgeP99: time.Nanosecond,
+	})
+	resp, err := r.hedge(context.Background(), 0, busy.URL, r.Replica(0), ShardMatchRequest{Fingerprint: "fp", K: 1})
+	if err != nil {
+		t.Fatalf("healthy replica should cover the overloaded primary: %v", err)
+	}
+	if len(resp.Matches) != 1 || resp.Matches[0].ID != "a" {
+		t.Fatalf("matches = %+v, want the replica's doc", resp.Matches)
+	}
+}
+
+// TestHedgeBothOverloadedPropagates: only when BOTH legs push back does the
+// backpressure surface, Retry-After intact.
+func TestHedgeBothOverloadedPropagates(t *testing.T) {
+	busy1 := overloadedShard(t, "7")
+	busy2 := overloadedShard(t, "7")
+	r := NewRouter(Config{
+		Targets:  []string{busy1.URL},
+		Replicas: []string{busy2.URL},
+		HedgeP99: time.Nanosecond,
+	})
+	_, err := r.hedge(context.Background(), 0, busy1.URL, busy2.URL, ShardMatchRequest{Fingerprint: "fp", K: 1})
+	var se *StatusError
+	if !errors.As(err, &se) || !se.Overloaded() {
+		t.Fatalf("want an overloaded StatusError when both legs shed load, got %v", err)
+	}
+	if se.RetryAfterSeconds != 7 {
+		t.Fatalf("Retry-After %d, want 7 preserved through the hedge", se.RetryAfterSeconds)
+	}
+}

@@ -272,23 +272,60 @@ func TestWALStreamEndpoint(t *testing.T) {
 			t.Fatalf("record %d has seq %d; positions are the sequence numbers", i, rec.Seq)
 		}
 	}
+	epoch := resp.Header.Get("X-WAL-Epoch")
+	if epoch == "" || epoch == "0" {
+		t.Fatalf("stream did not name its WAL generation: X-WAL-Epoch=%q", epoch)
+	}
 
-	resp, recs = fetch("?from=3&limit=1")
+	resp, recs = fetch("?from=3&limit=1&epoch=" + epoch)
 	if resp.StatusCode != http.StatusOK || len(recs) != 1 || recs[0].Seq != 3 {
 		t.Fatalf("windowed stream: status %d recs %+v", resp.StatusCode, recs)
 	}
+	if resp.Header.Get("X-WAL-More") != "1" || resp.Header.Get("X-WAL-Next") != "4" {
+		t.Fatalf("cut page must advertise more: X-WAL-More=%q X-WAL-Next=%q",
+			resp.Header.Get("X-WAL-More"), resp.Header.Get("X-WAL-Next"))
+	}
 
 	// Caught up: an empty 200 page, not an error.
-	resp, recs = fetch("?from=5")
+	resp, recs = fetch("?from=5&epoch=" + epoch)
 	if resp.StatusCode != http.StatusOK || len(recs) != 0 {
 		t.Fatalf("caught-up stream: status %d, %d records", resp.StatusCode, len(recs))
 	}
+	if resp.Header.Get("X-WAL-More") == "1" {
+		t.Fatal("caught-up page claims more records")
+	}
 
-	// Past the end of the log: the snapshot must have truncated it — tell
-	// the client to re-bootstrap.
+	// Past the end of the log without an epoch: positional 410.
 	resp, _ = fetch("?from=6")
 	if resp.StatusCode != http.StatusGone {
 		t.Fatalf("past-end stream: status %d, want 410 Gone", resp.StatusCode)
+	}
+
+	// The divergence trap: snapshot truncates the WAL, then MORE records than
+	// the replica's position land in the new log. Positionally from=3 fits
+	// inside the new log — but those are different records, and silently
+	// serving them would skip the new log's records 0..2 forever. The epoch
+	// echo must force a 410 regardless of position.
+	if _, err := store.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 12; i++ {
+		if err := engine.CorpusAddFingerprint(fmt.Sprintf("w-%d", i), ccd.Fingerprint(strings.Repeat("Cd", 10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, _ = fetch("?from=3&epoch=" + epoch)
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale epoch at a positionally-valid offset: status %d, want 410 Gone", resp.StatusCode)
+	}
+
+	// A fresh epoch-less read sees the new generation's records from 0.
+	resp, recs = fetch("?from=0")
+	if resp.StatusCode != http.StatusOK || len(recs) != 7 {
+		t.Fatalf("new-generation stream: status %d, %d records", resp.StatusCode, len(recs))
+	}
+	if got := resp.Header.Get("X-WAL-Epoch"); got == epoch {
+		t.Fatalf("WAL generation did not change across a snapshot truncation (still %s)", got)
 	}
 }
 

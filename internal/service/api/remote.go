@@ -104,16 +104,18 @@ func (s *Server) handleShardMatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// errWALPageFull ends a WAL page at the requested limit; the client resumes
-// from the last seq it saw.
-var errWALPageFull = errors.New("wal page full")
-
-// handleWALStream serves GET /v1/wal/stream?from=N[&limit=M]: the shard's
-// WAL tail from record position N as NDJSON, one remote.WALRecord per line.
-// A replica bootstraps by downloading the snapshot export and then tailing
-// this from 0; replay is idempotent (last-record-per-id), so overlap is
-// safe. A position the log no longer covers (a snapshot truncated it)
-// answers 410 Gone — re-bootstrap from a fresh snapshot.
+// handleWALStream serves GET /v1/wal/stream?from=N[&limit=M][&epoch=E]: one
+// page of the shard's WAL tail from record position N as NDJSON, one
+// remote.WALRecord per line. The response names the WAL generation in
+// X-WAL-Epoch, the resume position in X-WAL-Next, and sets X-WAL-More: 1
+// when the page was cut by the (server-capped) limit rather than the log's
+// end. Clients echo the epoch back on every subsequent call; a mismatch —
+// or an epoch-less position past the end of the log — answers 410 Gone: the
+// primary snapshotted and truncated the log, positions from the old
+// generation are meaningless against the new one, and the replica must
+// re-bootstrap. The page is collected under the store lock but written
+// after it is released, so a slow replica can never stall snapshots or
+// ingest, and the cap bounds what one request buffers.
 func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
 		writeError(w, http.StatusConflict, "persistence not enabled (start serve with -corpus-dir)")
@@ -138,36 +140,39 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-
-	var bw *bufio.Writer
-	var enc *json.Encoder
-	sent := 0
-	_, err := s.store.StreamWAL(from, func(seq int, id string, fp ccd.Fingerprint) error {
-		if limit > 0 && sent >= limit {
-			return errWALPageFull
+	epoch := int64(0)
+	if v := qp.Get("epoch"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "\"epoch\" must be a non-negative integer")
+			return
 		}
-		if bw == nil {
-			w.Header().Set("Content-Type", "application/x-ndjson")
-			bw = bufio.NewWriter(w)
-			enc = json.NewEncoder(bw)
-		}
-		sent++
-		return enc.Encode(remote.WALRecord{Seq: seq, ID: id, Fingerprint: string(fp)})
-	})
-	if bw != nil {
-		_ = bw.Flush()
-		return // body started; stream errors (client gone) end it silently
+		epoch = n
 	}
+
+	page, err := s.store.WALPage(from, epoch, limit)
+	w.Header().Set("X-WAL-Epoch", strconv.FormatInt(page.Epoch, 10))
 	switch {
 	case errors.Is(err, service.ErrWALTruncated):
 		writeError(w, http.StatusGone, err.Error())
-	case err != nil && !errors.Is(err, errWALPageFull):
+		return
+	case err != nil:
 		writeError(w, http.StatusInternalServerError, "wal stream: "+err.Error())
-	default:
-		// Caught up: an empty NDJSON page.
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
+		return
 	}
+	w.Header().Set("X-WAL-Next", strconv.Itoa(page.Next))
+	if page.More {
+		w.Header().Set("X-WAL-More", "1")
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range page.Entries {
+		if enc.Encode(remote.WALRecord{Seq: e.Seq, ID: e.ID, Fingerprint: string(e.FP)}) != nil {
+			return // client gone mid-page; it will re-request from its position
+		}
+	}
+	_ = bw.Flush()
 }
 
 // --- router-side handlers -----------------------------------------------------

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,10 +17,11 @@ import (
 	"repro/internal/trace"
 )
 
-// Snapshot and WAL file names inside a store directory.
+// Snapshot, WAL and WAL-epoch file names inside a store directory.
 const (
 	SnapshotFile = "corpus.snap"
 	WALFile      = "corpus.wal"
+	EpochFile    = "corpus.epoch"
 )
 
 // Store makes a Corpus durable inside one directory:
@@ -47,6 +50,18 @@ type Store struct {
 	// in-memory insert happen atomically w.r.t. snapshots), Snapshot holds
 	// it exclusively so the saved corpus and the truncated WAL agree.
 	mu sync.RWMutex
+
+	// walEpoch identifies the current WAL generation. Stream positions are
+	// only comparable within one generation, so it is bumped — and persisted
+	// to EpochFile — before every WAL truncation; replicas echo it on
+	// /v1/wal/stream and a mismatch answers ErrWALTruncated regardless of
+	// position. Written under the exclusive lock, read atomically.
+	walEpoch atomic.Int64
+
+	// walCursor caches the byte offset of the last WAL stream position
+	// served, so a replica tailing the log seeks straight to its position
+	// instead of re-replaying the whole file every poll.
+	walCursor atomic.Pointer[walCursor]
 
 	restored       int           // entries restored from the snapshot at boot
 	replayed       int           // WAL records applied at boot
@@ -237,6 +252,11 @@ func OpenStoreWith(dir string, c *Corpus, opts StoreOptions) (*Store, error) {
 	if s.wal, err = openWAL(walPath); err != nil {
 		return nil, fmt.Errorf("service: open WAL: %w", err)
 	}
+	epoch, err := loadOrInitEpoch(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: wal epoch: %w", err)
+	}
+	s.walEpoch.Store(epoch)
 	s.restoreDur = time.Since(bootStart)
 	c.store = s
 	return s, nil
@@ -312,6 +332,16 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 		return SnapshotInfo{}, err
 	}
 	syncDir(s.dir)
+	// The epoch bump lands BEFORE the WAL truncate: a replica must be able to
+	// observe the generation change before it can ever observe the truncated
+	// log, or its stale stream position could silently land inside the new
+	// log's records. A crash between the two steps leaves a new epoch over an
+	// intact log — replicas re-bootstrap needlessly, which is safe.
+	epoch := s.walEpoch.Load() + 1
+	if err := writeEpoch(s.dir, epoch); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("snapshot saved but WAL epoch persist failed (WAL left intact; replay will be redundant, not lossy): %w", err)
+	}
+	s.walEpoch.Store(epoch)
 	if err := s.wal.reset(); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("snapshot saved but WAL truncate failed (replay will be redundant, not lossy): %w", err)
 	}
@@ -336,51 +366,151 @@ func (s *Store) Snapshot() (SnapshotInfo, error) {
 	}, nil
 }
 
-// ErrWALTruncated reports a StreamWAL position past the end of the current
-// WAL: a snapshot truncated the log since the caller's last read, so the
-// requested tail no longer exists and a replica must re-bootstrap from a
-// fresh snapshot before resuming.
+// ErrWALTruncated reports a WAL stream position the current log does not
+// cover: either the caller's epoch names a previous WAL generation (a
+// snapshot truncated the log since its last read), or an epoch-less position
+// lies past the end of the log. Positions from an old generation are
+// meaningless against the new one even when they happen to fit inside it,
+// so a replica must re-bootstrap from a fresh snapshot before resuming.
 var ErrWALTruncated = errors.New("wal stream position predates the current log (snapshot truncated it; re-bootstrap)")
 
-// StreamWAL replays the on-disk WAL from record position `from` (0-based,
-// counted from the last snapshot — the WAL has no persistent sequence
-// numbers, positions ARE the sequence) into fn and returns the next
-// position to resume from. It holds the store's shared lock, so a snapshot
-// cannot truncate the log mid-stream while concurrent adds proceed; a
-// record being appended concurrently can look like a torn tail, which just
-// ends this page early — the next call picks it up. fn returning an error
-// stops the stream; `from` beyond the log returns ErrWALTruncated.
-func (s *Store) StreamWAL(from int, fn func(seq int, id string, fp ccd.Fingerprint) error) (int, error) {
+// WALEpoch returns the current WAL generation id. It changes whenever the
+// log is truncated; stream positions are only valid within one generation.
+func (s *Store) WALEpoch() int64 { return s.walEpoch.Load() }
+
+// MaxWALPageRecords caps one WALPage (and thus one /v1/wal/stream response).
+// Pages are collected in memory under the store's shared lock and written to
+// the network after it is released, so the cap bounds both the page's heap
+// footprint and the lock hold time.
+const MaxWALPageRecords = 4096
+
+// WALEntry is one record read back from the WAL for streaming.
+type WALEntry struct {
+	Seq int
+	ID  string
+	FP  ccd.Fingerprint
+}
+
+// WALPage is one page of the WAL stream.
+type WALPage struct {
+	Entries []WALEntry // up to max records from position `from`, in order
+	Next    int        // position to resume from
+	Epoch   int64      // the WAL generation the positions belong to
+	More    bool       // page was cut by max; more records are ready now
+}
+
+// walCursor remembers where in the file a stream position lives, so the next
+// page seeks instead of re-replaying the log from byte 0. Only trusted when
+// the epoch still matches: a truncation invalidates every cached offset.
+type walCursor struct {
+	epoch int64
+	pos   int
+	off   int64
+}
+
+// WALPage reads up to max records (capped at MaxWALPageRecords) from record
+// position `from` (0-based, counted from the last snapshot — the WAL has no
+// persistent sequence numbers, positions ARE the sequence). epoch is the WAL
+// generation the caller's position belongs to (0 = unknown, first contact);
+// a mismatch returns ErrWALTruncated regardless of position, as does an
+// epoch-less `from` beyond the log. Only fsynced records are served: a
+// record a failed group commit could still roll back never reaches a
+// replica. The page is collected under the store's shared lock — a snapshot
+// cannot truncate the log mid-page — and the caller streams it out after the
+// lock is released.
+func (s *Store) WALPage(from int, epoch int64, max int) (WALPage, error) {
 	if from < 0 {
 		from = 0
 	}
+	if max <= 0 || max > MaxWALPageRecords {
+		max = MaxWALPageRecords
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	next := from
-	seq := 0
-	var fnErr error
-	records, _, _, err := replayWAL(filepath.Join(s.dir, WALFile), func(id string, fp ccd.Fingerprint) {
-		i := seq
+	cur := s.walEpoch.Load()
+	page := WALPage{Next: from, Epoch: cur}
+	if epoch != 0 && epoch != cur {
+		return page, ErrWALTruncated
+	}
+	durable := s.wal.durableSize()
+	seq, off := 0, int64(0)
+	resumed := false
+	if c := s.walCursor.Load(); c != nil && c.epoch == cur && c.pos == from && from > 0 {
+		// Tail fast path: the previous page ended exactly here, so start the
+		// scan at its byte offset instead of decoding the whole log again.
+		seq, off, resumed = c.pos, c.off, true
+	}
+	if _, _, err := walScan(filepath.Join(s.dir, WALFile), off, func(id string, fp ccd.Fingerprint, end int64) bool {
+		if end > durable {
+			return false
+		}
+		if seq >= from {
+			if len(page.Entries) >= max {
+				page.More = true
+				return false
+			}
+			page.Entries = append(page.Entries, WALEntry{Seq: seq, ID: id, FP: fp})
+			page.Next = seq + 1
+		}
 		seq++
-		if fnErr != nil || i < from {
-			return
+		off = end
+		return true
+	}); err != nil {
+		return page, err
+	}
+	if !resumed && from > seq {
+		return page, ErrWALTruncated
+	}
+	s.walCursor.Store(&walCursor{epoch: cur, pos: page.Next, off: off})
+	return page, nil
+}
+
+// loadOrInitEpoch reads the persisted WAL epoch, minting (and persisting) a
+// fresh one when the file is missing or unreadable. A minted epoch is the
+// boot wall clock in nanoseconds, so a wiped-and-recreated store directory
+// can never collide with the generation a replica remembers.
+func loadOrInitEpoch(dir string) (int64, error) {
+	path := filepath.Join(dir, EpochFile)
+	if b, err := os.ReadFile(path); err == nil {
+		if v, perr := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64); perr == nil && v > 0 {
+			return v, nil
 		}
-		if err := fn(i, id, fp); err != nil {
-			fnErr = err
-			return
-		}
-		next = i + 1
-	})
+		// Corrupt epoch file: mint a new generation. Replicas re-bootstrap,
+		// which is safe; resuming positionally against an unknown one is not.
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	v := time.Now().UnixNano()
+	if err := writeEpoch(dir, v); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// writeEpoch persists the WAL epoch atomically (temp + rename + dir sync).
+func writeEpoch(dir string, v int64) error {
+	tmp, err := os.CreateTemp(dir, EpochFile+".tmp-*")
 	if err != nil {
-		return next, err
+		return err
 	}
-	if fnErr != nil {
-		return next, fnErr
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	_ = tmp.Chmod(0o644)
+	if _, err := fmt.Fprintf(tmp, "%d\n", v); err != nil {
+		tmp.Close()
+		return err
 	}
-	if from > records {
-		return records, ErrWALTruncated
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
 	}
-	return next, nil
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, EpochFile)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
 // syncDir fsyncs a directory so a completed rename survives power loss.
@@ -448,6 +578,11 @@ type StoreInfo struct {
 	Snapshots        int64  `json:"snapshots"`
 	LastSnapshot     string `json:"last_snapshot,omitempty"`
 	WALBytes         int64  `json:"wal_bytes"`
+	// WALEpoch identifies the current WAL generation; it changes whenever the
+	// log is truncated, and /v1/wal/stream positions are only valid within
+	// it. Comparing it across a primary and its replica tells whether the
+	// replica's stream position is still meaningful.
+	WALEpoch int64 `json:"wal_epoch,omitempty"`
 	// MappedSegments counts published segments reading zero-copy out of the
 	// snapshot mapping; SegmentRemaps how many post-snapshot remaps swung
 	// the generations onto a fresh mapping; RemapFailures the best-effort
@@ -468,6 +603,7 @@ func (s *Store) Info() StoreInfo {
 		TornTailCut:             s.tornTail,
 		PendingAdds:             s.pendingAdds.Load(),
 		Snapshots:               s.snapshots.Load(),
+		WALEpoch:                s.walEpoch.Load(),
 		MappedSegments:          s.corpus.MappedSegments(),
 		SegmentRemaps:           s.corpus.Remaps(),
 		RemapFailures:           s.remapFailures.Load(),

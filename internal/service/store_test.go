@@ -729,3 +729,105 @@ func TestOpenStoreRejectsNonEmptyCorpusAndDoubleAttach(t *testing.T) {
 		t.Error("double attach accepted")
 	}
 }
+
+// TestWALPageEpochAndResume pins the stream-position contract: positions are
+// only meaningful within one WAL generation. The epoch survives a store
+// reopen (replicas resume cleanly across primary restarts), changes on every
+// snapshot truncation, and a stale epoch answers ErrWALTruncated even when
+// the position would fit inside the new log.
+func TestWALPageEpochAndResume(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCorpus(ccd.DefaultConfig, 2)
+	store, err := OpenStore(dir, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, c, 6)
+
+	page, err := store.WALPage(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := page.Epoch
+	if epoch <= 0 {
+		t.Fatalf("WAL epoch %d, want > 0", epoch)
+	}
+	if len(page.Entries) != 6 || page.Next != 6 || page.More {
+		t.Fatalf("full page: %d entries next %d more %v", len(page.Entries), page.Next, page.More)
+	}
+	for i, e := range page.Entries {
+		if e.Seq != i {
+			t.Fatalf("entry %d has seq %d", i, e.Seq)
+		}
+	}
+
+	// max cuts the page and says so.
+	page, err = store.WALPage(0, epoch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 2 || page.Next != 2 || !page.More {
+		t.Fatalf("cut page: %d entries next %d more %v", len(page.Entries), page.Next, page.More)
+	}
+
+	// Tail resume (the cached-offset fast path): new appends surface at the
+	// old Next with consecutive positions.
+	if err := c.Add("tail-1", testFP(101)); err != nil {
+		t.Fatal(err)
+	}
+	page, err = store.WALPage(6, epoch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 1 || page.Entries[0].Seq != 6 || page.Entries[0].ID != "tail-1" {
+		t.Fatalf("tail page: %+v", page.Entries)
+	}
+
+	// The epoch survives a reopen, so a replica's position stays valid
+	// across a primary restart.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCorpus(ccd.DefaultConfig, 2)
+	store2, err := OpenStore(dir, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if got := store2.WALEpoch(); got != epoch {
+		t.Fatalf("epoch changed across reopen: %d -> %d", epoch, got)
+	}
+	page, err = store2.WALPage(7, epoch, 0)
+	if err != nil || len(page.Entries) != 0 || page.Next != 7 {
+		t.Fatalf("caught-up resume after reopen: %+v err %v", page, err)
+	}
+
+	// Snapshot truncates the log: the generation changes, and the old epoch
+	// is refused at EVERY position — including one the new log covers.
+	if _, err := store2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := c2.Add(fmt.Sprintf("gen2-%d", i), testFP(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := store2.WALPage(3, epoch, 0); !errors.Is(err, ErrWALTruncated) {
+		t.Fatalf("stale epoch at positionally-valid offset: err %v, want ErrWALTruncated", err)
+	}
+	page, err = store2.WALPage(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Epoch == epoch || page.Epoch <= 0 {
+		t.Fatalf("epoch after snapshot %d, want a new generation (old %d)", page.Epoch, epoch)
+	}
+	if len(page.Entries) != 9 || page.Entries[0].ID != "gen2-0" {
+		t.Fatalf("new generation page: %d entries, first %+v", len(page.Entries), page.Entries[:min(1, len(page.Entries))])
+	}
+
+	// Epoch-less positional overrun still refuses.
+	if _, err := store2.WALPage(10, 0, 0); !errors.Is(err, ErrWALTruncated) {
+		t.Fatalf("past-end without epoch: err %v, want ErrWALTruncated", err)
+	}
+}

@@ -436,6 +436,15 @@ func (w *wal) rollbackPending() bool {
 	return w.rollbackNeeded
 }
 
+// durableSize returns the length of the log's fsynced prefix. Every record
+// ending at or before it is on stable storage and can never be cut by a
+// failed-group-commit rollback — the only bytes safe to replicate.
+func (w *wal) durableSize() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedBytes
+}
+
 // size returns the current log length in bytes.
 func (w *wal) size() (int64, error) {
 	w.mu.Lock()
@@ -461,47 +470,69 @@ const maxWALPayload = 1 << 28 // 256 MiB
 // intact record (truncate the file here before appending), and whether a
 // torn/corrupt tail was skipped. A missing file replays zero records.
 func replayWAL(path string, fn func(id string, fp ccd.Fingerprint)) (records int, goodOffset int64, torn bool, err error) {
+	goodOffset, torn, err = walScan(path, 0, func(id string, fp ccd.Fingerprint, end int64) bool {
+		fn(id, fp)
+		records++
+		return true
+	})
+	return records, goodOffset, torn, err
+}
+
+// walScan streams intact records from path, starting at byte offset start
+// (which must sit on a record boundary), invoking fn with each record and
+// the byte offset just past it. fn returning false stops the scan without
+// consuming that record. It returns the byte offset just past the last
+// record consumed and whether a torn/corrupt tail ended the scan. A missing
+// file scans zero records.
+func walScan(path string, start int64, fn func(id string, fp ccd.Fingerprint, end int64) bool) (goodOffset int64, torn bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, 0, false, nil
+		return start, false, nil
 	}
 	if err != nil {
-		return 0, 0, false, err
+		return start, false, err
 	}
 	defer f.Close()
+	if start > 0 {
+		if _, err := f.Seek(start, io.SeekStart); err != nil {
+			return start, false, err
+		}
+	}
 
 	br := bufio.NewReader(f)
-	offset := int64(0)
+	offset := start
 	for {
 		payloadLen, n, err := readUvarintCounted(br)
 		if err == io.EOF {
-			return records, offset, false, nil
+			return offset, false, nil
 		}
 		if err != nil || payloadLen > maxWALPayload {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
 		var crcBuf [4]byte
 		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
 		payload := make([]byte, payloadLen)
 		if _, err := io.ReadFull(br, payload); err != nil {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBuf[:]) {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
 		id, rest, ok := cutString(payload)
 		if !ok {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
 		fp, rest, ok := cutString(rest)
 		if !ok || len(rest) != 0 {
-			return records, offset, true, nil
+			return offset, true, nil
 		}
-		fn(string(id), ccd.Fingerprint(fp))
-		records++
-		offset += int64(n) + 4 + int64(payloadLen)
+		end := offset + int64(n) + 4 + int64(payloadLen)
+		if !fn(string(id), ccd.Fingerprint(fp), end) {
+			return offset, false, nil
+		}
+		offset = end
 	}
 }
 
