@@ -1163,6 +1163,54 @@ func BenchmarkServeLoad(b *testing.B) {
 		}
 	})
 
+	// The deadline drill: the same 2x open-loop overload, but every client
+	// declares a 50ms budget (X-Request-Timeout) and hangs up at the wire
+	// when it is blown. The gate is that goodput does not collapse to zero —
+	// the request-budget spine answers with degraded partials inside the
+	// budget instead of completing work for clients that already left. The
+	// degradation-ladder and deadline counters ride along as metrics so a
+	// baseline diff shows the spine actually engaging.
+	b.Run("deadline-overload-2x", func(b *testing.B) {
+		ts := startServer(b)
+		for i := 0; i < b.N; i++ {
+			probe, err := loadgen.Run(context.Background(), loadgen.Config{
+				BaseURL:     ts.URL,
+				Mix:         mix,
+				Concurrency: 4,
+				Requests:    150,
+				Seed:        1,
+				Client:      ts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				BaseURL:     ts.URL,
+				Mix:         mix,
+				Concurrency: 64,
+				Rate:        2 * probe.Throughput,
+				Duration:    2 * time.Second,
+				Timeout:     50 * time.Millisecond,
+				Seed:        2,
+				Client:      ts.Client(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Accepted.Count == 0 {
+				b.Fatal("deadline overload run served nothing inside the 50ms budgets: degraded partials should keep goodput above zero")
+			}
+			b.ReportMetric(float64(rep.Accepted.P99Us)/1e3, "p99-ms")
+			b.ReportMetric(float64(rep.Accepted.Count), "accepted")
+			b.ReportMetric(float64(rep.Shed), "shed")
+			b.ReportMetric(float64(rep.DeadlineExceeded), "client-deadline")
+			if sv := rep.Server; sv != nil {
+				b.ReportMetric(float64(sv.DegradeTierEntered), "tiers-entered")
+				b.ReportMetric(float64(sv.DeadlineExpired), "deadline-expired")
+			}
+		}
+	})
+
 	// The same overload drill through a router over two partition-pinned
 	// shard nodes, driven via loadgen's multi-target mode (the -targets flag
 	// of cmd/loadgen). Shard admission pressure must surface through the

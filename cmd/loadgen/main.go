@@ -45,6 +45,7 @@ func main() {
 	limit := flag.Int("limit", 10, "top-K passed on match requests (0 = all)")
 	bulkBatch := flag.Int("bulk-batch", 16, "entries per bulk ingest request")
 	apiKey := flag.String("api-key", "", "X-API-Key header (the server's rate-limit client key)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline: declared to the server as X-Request-Timeout and enforced client-side (0 = none)")
 	seed := flag.Int64("seed", 1, "workload seed (reproducible runs)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON")
 	minAccepted := flag.Float64("min-accepted", 0, "exit 1 if the accepted fraction falls below this (0-1)")
@@ -80,6 +81,7 @@ func main() {
 		MatchLimit:  *limit,
 		BulkBatch:   *bulkBatch,
 		APIKey:      *apiKey,
+		Timeout:     *timeout,
 		Seed:        *seed,
 	})
 	if err != nil {
@@ -118,6 +120,9 @@ func printReport(rep *loadgen.Report) {
 	if rep.NetErrors > 0 {
 		fmt.Printf("  net errors %d\n", rep.NetErrors)
 	}
+	if rep.DeadlineExceeded > 0 {
+		fmt.Printf("  deadline_exceeded %d (client-side -timeout fired)\n", rep.DeadlineExceeded)
+	}
 	if rep.Dropped > 0 {
 		fmt.Printf("  dropped    %d (open-loop arrivals over the in-flight cap)\n", rep.Dropped)
 	}
@@ -144,6 +149,10 @@ func printReport(rep *loadgen.Report) {
 	if sv := rep.Server; sv != nil {
 		fmt.Printf("server       match_p99=%s matches=%d admitted=%d shed=%d ratelimited=%d yields=%d\n",
 			us(int64(sv.MatchP99Us)), sv.MatchCount, sv.Admitted, sv.Shed, sv.RateLimited, sv.BackgroundYield)
+		if sv.DegradeTierEntered > 0 || sv.DeadlineExpired > 0 || sv.DeadlineShipped > 0 {
+			fmt.Printf("degraded     tiers_entered=%d limit_halved=%d deadline_expired=%d deadline_shipped=%d\n",
+				sv.DegradeTierEntered, sv.LimitHalved, sv.DeadlineExpired, sv.DeadlineShipped)
+		}
 	}
 }
 

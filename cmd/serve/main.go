@@ -192,6 +192,11 @@ func main() {
 	rateBurst := flag.Int("rate-burst", 32, "per-client burst size with -rate-limit")
 	bpFsyncP99 := flag.Duration("bp-fsync-p99", 50*time.Millisecond, "rolling WAL fsync p99 above which ingest acks slow down (0 = disabled; needs -corpus-dir)")
 	bpMaxDelay := flag.Duration("bp-max-delay", service.DefaultBackpressureMaxDelay, "cap on the per-ack delay injected by durability backpressure")
+	maxDeadline := flag.Duration("max-deadline", api.DefaultMaxDeadline, "clamp on client-declared X-Request-Timeout / ?timeout= budgets")
+	degradeOff := flag.Bool("degrade-off", false, "disable the pressure-tiered quality-degradation ladder")
+	degradeTier1 := flag.Float64("degrade-tier1", 0, "pressure threshold entering tier 1 (halved effective match limit; 0 = default 0.75)")
+	degradeTier2 := flag.Float64("degrade-tier2", 0, "pressure threshold entering tier 2 (raised pre-filter η; 0 = default 0.90)")
+	degradeTier3 := flag.Float64("degrade-tier3", 0, "pressure threshold entering tier 3 (stale cluster views; 0 = default 1.0)")
 	mmapSegments := flag.Bool("mmap", true, "memory-map snapshot segments on restore and after snapshots (zero-copy boot; false = decode to heap)")
 	postingBlock := flag.Int("posting-block", ngram.DefaultBlockSize(), "posting-list block size in doc ids (compression/skip granularity, 1-65536)")
 	flag.Parse()
@@ -258,6 +263,12 @@ func main() {
 				debugHandler.Load().(http.Handler).ServeHTTP(w, r)
 			}),
 			ReadHeaderTimeout: 10 * time.Second,
+			// Debug requests carry no bodies worth waiting on; idle
+			// keep-alives are reaped so a leaked scraper cannot pin
+			// connections. No WriteTimeout: pprof profiles stream for
+			// their requested duration.
+			ReadTimeout: time.Minute,
+			IdleTimeout: 2 * time.Minute,
 		}
 		go func() {
 			if err := dsrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -287,9 +298,16 @@ func main() {
 		CCD:           ccd.Config{N: *n, Eta: *eta, Epsilon: *eps},
 		TrackClusters: *clusters,
 		Admission:     service.AdmissionConfig{MaxQueue: *admissionQueue},
+		Degrade: service.DegradeConfig{
+			Tier1:    *degradeTier1,
+			Tier2:    *degradeTier2,
+			Tier3:    *degradeTier3,
+			FsyncP99: *bpFsyncP99,
+			Disabled: *degradeOff,
+		},
 	})
 
-	opts := []api.Option{api.WithLogger(logger)}
+	opts := []api.Option{api.WithLogger(logger), api.WithMaxDeadline(*maxDeadline)}
 	var router *remote.Router
 	if *role == "router" {
 		router = remote.NewRouter(remote.Config{
@@ -376,6 +394,14 @@ func main() {
 		Addr:              *addr,
 		Handler:           server.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds one request's body read — generous enough for a
+		// streamed bulk-ingest body, tight enough that a stalled client
+		// cannot hold a connection open forever. Deliberately no
+		// WriteTimeout: the streaming responses (WAL tailing on
+		// /v1/wal/stream, NDJSON exports) run on per-handler deadlines and
+		// pagination caps instead of one global write clock.
+		ReadTimeout: 5 * time.Minute,
+		IdleTimeout: 2 * time.Minute,
 	}
 
 	errCh := make(chan error, 1)

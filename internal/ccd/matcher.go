@@ -122,6 +122,10 @@ type MatchStats struct {
 	// edit distance proved they could not enter the current top K, so the
 	// expensive exact score was never finished.
 	CutoffSkipped int
+	// Abandoned counts candidates never visited because the scan's budget
+	// expired mid-loop (MatchOpts.Abandon fired) — the work a degraded
+	// partial response left on the table.
+	Abandoned int
 
 	// FilterNs and ScoreNs split the wall time between the n-gram
 	// pre-filter and the verification loop, so a slow query's trace shows
@@ -137,6 +141,7 @@ func (s *MatchStats) Add(other MatchStats) {
 	s.FilterPruned += other.FilterPruned
 	s.Scored += other.Scored
 	s.CutoffSkipped += other.CutoffSkipped
+	s.Abandoned += other.Abandoned
 	s.FilterNs += other.FilterNs
 	s.ScoreNs += other.ScoreNs
 }
@@ -195,7 +200,7 @@ func (c *Corpus) MatchTopKBuf(fp Fingerprint, k int, mb *MatchBuffer) ([]Match, 
 	mb.grams = ngram.AppendGrams(mb.grams[:0], string(fp), c.cfg.N)
 	mb.qsubs = appendMatchSubs(mb.qsubs[:0], fp)
 	col := mb.col.Reset(k, c.cfg.Epsilon)
-	stats := c.matchInto(mb.grams, mb.qsubs, fp, col, mb)
+	stats := c.matchInto(mb.grams, mb.qsubs, fp, col, mb, MatchOpts{})
 	mb.out = col.AppendResults(mb.out[:0])
 	return mb.out, stats
 }
@@ -235,28 +240,59 @@ func (c *Corpus) MatchTopKInto(fp Fingerprint, col *TopK) MatchStats {
 func (c *Corpus) MatchPreparedInto(q *PreparedQuery, col *TopK) MatchStats {
 	mb := GetMatchBuffer()
 	defer mb.Release()
-	return c.matchInto(q.grams, q.subs, q.FP, col, mb)
+	return c.matchInto(q.grams, q.subs, q.FP, col, mb, MatchOpts{})
 }
 
 // MatchPreparedBuf is MatchPreparedInto with caller-owned scratch. The
 // collector is caller-owned too (mb.col is not touched), so one buffer plus
 // one collector can stream any number of segments.
 func (c *Corpus) MatchPreparedBuf(q *PreparedQuery, col *TopK, mb *MatchBuffer) MatchStats {
-	return c.matchInto(q.grams, q.subs, q.FP, col, mb)
+	return c.matchInto(q.grams, q.subs, q.FP, col, mb, MatchOpts{})
+}
+
+// MatchOpts tunes one match pass without changing corpus state — the
+// request-budget and degradation knobs the serving layer threads per query.
+type MatchOpts struct {
+	// Eta, when positive, overrides the corpus's pre-filter threshold:
+	// degradation tiers raise it to prune harder under pressure.
+	Eta float64
+	// Abandon, when non-nil, is sampled every abandonStride candidates; when
+	// it returns true the verification loop stops and the stats gain the
+	// unvisited candidates as Abandoned. The collector keeps whatever it
+	// admitted so far — a best-effort partial top-K.
+	Abandon func() bool
+}
+
+// abandonStride is how many candidates are verified between Abandon polls —
+// frequent enough that one stride costs well under a millisecond, rare
+// enough that the poll (a time read) never shows up in profiles.
+const abandonStride = 64
+
+// MatchPreparedOptsBuf is MatchPreparedBuf with per-query match options.
+func (c *Corpus) MatchPreparedOptsBuf(q *PreparedQuery, col *TopK, mb *MatchBuffer, opts MatchOpts) MatchStats {
+	return c.matchInto(q.grams, q.subs, q.FP, col, mb, opts)
 }
 
 // matchInto runs the match pipeline — n-gram pre-filter, per-candidate
 // Algorithm-1 verification against the collector's admission bound — with
 // every buffer drawn from mb.
-func (c *Corpus) matchInto(grams, qsubs []string, fp Fingerprint, col *TopK, mb *MatchBuffer) MatchStats {
+func (c *Corpus) matchInto(grams, qsubs []string, fp Fingerprint, col *TopK, mb *MatchBuffer, opts MatchOpts) MatchStats {
 	var stats MatchStats
+	eta := c.cfg.Eta
+	if opts.Eta > eta {
+		eta = opts.Eta
+	}
 	start := time.Now()
-	cands, qst := c.index.QueryGramsScratch(grams, c.cfg.Eta, &mb.ng)
+	cands, qst := c.index.QueryGramsScratch(grams, eta, &mb.ng)
 	scoreStart := time.Now()
 	stats.FilterNs = scoreStart.Sub(start).Nanoseconds()
 	stats.Candidates = len(cands)
 	stats.FilterPruned = qst.Pruned
-	for _, cand := range cands {
+	for i, cand := range cands {
+		if opts.Abandon != nil && i%abandonStride == abandonStride-1 && opts.Abandon() {
+			stats.Abandoned += len(cands) - i
+			break
+		}
 		entry := c.entries[cand.Doc]
 		mb.csubs = appendMatchSubs(mb.csubs[:0], entry.FP)
 		score, ok := similarityAtLeast(qsubs, fp, mb.csubs, entry.FP, col.Bound(), &mb.ed)

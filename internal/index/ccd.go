@@ -79,7 +79,13 @@ func (b *ccdBackend) MatchTopK(q *Query) ([]ccd.Match, ccd.MatchStats) {
 		return ccd.PrepareQuery(b.cfg.CCD, fp)
 	}).(*ccd.PreparedQuery)
 	col := ccd.NewTopK(q.K, b.Epsilon()).Share(q.Bound)
-	stats := b.c.MatchPreparedInto(prep, col)
+	opts := ccd.MatchOpts{Eta: q.Eta}
+	if !q.ScanDeadline.IsZero() {
+		opts.Abandon = q.Expired
+	}
+	mb := ccd.GetMatchBuffer()
+	stats := b.c.MatchPreparedOptsBuf(prep, col, mb, opts)
+	mb.Release()
 	return col.Results(), stats
 }
 

@@ -18,6 +18,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ccd"
 )
@@ -54,6 +55,13 @@ type Query struct {
 	// Ctx cancels the scatter-gather; backends with long candidate scans
 	// should check it periodically. May be nil (treated as Background).
 	Ctx context.Context
+	// Eta, when positive, overrides the backend's pre-filter bound for this
+	// query — degradation tiers raise it to prune harder under pressure.
+	Eta float64
+	// ScanDeadline, when set, is the instant scan loops must abandon work
+	// and return whatever they have collected so far (the request budget's
+	// scan phase; the remainder is reserved for merge and encoding).
+	ScanDeadline time.Time
 
 	prepOnce sync.Once
 	prepared any
@@ -70,6 +78,13 @@ func (q *Query) Prepare(f func() any) any {
 // Done reports whether the query's context has been cancelled.
 func (q *Query) Done() bool {
 	return q.Ctx != nil && q.Ctx.Err() != nil
+}
+
+// Expired reports whether the query's scan-phase budget has run out. Cheap
+// enough to call at segment boundaries; candidate loops should sample it
+// every few dozen iterations rather than per candidate.
+func (q *Query) Expired() bool {
+	return !q.ScanDeadline.IsZero() && !time.Now().Before(q.ScanDeadline)
 }
 
 // Config parameterizes a backend instance.

@@ -16,11 +16,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -129,6 +131,12 @@ type Config struct {
 	BulkBatch int
 	// APIKey, when set, is sent as X-API-Key (the rate-limit client key).
 	APIKey string
+	// Timeout, when set, is the per-request deadline: declared to the server
+	// as X-Request-Timeout (so it serves a degraded partial inside the
+	// budget) and enforced client-side via the request context. Requests
+	// that still blow it are reported as deadline_exceeded, separate from
+	// transport errors.
+	Timeout time.Duration
 	// Seed makes the workload reproducible (0 = 1).
 	Seed int64
 	// Client overrides the HTTP client (tests inject the httptest client).
@@ -187,12 +195,15 @@ type Report struct {
 	// Throughput is completed requests (any status) per second.
 	Throughput float64 `json:"throughput_rps"`
 	// ByStatus counts responses per HTTP status; NetErrors counts requests
-	// that failed below HTTP (refused connections, timeouts). Dropped counts
+	// that failed below HTTP (refused connections, resets). Dropped counts
 	// open-loop arrivals skipped because Concurrency in-flight requests
-	// already existed.
-	ByStatus  map[int]int `json:"by_status"`
-	NetErrors int         `json:"net_errors"`
-	Dropped   int         `json:"dropped,omitempty"`
+	// already existed. DeadlineExceeded counts requests abandoned on the
+	// client-side Config.Timeout — kept separate from NetErrors so a
+	// deadline drill reads budget misses, not a flaky network.
+	ByStatus         map[int]int `json:"by_status"`
+	NetErrors        int         `json:"net_errors"`
+	Dropped          int         `json:"dropped,omitempty"`
+	DeadlineExceeded int         `json:"deadline_exceeded,omitempty"`
 	// Shed counts 429s — admission or rate-limit refusals.
 	Shed int `json:"shed"`
 	// All summarizes every completed request; Accepted only the 2xx ones —
@@ -216,6 +227,12 @@ type ServerView struct {
 	Shed            int64   `json:"shed"`
 	RateLimited     int64   `json:"requests_ratelimited"`
 	BackgroundYield int64   `json:"background_yields"`
+	// Degradation-ladder and deadline-spine counters (zero when the server
+	// predates them or never degraded).
+	DegradeTierEntered int64 `json:"degrade_tier_entered,omitempty"`
+	LimitHalved        int64 `json:"degrade_limit_halved,omitempty"`
+	DeadlineExpired    int64 `json:"deadline_expired,omitempty"`
+	DeadlineShipped    int64 `json:"deadline_shipped,omitempty"`
 }
 
 // Run drives the configured load against cfg.BaseURL and reports.
@@ -260,9 +277,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 // sample is one completed request.
 type sample struct {
-	kind   string
-	status int // 0 = network error
-	dur    time.Duration
+	kind     string
+	status   int // 0 = network error or client-side deadline
+	deadline bool
+	dur      time.Duration
 }
 
 type generator struct {
@@ -382,11 +400,21 @@ func (g *generator) issue(ctx context.Context, rng *rand.Rand, i int) sample {
 }
 
 func (g *generator) send(ctx context.Context, kind, path, contentType string, body io.Reader) sample {
+	if g.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.Timeout)
+		defer cancel()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, g.base()+path, body)
 	if err != nil {
 		return sample{kind: kind}
 	}
 	req.Header.Set("Content-Type", contentType)
+	if g.cfg.Timeout > 0 {
+		// Declare the budget so the server degrades inside it rather than
+		// discovering the hang-up after the work is done.
+		req.Header.Set("X-Request-Timeout", strconv.FormatInt(g.cfg.Timeout.Milliseconds(), 10))
+	}
 	if g.cfg.APIKey != "" {
 		req.Header.Set("X-API-Key", g.cfg.APIKey)
 	}
@@ -394,7 +422,7 @@ func (g *generator) send(ctx context.Context, kind, path, contentType string, bo
 	resp, err := g.cfg.Client.Do(req)
 	d := time.Since(start)
 	if err != nil {
-		return sample{kind: kind, dur: d}
+		return sample{kind: kind, dur: d, deadline: errors.Is(err, context.DeadlineExceeded)}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -432,7 +460,11 @@ func (g *generator) report(elapsed time.Duration) *Report {
 	perKind := make(map[string][]time.Duration)
 	for _, s := range g.samples {
 		if s.status == 0 {
-			rep.NetErrors++
+			if s.deadline {
+				rep.DeadlineExceeded++
+			} else {
+				rep.NetErrors++
+			}
 			continue
 		}
 		rep.ByStatus[s.status]++
@@ -483,16 +515,28 @@ func scrape(ctx context.Context, cfg Config) *ServerView {
 			BackgroundYields int64 `json:"background_yields"`
 		} `json:"admission"`
 		RateLimited int64 `json:"requests_ratelimited"`
+		Degrade     struct {
+			TierEntered int64 `json:"tier_entered"`
+			LimitHalved int64 `json:"limit_halved"`
+		} `json:"degrade"`
+		Deadline struct {
+			Expired int64 `json:"expired"`
+			Shipped int64 `json:"shipped"`
+		} `json:"deadline"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		return nil
 	}
 	return &ServerView{
-		MatchP99Us:      m.MatchLatency.P99Us,
-		MatchCount:      m.MatchLatency.Count,
-		Admitted:        m.Admission.Admitted,
-		Shed:            m.Admission.Shed,
-		RateLimited:     m.RateLimited,
-		BackgroundYield: m.Admission.BackgroundYields,
+		MatchP99Us:         m.MatchLatency.P99Us,
+		MatchCount:         m.MatchLatency.Count,
+		Admitted:           m.Admission.Admitted,
+		Shed:               m.Admission.Shed,
+		RateLimited:        m.RateLimited,
+		BackgroundYield:    m.Admission.BackgroundYields,
+		DegradeTierEntered: m.Degrade.TierEntered,
+		LimitHalved:        m.Degrade.LimitHalved,
+		DeadlineExpired:    m.Deadline.Expired,
+		DeadlineShipped:    m.Deadline.Shipped,
 	}
 }

@@ -107,11 +107,16 @@ func (c *Client) postJSON(ctx context.Context, url string, req, out any) error {
 
 // decorate attaches the propagation headers: the current trace id rides a
 // W3C traceparent when it has the canonical 32-hex shape, and X-Request-Id
-// otherwise, so a request's spans on router and shard share one trace id
-// end to end.
+// otherwise, so a request's spans on router and shard share one trace id end
+// to end. A context deadline rides along as X-Request-Timeout (remaining
+// milliseconds at send time), so every shard-bound request — match fanout,
+// ingest forwarding, exports — inherits the router's remaining budget.
 func (c *Client) decorate(ctx context.Context, hreq *http.Request) {
 	if c.apiKey != "" {
 		hreq.Header.Set("X-API-Key", c.apiKey)
+	}
+	if ms := remainingBudgetMs(ctx); ms > 0 {
+		hreq.Header.Set("X-Request-Timeout", strconv.FormatInt(ms, 10))
 	}
 	tr := trace.SpanFrom(ctx).Trace()
 	if tr == nil {

@@ -32,6 +32,11 @@ type ShardMatchRequest struct {
 	Fingerprint string  `json:"fingerprint"`
 	K           int     `json:"k"`
 	Bound       float64 `json:"bound,omitempty"`
+	// BudgetMs is the router's *remaining* request budget at send time, in
+	// milliseconds. A shard derives its own scan deadline from it and
+	// self-cancels into a degraded partial instead of being abandoned by a
+	// router that already gave up.
+	BudgetMs int64 `json:"budget_ms,omitempty"`
 }
 
 // Match is one scored result on the wire. It mirrors ccd.Match, which
@@ -51,6 +56,9 @@ type ShardMatchStats struct {
 	FilterPruned  int `json:"filter_pruned"`
 	Scored        int `json:"scored"`
 	CutoffSkipped int `json:"cutoff_skipped"`
+	// Abandoned counts candidates the shard never visited because its
+	// shipped budget ran out mid-scan.
+	Abandoned int `json:"abandoned,omitempty"`
 }
 
 // ShardMatchResponse is the body a shard node returns: its partition-local
@@ -61,6 +69,10 @@ type ShardMatchResponse struct {
 	Matches []Match         `json:"matches"`
 	Bound   float64         `json:"bound"`
 	Stats   ShardMatchStats `json:"stats"`
+	// Degraded names the quality reductions applied shard-side ("deadline"
+	// when the shipped budget expired mid-scan and Matches is a best-effort
+	// partial top-K). The router folds it into its own Result.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // WALRecord is one corpus write on the WAL stream (GET /v1/wal/stream),

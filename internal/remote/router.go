@@ -116,6 +116,10 @@ type Result struct {
 	Matches []ccd.Match
 	Stats   ccd.MatchStats
 	Partial bool
+	// Degraded is true when the request budget shaped the answer: a shard
+	// self-cancelled on its shipped budget mid-scan, or the router's own
+	// deadline expired between waves and later partitions were never asked.
+	Degraded bool
 }
 
 // Match fans the query out over all partitions in waves, shipping the
@@ -148,6 +152,9 @@ func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, 
 		for _, part := range wave {
 			// Snapshot the bound once per request: this is the value the
 			// shard prunes with, and what the savings counter attributes.
+			// The remaining budget snapshots the same way — each wave ships
+			// what is left *now*, so a shard started late inherits a smaller
+			// budget and self-cancels instead of being abandoned.
 			shipped := 0.0
 			if !r.cfg.NoBoundShip {
 				shipped = bound.Load()
@@ -159,6 +166,7 @@ func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, 
 					Fingerprint: fingerprint,
 					K:           k,
 					Bound:       shipped,
+					BudgetMs:    remainingBudgetMs(ctx),
 				})
 				mu.Lock()
 				defer mu.Unlock()
@@ -181,6 +189,10 @@ func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, 
 				res.Stats.FilterPruned += resp.Stats.FilterPruned
 				res.Stats.Scored += resp.Stats.Scored
 				res.Stats.CutoffSkipped += resp.Stats.CutoffSkipped
+				res.Stats.Abandoned += resp.Stats.Abandoned
+				if len(resp.Degraded) > 0 {
+					res.Degraded = true
+				}
 				if shipped > 0 {
 					r.boundShipSavings.Add(int64(resp.Stats.CutoffSkipped))
 				}
@@ -192,8 +204,20 @@ func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, 
 			// backpressure verbatim rather than hammering the rest.
 			return Result{}, overload
 		}
-		if ctx.Err() != nil {
-			return Result{}, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			if !errors.Is(err, context.DeadlineExceeded) {
+				// The client hung up — nobody is waiting for a partial.
+				return Result{}, err
+			}
+			// The request budget ran out between waves: answer with what the
+			// shards that ran produced rather than abandoning the query.
+			res.Degraded = true
+			res.Partial = true
+			r.partials.Add(1)
+			res.Matches = merged.Results()
+			span.AnnotateInt("scored", int64(res.Stats.Scored))
+			span.Annotate("degraded", "deadline")
+			return res, nil
 		}
 	}
 	if failed == r.N() {
@@ -207,6 +231,25 @@ func (r *Router) Match(ctx context.Context, fingerprint string, k int) (Result, 
 	span.AnnotateInt("scored", int64(res.Stats.Scored))
 	span.AnnotateInt("failed", int64(failed))
 	return res, nil
+}
+
+// remainingBudgetMs snapshots the budget left on ctx in whole milliseconds
+// (minimum 1 when a deadline exists but under a millisecond remains, so the
+// shard still learns a budget applies; 0 = no deadline, ship nothing).
+func remainingBudgetMs(ctx context.Context) int64 {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return 1
+	}
+	ms := rem.Milliseconds()
+	if ms == 0 {
+		ms = 1
+	}
+	return ms
 }
 
 // waves splits the partition indices into cfg.Waves contiguous groups of

@@ -53,6 +53,14 @@ type Server struct {
 	limiter     *rateLimiter
 	rateLimited atomic.Int64
 
+	// maxDeadline clamps client-declared X-Request-Timeout budgets (0:
+	// DefaultMaxDeadline; see WithMaxDeadline).
+	maxDeadline time.Duration
+
+	// clustersCache is the tier-3 stale-while-revalidate snapshot served by
+	// /v1/clusters under full degradation (see handleClusters).
+	clustersCache clustersCache
+
 	// router puts the server in router mode (WithRouter): match and ingest
 	// fan out to remote shard nodes instead of the local corpus.
 	router *remote.Router
@@ -103,6 +111,21 @@ func WithTraceBuffer(n, slow int) Option {
 	return func(s *Server) { s.recorder = trace.NewRecorder(n, slow) }
 }
 
+// DefaultMaxDeadline is the ceiling applied to client-declared request
+// budgets when WithMaxDeadline is not used.
+const DefaultMaxDeadline = 30 * time.Second
+
+// WithMaxDeadline clamps client-declared deadline budgets (X-Request-Timeout
+// / ?timeout=): a client may always ask for less time, never more. d ≤ 0
+// keeps DefaultMaxDeadline.
+func WithMaxDeadline(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.maxDeadline = d
+		}
+	}
+}
+
 // NewServer returns a server around engine.
 func NewServer(engine *service.Engine, opts ...Option) *Server {
 	s := &Server{
@@ -116,6 +139,9 @@ func NewServer(engine *service.Engine, opts ...Option) *Server {
 	}
 	if s.recorder == nil {
 		s.recorder = trace.NewRecorder(0, 0)
+	}
+	if s.maxDeadline <= 0 {
+		s.maxDeadline = DefaultMaxDeadline
 	}
 	if s.ready == nil {
 		if st := s.store; st != nil {
@@ -257,17 +283,28 @@ type MatchExplain struct {
 	FilterPruned  int    `json:"filter_pruned"`
 	Scored        int    `json:"scored"`
 	CutoffSkipped int    `json:"cutoff_skipped"`
+	// Abandoned counts candidates never visited because the request's
+	// deadline budget expired mid-scan.
+	Abandoned int `json:"abandoned,omitempty"`
 }
 
-// MatchResponse lists clone candidates, best first. Partial is set by a
-// router-mode server when at least one partition was unreachable: the
-// matches cover only the shards that answered (degraded mode, not an
-// error — availability over completeness).
+// MatchResponse lists clone candidates, best first. Partial is set when the
+// matches cover less than the full corpus — a router-mode server with an
+// unreachable partition, or a scan cut short by the request budget
+// (degraded mode, not an error — availability over completeness).
 type MatchResponse struct {
-	Matches []Match       `json:"matches"`
-	Partial bool          `json:"partial,omitempty"`
-	Explain *MatchExplain `json:"explain,omitempty"`
-	Error   string        `json:"error,omitempty"`
+	Matches []Match `json:"matches"`
+	Partial bool    `json:"partial,omitempty"`
+	// Degraded lists the quality reductions applied to this response:
+	// "deadline" (the budget expired mid-scan; Matches is a best-effort
+	// partial top-K) and/or "limit" (pressure tier ≥ 1 halved the effective
+	// top-K; see EffectiveLimit).
+	Degraded []string `json:"degraded,omitempty"`
+	// EffectiveLimit is the top-K actually served when degradation reduced
+	// the requested limit.
+	EffectiveLimit int           `json:"effective_limit,omitempty"`
+	Explain        *MatchExplain `json:"explain,omitempty"`
+	Error          string        `json:"error,omitempty"`
 }
 
 // MatchBatchResponse answers the batch form of /v1/match: one entry per
@@ -490,10 +527,19 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		if err := s.engine.DoCtx(ctx, func() {
 			resp = s.matchOne(ctx, req)
 		}); err != nil {
+			if service.DeadlineExpired(ctx) {
+				// The budget was spent queueing: the scan never ran, but the
+				// client is still listening — answer degraded-empty rather
+				// than silently dropping the connection into a 504.
+				writeJSON(w, http.StatusOK, MatchResponse{
+					Matches: []Match{}, Partial: true, Degraded: []string{"deadline"},
+				})
+				return
+			}
 			return // client gone while queued; nobody is listening
 		}
-		if ctx.Err() != nil {
-			return // cancelled mid-scan
+		if ctx.Err() != nil && !service.DeadlineExpired(ctx) {
+			return // client hung up mid-scan
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -503,64 +549,102 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	// Source queries fan out through the pooled batch helper (fingerprinting
 	// is the expensive part); precomputed fingerprints match inline on one
 	// worker slot — the read path itself is lock-free and cheap.
+	degradedEmpty := MatchResponse{Matches: []Match{}, Partial: true, Degraded: []string{"deadline"}}
 	if len(req.Sources) > 0 {
-		mss, stats, errs, err := s.matchSources(ctx, req)
-		if err != nil {
+		mss, stats, errs, ran, err := s.matchSources(ctx, req)
+		if err != nil && !service.DeadlineExpired(ctx) {
 			return // cancelled; client gone
 		}
-		for i := range mss {
-			resp.Results[i] = s.toMatchResponse(req, mss[i], stats[i], errs[i])
+		for i := range resp.Results[:len(req.Sources)] {
+			if ran[i] {
+				resp.Results[i] = s.toMatchResponse(req, mss[i], stats[i], errs[i])
+			} else {
+				// Skipped by a mid-batch deadline expiry: marked degraded,
+				// never a silent empty result.
+				resp.Results[i] = degradedEmpty
+			}
 		}
 	}
 	if len(req.Fingerprints) > 0 {
+		for i := range req.Fingerprints {
+			resp.Results[len(req.Sources)+i] = degradedEmpty
+		}
 		if err := s.engine.DoCtx(ctx, func() {
 			for i, fp := range req.Fingerprints {
 				doc := index.Doc{FP: ccd.Fingerprint(fp)}
 				ms, st, err := s.engine.MatchDoc(ctx, req.Backend, doc, req.Limit)
-				if err != nil {
+				if err != nil && !errors.Is(err, service.ErrBudgetExhausted) {
 					return // only ctx errors reach here (backend pre-validated)
 				}
-				resp.Results[len(req.Sources)+i] = s.toMatchResponse(req, ms, st, nil)
+				resp.Results[len(req.Sources)+i] = s.toMatchResponse(req, ms, st, err)
 			}
-		}); err != nil {
+		}); err != nil && !service.DeadlineExpired(ctx) {
 			return
 		}
 	}
-	if ctx.Err() != nil {
+	if ctx.Err() != nil && !service.DeadlineExpired(ctx) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // matchSources runs the batch source form on the worker pool, collecting
-// per-source stats for explain=1.
-func (s *Server) matchSources(ctx context.Context, req MatchRequest) ([][]ccd.Match, []ccd.MatchStats, []error, error) {
+// per-source stats for explain=1. ran marks queries that actually executed —
+// a mid-batch deadline expiry leaves the tail undispatched.
+func (s *Server) matchSources(ctx context.Context, req MatchRequest) ([][]ccd.Match, []ccd.MatchStats, []error, []bool, error) {
 	mss := make([][]ccd.Match, len(req.Sources))
 	stats := make([]ccd.MatchStats, len(req.Sources))
 	errs := make([]error, len(req.Sources))
+	ran := make([]bool, len(req.Sources))
 	err := s.engine.MapCtx(ctx, len(req.Sources), func(i int) {
 		mss[i], stats[i], errs[i] = s.engine.MatchSource(ctx, req.Backend, req.Sources[i], req.Limit)
+		ran[i] = true
 	})
-	return mss, stats, errs, err
+	return mss, stats, errs, ran, err
 }
 
-// matchOne serves the single-query form of /v1/match.
+// matchOne serves the single-query form of /v1/match, applying the tier-1
+// degradation (halved effective limit) when the pressure ladder says so.
 func (s *Server) matchOne(ctx context.Context, req MatchRequest) MatchResponse {
+	limit, halved := s.effectiveLimit(req.Limit)
 	var ms []ccd.Match
 	var st ccd.MatchStats
 	var err error
 	if req.Source != "" {
-		ms, st, err = s.engine.MatchSource(ctx, req.Backend, req.Source, req.Limit)
+		ms, st, err = s.engine.MatchSource(ctx, req.Backend, req.Source, limit)
 	} else {
-		ms, st, err = s.engine.MatchDoc(ctx, req.Backend, index.Doc{FP: ccd.Fingerprint(req.Fingerprint)}, req.Limit)
+		ms, st, err = s.engine.MatchDoc(ctx, req.Backend, index.Doc{FP: ccd.Fingerprint(req.Fingerprint)}, limit)
 	}
-	return s.toMatchResponse(req, ms, st, err)
+	resp := s.toMatchResponse(req, ms, st, err)
+	if halved {
+		resp.EffectiveLimit = limit
+		resp.Degraded = append(resp.Degraded, "limit")
+	}
+	return resp
+}
+
+// effectiveLimit applies the tier-1 quality degradation: under pressure the
+// requested top-K is halved, trading result depth for scan work. Unbounded
+// requests (limit ≤ 1) pass through — there is no meaningful half.
+func (s *Server) effectiveLimit(limit int) (int, bool) {
+	if limit > 1 && s.engine.DegradeTier() >= 1 {
+		s.engine.NoteLimitHalved()
+		return limit / 2, true
+	}
+	return limit, false
 }
 
 func (s *Server) toMatchResponse(req MatchRequest, ms []ccd.Match, st ccd.MatchStats, err error) MatchResponse {
 	resp := MatchResponse{Matches: make([]Match, len(ms))}
 	for i, m := range ms {
 		resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+	}
+	if errors.Is(err, service.ErrBudgetExhausted) {
+		// Time ran out mid-scan: the matches are a best-effort partial
+		// top-K, served degraded rather than failed.
+		resp.Partial = true
+		resp.Degraded = append(resp.Degraded, "deadline")
+		err = nil
 	}
 	if err != nil {
 		resp.Error = err.Error()
@@ -576,6 +660,7 @@ func (s *Server) toMatchResponse(req MatchRequest, ms []ccd.Match, st ccd.MatchS
 				FilterPruned:  st.FilterPruned,
 				Scored:        st.Scored,
 				CutoffSkipped: st.CutoffSkipped,
+				Abandoned:     st.Abandoned,
 			}
 		}
 	}

@@ -1,8 +1,11 @@
 package api
 
 import (
+	"context"
+	"errors"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -77,14 +80,39 @@ func (s *Server) traced(mux *http.ServeMux, pattern string, h http.HandlerFunc) 
 		root := tr.StartRoot(pattern)
 		w.Header().Set("X-Trace-Id", tr.ID())
 		tw := &traceWriter{ResponseWriter: w, trace: tr}
-		h(tw, r.WithContext(trace.ContextWithSpan(r.Context(), root)))
+		ctx := trace.ContextWithSpan(r.Context(), root)
+		// Deadline budget: a client-declared X-Request-Timeout (or
+		// ?timeout=) becomes both a context deadline — queue wait subtracts
+		// from it implicitly — and a service.Budget value, so downstream
+		// layers can tell "time ran out" (serve a degraded partial) from
+		// "client hung up" (serve nothing).
+		if d, ok := requestTimeout(r); ok {
+			if s.maxDeadline > 0 && d > s.maxDeadline {
+				d = s.maxDeadline
+			}
+			root.AnnotateInt("budget_ms", d.Milliseconds())
+			deadline := time.Now().Add(d)
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+			ctx = service.WithBudget(ctx, service.Budget{Deadline: deadline})
+			s.engine.NoteBudgetRequest()
+		}
+		h(tw, r.WithContext(ctx))
 		status := tw.status
 		if status == 0 {
 			// The handler wrote nothing — a cancelled client, typically.
 			status = http.StatusOK
-			if err := r.Context().Err(); err != nil {
-				status = statusClientClosedRequest
-				tr.SetError(err.Error())
+			if err := ctx.Err(); err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					// The budget ran out on a handler with nothing partial
+					// to serve: an honest timeout, not a disconnect.
+					writeError(tw, http.StatusGatewayTimeout, "request deadline exceeded")
+					status = tw.status
+				} else {
+					status = statusClientClosedRequest
+					tr.SetError(err.Error())
+				}
 			}
 		}
 		elapsed := time.Since(start)
@@ -112,6 +140,31 @@ func (s *Server) traced(mux *http.ServeMux, pattern string, h http.HandlerFunc) 
 // statusClientClosedRequest is nginx's conventional code for a client that
 // disconnected before the response was written.
 const statusClientClosedRequest = 499
+
+// requestTimeout reads the client's declared deadline budget: the
+// X-Request-Timeout header wins over the ?timeout= query parameter. Both
+// accept a Go duration string ("50ms", "2s") or a bare integer of
+// milliseconds. Unparsable or non-positive values are ignored — a garbled
+// budget must not fail a request that would have succeeded without one.
+func requestTimeout(r *http.Request) (time.Duration, bool) {
+	v := strings.TrimSpace(r.Header.Get("X-Request-Timeout"))
+	if v == "" {
+		v = strings.TrimSpace(r.URL.Query().Get("timeout"))
+	}
+	if v == "" {
+		return 0, false
+	}
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if ms <= 0 {
+			return 0, false
+		}
+		return time.Duration(ms) * time.Millisecond, true
+	}
+	if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		return d, true
+	}
+	return 0, false
+}
 
 // counted registers a stats-only route: counted and timed per endpoint, but
 // untraced — the observability endpoints themselves (metrics scrapes, health

@@ -234,6 +234,21 @@ func (s *Server) writePrometheus(w io.Writer, snap service.Snapshot, uptimeSec f
 	p.counter("ccd_remote_partial_responses_total", "Degraded responses missing at least one partition.", rstats.Partials)
 	p.counter("ccd_remote_bound_ship_savings_total", "Candidates remote shards pruned thanks to the shipped admission bound.", rstats.BoundShipSavings)
 
+	// Deadline budget spine + quality-degradation ladder. Like the remote
+	// families these render zero-valued on every role, so a fleet dashboard
+	// can sum ccd_deadline_shipped_total over shard nodes without caring
+	// which nodes ever received a shipped budget.
+	dg := snap.Degrade
+	p.gauge("ccd_degrade_tier", "Current quality-degradation tier (0 = full quality).", float64(dg.Tier))
+	p.counter("ccd_degrade_tier_entered_total", "Degradation tier escalations since boot.", dg.TierEntered)
+	p.counter("ccd_degrade_limit_halved_total", "Match requests served with a tier-1 halved effective limit.", dg.LimitHalved)
+	p.counter("ccd_degrade_eta_raised_total", "Scans run with the tier-2 raised pre-filter bound.", dg.EtaRaised)
+	p.counter("ccd_degrade_clusters_stale_total", "Cluster views served from the tier-3 stale snapshot.", dg.ClustersStale)
+	dl := snap.Deadline
+	p.counter("ccd_deadline_budget_requests_total", "Requests that declared a deadline budget.", dl.BudgetRequests)
+	p.counter("ccd_deadline_expired_total", "Budgets that expired mid-request and were answered with a degraded partial.", dl.Expired)
+	p.counter("ccd_deadline_shipped_total", "Shard requests that arrived with a router-shipped remaining budget.", dl.Shipped)
+
 	// Self-join study funnel.
 	sj := snap.SelfJoin
 	p.counter("ccd_study_started_total", "Corpus-wide clone studies started.", sj.Started)

@@ -71,6 +71,20 @@ func (s *Server) handleShardMatch(w http.ResponseWriter, r *http.Request) {
 		req.Bound = 0
 	}
 	ctx := r.Context()
+	if req.BudgetMs > 0 {
+		// The router shipped its remaining budget: scan under it and
+		// self-cancel into a degraded partial instead of letting an
+		// abandoning router strand this scan. The middleware may already
+		// have installed a (header-derived) budget; keep the tighter one.
+		s.engine.NoteDeadlineShipped()
+		deadline := time.Now().Add(time.Duration(req.BudgetMs) * time.Millisecond)
+		if b, ok := service.BudgetOf(ctx); !ok || deadline.Before(b.Deadline) {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+			ctx = service.WithBudget(ctx, service.Budget{Deadline: deadline})
+		}
+	}
 	bound := ccd.NewAtomicBound(req.Bound)
 	var ms []ccd.Match
 	var st ccd.MatchStats
@@ -79,7 +93,18 @@ func (s *Server) handleShardMatch(w http.ResponseWriter, r *http.Request) {
 		doc := index.Doc{FP: ccd.Fingerprint(req.Fingerprint)}
 		ms, st, err = s.engine.Corpus().MatchDocTopKBound(ctx, doc, req.K, bound)
 	}); derr != nil {
+		if req.BudgetMs > 0 && errors.Is(derr, context.DeadlineExceeded) {
+			// The shipped budget drained while queued: an honest (empty)
+			// degraded response beats a 504 the router must write off.
+			writeJSON(w, http.StatusOK, remote.ShardMatchResponse{
+				Matches: []remote.Match{}, Bound: bound.Load(), Degraded: []string{"deadline"},
+			})
+		}
 		return // client gone while queued
+	}
+	degraded := errors.Is(err, service.ErrBudgetExhausted)
+	if degraded {
+		err = nil
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -96,7 +121,11 @@ func (s *Server) handleShardMatch(w http.ResponseWriter, r *http.Request) {
 			FilterPruned:  st.FilterPruned,
 			Scored:        st.Scored,
 			CutoffSkipped: st.CutoffSkipped,
+			Abandoned:     st.Abandoned,
 		},
+	}
+	if degraded {
+		resp.Degraded = []string{"deadline"}
 	}
 	for i, m := range ms {
 		resp.Matches[i] = remote.Match{ID: m.ID, Score: m.Score}
@@ -275,13 +304,22 @@ func (s *Server) routerFingerprint(ctx context.Context, source, fingerprint stri
 
 // routerMatchFP routes one fingerprint query and shapes the API response.
 func (s *Server) routerMatchFP(ctx context.Context, req MatchRequest, fp string) (MatchResponse, error) {
-	res, err := s.router.Match(ctx, fp, req.Limit)
+	limit, halved := s.effectiveLimit(req.Limit)
+	res, err := s.router.Match(ctx, fp, limit)
 	if err != nil {
 		return MatchResponse{}, err
 	}
 	resp := MatchResponse{Matches: make([]Match, len(res.Matches)), Partial: res.Partial}
 	for i, m := range res.Matches {
 		resp.Matches[i] = Match{ID: m.ID, Score: m.Score}
+	}
+	if res.Degraded {
+		resp.Partial = true
+		resp.Degraded = append(resp.Degraded, "deadline")
+	}
+	if halved {
+		resp.EffectiveLimit = limit
+		resp.Degraded = append(resp.Degraded, "limit")
 	}
 	if req.Explain {
 		resp.Explain = &MatchExplain{
@@ -292,6 +330,7 @@ func (s *Server) routerMatchFP(ctx context.Context, req MatchRequest, fp string)
 			FilterPruned:  res.Stats.FilterPruned,
 			Scored:        res.Stats.Scored,
 			CutoffSkipped: res.Stats.CutoffSkipped,
+			Abandoned:     res.Stats.Abandoned,
 		}
 	}
 	return resp, nil

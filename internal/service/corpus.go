@@ -64,6 +64,7 @@ type Corpus struct {
 	scored         atomic.Int64
 	cutoffSkipped  atomic.Int64
 	cancelledReads atomic.Int64
+	degradedReads  atomic.Int64
 
 	// store, when non-nil, intercepts Add for write-ahead logging. Set once
 	// during OpenStore, before the corpus serves traffic.
@@ -463,11 +464,17 @@ func (c *Corpus) MatchDocTopKBound(ctx context.Context, doc index.Doc, k int, bo
 	if bound == nil {
 		bound = ccd.NewAtomicBound(0)
 	}
-	q := &index.Query{Doc: doc, K: k, Ctx: ctx, Bound: bound}
+	q := &index.Query{Doc: doc, K: k, Ctx: ctx, Bound: bound, Eta: EtaOverrideOf(ctx)}
+	if b, ok := BudgetOf(ctx); ok && !b.Deadline.IsZero() {
+		// Phase split: the scan must yield early enough that merge and
+		// response encoding still fit inside the request budget.
+		q.ScanDeadline = b.ScanDeadline()
+	}
 
 	type shardResult struct {
-		ms    []ccd.Match
-		stats ccd.MatchStats
+		ms        []ccd.Match
+		stats     ccd.MatchStats
+		truncated bool
 	}
 	results := make([]shardResult, len(c.shards))
 	scan := func(i int) {
@@ -487,7 +494,8 @@ func (c *Corpus) MatchDocTopKBound(ctx context.Context, doc index.Doc, k int, bo
 			sp.End()
 		}()
 		for _, seg := range g.segments {
-			if ctx.Err() != nil {
+			if ctx.Err() != nil || q.Expired() {
+				res.truncated = true
 				return
 			}
 			ms, st := seg.MatchTopK(q)
@@ -515,14 +523,17 @@ func (c *Corpus) MatchDocTopKBound(ctx context.Context, doc index.Doc, k int, bo
 	_, merge := trace.Start(ctx, "match.merge")
 	var stats ccd.MatchStats
 	offered := 0
+	truncated := false
 	col := ccd.NewTopK(k, 0) // per-segment collectors already applied ε
 	for i := range results {
 		stats.Add(results[i].stats)
+		truncated = truncated || results[i].truncated
 		for _, m := range results[i].ms {
 			col.Offer(m)
 			offered++
 		}
 	}
+	truncated = truncated || stats.Abandoned > 0
 	merge.AnnotateInt("offered", int64(offered))
 	merge.End()
 	// Partial work (candidates, pruning) is real even when the query is
@@ -533,8 +544,18 @@ func (c *Corpus) MatchDocTopKBound(ctx context.Context, doc index.Doc, k int, bo
 	c.scored.Add(int64(stats.Scored))
 	c.cutoffSkipped.Add(int64(stats.CutoffSkipped))
 	if err := ctx.Err(); err != nil {
+		if DeadlineExpired(ctx) {
+			// Time ran out but the client is still listening: hand back the
+			// best-effort partial top-K instead of an empty error.
+			c.degradedReads.Add(1)
+			return col.Results(), stats, ErrBudgetExhausted
+		}
 		c.cancelledReads.Add(1)
 		return nil, stats, err
+	}
+	if truncated {
+		c.degradedReads.Add(1)
+		return col.Results(), stats, ErrBudgetExhausted
 	}
 	c.matches.Add(1)
 	return col.Results(), stats, nil
@@ -567,6 +588,9 @@ type CorpusFunnel struct {
 	Scored         int64 `json:"scored"`
 	CutoffSkipped  int64 `json:"cutoff_skipped"`
 	CancelledReads int64 `json:"cancelled_reads"`
+	// DegradedReads counts scans whose budget expired mid-flight and that
+	// returned a best-effort partial top-K instead of an error.
+	DegradedReads int64 `json:"degraded_reads"`
 }
 
 // Funnel reports the corpus's cumulative match funnel.
@@ -578,6 +602,7 @@ func (c *Corpus) Funnel() CorpusFunnel {
 		Scored:         c.scored.Load(),
 		CutoffSkipped:  c.cutoffSkipped.Load(),
 		CancelledReads: c.cancelledReads.Load(),
+		DegradedReads:  c.degradedReads.Load(),
 	}
 }
 

@@ -58,6 +58,9 @@ type Options struct {
 	// Admission bounds the request queue in front of the worker pool; the
 	// zero value disables load shedding (see AdmissionConfig).
 	Admission AdmissionConfig
+	// Degrade tunes the pressure-tiered quality ladder (see DegradeConfig);
+	// the zero value enables it with defaults.
+	Degrade DegradeConfig
 }
 
 // onlineClusterK caps the clone edges one ingest contributes to the live
@@ -87,6 +90,7 @@ type Engine struct {
 	sem     chan struct{}
 	adm     admission
 	ctr     counters
+	deg     *degrade
 
 	graphs  *lru[graphEntry]
 	reports *lru[reportEntry]
@@ -137,6 +141,11 @@ func New(opts Options) *Engine {
 	if q := opts.Admission.MaxQueue; q > 0 {
 		e.adm.capacity = workers + q
 	}
+	eta := opts.CCD.Eta
+	if opts.CCD.N == 0 {
+		eta = ccd.DefaultConfig.Eta
+	}
+	e.deg = &degrade{cfg: opts.Degrade.withDefaults(), raisedEta: eta + (1-eta)/2}
 	e.corpora = map[string]*Corpus{index.BackendCCD: e.corpus}
 	for _, name := range opts.Backends {
 		if name == index.BackendCCD {
@@ -512,7 +521,9 @@ func (e *Engine) MatchSource(ctx context.Context, backend, src string, k int) ([
 	}
 	ms, stats, err := e.MatchDoc(ctx, backend, index.Doc{Source: src, FP: fp}, k)
 	if err != nil {
-		return nil, stats, err
+		// A budget-exhausted scan still carries its best-effort partial
+		// matches; everything else fails empty.
+		return ms, stats, err
 	}
 	return ms, stats, ferr
 }
@@ -520,7 +531,12 @@ func (e *Engine) MatchSource(ctx context.Context, backend, src string, k int) ([
 // MatchDoc scatter-gathers doc's k best candidates on the named backend's
 // corpus (empty name: ccd). Latency and pruning counts feed the /metrics
 // histogram; cancelled queries return ctx.Err() and are not observed as
-// completed matches.
+// completed matches. A query whose deadline budget expires mid-scan returns
+// its best-effort partial top-K alongside ErrBudgetExhausted — observed in
+// the latency histogram (the client waited that long either way).
+//
+// At degradation tier ≥ 2 the scan runs with the raised pre-filter η, so
+// fewer candidates survive to the expensive exact scoring.
 func (e *Engine) MatchDoc(ctx context.Context, backend string, doc index.Doc, k int) ([]ccd.Match, ccd.MatchStats, error) {
 	c, err := e.CorpusFor(backend)
 	if err != nil {
@@ -530,11 +546,23 @@ func (e *Engine) MatchDoc(ctx context.Context, backend string, doc index.Doc, k 
 	if backend != "" {
 		sp.Annotate("backend", backend)
 	}
+	if tier := e.DegradeTier(); tier > 0 {
+		sp.AnnotateInt("degrade.tier", int64(tier))
+		if tier >= 2 && EtaOverrideOf(ctx) == 0 {
+			ctx = WithEtaOverride(ctx, e.deg.raisedEta)
+			e.ctr.etaRaised.Add(1)
+		}
+	}
 	start := time.Now()
 	ms, stats, err := c.MatchDocTopK(ctx, doc, k)
 	sp.AnnotateInt("candidates", int64(stats.Candidates))
 	sp.AnnotateInt("scored", int64(stats.Scored))
 	sp.End()
+	if errors.Is(err, ErrBudgetExhausted) {
+		e.ctr.deadlineExpired.Add(1)
+		e.ctr.observeMatch(stats, time.Since(start))
+		return ms, stats, err
+	}
 	if err != nil {
 		return nil, stats, err
 	}

@@ -36,6 +36,15 @@ type counters struct {
 
 	matchLatency trace.Hist
 
+	// Quality-degradation ladder and deadline-budget accounting.
+	tierEntered     atomic.Int64
+	limitHalved     atomic.Int64
+	etaRaised       atomic.Int64
+	clustersStale   atomic.Int64
+	budgetRequests  atomic.Int64
+	deadlineExpired atomic.Int64
+	deadlineShipped atomic.Int64
+
 	// Corpus-wide clone studies (the /v1/study corpus mode): cumulative
 	// per-phase funnel across every self-join this engine ran.
 	studiesStarted   atomic.Int64
@@ -207,6 +216,11 @@ type Snapshot struct {
 	// MatchLatency is the /v1/match service-time histogram summary.
 	MatchLatency LatencyStats `json:"match_latency"`
 
+	// Degrade reports the quality-degradation ladder; Deadline the
+	// request-budget spine.
+	Degrade  DegradeSnapshot  `json:"degrade"`
+	Deadline DeadlineSnapshot `json:"deadline"`
+
 	// Durability reports the WAL/snapshot instrumentation (present only when
 	// the ccd corpus has a store attached).
 	Durability *DurabilityStats `json:"durability,omitempty"`
@@ -299,6 +313,18 @@ func (e *Engine) Metrics() Snapshot {
 		MatchScored:        e.ctr.matchScored.Load(),
 		MatchCutoffSkipped: e.ctr.matchCutoffSkipped.Load(),
 		MatchLatency:       latencyStats(&e.ctr.matchLatency),
+		Degrade: DegradeSnapshot{
+			Tier:          e.DegradeTier(),
+			TierEntered:   e.ctr.tierEntered.Load(),
+			LimitHalved:   e.ctr.limitHalved.Load(),
+			EtaRaised:     e.ctr.etaRaised.Load(),
+			ClustersStale: e.ctr.clustersStale.Load(),
+		},
+		Deadline: DeadlineSnapshot{
+			BudgetRequests: e.ctr.budgetRequests.Load(),
+			Expired:        e.ctr.deadlineExpired.Load(),
+			Shipped:        e.ctr.deadlineShipped.Load(),
+		},
 		SelfJoin: StudyFunnel{
 			Started:       e.ctr.studiesStarted.Load(),
 			Completed:     e.ctr.studiesCompleted.Load(),
